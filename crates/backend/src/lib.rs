@@ -1,0 +1,250 @@
+//! Execution-engine model: ports, issue/retire bandwidth and IPC
+//! accounting.
+//!
+//! The paper's attack code is deliberately frontend-bound (§IV-D): the
+//! 4-`mov`-+-1-`jmp` mix block spreads across ALU ports and avoids loads and
+//! stores so the backend never becomes the bottleneck, and the §XI receiver
+//! uses `nop`s that are renamed away entirely. This crate models just enough
+//! of the backend to (a) verify that property, (b) bound throughput by
+//! rename width and port contention, and (c) compute the IPC values used by
+//! Fig. 4 and the fingerprinting side channel.
+//!
+//! Total loop time is `max(frontend delivery cycles, backend throughput
+//! cycles)` — the classic bottleneck combination.
+//!
+//! # Examples
+//!
+//! ```
+//! use leaky_backend::Backend;
+//! use leaky_isa::{Addr, Block};
+//!
+//! let be = Backend::skylake();
+//! let block = Block::mix(Addr::new(0x1000));
+//! // 5 µops over ≥4-wide rename and 4 ALU ports: ~1.25 cycles.
+//! let cyc = be.throughput_cycles(block.instructions());
+//! assert!(cyc < 2.0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use leaky_isa::Instruction;
+
+/// Backend width parameters (Skylake-like).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BackendConfig {
+    /// µops renamed/allocated per cycle (Fig. 1: 4).
+    pub rename_width: f64,
+    /// Instructions retired per cycle.
+    pub retire_width: f64,
+    /// Number of execution ports (Fig. 1: 8).
+    pub ports: usize,
+}
+
+impl BackendConfig {
+    /// Skylake-family widths per the paper's Fig. 1.
+    pub const fn skylake() -> Self {
+        BackendConfig {
+            rename_width: 4.0,
+            retire_width: 4.0,
+            ports: 8,
+        }
+    }
+}
+
+impl Default for BackendConfig {
+    fn default() -> Self {
+        Self::skylake()
+    }
+}
+
+/// The execution-engine model.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Backend {
+    config: BackendConfig,
+}
+
+impl Backend {
+    /// Creates a backend with explicit widths.
+    pub fn new(config: BackendConfig) -> Self {
+        Backend { config }
+    }
+
+    /// Creates the default Skylake-like backend.
+    pub fn skylake() -> Self {
+        Backend {
+            config: BackendConfig::skylake(),
+        }
+    }
+
+    /// The width parameters.
+    pub fn config(&self) -> BackendConfig {
+        self.config
+    }
+
+    /// Minimum cycles the backend needs to execute the instruction sequence,
+    /// bounded by rename bandwidth and by execution-port contention.
+    ///
+    /// Port contention uses the exact steady-state (fluid) bound: for every
+    /// subset `S` of ports, the µops that can *only* issue to ports in `S`
+    /// need at least `demand(S) / |S|` cycles; the binding constraint is the
+    /// maximum over all subsets. This models loop throughput, where µops
+    /// from adjacent iterations overlap freely.
+    ///
+    /// `nop`s consume rename bandwidth but no port.
+    pub fn throughput_cycles(&self, instrs: &[Instruction]) -> f64 {
+        debug_assert!(self.config.ports <= 8, "port masks are 8 bits");
+        let mut uops = 0u64;
+        // demand_by_mask[m] = µops whose port mask is exactly m.
+        let mut demand_by_mask = [0u64; 256];
+        for instr in instrs {
+            uops += instr.uops() as u64;
+            let mask = instr.port_mask();
+            if mask.count() == 0 {
+                continue; // renamed away (nop)
+            }
+            demand_by_mask[mask.bits() as usize] += instr.uops() as u64;
+        }
+        let mut port_bound: f64 = 0.0;
+        for subset in 1usize..256 {
+            let mut demand = 0u64;
+            for (mask, &d) in demand_by_mask.iter().enumerate() {
+                if d > 0 && mask & !subset == 0 {
+                    demand += d;
+                }
+            }
+            if demand > 0 {
+                port_bound = port_bound.max(demand as f64 / subset.count_ones() as f64);
+            }
+        }
+        let rename_bound = uops as f64 / self.config.rename_width;
+        rename_bound.max(port_bound)
+    }
+
+    /// Combines frontend delivery time with backend throughput: the loop
+    /// runs at the pace of its bottleneck.
+    pub fn bottleneck_cycles(&self, frontend_cycles: f64, instrs: &[Instruction]) -> f64 {
+        frontend_cycles.max(self.throughput_cycles(instrs))
+    }
+
+    /// Whether a sequence is frontend-bound given its frontend delivery
+    /// cost — true for all the paper's attack blocks.
+    pub fn is_frontend_bound(&self, frontend_cycles: f64, instrs: &[Instruction]) -> bool {
+        frontend_cycles >= self.throughput_cycles(instrs)
+    }
+}
+
+/// Accumulates instructions and cycles to compute IPC (instructions per
+/// cycle), the observable of the §XI fingerprinting side channel and the
+/// Fig. 4 metric.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct IpcMeter {
+    instructions: u64,
+    cycles: f64,
+}
+
+impl IpcMeter {
+    /// Creates an empty meter.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records a batch of retired instructions and the cycles they took.
+    pub fn record(&mut self, instructions: u64, cycles: f64) {
+        self.instructions += instructions;
+        self.cycles += cycles;
+    }
+
+    /// Retired instruction count.
+    pub fn instructions(&self) -> u64 {
+        self.instructions
+    }
+
+    /// Elapsed cycles.
+    pub fn cycles(&self) -> f64 {
+        self.cycles
+    }
+
+    /// Instructions per cycle, or 0 with no cycles.
+    pub fn ipc(&self) -> f64 {
+        if self.cycles <= 0.0 {
+            0.0
+        } else {
+            self.instructions as f64 / self.cycles
+        }
+    }
+
+    /// Resets the meter.
+    pub fn reset(&mut self) {
+        *self = Self::default();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use leaky_isa::{Addr, Block, Instruction, LcpPattern, Opcode};
+
+    #[test]
+    fn mix_block_is_frontend_bound() {
+        // §IV-D requirement 3: the mix block must not bottleneck on ports.
+        let be = Backend::skylake();
+        let block = Block::mix(Addr::new(0x1000));
+        let backend = be.throughput_cycles(block.instructions());
+        // Frontend needs ≥1.8 cycles (DSB) for this block; backend less.
+        assert!(backend <= 1.8, "backend cost {backend}");
+        assert!(be.is_frontend_bound(1.8, block.instructions()));
+    }
+
+    #[test]
+    fn nops_cost_only_rename_bandwidth() {
+        let be = Backend::skylake();
+        let nops = vec![Instruction::new(Opcode::Nop); 100];
+        let cyc = be.throughput_cycles(&nops);
+        assert_eq!(cyc, 25.0); // 100 / rename width 4
+    }
+
+    #[test]
+    fn port_contention_binds_single_port_ops() {
+        let be = Backend::skylake();
+        // 8 jmps can only use port 6: 8 cycles despite rename allowing 2.
+        let jmps = vec![Instruction::new(Opcode::Jmp); 8];
+        assert_eq!(be.throughput_cycles(&jmps), 8.0);
+    }
+
+    #[test]
+    fn greedy_spreads_alu_ops() {
+        let be = Backend::skylake();
+        // 8 movs over 4 ALU ports: 2 cycles each port; rename bound also 2.
+        let movs = vec![Instruction::new(Opcode::MovImm); 8];
+        assert_eq!(be.throughput_cycles(&movs), 2.0);
+    }
+
+    #[test]
+    fn lcp_loop_is_frontend_bound_by_far() {
+        // Fig. 4's IPC ≈ 0.6: backend could do ~8 IPC; frontend dominates.
+        let be = Backend::skylake();
+        let block = Block::lcp_adds(Addr::new(0x1000), LcpPattern::Mixed, 16);
+        let backend = be.throughput_cycles(block.instructions());
+        assert!(backend < 10.0);
+    }
+
+    #[test]
+    fn bottleneck_takes_max() {
+        let be = Backend::skylake();
+        let jmps = vec![Instruction::new(Opcode::Jmp); 8];
+        assert_eq!(be.bottleneck_cycles(2.0, &jmps), 8.0);
+        assert_eq!(be.bottleneck_cycles(20.0, &jmps), 20.0);
+    }
+
+    #[test]
+    fn ipc_meter_math() {
+        let mut m = IpcMeter::new();
+        m.record(100, 50.0);
+        assert_eq!(m.ipc(), 2.0);
+        m.record(100, 50.0);
+        assert_eq!(m.ipc(), 2.0);
+        m.reset();
+        assert_eq!(m.ipc(), 0.0);
+    }
+}

@@ -1,0 +1,91 @@
+//! Ablation benches for the design choices DESIGN.md calls out: SMT DSB
+//! sharing policy, LSD warm-up length, and switch-penalty magnitude.
+//!
+//! Each variant benchmarks the same receiver iteration under a different
+//! model configuration; Criterion's comparison across the group quantifies
+//! how much each mechanism contributes to simulation cost (its *behavioural*
+//! effect is reported by the `ablation_report` binary-style println at the
+//! end of each setup, visible with `--nocapture`-style bench output).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use leaky_frontend::{Frontend, FrontendConfig, SmtDsbPolicy, ThreadId};
+use leaky_isa::{same_set_chain, Alignment, DsbSet};
+use std::hint::black_box;
+
+fn bench_dsb_policies(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_dsb_policy");
+    let recv = same_set_chain(0x0041_8000, DsbSet::new(0), 6, Alignment::Aligned);
+    let send = same_set_chain(0x0082_0000, DsbSet::new(0), 3, Alignment::Aligned);
+    for policy in [
+        SmtDsbPolicy::Competitive,
+        SmtDsbPolicy::SetPartitioned,
+        SmtDsbPolicy::Shared,
+    ] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{policy:?}")),
+            &policy,
+            |b, &policy| {
+                let mut fe = Frontend::new(FrontendConfig {
+                    dsb_policy: policy,
+                    ..FrontendConfig::default()
+                });
+                fe.set_active(ThreadId::T0, true);
+                fe.set_active(ThreadId::T1, true);
+                b.iter(|| {
+                    let r = fe.run_iteration(ThreadId::T0, &recv);
+                    let s = fe.run_iteration(ThreadId::T1, &send);
+                    black_box((r, s))
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_lsd_warmup(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_lsd_warmup");
+    let chain = same_set_chain(0x0041_8000, DsbSet::new(0), 8, Alignment::Aligned);
+    for warmup in [1u32, 3, 8, 32] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(warmup),
+            &warmup,
+            |b, &warmup| {
+                let mut fe = Frontend::new(FrontendConfig {
+                    lsd_warmup_iterations: warmup,
+                    ..FrontendConfig::default()
+                });
+                b.iter(|| black_box(fe.run_iteration(ThreadId::T0, &chain)));
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_crossing_penalty(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_crossing_penalty");
+    let chain = same_set_chain(0x0041_8000, DsbSet::new(0), 4, Alignment::Misaligned);
+    for penalty in [0.0f64, 1.5, 4.5, 9.0] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{penalty}")),
+            &penalty,
+            |b, &penalty| {
+                let mut config = FrontendConfig::default();
+                config.costs.window_crossing_penalty = penalty;
+                let mut fe = Frontend::new(config);
+                for _ in 0..4 {
+                    fe.run_iteration(ThreadId::T0, &chain);
+                }
+                b.iter(|| black_box(fe.run_iteration(ThreadId::T0, &chain)));
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_dsb_policies,
+    bench_lsd_warmup,
+    bench_crossing_penalty
+);
+criterion_main!(benches);

@@ -1,0 +1,75 @@
+//! Criterion benchmarks of covert-channel bit transmission: how much
+//! simulation work one transmitted bit costs per channel family.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use leaky_cpu::ProcessorModel;
+use leaky_frontends::channels::mt::{MtChannel, MtKind};
+use leaky_frontends::channels::non_mt::{NonMtChannel, NonMtKind};
+use leaky_frontends::channels::slow_switch::SlowSwitchChannel;
+use leaky_frontends::params::{ChannelParams, EncodeMode};
+use std::hint::black_box;
+
+fn bench_non_mt_bits(c: &mut Criterion) {
+    let mut group = c.benchmark_group("bit_measurement");
+    group.bench_function("non_mt_eviction", |b| {
+        let mut ch = NonMtChannel::new(
+            ProcessorModel::xeon_e2288g(),
+            NonMtKind::Eviction,
+            EncodeMode::Fast,
+            ChannelParams::eviction_defaults(),
+            1,
+        );
+        let mut bit = false;
+        b.iter(|| {
+            bit = !bit;
+            black_box(ch.debug_measure(bit))
+        });
+    });
+    group.bench_function("non_mt_misalignment", |b| {
+        let mut ch = NonMtChannel::new(
+            ProcessorModel::xeon_e2288g(),
+            NonMtKind::Misalignment,
+            EncodeMode::Fast,
+            ChannelParams::misalignment_defaults(),
+            1,
+        );
+        let mut bit = false;
+        b.iter(|| {
+            bit = !bit;
+            black_box(ch.debug_measure(bit))
+        });
+    });
+    group.bench_function("slow_switch", |b| {
+        let mut ch = SlowSwitchChannel::new(
+            ProcessorModel::xeon_e2288g(),
+            ChannelParams::slow_switch_defaults(),
+            1,
+        );
+        let msg = [false, true];
+        b.iter(|| black_box(ch.transmit(&msg)));
+    });
+    group.finish();
+}
+
+fn bench_mt_bits(c: &mut Criterion) {
+    let mut group = c.benchmark_group("bit_measurement_mt");
+    group.sample_size(20);
+    group.bench_function("mt_eviction", |b| {
+        let mut ch = MtChannel::new(
+            ProcessorModel::gold_6226(),
+            MtKind::Eviction,
+            ChannelParams::mt_defaults(),
+            1,
+        )
+        .expect("SMT");
+        let mut bit = false;
+        b.iter(|| {
+            bit = !bit;
+            black_box(ch.debug_measure(bit))
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_non_mt_bits, bench_mt_bits);
+criterion_main!(benches);

@@ -1,0 +1,118 @@
+//! Criterion micro-benchmarks of the frontend simulator's primitives: one
+//! loop iteration per delivery path, DSB operations, and LCP decode.
+//!
+//! These measure *simulator* performance (how fast the model runs), which
+//! bounds how long the paper's big experiments (e.g. 240 000-iteration
+//! power bits) take to regenerate.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use leaky_frontend::{Dsb, Frontend, FrontendConfig, LineId, SmtDsbPolicy, ThreadId};
+use leaky_isa::{same_set_chain, Alignment, Block, BlockChain, DsbSet, FrontendGeometry, LcpPattern};
+use std::hint::black_box;
+
+fn bench_delivery_paths(c: &mut Criterion) {
+    let mut group = c.benchmark_group("frontend_iteration");
+    // LSD-streaming iteration (8 aligned blocks, warm).
+    group.bench_function("lsd_path", |b| {
+        let chain = same_set_chain(0x0041_8000, DsbSet::new(0), 8, Alignment::Aligned);
+        let mut fe = Frontend::new(FrontendConfig::default());
+        for _ in 0..8 {
+            fe.run_iteration(ThreadId::T0, &chain);
+        }
+        b.iter(|| black_box(fe.run_iteration(ThreadId::T0, &chain)));
+    });
+    // DSB-resident iteration (LSD disabled).
+    group.bench_function("dsb_path", |b| {
+        let chain = same_set_chain(0x0041_8000, DsbSet::new(0), 8, Alignment::Aligned);
+        let mut fe = Frontend::new(FrontendConfig {
+            lsd_enabled: false,
+            ..FrontendConfig::default()
+        });
+        for _ in 0..8 {
+            fe.run_iteration(ThreadId::T0, &chain);
+        }
+        b.iter(|| black_box(fe.run_iteration(ThreadId::T0, &chain)));
+    });
+    // MITE-thrashing iteration (9 same-set blocks).
+    group.bench_function("mite_path", |b| {
+        let chain = same_set_chain(0x0041_8000, DsbSet::new(0), 9, Alignment::Aligned);
+        let mut fe = Frontend::new(FrontendConfig::default());
+        for _ in 0..8 {
+            fe.run_iteration(ThreadId::T0, &chain);
+        }
+        b.iter(|| black_box(fe.run_iteration(ThreadId::T0, &chain)));
+    });
+    // LCP block (instruction-granular decode model).
+    group.bench_function("lcp_block", |b| {
+        let chain = BlockChain::new(vec![Block::lcp_adds(
+            leaky_isa::Addr::new(0x10_0000),
+            LcpPattern::Mixed,
+            16,
+        )]);
+        let mut fe = Frontend::new(FrontendConfig::default());
+        for _ in 0..4 {
+            fe.run_iteration(ThreadId::T0, &chain);
+        }
+        b.iter(|| black_box(fe.run_iteration(ThreadId::T0, &chain)));
+    });
+    group.finish();
+}
+
+fn bench_dsb_operations(c: &mut Criterion) {
+    let mut group = c.benchmark_group("dsb");
+    group.bench_function("lookup_hit", |b| {
+        let mut dsb = Dsb::new(FrontendGeometry::skylake(), SmtDsbPolicy::Competitive);
+        let line = LineId {
+            thread: 0,
+            window: 64,
+            chunk: 0,
+        };
+        dsb.insert(line);
+        b.iter(|| black_box(dsb.lookup(line)));
+    });
+    group.bench_function("insert_evict", |b| {
+        b.iter_batched(
+            || {
+                let mut dsb =
+                    Dsb::new(FrontendGeometry::skylake(), SmtDsbPolicy::Competitive);
+                for i in 0..8 {
+                    dsb.insert(LineId {
+                        thread: 0,
+                        window: i * 32,
+                        chunk: 0,
+                    });
+                }
+                dsb
+            },
+            |mut dsb| {
+                black_box(dsb.insert(LineId {
+                    thread: 0,
+                    window: 9 * 32,
+                    chunk: 0,
+                }))
+            },
+            BatchSize::SmallInput,
+        );
+    });
+    group.finish();
+}
+
+fn bench_steady_state_scaling(c: &mut Criterion) {
+    // The steady-state fast path must make huge runs cheap.
+    c.bench_function("run_iterations_1e6", |b| {
+        let chain = same_set_chain(0x0041_8000, DsbSet::new(0), 8, Alignment::Aligned);
+        b.iter_batched(
+            || Frontend::new(FrontendConfig::default()),
+            |mut fe| black_box(fe.run_iterations(ThreadId::T0, &chain, 1_000_000)),
+            BatchSize::SmallInput,
+        );
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_delivery_paths,
+    bench_dsb_operations,
+    bench_steady_state_scaling
+);
+criterion_main!(benches);

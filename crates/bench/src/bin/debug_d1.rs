@@ -1,0 +1,21 @@
+use leaky_cpu::ProcessorModel;
+use leaky_frontends::channels::mt::{MtChannel, MtKind};
+use leaky_frontends::params::ChannelParams;
+
+fn main() {
+    let mut ch = MtChannel::new(
+        ProcessorModel::gold_6226(),
+        MtKind::Eviction,
+        ChannelParams::mt_defaults().with_d(1),
+        99,
+    )
+    .unwrap();
+    let dec = ch.debug_decoder();
+    println!("d=1 decoder: zero={:.2} one={:.2} thr={:.2} sep={:.2}",
+        dec.zero_mean(), dec.one_mean(), dec.threshold(), dec.separation());
+    for i in 0..14 {
+        let bit = i % 2 == 1;
+        let m = ch.debug_measure(bit);
+        println!("bit={} meas={:.2} -> {}", bit as u8, m, dec.decode(m) as u8);
+    }
+}

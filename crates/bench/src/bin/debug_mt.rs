@@ -1,0 +1,23 @@
+//! Diagnostic: MT misalignment interaction at the core level.
+use leaky_cpu::{Core, ProcessorModel, ThreadWork};
+use leaky_frontend::ThreadId;
+use leaky_isa::{same_set_chain, Alignment, DsbSet};
+
+fn main() {
+    let mut core = Core::new(ProcessorModel::gold_6226(), 13);
+    let recv = same_set_chain(0x0041_8000, DsbSet::new(3), 5, Alignment::Aligned);
+    let send = same_set_chain(0x0082_0000, DsbSet::new(3), 3, Alignment::Misaligned);
+    // Warm receiver solo to LSD
+    core.run_loop(ThreadId::T0, &recv, 5);
+    println!("solo locked: {}", core.frontend().lsd_locked(ThreadId::T0, &recv));
+    // m=1 batch
+    let (r, s) = core.run_concurrent(
+        ThreadWork { chain: &recv, iterations: 100 },
+        ThreadWork { chain: &send, iterations: 100 },
+    );
+    println!("m=1 batch: recv {:.2}c/iter [{}]", r.cycles / 100.0, r.report);
+    println!("          send {:.2}c/iter iters={} [{}]", s.cycles / s.iterations as f64, s.iterations, s.report);
+    // m=0 batch
+    let r0 = core.run_loop(ThreadId::T0, &recv, 100);
+    println!("m=0 batch: recv {:.2}c/iter [{}]", r0.cycles / 100.0, r0.report);
+}

@@ -1,0 +1,26 @@
+//! Diagnostic: per-phase frontend reports for the non-MT misalignment channel.
+use leaky_cpu::{Core, ProcessorModel};
+use leaky_frontend::ThreadId;
+use leaky_isa::{same_set_chain, Alignment, DsbSet};
+
+fn main() {
+    let mut core = Core::new(ProcessorModel::xeon_e2288g(), 42);
+    let recv = same_set_chain(0x0041_8000, DsbSet::new(3), 5, Alignment::Aligned);
+    let send = same_set_chain(0x0082_0000, DsbSet::new(3), 3, Alignment::Misaligned);
+    let tid = ThreadId::T0;
+    println!("--- m=0 fast rounds (recv, recv) ---");
+    for r in 0..4 {
+        let a = core.run_once(tid, &recv);
+        let b = core.run_once(tid, &recv);
+        println!("round {r}: init {:.2}c [{}] decode {:.2}c [{}] locked={}",
+            a.cycles, a.report, b.cycles, b.report, core.frontend().lsd_locked(tid, &recv));
+    }
+    println!("--- m=1 rounds (recv, send-mis, recv) ---");
+    for r in 0..4 {
+        let a = core.run_once(tid, &recv);
+        let s = core.run_once(tid, &send);
+        let b = core.run_once(tid, &recv);
+        println!("round {r}: init {:.2} send {:.2} decode {:.2} locked={}",
+            a.cycles, s.cycles, b.cycles, core.frontend().lsd_locked(tid, &recv));
+    }
+}

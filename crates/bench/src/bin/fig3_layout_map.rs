@@ -1,0 +1,63 @@
+//! Figure 3: how chained instruction mix blocks map onto the MITE (byte
+//! stream), the DSB (32 sets × 8 ways) and the LSD (64 µop slots).
+//!
+//! Prints the mapping for the paper's example: 8 chained 5-µop blocks that
+//! all collide in one DSB set yet stride across L1I sets, and shows what
+//! changes when a 9th block is added or the chain is misaligned.
+
+use leaky_isa::{same_set_chain, Alignment, BlockChain, DsbSet, FrontendGeometry};
+
+fn describe(title: &str, chain: &BlockChain) {
+    let g = FrontendGeometry::skylake();
+    println!("== {title} ==");
+    println!(
+        "{:>4} {:>12} {:>8} {:>6} {:>8} {:>9} {:>8}",
+        "blk", "base", "DSB set", "bytes", "µops", "windows", "L1I set"
+    );
+    for (i, b) in chain.blocks().iter().enumerate() {
+        println!(
+            "{:>4} {:>12} {:>8} {:>6} {:>8} {:>9} {:>8}",
+            i,
+            format!("{}", b.base()),
+            b.dsb_set().index(),
+            b.len_bytes(),
+            b.uop_count(),
+            b.windows().len(),
+            b.base().l1i_set(),
+        );
+    }
+    let uops = chain.total_uops() as usize;
+    let lines = chain.dsb_lines(&g);
+    println!(
+        "totals: {uops} µops ({} LSD slots of {}), {lines} DSB lines in set {} ({} ways)",
+        uops,
+        g.lsd_uops,
+        chain.blocks()[0].dsb_set(),
+        g.dsb_ways
+    );
+    let fits_lsd = uops <= g.lsd_uops
+        && chain.window_count() <= g.lsd_windows
+        && (chain.misaligned_count() == 0 || chain.window_count() < g.lsd_windows);
+    let fits_dsb = lines <= g.dsb_ways;
+    println!(
+        "-> {}",
+        if fits_lsd {
+            "fits the LSD: steady-state delivery streams from the LSD"
+        } else if fits_dsb {
+            "exceeds LSD tracking but fits the DSB set: steady-state DSB delivery"
+        } else {
+            "exceeds the 8 ways: permanent DSB evictions, MITE in the loop"
+        }
+    );
+    println!();
+}
+
+fn main() {
+    println!("Figure 3: instruction-mix-block mapping to MITE/DSB/LSD\n");
+    let eight = same_set_chain(0x0041_8000, DsbSet::new(0), 8, Alignment::Aligned);
+    describe("8 aligned blocks, same DSB set (paper's LSD-resident chain)", &eight);
+    let nine = same_set_chain(0x0041_8000, DsbSet::new(0), 9, Alignment::Aligned);
+    describe("9 aligned blocks (the §IV-F eviction trigger)", &nine);
+    let four_mis = same_set_chain(0x0041_8000, DsbSet::new(0), 4, Alignment::Misaligned);
+    describe("4 misaligned blocks (the §IV-G LSD collision)", &four_mis);
+}

@@ -1,0 +1,44 @@
+//! Table II: MT Eviction-Based channel with d = 1 for the four message
+//! patterns (all 0s, all 1s, alternating, random) on the three SMT-capable
+//! machines.
+//!
+//! Paper shape: all-0s and all-1s transmit error-free, with all-1s faster
+//! (early bit declaration); alternating shows moderate errors; random is
+//! slowest with the highest error rate.
+
+use leaky_bench::table::fmt;
+use leaky_cpu::ProcessorModel;
+use leaky_frontends::channels::mt::{MtChannel, MtKind};
+use leaky_frontends::params::{ChannelParams, MessagePattern};
+
+const BITS: usize = 96;
+
+fn main() {
+    println!("Table II: MT Eviction-Based channel, d = 1, by message pattern\n");
+    let machines = [
+        ProcessorModel::gold_6226(),
+        ProcessorModel::xeon_e2174g(),
+        ProcessorModel::xeon_e2286g(),
+    ];
+    print!("{:<14}", "pattern");
+    for m in &machines {
+        print!(" {:>18}", m.name);
+    }
+    println!("\n{:-<72}", "");
+    let params = ChannelParams::mt_defaults().with_d(1);
+    for pattern in MessagePattern::all() {
+        print!("{:<14}", pattern.to_string());
+        for &model in &machines {
+            let mut ch =
+                MtChannel::new(model, MtKind::Eviction, params, 99).expect("SMT machine");
+            let run = ch.transmit(&pattern.generate(BITS, 7));
+            print!(
+                " {:>9} {:>8}",
+                fmt(run.rate_kbps(), 2),
+                format!("{}%", fmt(run.error_rate() * 100.0, 2))
+            );
+        }
+        println!();
+    }
+    println!("\npaper (G-6226): all-0s 42.66 Kbps/0%, all-1s 55.28/0%, alt 50.21/2.68%, random 18.28/22.57%");
+}

@@ -1,0 +1,28 @@
+//! Table IV: the slow-switch (LCP) covert channel on the Gold 6226 and the
+//! Xeon E-2288G; alternating message, r = 16.
+//!
+//! Paper: 678.11 Kbps / 6.74% (G-6226); 1351.43 Kbps / 0.64% (E-2288G).
+
+use leaky_bench::table::fmt;
+use leaky_cpu::ProcessorModel;
+use leaky_frontends::channels::slow_switch::SlowSwitchChannel;
+use leaky_frontends::params::{ChannelParams, MessagePattern};
+
+const BITS: usize = 256;
+
+fn main() {
+    println!("Table IV: Non-MT Slow-Switch channel (r = 16), alternating message\n");
+    println!("{:<16} {:>12} {:>10}", "machine", "rate Kbps", "error");
+    println!("{:-<40}", "");
+    for model in [ProcessorModel::gold_6226(), ProcessorModel::xeon_e2288g()] {
+        let mut ch = SlowSwitchChannel::new(model, ChannelParams::slow_switch_defaults(), 77);
+        let run = ch.transmit(&MessagePattern::Alternating.generate(BITS, 0));
+        println!(
+            "{:<16} {:>12} {:>9}%",
+            model.name,
+            fmt(run.rate_kbps(), 2),
+            fmt(run.error_rate() * 100.0, 2)
+        );
+    }
+    println!("\npaper: G-6226 678.11 Kbps / 6.74%; E-2288G 1351.43 Kbps / 0.64%");
+}

@@ -1,0 +1,50 @@
+//! §XI-B: fingerprinting ten mobile-benchmark workloads through the
+//! attacker's IPC side channel.
+//!
+//! Paper: average intra-distance 0.232 vs inter-distance 4.793 over the ten
+//! Geekbench 5 workloads tested.
+
+use leaky_cpu::ProcessorModel;
+use leaky_frontends::fingerprint::ipc::{distance_summary, FingerprintLibrary, IpcSampler};
+use leaky_workloads::mobile;
+
+const TRIALS: usize = 3;
+
+fn main() {
+    println!("§XI-B: mobile-benchmark fingerprinting (Gold 6226)\n");
+    let sampler = IpcSampler::default();
+    let workloads = mobile::benchmarks();
+    let sets: Vec<Vec<Vec<f64>>> = workloads
+        .iter()
+        .map(|w| sampler.trace_set(ProcessorModel::gold_6226(), w, TRIALS, 500))
+        .collect();
+    let d = distance_summary(&sets);
+    println!("intra-distance: {:.3}   (paper 0.232)", d.intra);
+    println!("inter-distance: {:.3}   (paper 4.793)", d.inter);
+    println!("separable: {}\n", d.separable());
+
+    let lib = FingerprintLibrary::new(
+        workloads
+            .iter()
+            .zip(&sets)
+            .map(|(w, s)| (w.name().to_string(), s.clone()))
+            .collect(),
+    );
+    println!("{:<22} {:>12}", "workload", "classified");
+    println!("{:-<36}", "");
+    let mut correct = 0;
+    for (k, w) in workloads.iter().enumerate() {
+        let probe = sampler.trace(ProcessorModel::gold_6226(), w, 777 + k as u64);
+        let label = lib.classify(&probe);
+        if label == w.name() {
+            correct += 1;
+        }
+        println!("{:<22} {:>12}", w.name(), label);
+    }
+    println!(
+        "\naccuracy: {}/{} ({:.0}%)",
+        correct,
+        workloads.len(),
+        100.0 * correct as f64 / workloads.len() as f64
+    );
+}

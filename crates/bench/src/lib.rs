@@ -1,0 +1,14 @@
+//! Benchmark harness regenerating every table and figure of the *Leaky
+//! Frontends* paper (HPCA 2022).
+//!
+//! Each table/figure has a dedicated binary (`fig2_path_histogram`,
+//! `tab3_all_channels`, ...) that prints the same rows/series the paper
+//! reports; `cargo bench` additionally runs Criterion micro-benchmarks over
+//! the frontend primitives. See DESIGN.md §3 for the experiment index and
+//! EXPERIMENTS.md for paper-vs-measured results.
+
+#![forbid(unsafe_code)]
+
+pub mod table;
+
+pub use table::TableWriter;

@@ -1,0 +1,42 @@
+//! Set-associative cache models (L1I / L1D) for the `leaky-frontends`
+//! reproduction.
+//!
+//! The paper's frontend attacks are explicitly designed to leave *no* traces
+//! in the traditional instruction and data caches (§IV-F, Table VII). To
+//! demonstrate that, and to implement the baseline Spectre covert channels
+//! the paper compares against (MEM Flush+Reload, L1D Flush+Reload, L1D LRU,
+//! L1I Flush+Reload, L1I Prime+Probe), this crate provides:
+//!
+//! * a generic true-LRU [`SetAssocCache`] with full statistics,
+//! * [`L1I`]/[`L1D`] presets matching Table I (32 KB, 8-way, 64 B lines),
+//! * LRU-state observation for the L1D-LRU covert channel
+//!   ([`SetAssocCache::lru_rank`]),
+//! * a small latency model ([`CacheHierarchy`]) for hit/miss timing.
+//!
+//! # Examples
+//!
+//! ```
+//! use leaky_cache::{CacheConfig, SetAssocCache};
+//!
+//! let mut l1i = SetAssocCache::new(CacheConfig::l1i());
+//! let miss = l1i.access_addr(0x0041_8000);
+//! assert!(!miss.hit());
+//! let hit = l1i.access_addr(0x0041_8004); // same 64-byte line
+//! assert!(hit.hit());
+//! assert_eq!(l1i.stats().misses, 1);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod hierarchy;
+pub mod lru;
+
+pub use hierarchy::{CacheHierarchy, LatencyModel};
+pub use lru::{AccessOutcome, CacheConfig, CacheStats, SetAssocCache};
+
+/// Convenience alias: an L1 instruction cache per Table I.
+pub type L1I = SetAssocCache;
+
+/// Convenience alias: an L1 data cache per Table I.
+pub type L1D = SetAssocCache;

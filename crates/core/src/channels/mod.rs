@@ -1,0 +1,160 @@
+//! Covert-channel implementations (paper §V).
+//!
+//! All channels share the three-step Init/Encode/Decode structure and the
+//! same code layout discipline: receiver and sender occupy disjoint virtual
+//! address regions whose instruction mix blocks collide in one chosen DSB
+//! set (Fig. 3).
+
+pub mod mt;
+pub mod non_mt;
+pub mod power;
+pub mod slow_switch;
+
+use leaky_isa::{Alignment, BlockChain, CodeRegion, DsbSet};
+use leaky_stats::{ThresholdDecoder, ThresholdDecoderBuilder};
+
+use crate::params::ChannelParams;
+
+/// Virtual-address region bases for the two parties (arbitrary, disjoint;
+/// receiver base mirrors the paper's Fig. 3 example addresses).
+pub(crate) const RECEIVER_REGION: u64 = 0x0041_8000;
+pub(crate) const SENDER_REGION: u64 = 0x0082_0000;
+pub(crate) const SENDER_ALT_REGION: u64 = 0x00c3_0000;
+
+/// The DSB set all channel layouts collide in (`x` in the paper's attack
+/// descriptions) and the decoy set used by stealthy zero-encoding (`y`).
+pub(crate) const SET_X: u8 = 3;
+pub(crate) const SET_Y: u8 = 19;
+
+/// Code layout for an eviction-based channel (§V-A/§V-C): receiver holds
+/// `d` aligned blocks of set `x`; the sender's 1-encoding accesses
+/// `N + 1 − d` aligned blocks of set `x`; the stealthy 0-encoding accesses
+/// the same number of blocks mapping to set `y`.
+pub(crate) struct EvictionLayout {
+    pub recv: BlockChain,
+    pub send_one: BlockChain,
+    pub send_zero: BlockChain,
+}
+
+pub(crate) fn eviction_layout(params: &ChannelParams, ways: usize) -> EvictionLayout {
+    let mut recv_region = CodeRegion::new(RECEIVER_REGION);
+    let mut send_region = CodeRegion::new(SENDER_REGION);
+    let mut alt_region = CodeRegion::new(SENDER_ALT_REGION);
+    let sender = params.sender_blocks_eviction(ways);
+    EvictionLayout {
+        recv: recv_region.same_set_chain(DsbSet::new(SET_X), params.d, Alignment::Aligned),
+        send_one: send_region.same_set_chain(DsbSet::new(SET_X), sender, Alignment::Aligned),
+        send_zero: alt_region.same_set_chain(DsbSet::new(SET_Y), sender, Alignment::Aligned),
+    }
+}
+
+/// Code layout for a misalignment-based channel (§V-B/§V-D): receiver holds
+/// `d` aligned blocks of set `x`; the 1-encoding accesses `M − d`
+/// *misaligned* blocks of set `x`; the stealthy 0-encoding accesses `M − d`
+/// aligned blocks of set `x` (same work, no collision).
+pub(crate) struct MisalignmentLayout {
+    pub recv: BlockChain,
+    pub send_one: BlockChain,
+    pub send_zero: BlockChain,
+}
+
+pub(crate) fn misalignment_layout(params: &ChannelParams) -> MisalignmentLayout {
+    let mut recv_region = CodeRegion::new(RECEIVER_REGION);
+    let mut send_region = CodeRegion::new(SENDER_REGION);
+    let mut alt_region = CodeRegion::new(SENDER_ALT_REGION);
+    let sender = params.sender_blocks_misalignment();
+    MisalignmentLayout {
+        recv: recv_region.same_set_chain(DsbSet::new(SET_X), params.d, Alignment::Aligned),
+        send_one: send_region.same_set_chain(DsbSet::new(SET_X), sender, Alignment::Misaligned),
+        send_zero: alt_region.same_set_chain(DsbSet::new(SET_X), sender, Alignment::Aligned),
+    }
+}
+
+/// Calibrates a threshold decoder by transmitting a known alternating
+/// pattern and averaging the 0-bit and 1-bit measurements (§VI-B).
+///
+/// # Panics
+///
+/// Panics if the channel is so degenerate that the two classes coincide —
+/// which indicates a broken layout, not a noisy channel.
+pub(crate) fn calibrate_decoder(
+    mut measure: impl FnMut(bool) -> f64,
+    calibration_bits: usize,
+) -> ThresholdDecoder {
+    let mut builder = ThresholdDecoderBuilder::new();
+    builder.ambiguity_band(0.2).robust(true);
+    for i in 0..calibration_bits {
+        let bit = i % 2 == 1;
+        builder.push(bit, measure(bit));
+    }
+    builder
+        .build()
+        .expect("calibration produced indistinguishable classes")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use leaky_isa::FrontendGeometry;
+
+    #[test]
+    fn eviction_layout_collides_in_set_x() {
+        let params = ChannelParams::eviction_defaults();
+        let l = eviction_layout(&params, 8);
+        assert_eq!(l.recv.len(), 6);
+        assert_eq!(l.send_one.len(), 3);
+        assert_eq!(l.send_zero.len(), 3);
+        for b in l.recv.blocks().iter().chain(l.send_one.blocks()) {
+            assert_eq!(b.dsb_set().index(), SET_X);
+        }
+        for b in l.send_zero.blocks() {
+            assert_eq!(b.dsb_set().index(), SET_Y);
+        }
+        // Receiver + 1-sender exceed the ways; receiver + 0-sender do not
+        // share a set at all.
+        let g = FrontendGeometry::skylake();
+        assert!(l.recv.dsb_lines(&g) + l.send_one.dsb_lines(&g) > g.dsb_ways);
+    }
+
+    #[test]
+    fn misalignment_layout_fits_ways_but_crosses_windows() {
+        let params = ChannelParams::misalignment_defaults();
+        let l = misalignment_layout(&params);
+        let g = FrontendGeometry::skylake();
+        assert_eq!(l.recv.len(), 5);
+        assert_eq!(l.send_one.misaligned_count(), 3);
+        assert_eq!(l.send_zero.misaligned_count(), 0);
+        // Head lines in set x: 5 + 3 = 8 ≤ ways — no eviction, only LSD
+        // window-tracking collisions.
+        let head_lines = l.recv.len() + l.send_one.len();
+        assert!(head_lines <= g.dsb_ways);
+    }
+
+    #[test]
+    fn regions_are_disjoint() {
+        let params = ChannelParams::eviction_defaults();
+        let l = eviction_layout(&params, 8);
+        let recv_end = l.recv.blocks().last().unwrap().end().value();
+        let send_start = l.send_one.blocks()[0].base().value();
+        assert!(recv_end <= send_start);
+    }
+
+    #[test]
+    fn calibration_learns_polarity() {
+        // Synthetic measurements: 1 → ~50, 0 → ~100 (inverted polarity).
+        let mut i = 0usize;
+        let decoder = calibrate_decoder(
+            |bit| {
+                i += 1;
+                if bit {
+                    50.0 + (i % 3) as f64
+                } else {
+                    100.0 - (i % 3) as f64
+                }
+            },
+            16,
+        );
+        assert!(decoder.decode(52.0));
+        assert!(!decoder.decode(97.0));
+    }
+}

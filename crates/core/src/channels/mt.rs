@@ -1,0 +1,470 @@
+//! Multi-threaded covert channels (paper §V-A, §V-B).
+//!
+//! Sender and receiver occupy the two hardware threads of one physical
+//! core. The receiver continuously times its own d-block loop; the sender's
+//! 1-encoding perturbs the shared frontend — by DSB way evictions (§V-A) or
+//! by misaligned accesses that collide in LSD window tracking (§V-B) — and
+//! the 0-encoding stays idle.
+//!
+//! Per transmitted bit the receiver performs `p` decode iterations while
+//! the sender performs `q` encode iterations (§VI-A: p = 1000, q = 100).
+//! Decoding works on the receiver's mean per-iteration time and supports
+//! early bit declaration once the signal is decisive, which is why all-1s
+//! messages transmit faster than all-0s (Table II).
+
+use leaky_cpu::{Core, ProcessorModel, ThreadWork};
+use leaky_frontend::ThreadId;
+use leaky_isa::{BlockChain, FrontendGeometry};
+use leaky_stats::ThresholdDecoder;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::channels::{calibrate_decoder, eviction_layout, misalignment_layout};
+use crate::params::ChannelParams;
+use crate::run::ChannelRun;
+
+/// Which frontend primitive the MT channel modulates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum MtKind {
+    /// Cross-thread DSB way evictions (§V-A).
+    Eviction,
+    /// Cross-thread LSD misalignment collisions (§V-B).
+    Misalignment,
+}
+
+impl std::fmt::Display for MtKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            MtKind::Eviction => f.write_str("eviction"),
+            MtKind::Misalignment => f.write_str("misalignment"),
+        }
+    }
+}
+
+/// Environmental-noise model for the MT setting. Two hyper-threads sharing
+/// a core in a real system suffer scheduling jitter and interference that
+/// the single-thread channels do not (§VI: MT error rates are an order of
+/// magnitude higher); these parameters reproduce that regime.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MtNoise {
+    /// Probability that a bit slot suffers an interference burst.
+    pub burst_probability: f64,
+    /// Burst magnitude relative to the receiver's mean per-iteration time
+    /// (co-runner interference slows everything proportionally).
+    pub burst_relative: f64,
+    /// Probability that sender and receiver desynchronise so the encode
+    /// only partially overlaps the decode window.
+    pub desync_probability: f64,
+    /// Probability that a bit *transition* causes a phase slip: part of the
+    /// previous bit's frontend state bleeds into the measurement window.
+    /// Messages with many transitions (alternating, random) suffer more
+    /// (Table II's pattern-dependent error rates).
+    pub phase_slip_probability: f64,
+}
+
+impl Default for MtNoise {
+    fn default() -> Self {
+        MtNoise {
+            burst_probability: 0.10,
+            burst_relative: 0.2,
+            desync_probability: 0.08,
+            phase_slip_probability: 0.30,
+        }
+    }
+}
+
+/// Bits used for threshold calibration.
+const CALIBRATION_BITS: usize = 24;
+
+/// Receiver decode batches per bit; early declaration is possible after
+/// [`MIN_BATCHES`].
+const BATCHES: u64 = 10;
+const MIN_BATCHES: u64 = 3;
+
+/// Extra confirmation batches when a bit decodes as 0: a present signal is
+/// positive evidence, but *absence* of interference needs longer
+/// observation to rule out desynchronisation — which is why all-1s
+/// messages transmit faster than all-0s (Table II).
+const ZERO_CONFIRM_BATCHES: u64 = 5;
+
+/// Per-bit synchronisation overhead between the threads (cycles).
+const PER_BIT_SYNC_CYCLES: f64 = 1_500.0;
+
+/// Absolute per-iteration margin (cycles) required for early declaration.
+const NOISE_FLOOR_CYCLES: f64 = 2.5;
+
+/// A multi-threaded covert channel (§V-A / §V-B).
+#[derive(Debug, Clone)]
+pub struct MtChannel {
+    core: Core,
+    kind: MtKind,
+    params: ChannelParams,
+    noise: MtNoise,
+    recv: BlockChain,
+    send_one: BlockChain,
+    decoder: Option<ThresholdDecoder>,
+    rng: StdRng,
+}
+
+impl MtChannel {
+    /// Builds the channel on a fresh core.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MtUnsupported`] if the processor model has hyper-threading
+    /// disabled (the Azure E-2288G — Table III's missing MT column).
+    pub fn new(
+        model: ProcessorModel,
+        kind: MtKind,
+        params: ChannelParams,
+        seed: u64,
+    ) -> Result<Self, MtUnsupported> {
+        if !model.smt_enabled {
+            return Err(MtUnsupported { model: model.name });
+        }
+        let geom = FrontendGeometry::skylake();
+        params.validate(geom.dsb_ways, kind == MtKind::Misalignment);
+        let (recv, send_one) = match kind {
+            MtKind::Eviction => {
+                let l = eviction_layout(&params, geom.dsb_ways);
+                (l.recv, l.send_one)
+            }
+            MtKind::Misalignment => {
+                let l = misalignment_layout(&params);
+                (l.recv, l.send_one)
+            }
+        };
+        Ok(MtChannel {
+            core: Core::new(model, seed),
+            kind,
+            params,
+            noise: MtNoise::default(),
+            recv,
+            send_one,
+            decoder: None,
+            rng: StdRng::seed_from_u64(seed ^ 0xc0ff_ee00),
+        })
+    }
+
+    /// Overrides the environmental-noise model (for ablations; the default
+    /// reproduces the paper's MT error regime).
+    pub fn set_noise(&mut self, noise: MtNoise) {
+        self.noise = noise;
+    }
+
+    /// Rebuilds the channel's core with an explicit frontend configuration
+    /// (defense evaluation and DSB-policy ablations). Resets calibration.
+    pub fn set_frontend_config(&mut self, config: leaky_frontend::FrontendConfig) {
+        self.core = Core::with_frontend_config(
+            *self.core.model(),
+            self.core.microcode(),
+            config,
+            0xab1a7e,
+        );
+        self.decoder = None;
+    }
+
+    /// The channel variant.
+    pub fn kind(&self) -> MtKind {
+        self.kind
+    }
+
+    /// Raw per-bit measurement, exposed for diagnostics.
+    #[doc(hidden)]
+    pub fn debug_measure(&mut self, m: bool) -> f64 {
+        self.measure_bit(m, None, false)
+    }
+
+    /// The calibrated decoder.
+    #[doc(hidden)]
+    pub fn debug_decoder(&mut self) -> leaky_stats::ThresholdDecoder {
+        self.ensure_calibrated();
+        self.decoder.expect("calibrated")
+    }
+
+    /// Measures one bit: mean receiver per-iteration cycles across up to
+    /// [`BATCHES`] batches, with early declaration once decisive.
+    fn measure_bit(
+        &mut self,
+        m: bool,
+        decoder: Option<&ThresholdDecoder>,
+        transition: bool,
+    ) -> f64 {
+        let p_batch = (self.params.p / BATCHES).max(1);
+        // The sender keeps encoding for the whole decode window (the paper's
+        // q encode *steps* repeat until the bit slot ends). Iterations are
+        // balanced by block count so sender and receiver finish their batch
+        // at roughly the same wall time regardless of d.
+        let recv_blocks = self.recv.len().max(1) as u64;
+        let send_blocks = self.send_one.len().max(1) as u64;
+        // Sender blocks decode via the contended MITE (~2x a receiver
+        // block), so halve the iteration ratio to balance wall time.
+        let q_batch = (p_batch * recv_blocks / (2 * send_blocks)).max(1);
+        let burst = self.rng.gen_bool(self.noise.burst_probability);
+        // Sender/receiver desynchronisation mostly happens when the sender
+        // switches activity between bits (§VI-D: constant patterns are
+        // stable); constant runs stay in lock-step.
+        let desync = transition && self.rng.gen_bool(self.noise.desync_probability);
+
+        let mut cycles = 0.0;
+        let mut iters = 0u64;
+        let t0 = self.core.rdtscp(ThreadId::T0);
+        // Phase slip on transitions: the first measured batches still see
+        // the *previous* bit's frontend state.
+        if transition && self.rng.gen_bool(self.noise.phase_slip_probability) {
+            for _ in 0..2 {
+                if !m {
+                    // Previous bit was 1: stale contention bleeds in.
+                    let (r, _s) = self.core.run_concurrent(
+                        ThreadWork {
+                            chain: &self.recv,
+                            iterations: p_batch,
+                        },
+                        ThreadWork {
+                            chain: &self.send_one,
+                            iterations: q_batch,
+                        },
+                    );
+                    cycles += r.cycles;
+                } else {
+                    // Previous bit was 0: a quiet prefix dilutes the signal.
+                    let r = self.core.run_loop(ThreadId::T0, &self.recv, p_batch);
+                    cycles += r.cycles;
+                }
+                iters += p_batch;
+            }
+        }
+        for batch in 0..BATCHES {
+            if m {
+                // Desync: the sender misses most of the decode window.
+                let q_eff = if desync { q_batch / 4 } else { q_batch };
+                let (r, _s) = self.core.run_concurrent(
+                    ThreadWork {
+                        chain: &self.recv,
+                        iterations: p_batch,
+                    },
+                    ThreadWork {
+                        chain: &self.send_one,
+                        iterations: q_eff.max(1),
+                    },
+                );
+                cycles += r.cycles;
+            } else {
+                let r = self.core.run_loop(ThreadId::T0, &self.recv, p_batch);
+                cycles += r.cycles;
+            }
+            if burst {
+                // Interference inflates the receiver's wall time in
+                // proportion to its current pace.
+                let pace = cycles / (iters + p_batch) as f64;
+                let extra = self.noise.burst_relative * pace * p_batch as f64;
+                self.core.idle(ThreadId::T0, extra);
+                cycles += extra;
+            }
+            iters += p_batch;
+            // Early declaration: a decisively slow/fast signal lets the
+            // receiver move to the next bit without burning all batches.
+            if let Some(dec) = decoder {
+                if batch + 1 >= MIN_BATCHES {
+                    let avg = cycles / iters as f64;
+                    let decided_one = dec.decode(avg);
+                    let margin = (avg - dec.threshold()).abs();
+                    // Early declaration needs the margin to clear both the
+                    // relative band and an absolute noise floor — small-d
+                    // channels (tiny timing deltas) must keep sampling,
+                    // which is why rate grows with d (Fig. 8).
+                    if decided_one && margin > (dec.separation() * 0.4).max(NOISE_FLOOR_CYCLES)
+                    {
+                        break;
+                    }
+                }
+            }
+        }
+        // Confirmation pass: a 0-looking measurement is re-observed before
+        // the receiver commits to "no signal".
+        if let Some(dec) = decoder {
+            let looks_zero = !dec.decode(cycles / iters as f64);
+            if looks_zero {
+                for _ in 0..ZERO_CONFIRM_BATCHES {
+                    if m {
+                        let (r, _s) = self.core.run_concurrent(
+                            ThreadWork {
+                                chain: &self.recv,
+                                iterations: p_batch,
+                            },
+                            ThreadWork {
+                                chain: &self.send_one,
+                                iterations: q_batch,
+                            },
+                        );
+                        cycles += r.cycles;
+                    } else {
+                        let r = self.core.run_loop(ThreadId::T0, &self.recv, p_batch);
+                        cycles += r.cycles;
+                    }
+                    iters += p_batch;
+                }
+            }
+        }
+        let t1 = self.core.rdtscp(ThreadId::T0);
+        let _ = cycles; // receiver-only cycles; the timed bracket is used
+        self.core.idle(ThreadId::T0, PER_BIT_SYNC_CYCLES);
+        // Per-iteration average; timer noise and bursts are folded into the
+        // rdtscp bracket, and calibration absorbs fixed offsets.
+        (t1 - t0).max(1.0) / iters as f64
+    }
+
+    fn ensure_calibrated(&mut self) {
+        if self.decoder.is_some() {
+            return;
+        }
+        for i in 0..8 {
+            let _ = self.measure_bit(i % 2 == 1, None, false); // warmup
+        }
+        let mut samples = Vec::with_capacity(CALIBRATION_BITS);
+        for i in 0..CALIBRATION_BITS {
+            let bit = i % 2 == 1;
+            samples.push((bit, self.measure_bit(bit, None, false)));
+        }
+        let mut iter = samples.into_iter();
+        self.decoder = Some(calibrate_decoder(
+            move |_| iter.next().expect("calibration sample").1,
+            CALIBRATION_BITS,
+        ));
+    }
+
+    /// Transmits a message; calibration happens first and is excluded from
+    /// the reported rate.
+    pub fn transmit(&mut self, message: &[bool]) -> ChannelRun {
+        self.ensure_calibrated();
+        let decoder = self.decoder.expect("calibrated above");
+        let start = self.core.clock(ThreadId::T0).max(self.core.clock(ThreadId::T1));
+        let mut received = Vec::with_capacity(message.len());
+        let mut prev: Option<bool> = None;
+        for &bit in message {
+            let transition = prev.is_some_and(|p| p != bit);
+            let meas = self.measure_bit(bit, Some(&decoder), transition);
+            received.push(decoder.decode(meas));
+            prev = Some(bit);
+        }
+        let end = self.core.clock(ThreadId::T0).max(self.core.clock(ThreadId::T1));
+        ChannelRun::new(
+            message.to_vec(),
+            received,
+            end - start,
+            self.core.model().freq_hz(),
+        )
+    }
+}
+
+/// Error: the processor model cannot host MT attacks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MtUnsupported {
+    /// The offending model.
+    pub model: &'static str,
+}
+
+impl std::fmt::Display for MtUnsupported {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{} has hyper-threading disabled", self.model)
+    }
+}
+
+impl std::error::Error for MtUnsupported {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::params::MessagePattern;
+
+    fn eviction_channel(seed: u64) -> MtChannel {
+        MtChannel::new(
+            ProcessorModel::gold_6226(),
+            MtKind::Eviction,
+            ChannelParams::mt_defaults(),
+            seed,
+        )
+        .expect("6226 supports SMT")
+    }
+
+    #[test]
+    fn smt_disabled_machine_is_rejected() {
+        let err = MtChannel::new(
+            ProcessorModel::xeon_e2288g(),
+            MtKind::Eviction,
+            ChannelParams::mt_defaults(),
+            1,
+        )
+        .unwrap_err();
+        assert!(err.to_string().contains("E-2288G"));
+    }
+
+    #[test]
+    fn mt_eviction_transmits() {
+        let mut ch = eviction_channel(11);
+        let msg = MessagePattern::Alternating.generate(32, 0);
+        let run = ch.transmit(&msg);
+        assert!(
+            run.error_rate() < 0.30,
+            "MT eviction error {:.1}%",
+            run.error_rate() * 100.0
+        );
+        // Table III: MT rates are tens to ~200 Kbps.
+        assert!(
+            run.rate_kbps() > 10.0 && run.rate_kbps() < 1000.0,
+            "MT rate {:.1} Kbps",
+            run.rate_kbps()
+        );
+    }
+
+    #[test]
+    fn mt_misalignment_transmits() {
+        let mut ch = MtChannel::new(
+            ProcessorModel::gold_6226(),
+            MtKind::Misalignment,
+            ChannelParams::mt_misalignment_defaults(),
+            13,
+        )
+        .unwrap();
+        let msg = MessagePattern::Alternating.generate(32, 0);
+        let run = ch.transmit(&msg);
+        assert!(
+            run.error_rate() < 0.30,
+            "MT misalignment error {:.1}%",
+            run.error_rate() * 100.0
+        );
+    }
+
+    #[test]
+    fn noiseless_mt_channel_is_error_free() {
+        let mut ch = eviction_channel(17);
+        ch.set_noise(MtNoise {
+            burst_probability: 0.0,
+            burst_relative: 0.0,
+            desync_probability: 0.0,
+            phase_slip_probability: 0.0,
+        });
+        let msg = MessagePattern::Alternating.generate(32, 0);
+        let run = ch.transmit(&msg);
+        assert_eq!(
+            run.error_rate(),
+            0.0,
+            "without environmental noise the channel must be clean"
+        );
+    }
+
+    #[test]
+    fn all_ones_faster_than_all_zeros() {
+        // Table II: early declaration makes 1-heavy messages faster.
+        let ones = MessagePattern::AllOnes.generate(24, 0);
+        let zeros = MessagePattern::AllZeros.generate(24, 0);
+        let r1 = eviction_channel(23).transmit(&ones);
+        let r0 = eviction_channel(23).transmit(&zeros);
+        assert!(
+            r1.rate_kbps() > r0.rate_kbps(),
+            "all-1s {:.1} vs all-0s {:.1} Kbps",
+            r1.rate_kbps(),
+            r0.rate_kbps()
+        );
+    }
+}

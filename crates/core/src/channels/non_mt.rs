@@ -1,0 +1,366 @@
+//! Non-multithreaded covert channels (paper §V-C, §V-D).
+//!
+//! Sender and receiver run on the *same* hardware thread; the receiver
+//! times the sender's whole Init-Encode-Decode sequence and the signal is
+//! the sender's **internal interference**: the 1-encoding perturbs the
+//! frontend path of the blocks that the Init and Decode steps execute,
+//! while the 0-encoding (silent or decoy-set) leaves them alone.
+
+use leaky_cpu::{Core, ProcessorModel};
+use leaky_frontend::ThreadId;
+use leaky_isa::{BlockChain, FrontendGeometry};
+use leaky_stats::ThresholdDecoder;
+
+use crate::channels::{calibrate_decoder, eviction_layout, misalignment_layout};
+use crate::params::{ChannelParams, EncodeMode};
+use crate::run::ChannelRun;
+
+/// Which frontend primitive the channel modulates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum NonMtKind {
+    /// DSB set-collision evictions (§V-C): the 1-encoding pushes the set
+    /// over its 8 ways, forcing receiver blocks back to the MITE.
+    Eviction,
+    /// Misaligned (window-crossing) accesses (§V-D): the 1-encoding's
+    /// crossing blocks perturb LSD/DSB residency without full evictions.
+    Misalignment,
+}
+
+impl std::fmt::Display for NonMtKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            NonMtKind::Eviction => f.write_str("eviction"),
+            NonMtKind::Misalignment => f.write_str("misalignment"),
+        }
+    }
+}
+
+/// Fixed per-bit protocol overhead (loop management, synchronisation,
+/// decision logic) in cycles; calibrated so absolute rates land in the
+/// paper's range (Table III). The stealthy mode pays extra for its decoy
+/// work and activity masking.
+const FAST_OVERHEAD_CYCLES: f64 = 2_200.0;
+const STEALTHY_OVERHEAD_CYCLES: f64 = 2_600.0;
+
+/// Warm-up bits discarded before calibration (cold-start transients).
+const WARMUP_BITS: usize = 8;
+
+/// Bits used for threshold calibration before a transmission.
+const CALIBRATION_BITS: usize = 32;
+
+/// Maximum re-measurements when a reading falls in the ambiguity band.
+const MAX_RESAMPLE: u32 = 3;
+
+/// A non-MT covert channel (§V-C eviction or §V-D misalignment variant, in
+/// stealthy or fast mode).
+///
+/// See the [crate-level documentation](crate) for an end-to-end example.
+#[derive(Debug, Clone)]
+pub struct NonMtChannel {
+    core: Core,
+    kind: NonMtKind,
+    mode: EncodeMode,
+    params: ChannelParams,
+    recv: BlockChain,
+    send_one: BlockChain,
+    send_zero: Option<BlockChain>,
+    decoder: Option<ThresholdDecoder>,
+}
+
+impl NonMtChannel {
+    /// Builds the channel on a fresh core for `model`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `params` violate the §V constraints (see
+    /// [`ChannelParams::validate`]).
+    pub fn new(
+        model: ProcessorModel,
+        kind: NonMtKind,
+        mode: EncodeMode,
+        params: ChannelParams,
+        seed: u64,
+    ) -> Self {
+        let geom = FrontendGeometry::skylake();
+        params.validate(geom.dsb_ways, kind == NonMtKind::Misalignment);
+        let (recv, send_one, send_zero) = match kind {
+            NonMtKind::Eviction => {
+                let l = eviction_layout(&params, geom.dsb_ways);
+                (l.recv, l.send_one, l.send_zero)
+            }
+            NonMtKind::Misalignment => {
+                let l = misalignment_layout(&params);
+                (l.recv, l.send_one, l.send_zero)
+            }
+        };
+        let send_zero = match mode {
+            EncodeMode::Stealthy => Some(send_zero),
+            EncodeMode::Fast => None,
+        };
+        NonMtChannel {
+            core: Core::new(model, seed),
+            kind,
+            mode,
+            params,
+            recv,
+            send_one,
+            send_zero,
+            decoder: None,
+        }
+    }
+
+    /// Replaces the channel's core with one built from an explicit frontend
+    /// configuration — used by the §XII defense evaluation to attack a
+    /// hardened (e.g. constant-time) frontend.
+    pub fn with_frontend_config(mut self, config: leaky_frontend::FrontendConfig, seed: u64) -> Self {
+        self.core = Core::with_frontend_config(
+            *self.core.model(),
+            self.core.microcode(),
+            config,
+            seed,
+        );
+        self.decoder = None;
+        self
+    }
+
+    /// Attempts calibration, reporting failure instead of panicking — a
+    /// defended frontend may be *uncalibratable* (no timing difference
+    /// between the bit classes), which is itself the §XII success metric.
+    pub fn try_calibrate(&mut self) -> Result<(), leaky_stats::threshold::CalibrationError> {
+        if self.decoder.is_some() {
+            return Ok(());
+        }
+        for i in 0..WARMUP_BITS {
+            let _ = self.measure_bit(i % 2 == 1);
+        }
+        let mut builder = leaky_stats::ThresholdDecoderBuilder::new();
+        builder.ambiguity_band(0.2).robust(true);
+        for i in 0..CALIBRATION_BITS {
+            let bit = i % 2 == 1;
+            builder.push(bit, self.measure_bit(bit));
+        }
+        self.decoder = Some(builder.build()?);
+        Ok(())
+    }
+
+    /// The channel variant.
+    pub fn kind(&self) -> NonMtKind {
+        self.kind
+    }
+
+    /// The zero-encoding mode.
+    pub fn mode(&self) -> EncodeMode {
+        self.mode
+    }
+
+    /// Raw per-bit measurement, exposed for diagnostics and ablation
+    /// benches.
+    #[doc(hidden)]
+    pub fn debug_measure(&mut self, m: bool) -> f64 {
+        self.measure_bit(m)
+    }
+
+    /// The calibrated decoder, if calibration has run.
+    #[doc(hidden)]
+    pub fn debug_decoder(&mut self) -> leaky_stats::ThresholdDecoder {
+        self.ensure_calibrated();
+        self.decoder.expect("calibrated")
+    }
+
+    /// One complete Init-Encode-Decode measurement for a bit (§V-C): the
+    /// receiver's timer brackets `p` rounds of the three steps.
+    fn measure_bit(&mut self, m: bool) -> f64 {
+        let tid = ThreadId::T0;
+        let t0 = self.core.rdtscp(tid);
+        for _ in 0..self.params.p {
+            // Init: receiver's d blocks onto their fast path.
+            self.core.run_once(tid, &self.recv);
+            // Encode: the sender's secret-dependent accesses.
+            if m {
+                self.core.run_once(tid, &self.send_one);
+            } else if let Some(zero) = &self.send_zero {
+                self.core.run_once(tid, zero);
+            }
+            // Decode: re-access the d blocks; eviction/misalignment effects
+            // of the encode step show up here.
+            self.core.run_once(tid, &self.recv);
+        }
+        let t1 = self.core.rdtscp(tid);
+        let overhead = match self.mode {
+            EncodeMode::Fast => FAST_OVERHEAD_CYCLES,
+            EncodeMode::Stealthy => STEALTHY_OVERHEAD_CYCLES,
+        };
+        self.core.idle(tid, overhead);
+        t1 - t0
+    }
+
+    fn ensure_calibrated(&mut self) {
+        if self.decoder.is_some() {
+            return;
+        }
+        // Discard cold-start transients, then record calibration samples.
+        for i in 0..WARMUP_BITS {
+            let _ = self.measure_bit(i % 2 == 1);
+        }
+        let mut measurements = Vec::with_capacity(CALIBRATION_BITS);
+        for i in 0..CALIBRATION_BITS {
+            let bit = i % 2 == 1;
+            measurements.push((bit, self.measure_bit(bit)));
+        }
+        self.decoder = Some(calibrate_decoder(
+            {
+                let mut iter = measurements.into_iter();
+                move |_| iter.next().expect("enough calibration samples").1
+            },
+            CALIBRATION_BITS,
+        ));
+    }
+
+    /// Transmits a message, returning sent/received bits and timing.
+    /// Calibration (if not yet done) happens first and is excluded from the
+    /// reported transmission time, matching the paper's methodology.
+    pub fn transmit(&mut self, message: &[bool]) -> ChannelRun {
+        self.ensure_calibrated();
+        let decoder = self.decoder.expect("calibrated above");
+        let start = self.core.clock(ThreadId::T0);
+        let mut received = Vec::with_capacity(message.len());
+        for &bit in message {
+            let mut decoded = decoder.decode_checked(self.measure_bit(bit));
+            let mut tries = 0;
+            while decoded.is_ambiguous() && tries < MAX_RESAMPLE {
+                decoded = decoder.decode_checked(self.measure_bit(bit));
+                tries += 1;
+            }
+            received.push(decoded.bit());
+        }
+        let cycles = self.core.clock(ThreadId::T0) - start;
+        ChannelRun::new(
+            message.to_vec(),
+            received,
+            cycles,
+            self.core.model().freq_hz(),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::params::MessagePattern;
+
+    fn channel(model: ProcessorModel, kind: NonMtKind, mode: EncodeMode) -> NonMtChannel {
+        let params = match kind {
+            NonMtKind::Eviction => ChannelParams::eviction_defaults(),
+            NonMtKind::Misalignment => ChannelParams::misalignment_defaults(),
+        };
+        NonMtChannel::new(model, kind, mode, params, 42)
+    }
+
+    #[test]
+    fn fast_eviction_transmits_cleanly_on_quiet_machine() {
+        let mut ch = channel(
+            ProcessorModel::xeon_e2288g(),
+            NonMtKind::Eviction,
+            EncodeMode::Fast,
+        );
+        let msg = MessagePattern::Alternating.generate(64, 0);
+        let run = ch.transmit(&msg);
+        assert!(
+            run.error_rate() < 0.05,
+            "fast eviction error {:.2}%",
+            run.error_rate() * 100.0
+        );
+        // Table III: 2288G non-MT fast eviction ≈ 1.4 Mbps; require the
+        // right order of magnitude.
+        assert!(
+            run.rate_kbps() > 300.0 && run.rate_kbps() < 5000.0,
+            "rate {:.1} Kbps",
+            run.rate_kbps()
+        );
+    }
+
+    #[test]
+    fn fast_misalignment_transmits_cleanly() {
+        let mut ch = channel(
+            ProcessorModel::xeon_e2288g(),
+            NonMtKind::Misalignment,
+            EncodeMode::Fast,
+        );
+        let msg = MessagePattern::Alternating.generate(64, 0);
+        let run = ch.transmit(&msg);
+        assert!(
+            run.error_rate() < 0.05,
+            "fast misalignment error {:.2}%",
+            run.error_rate() * 100.0
+        );
+    }
+
+    #[test]
+    fn stealthy_variants_work_on_all_machines() {
+        for model in ProcessorModel::all() {
+            for kind in [NonMtKind::Eviction, NonMtKind::Misalignment] {
+                let mut ch = channel(model, kind, EncodeMode::Stealthy);
+                let msg = MessagePattern::Alternating.generate(48, 0);
+                let run = ch.transmit(&msg);
+                assert!(
+                    run.error_rate() < 0.30,
+                    "{} stealthy {kind} error {:.2}%",
+                    model.name,
+                    run.error_rate() * 100.0
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn fast_beats_stealthy_rate() {
+        // Table III: fast variants transmit faster than stealthy ones.
+        let msg = MessagePattern::Alternating.generate(64, 0);
+        let mut fast = channel(
+            ProcessorModel::gold_6226(),
+            NonMtKind::Eviction,
+            EncodeMode::Fast,
+        );
+        let mut stealthy = channel(
+            ProcessorModel::gold_6226(),
+            NonMtKind::Eviction,
+            EncodeMode::Stealthy,
+        );
+        let rf = fast.transmit(&msg);
+        let rs = stealthy.transmit(&msg);
+        assert!(
+            rf.rate_kbps() > rs.rate_kbps(),
+            "fast {:.1} vs stealthy {:.1} Kbps",
+            rf.rate_kbps(),
+            rs.rate_kbps()
+        );
+    }
+
+    #[test]
+    fn works_without_lsd_hardware() {
+        // E-2174G has the LSD disabled (Table I); both channels must still
+        // function through pure DSB/MITE effects.
+        for kind in [NonMtKind::Eviction, NonMtKind::Misalignment] {
+            let mut ch = channel(ProcessorModel::xeon_e2174g(), kind, EncodeMode::Fast);
+            let msg = MessagePattern::Alternating.generate(48, 0);
+            let run = ch.transmit(&msg);
+            assert!(
+                run.error_rate() < 0.10,
+                "{kind} on LSD-less machine: {:.2}%",
+                run.error_rate() * 100.0
+            );
+        }
+    }
+
+    #[test]
+    fn random_messages_roundtrip_reasonably() {
+        let mut ch = channel(
+            ProcessorModel::xeon_e2286g(),
+            NonMtKind::Eviction,
+            EncodeMode::Fast,
+        );
+        let msg = MessagePattern::Random.generate(64, 5);
+        let run = ch.transmit(&msg);
+        assert!(run.error_rate() < 0.15);
+    }
+}

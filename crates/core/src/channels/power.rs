@@ -1,0 +1,254 @@
+//! Power-based covert channels over RAPL (paper §VII).
+//!
+//! Same Init/Encode/Decode structure as the non-MT timing channels, but the
+//! receiver reads Intel RAPL energy counters instead of a timer. Because
+//! RAPL updates only every ~50 µs, each bit must span many update intervals:
+//! p = q = 240 000 iterations per bit (§VII), which caps the bandwidth near
+//! 0.6 Kbps (Table V).
+//!
+//! The per-bit work is simulated exactly for a warm-up prefix and then
+//! fast-forwarded with [`leaky_cpu::Core::replay`], which deposits energy
+//! identically to full simulation.
+
+use leaky_cpu::{Core, LoopRun, ProcessorModel};
+use leaky_frontend::ThreadId;
+use leaky_isa::{BlockChain, FrontendGeometry};
+use leaky_stats::ThresholdDecoder;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::channels::{calibrate_decoder, eviction_layout, misalignment_layout};
+use crate::channels::non_mt::NonMtKind;
+use crate::params::ChannelParams;
+use crate::run::ChannelRun;
+
+/// Rounds simulated exactly before fast-forwarding the remainder.
+const WARM_ROUNDS: u64 = 24;
+
+/// System power noise on a per-bit watts estimate (σ, watts): co-running
+/// package activity that RAPL cannot separate from the attack (§VII's
+/// error-rate source).
+const WATTS_NOISE_SIGMA: f64 = 1.8;
+
+const CALIBRATION_BITS: usize = 16;
+
+/// A power-based non-MT covert channel (§VII, Table V).
+///
+/// # Examples
+///
+/// ```
+/// use leaky_cpu::ProcessorModel;
+/// use leaky_frontends::channels::non_mt::NonMtKind;
+/// use leaky_frontends::channels::power::PowerChannel;
+/// use leaky_frontends::params::{ChannelParams, MessagePattern};
+///
+/// let mut ch = PowerChannel::new(
+///     ProcessorModel::gold_6226(),
+///     NonMtKind::Eviction,
+///     ChannelParams::power_defaults(),
+///     3,
+/// );
+/// let msg = MessagePattern::Alternating.generate(8, 0);
+/// let run = ch.transmit(&msg);
+/// assert!(run.rate_kbps() < 10.0, "power channels are slow");
+/// ```
+#[derive(Debug, Clone)]
+pub struct PowerChannel {
+    core: Core,
+    kind: NonMtKind,
+    params: ChannelParams,
+    recv: BlockChain,
+    send_one: BlockChain,
+    send_zero: BlockChain,
+    decoder: Option<ThresholdDecoder>,
+    rng: StdRng,
+}
+
+impl PowerChannel {
+    /// Builds the channel (stealthy zero-encoding, as in the paper's power
+    /// evaluation).
+    pub fn new(
+        model: ProcessorModel,
+        kind: NonMtKind,
+        params: ChannelParams,
+        seed: u64,
+    ) -> Self {
+        let geom = FrontendGeometry::skylake();
+        params.validate(geom.dsb_ways, kind == NonMtKind::Misalignment);
+        let (recv, send_one, send_zero) = match kind {
+            NonMtKind::Eviction => {
+                let l = eviction_layout(&params, geom.dsb_ways);
+                (l.recv, l.send_one, l.send_zero)
+            }
+            NonMtKind::Misalignment => {
+                let l = misalignment_layout(&params);
+                (l.recv, l.send_one, l.send_zero)
+            }
+        };
+        PowerChannel {
+            core: Core::new(model, seed),
+            kind,
+            params,
+            recv,
+            send_one,
+            send_zero,
+            decoder: None,
+            rng: StdRng::seed_from_u64(seed ^ 0x70f_f4e7),
+        }
+    }
+
+    /// The underlying frontend primitive.
+    pub fn kind(&self) -> NonMtKind {
+        self.kind
+    }
+
+    /// One Init/Encode/Decode round for bit `m`; returns the round's run.
+    fn one_round(&mut self, m: bool) -> LoopRun {
+        let tid = ThreadId::T0;
+        let a = self.core.run_once(tid, &self.recv);
+        let b = if m {
+            self.core.run_once(tid, &self.send_one)
+        } else {
+            self.core.run_once(tid, &self.send_zero)
+        };
+        let c = self.core.run_once(tid, &self.recv);
+        LoopRun {
+            cycles: a.cycles + b.cycles + c.cycles,
+            iterations: a.iterations + b.iterations + c.iterations,
+            report: a.report + b.report + c.report,
+        }
+    }
+
+    /// Measures one bit as average watts over the bit window: bracket the
+    /// p-round workload with RAPL reads and divide energy by time.
+    fn measure_bit(&mut self, m: bool) -> f64 {
+        let tid = ThreadId::T0;
+        let e0 = self.core.read_rapl();
+        let t0 = self.core.seconds();
+        // Warm rounds simulated exactly...
+        let mut last = self.one_round(m);
+        for _ in 1..WARM_ROUNDS.min(self.params.p) {
+            last = self.one_round(m);
+        }
+        // ...then fast-forward the remaining identical rounds.
+        if self.params.p > WARM_ROUNDS {
+            self.core.replay(tid, &last, self.params.p - WARM_ROUNDS);
+        }
+        let e1 = self.core.read_rapl();
+        let t1 = self.core.seconds();
+        let joules = (e1.saturating_sub(e0)) as f64 * 1e-6;
+        let dt = (t1 - t0).max(1e-9);
+        let u1: f64 = self.rng.gen_range(f64::EPSILON..1.0);
+        let u2: f64 = self.rng.gen_range(0.0..1.0);
+        let noise = (-2.0 * u1.ln()).sqrt()
+            * (2.0 * std::f64::consts::PI * u2).cos()
+            * WATTS_NOISE_SIGMA;
+        joules / dt + noise // watts
+    }
+
+    fn ensure_calibrated(&mut self) {
+        if self.decoder.is_some() {
+            return;
+        }
+        for i in 0..4 {
+            let _ = self.measure_bit(i % 2 == 1); // cold-start warmup
+        }
+        let mut samples = Vec::with_capacity(CALIBRATION_BITS);
+        for i in 0..CALIBRATION_BITS {
+            let bit = i % 2 == 1;
+            samples.push(self.measure_bit(bit));
+        }
+        let mut iter = samples.into_iter();
+        self.decoder = Some(calibrate_decoder(
+            move |_| iter.next().expect("calibration sample"),
+            CALIBRATION_BITS,
+        ));
+    }
+
+    /// Transmits a message over the power channel.
+    pub fn transmit(&mut self, message: &[bool]) -> ChannelRun {
+        self.ensure_calibrated();
+        let decoder = self.decoder.expect("calibrated above");
+        let start = self.core.clock(ThreadId::T0);
+        let mut received = Vec::with_capacity(message.len());
+        for &bit in message {
+            let watts = self.measure_bit(bit);
+            received.push(decoder.decode(watts));
+        }
+        let cycles = self.core.clock(ThreadId::T0) - start;
+        ChannelRun::new(
+            message.to_vec(),
+            received,
+            cycles,
+            self.core.model().freq_hz(),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::params::MessagePattern;
+
+    #[test]
+    fn power_eviction_channel_is_slow_but_works() {
+        let mut ch = PowerChannel::new(
+            ProcessorModel::gold_6226(),
+            NonMtKind::Eviction,
+            ChannelParams::power_defaults(),
+            21,
+        );
+        let msg = MessagePattern::Alternating.generate(24, 0);
+        let run = ch.transmit(&msg);
+        // Table V: ~0.66 Kbps, 18.87% error. Require the same regime.
+        assert!(
+            run.rate_kbps() < 5.0,
+            "power channel too fast: {:.3} Kbps",
+            run.rate_kbps()
+        );
+        assert!(
+            run.rate_kbps() > 0.05,
+            "power channel unusably slow: {:.4} Kbps",
+            run.rate_kbps()
+        );
+        assert!(
+            run.error_rate() < 0.35,
+            "error {:.1}%",
+            run.error_rate() * 100.0
+        );
+    }
+
+    #[test]
+    fn power_misalignment_channel_works() {
+        let mut ch = PowerChannel::new(
+            ProcessorModel::gold_6226(),
+            NonMtKind::Misalignment,
+            ChannelParams {
+                d: 5,
+                ..ChannelParams::power_defaults()
+            },
+            22,
+        );
+        let msg = MessagePattern::Alternating.generate(24, 0);
+        let run = ch.transmit(&msg);
+        assert!(
+            run.error_rate() < 0.35,
+            "misalignment power error {:.1}%",
+            run.error_rate() * 100.0
+        );
+    }
+
+    #[test]
+    fn rapl_energy_grows_during_transmission() {
+        let mut ch = PowerChannel::new(
+            ProcessorModel::gold_6226(),
+            NonMtKind::Eviction,
+            ChannelParams::power_defaults(),
+            23,
+        );
+        let before = ch.core.read_rapl();
+        ch.transmit(&MessagePattern::AllOnes.generate(4, 0));
+        let after = ch.core.read_rapl();
+        assert!(after > before);
+    }
+}

@@ -1,0 +1,171 @@
+//! Microcode-patch fingerprinting (paper §X, Fig. 10).
+//!
+//! The newer Gold 6226 microcode (patch2) silently disables the LSD. An
+//! attacker distinguishes the patches by timing (or measuring the power of)
+//! a loop that *fits* the LSD and one that *exceeds* it: with the LSD
+//! enabled the small loop streams at LSD pace; with it disabled the small
+//! loop falls back to the DSB — a clearly different per-µop time and power
+//! draw. The large loop behaves identically under both patches and serves
+//! as the attacker's reference.
+
+use leaky_cpu::{Core, MicrocodePatch, ProcessorModel};
+use leaky_frontend::ThreadId;
+use leaky_isa::{same_set_chain, Alignment, BlockChain, DsbSet};
+
+/// Timing and power observations for one core under test (the four bars of
+/// Fig. 10).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MicrocodeObservation {
+    /// Mean cycles per block for the loop that fits the LSD.
+    pub small_loop_cycles_per_block: f64,
+    /// Mean cycles per block for the loop that exceeds LSD capacity.
+    pub large_loop_cycles_per_block: f64,
+    /// Mean package watts while running the small loop.
+    pub small_loop_watts: f64,
+    /// Mean package watts while running the large loop.
+    pub large_loop_watts: f64,
+}
+
+/// Microcode-patch fingerprinter.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MicrocodeFingerprint {
+    /// Warm iterations before measuring.
+    pub warmup: u64,
+    /// Measured iterations.
+    pub iterations: u64,
+}
+
+impl Default for MicrocodeFingerprint {
+    fn default() -> Self {
+        MicrocodeFingerprint {
+            warmup: 8,
+            iterations: 200,
+        }
+    }
+}
+
+impl MicrocodeFingerprint {
+    /// The probe loop that fits the LSD: 8 same-set mix blocks
+    /// (40 µops ≤ 64).
+    fn small_chain() -> BlockChain {
+        same_set_chain(0x0041_8000, DsbSet::new(5), 8, Alignment::Aligned)
+    }
+
+    /// The probe loop that exceeds LSD capacity: 16 blocks spread over two
+    /// sets (80 µops > 64), still DSB-resident so the comparison isolates
+    /// the LSD.
+    fn large_chain() -> BlockChain {
+        let a = same_set_chain(0x0082_0000, DsbSet::new(5), 8, Alignment::Aligned);
+        let b = same_set_chain(0x00c3_0000, DsbSet::new(21), 8, Alignment::Aligned);
+        a.concat(b)
+    }
+
+    /// Collects the Fig. 10 observation from a core.
+    pub fn observe(&self, core: &mut Core) -> MicrocodeObservation {
+        let tid = ThreadId::T0;
+        let small = Self::small_chain();
+        let large = Self::large_chain();
+
+        core.run_loop(tid, &small, self.warmup);
+        let t0 = core.rdtscp(tid);
+        let run_small = core.run_loop(tid, &small, self.iterations);
+        let t1 = core.rdtscp(tid);
+        let small_cycles =
+            (t1 - t0).max(1.0) / (self.iterations * small.len() as u64) as f64;
+        let small_watts = core.mean_power_watts(&run_small.report);
+
+        core.run_loop(tid, &large, self.warmup);
+        let t2 = core.rdtscp(tid);
+        let run_large = core.run_loop(tid, &large, self.iterations);
+        let t3 = core.rdtscp(tid);
+        let large_cycles =
+            (t3 - t2).max(1.0) / (self.iterations * large.len() as u64) as f64;
+        let large_watts = core.mean_power_watts(&run_large.report);
+
+        MicrocodeObservation {
+            small_loop_cycles_per_block: small_cycles,
+            large_loop_cycles_per_block: large_cycles,
+            small_loop_watts: small_watts,
+            large_loop_watts: large_watts,
+        }
+    }
+
+    /// Classifies the patch from an observation. With the LSD enabled
+    /// (patch1), the small loop runs at LSD pace — *slower per block* than
+    /// the large loop's DSB streaming and at lower power; with the LSD
+    /// disabled (patch2), both loops stream from the DSB and the timing
+    /// ratio collapses toward 1. The paper notes timing is the more
+    /// reliable indicator (§X).
+    pub fn classify(&self, obs: &MicrocodeObservation) -> MicrocodePatch {
+        let ratio = obs.small_loop_cycles_per_block / obs.large_loop_cycles_per_block;
+        if ratio > 1.4 {
+            MicrocodePatch::Patch1
+        } else {
+            MicrocodePatch::Patch2
+        }
+    }
+
+    /// End-to-end fingerprint of an (unknown-patch) core.
+    pub fn fingerprint(&self, core: &mut Core) -> MicrocodePatch {
+        let obs = self.observe(core);
+        self.classify(&obs)
+    }
+
+    /// Accuracy over `trials` independent cores per patch — the §X claim
+    /// is that the patches are "clearly" distinguishable.
+    pub fn accuracy(&self, model: ProcessorModel, trials: u64) -> f64 {
+        let mut correct = 0u64;
+        for t in 0..trials {
+            for patch in [MicrocodePatch::Patch1, MicrocodePatch::Patch2] {
+                let mut core = Core::with_microcode(model, patch, 1000 + t);
+                if self.fingerprint(&mut core) == patch {
+                    correct += 1;
+                }
+            }
+        }
+        correct as f64 / (2 * trials) as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn patch1_small_loop_streams_lsd_slower_than_dsb() {
+        let fp = MicrocodeFingerprint::default();
+        let mut core =
+            Core::with_microcode(ProcessorModel::gold_6226(), MicrocodePatch::Patch1, 3);
+        let obs = fp.observe(&mut core);
+        assert!(
+            obs.small_loop_cycles_per_block > obs.large_loop_cycles_per_block * 1.4,
+            "LSD pace {:.2} vs DSB pace {:.2}",
+            obs.small_loop_cycles_per_block,
+            obs.large_loop_cycles_per_block
+        );
+        // Fig. 10(b): LSD draws less power than DSB/MITE delivery.
+        assert!(obs.small_loop_watts < obs.large_loop_watts);
+    }
+
+    #[test]
+    fn patch2_ratio_collapses() {
+        let fp = MicrocodeFingerprint::default();
+        let mut core =
+            Core::with_microcode(ProcessorModel::gold_6226(), MicrocodePatch::Patch2, 3);
+        let obs = fp.observe(&mut core);
+        let ratio = obs.small_loop_cycles_per_block / obs.large_loop_cycles_per_block;
+        assert!(
+            (0.6..=1.4).contains(&ratio),
+            "patch2 small/large ratio {ratio:.2}"
+        );
+    }
+
+    #[test]
+    fn fingerprint_is_essentially_perfect() {
+        // §X: "attackers can clearly differentiate which patch has been
+        // applied".
+        let fp = MicrocodeFingerprint::default();
+        let acc = fp.accuracy(ProcessorModel::gold_6226(), 10);
+        assert!(acc > 0.95, "accuracy {acc}");
+    }
+}

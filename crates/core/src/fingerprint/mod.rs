@@ -1,0 +1,5 @@
+//! Fingerprinting attacks: microcode-patch detection (paper §X) and
+//! application fingerprinting through the IPC side channel (paper §XI).
+
+pub mod ipc;
+pub mod microcode;

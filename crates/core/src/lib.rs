@@ -1,0 +1,61 @@
+//! **Leaky Frontends** — the paper's contribution: covert channels, side
+//! channels and fingerprinting attacks built on processor-frontend path
+//! switching (HPCA 2022).
+//!
+//! The root cause exploited throughout is that µop delivery can take three
+//! paths — MITE, DSB (micro-op cache) or LSD — with distinct timing and
+//! power signatures, and that attackers can force *switches* between the
+//! paths (paper §IV). This crate implements every attack the paper
+//! evaluates:
+//!
+//! | Paper section | Module | Attack |
+//! |---|---|---|
+//! | §V-A | [`channels::mt`] | MT eviction-based timing channel |
+//! | §V-B | [`channels::mt`] | MT misalignment-based timing channel |
+//! | §V-C | [`channels::non_mt`] | non-MT eviction channel (stealthy/fast) |
+//! | §V-D | [`channels::non_mt`] | non-MT misalignment channel |
+//! | §V-E | [`channels::slow_switch`] | LCP slow-switch channel |
+//! | §VII | [`channels::power`] | power (RAPL) channels |
+//! | §VIII | [`sgx`] | SGX enclave exfiltration (MT + non-MT) |
+//! | §X | [`fingerprint::microcode`] | microcode-patch fingerprinting |
+//! | §XI | [`fingerprint::ipc`] | application fingerprinting side channel |
+//!
+//! Every channel follows the paper's three-step pattern — **Init** (place
+//! µops on a known path), **Encode** (the sender perturbs the path according
+//! to the secret bit), **Decode** (the receiver measures timing or power) —
+//! and is evaluated by transmission rate and Wagner-Fischer error rate
+//! exactly as in §VI.
+//!
+//! # Examples
+//!
+//! ```
+//! use leaky_cpu::ProcessorModel;
+//! use leaky_frontends::channels::non_mt::{NonMtChannel, NonMtKind};
+//! use leaky_frontends::params::{ChannelParams, EncodeMode, MessagePattern};
+//!
+//! let params = ChannelParams::eviction_defaults();
+//! let mut ch = NonMtChannel::new(
+//!     ProcessorModel::xeon_e2288g(),
+//!     NonMtKind::Eviction,
+//!     EncodeMode::Fast,
+//!     params,
+//!     7,
+//! );
+//! let message = MessagePattern::Alternating.generate(32, 1);
+//! let run = ch.transmit(&message);
+//! assert!(run.error_rate() < 0.1);
+//! assert!(run.rate_kbps() > 100.0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod channels;
+pub mod coding;
+pub mod fingerprint;
+pub mod params;
+pub mod run;
+pub mod sgx;
+
+pub use params::{ChannelParams, EncodeMode, MessagePattern};
+pub use run::{ChannelRun, Evaluation};

@@ -1,0 +1,159 @@
+//! Channel transmission results and evaluation metrics (paper §VI).
+
+use leaky_stats::error_rate;
+use std::fmt;
+
+/// The outcome of transmitting one message over a covert channel.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ChannelRun {
+    sent: Vec<bool>,
+    received: Vec<bool>,
+    cycles: f64,
+    freq_hz: f64,
+}
+
+impl ChannelRun {
+    /// Bundles a transmission outcome.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cycles` or `freq_hz` is not positive.
+    pub fn new(sent: Vec<bool>, received: Vec<bool>, cycles: f64, freq_hz: f64) -> Self {
+        assert!(cycles > 0.0, "a transmission takes time");
+        assert!(freq_hz > 0.0, "frequency must be positive");
+        ChannelRun {
+            sent,
+            received,
+            cycles,
+            freq_hz,
+        }
+    }
+
+    /// The bits the sender transmitted.
+    pub fn sent(&self) -> &[bool] {
+        &self.sent
+    }
+
+    /// The bits the receiver decoded.
+    pub fn received(&self) -> &[bool] {
+        &self.received
+    }
+
+    /// Total cycles the transmission occupied (wall time on the measured
+    /// thread).
+    pub fn cycles(&self) -> f64 {
+        self.cycles
+    }
+
+    /// Wall-clock seconds of the transmission.
+    pub fn seconds(&self) -> f64 {
+        self.cycles / self.freq_hz
+    }
+
+    /// Raw transmission rate in Kbps (paper Tables II-VI).
+    pub fn rate_kbps(&self) -> f64 {
+        self.sent.len() as f64 / self.seconds() / 1000.0
+    }
+
+    /// Wagner-Fischer error rate between sent and received strings (§VI).
+    pub fn error_rate(&self) -> f64 {
+        error_rate(&self.sent, &self.received)
+    }
+
+    /// Effective rate: raw rate discounted by the error rate (Fig. 8's
+    /// "effect. trans. rate").
+    pub fn effective_rate_kbps(&self) -> f64 {
+        self.rate_kbps() * (1.0 - self.error_rate())
+    }
+
+    /// Condenses the run into an [`Evaluation`].
+    pub fn evaluation(&self) -> Evaluation {
+        Evaluation {
+            rate_kbps: self.rate_kbps(),
+            error_rate: self.error_rate(),
+            bits: self.sent.len(),
+        }
+    }
+}
+
+impl fmt::Display for ChannelRun {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} bits, {:.2} Kbps, {:.2}% error",
+            self.sent.len(),
+            self.rate_kbps(),
+            self.error_rate() * 100.0
+        )
+    }
+}
+
+/// Summary metrics for one channel configuration — one cell of the paper's
+/// result tables.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Evaluation {
+    /// Transmission rate in Kbps.
+    pub rate_kbps: f64,
+    /// Error rate in `[0, 1]`.
+    pub error_rate: f64,
+    /// Message length evaluated.
+    pub bits: usize,
+}
+
+impl Evaluation {
+    /// Effective rate (rate × (1 − error)).
+    pub fn effective_rate_kbps(&self) -> f64 {
+        self.rate_kbps * (1.0 - self.error_rate)
+    }
+}
+
+impl fmt::Display for Evaluation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{:.2} Kbps / {:.2}% err",
+            self.rate_kbps,
+            self.error_rate * 100.0
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rate_math() {
+        // 1000 bits in 1 ms at 1 GHz = 1 Mbps.
+        let run = ChannelRun::new(vec![true; 1000], vec![true; 1000], 1e6, 1e9);
+        assert!((run.rate_kbps() - 1000.0).abs() < 1e-9);
+        assert_eq!(run.error_rate(), 0.0);
+        assert_eq!(run.effective_rate_kbps(), run.rate_kbps());
+    }
+
+    #[test]
+    fn error_rate_uses_edit_distance() {
+        let sent = vec![false, true, false, true];
+        let mut recv = sent.clone();
+        recv[2] = true;
+        let run = ChannelRun::new(sent, recv, 1000.0, 1e9);
+        assert!((run.error_rate() - 0.25).abs() < 1e-12);
+        assert!(run.effective_rate_kbps() < run.rate_kbps());
+    }
+
+    #[test]
+    fn evaluation_roundtrip() {
+        let run = ChannelRun::new(vec![true; 10], vec![true; 10], 1e4, 2.7e9);
+        let ev = run.evaluation();
+        assert_eq!(ev.bits, 10);
+        assert!((ev.rate_kbps - run.rate_kbps()).abs() < 1e-12);
+        let shown = ev.to_string();
+        assert!(shown.contains("Kbps"));
+    }
+
+    #[test]
+    #[should_panic(expected = "takes time")]
+    fn zero_cycles_rejected() {
+        let _ = ChannelRun::new(vec![true], vec![true], 0.0, 1e9);
+    }
+}

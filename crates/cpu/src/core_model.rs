@@ -1,0 +1,661 @@
+//! The composed core: frontend + backend + power + timers + SMT driver.
+
+use leaky_backend::Backend;
+use leaky_frontend::{
+    Frontend, FrontendConfig, IterationReport, SmtDsbPolicy, ThreadId,
+};
+use leaky_isa::BlockChain;
+use leaky_power::{DeliveryClass, PowerModel, Rapl};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::model::{MicrocodePatch, ProcessorModel};
+use crate::timer::{NoiseModel, Timer};
+
+/// The result of running a loop on one thread.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LoopRun {
+    /// Wall cycles the loop occupied on its thread (frontend/backend
+    /// bottleneck combined).
+    pub cycles: f64,
+    /// Iterations executed.
+    pub iterations: u64,
+    /// Frontend activity during the run.
+    pub report: IterationReport,
+}
+
+impl LoopRun {
+    /// Instructions retired per cycle over this run.
+    pub fn ipc(&self, instructions_per_iteration: u64) -> f64 {
+        if self.cycles <= 0.0 {
+            0.0
+        } else {
+            (self.iterations * instructions_per_iteration) as f64 / self.cycles
+        }
+    }
+}
+
+/// Work description for [`Core::run_concurrent`].
+#[derive(Debug, Clone)]
+pub struct ThreadWork<'a> {
+    /// The loop body.
+    pub chain: &'a BlockChain,
+    /// Iterations to run.
+    pub iterations: u64,
+}
+
+/// A simulated physical core with two hardware threads.
+///
+/// Owns per-thread cycle clocks, the shared frontend, the RAPL energy
+/// counter and a seeded noise source, so whole experiments are
+/// reproducible from a single seed.
+#[derive(Debug, Clone)]
+pub struct Core {
+    model: ProcessorModel,
+    patch: MicrocodePatch,
+    frontend: Frontend,
+    backend: Backend,
+    power: PowerModel,
+    rapl: Rapl,
+    timer: Timer,
+    clock: [f64; 2],
+    /// Sibling frontend demand (0..~1) used by the fingerprinting victim
+    /// model to modulate SMT sharing.
+    sibling_demand: [f64; 2],
+    /// Whether `sibling_demand` is driven by a trace-based victim model
+    /// (fingerprinting) rather than simulated sibling code.
+    trace_sibling: [bool; 2],
+    /// Each thread's recent µops-per-cycle, used to share backend width
+    /// proportionally under SMT.
+    recent_upc: [f64; 2],
+    /// Memoised backend throughput per chain (keyed by first-block base,
+    /// block count, instruction count) — `finish_run` is the hottest path.
+    backend_cache: std::collections::HashMap<(u64, usize, usize), f64>,
+    rng: StdRng,
+}
+
+impl Core {
+    /// Creates a core for a processor model under the default (LSD-enabled)
+    /// microcode, with a deterministic seed.
+    pub fn new(model: ProcessorModel, seed: u64) -> Self {
+        Self::with_microcode(model, MicrocodePatch::Patch1, seed)
+    }
+
+    /// Creates a core under an explicit microcode patch (§X: switching
+    /// patches requires a restart, hence a fresh core).
+    pub fn with_microcode(model: ProcessorModel, patch: MicrocodePatch, seed: u64) -> Self {
+        let config = FrontendConfig {
+            lsd_enabled: model.lsd_enabled_under(patch),
+            dsb_policy: SmtDsbPolicy::Competitive,
+            ..FrontendConfig::default()
+        };
+        Self::with_frontend_config(model, patch, config, seed)
+    }
+
+    /// Creates a core with a fully explicit frontend configuration — the
+    /// hook used by defense evaluations (§XII: constant-time frontends) and
+    /// policy ablations.
+    pub fn with_frontend_config(
+        model: ProcessorModel,
+        patch: MicrocodePatch,
+        config: FrontendConfig,
+        seed: u64,
+    ) -> Self {
+        Core {
+            frontend: Frontend::new(config),
+            backend: Backend::skylake(),
+            power: PowerModel::gold6226(),
+            rapl: Rapl::new(seed ^ 0x9e37_79b9),
+            timer: Timer::new(NoiseModel::with_sigma(model.timing_noise_sigma), seed),
+            clock: [0.0, 0.0],
+            sibling_demand: [0.0, 0.0],
+            trace_sibling: [false, false],
+            recent_upc: [0.0, 0.0],
+            backend_cache: std::collections::HashMap::new(),
+            rng: StdRng::seed_from_u64(seed ^ 0x5851_f42d),
+            model,
+            patch,
+        }
+    }
+
+    /// The processor model.
+    pub fn model(&self) -> &ProcessorModel {
+        &self.model
+    }
+
+    /// The active microcode patch.
+    pub fn microcode(&self) -> MicrocodePatch {
+        self.patch
+    }
+
+    /// The frontend (for assertions and advanced drivers).
+    pub fn frontend(&self) -> &Frontend {
+        &self.frontend
+    }
+
+    /// Mutable frontend access (attack drivers use this for partition
+    /// control and state flushes).
+    pub fn frontend_mut(&mut self) -> &mut Frontend {
+        &mut self.frontend
+    }
+
+    /// The backend model.
+    pub fn backend(&self) -> &Backend {
+        &self.backend
+    }
+
+    /// Current cycle clock of a thread.
+    pub fn clock(&self, tid: ThreadId) -> f64 {
+        self.clock[tid.index()]
+    }
+
+    /// Wall-clock seconds elapsed (max over thread clocks).
+    pub fn seconds(&self) -> f64 {
+        self.model
+            .cycles_to_seconds(self.clock[0].max(self.clock[1]))
+    }
+
+    /// Marks a thread active/idle (delegates to the frontend's partition
+    /// logic).
+    pub fn set_active(&mut self, tid: ThreadId, active: bool) {
+        self.frontend.set_active(tid, active);
+    }
+
+    /// Sets the sibling-demand factor used when `tid`'s sibling runs a
+    /// modeled (trace-based) victim rather than simulated code.
+    pub fn set_sibling_demand(&mut self, tid: ThreadId, demand: f64) {
+        assert!((0.0..=4.0).contains(&demand), "demand out of range");
+        self.sibling_demand[tid.index()] = demand;
+        self.trace_sibling[tid.index()] = true;
+        self.frontend.set_external_mite_pressure(tid, demand);
+    }
+
+    /// A noisy `rdtscp` reading for a thread; costs timer overhead cycles.
+    pub fn rdtscp(&mut self, tid: ThreadId) -> f64 {
+        let overhead = self.frontend.config().costs.timer_overhead;
+        self.clock[tid.index()] += overhead;
+        self.timer.read(self.clock[tid.index()])
+    }
+
+    /// A low-precision (10 Hz) timer reading for the §XI side channel.
+    pub fn low_res_time(&mut self, tid: ThreadId) -> f64 {
+        let resolution = self.model.freq_hz() / 10.0;
+        self.timer.read_low_res(self.clock[tid.index()], resolution)
+    }
+
+    /// Advances a thread's clock without doing frontend work (spin/sleep).
+    pub fn idle(&mut self, tid: ThreadId, cycles: f64) {
+        assert!(cycles >= 0.0, "cannot idle negative cycles");
+        self.clock[tid.index()] += cycles;
+        let dt = self.model.cycles_to_seconds(cycles);
+        let joules = self.power.watts(DeliveryClass::Idle) * dt;
+        let now = self.seconds();
+        self.rapl.deposit(joules, now);
+    }
+
+    /// Runs `iterations` of a loop on one thread, advancing its clock and
+    /// depositing energy. Total time is the frontend/backend bottleneck.
+    pub fn run_loop(&mut self, tid: ThreadId, chain: &BlockChain, iterations: u64) -> LoopRun {
+        let report = self.frontend.run_iterations(tid, chain, iterations);
+        self.finish_run(tid, chain, iterations, report)
+    }
+
+    /// Runs a single loop iteration (fine-grained driver for channel
+    /// protocols).
+    pub fn run_once(&mut self, tid: ThreadId, chain: &BlockChain) -> LoopRun {
+        let report = self.frontend.run_iteration(tid, chain);
+        self.finish_run(tid, chain, 1, report)
+    }
+
+    /// Runs both threads concurrently, interleaving loop iterations by
+    /// simulated wall time with scheduling jitter. Threads are activated on
+    /// entry; each is deactivated when its work completes (which triggers
+    /// the DSB partition transitions of §IV-B).
+    pub fn run_concurrent(
+        &mut self,
+        work0: ThreadWork<'_>,
+        work1: ThreadWork<'_>,
+    ) -> (LoopRun, LoopRun) {
+        // Sync both clocks to a common start.
+        let start = self.clock[0].max(self.clock[1]);
+        self.clock = [start, start];
+        self.set_active(ThreadId::T0, true);
+        self.set_active(ThreadId::T1, true);
+
+        let mut remaining = [work0.iterations, work1.iterations];
+        let mut runs = [
+            LoopRun {
+                cycles: 0.0,
+                iterations: 0,
+                report: IterationReport::default(),
+            },
+            LoopRun {
+                cycles: 0.0,
+                iterations: 0,
+                report: IterationReport::default(),
+            },
+        ];
+        let chains = [work0.chain, work1.chain];
+
+        while remaining[0] > 0 || remaining[1] > 0 {
+            // Pick the thread that is behind in wall time (with jitter), among
+            // those that still have work.
+            let jitter: f64 = self.rng.gen_range(-2.0..2.0);
+            let pick = if remaining[0] == 0 {
+                1
+            } else if remaining[1] == 0 {
+                0
+            } else if self.clock[0] + jitter <= self.clock[1] {
+                0
+            } else {
+                1
+            };
+            let tid = if pick == 0 { ThreadId::T0 } else { ThreadId::T1 };
+            let run = self.run_once(tid, chains[pick]);
+            runs[pick].cycles += run.cycles;
+            runs[pick].iterations += 1;
+            runs[pick].report += run.report;
+            remaining[pick] -= 1;
+            if remaining[pick] == 0 {
+                self.set_active(tid, false);
+            }
+        }
+        let [r0, r1] = runs;
+        (r0, r1)
+    }
+
+    /// Runs a loop repeatedly until roughly `cycle_budget` cycles elapse on
+    /// the thread; returns the run. Used by the §XI IPC sampler.
+    pub fn run_for_cycles(
+        &mut self,
+        tid: ThreadId,
+        chain: &BlockChain,
+        cycle_budget: f64,
+    ) -> LoopRun {
+        let mut total = LoopRun {
+            cycles: 0.0,
+            iterations: 0,
+            report: IterationReport::default(),
+        };
+        // Batch iterations, re-estimating the per-iteration cost as the loop
+        // warms up (cold iterations are much slower than steady state).
+        while total.cycles < cycle_budget {
+            let probe = self.run_once(tid, chain);
+            total.cycles += probe.cycles;
+            total.iterations += 1;
+            total.report += probe.report;
+            let per_iter = probe.cycles.max(1e-9);
+            let more = ((cycle_budget - total.cycles) / per_iter) as u64;
+            if more > 0 {
+                let rest = self.run_loop(tid, chain, more);
+                total.cycles += rest.cycles;
+                total.iterations += rest.iterations;
+                total.report += rest.report;
+            }
+        }
+        total
+    }
+
+    /// Fast-forwards a thread through `times` repetitions of an
+    /// already-measured steady-state round: advances the clock and deposits
+    /// energy exactly as if the work had been simulated, without re-running
+    /// the frontend. Used by the power channels, whose p = q = 240 000
+    /// iterations per bit (§VII) would otherwise dominate simulation time.
+    pub fn replay(&mut self, tid: ThreadId, round: &LoopRun, times: u64) {
+        if times == 0 {
+            return;
+        }
+        let cycles = round.cycles * times as f64;
+        self.clock[tid.index()] += cycles;
+        let dt = self.model.cycles_to_seconds(cycles);
+        let watts = mean_watts(&self.power, &self.frontend.config().costs, &round.report);
+        let now = self.seconds();
+        self.rapl.deposit(watts * dt, now);
+    }
+
+    /// Reads the package RAPL counter (µJ), as the power attacks do.
+    pub fn read_rapl(&mut self) -> u64 {
+        let now = self.seconds();
+        self.rapl.read(now)
+    }
+
+    /// A noisy instantaneous package-power sample for a run, classified by
+    /// its dominant delivery path — the observable of Fig. 9 / Fig. 10.
+    pub fn sample_power_watts(&mut self, report: &IterationReport) -> f64 {
+        let class = dominant_class(report);
+        self.power.sample_watts(class, &mut self.rng)
+    }
+
+    /// Average power (watts) implied by a report's path mix, without noise.
+    pub fn mean_power_watts(&self, report: &IterationReport) -> f64 {
+        mean_watts(&self.power, &self.frontend.config().costs, report)
+    }
+
+    fn finish_run(
+        &mut self,
+        tid: ThreadId,
+        chain: &BlockChain,
+        iterations: u64,
+        report: IterationReport,
+    ) -> LoopRun {
+        let key = (
+            chain.blocks()[0].base().value(),
+            chain.len(),
+            chain.total_instructions(),
+        );
+        let per_iter = match self.backend_cache.get(&key) {
+            Some(&v) => v,
+            None => {
+                let instrs: Vec<_> = chain
+                    .blocks()
+                    .iter()
+                    .flat_map(|b| b.instructions().iter().copied())
+                    .collect();
+                let v = self.backend.throughput_cycles(&instrs);
+                self.backend_cache.insert(key, v);
+                v
+            }
+        };
+        let mut backend_cycles = per_iter * iterations as f64;
+        let t = tid.index();
+        if self.frontend.both_active() {
+            // Rename/retire bandwidth is shared between threads in
+            // proportion to demand. A trace-driven victim (fingerprinting
+            // model) contends for its full share plus its demand level; a
+            // simulated sibling contends only for the µop bandwidth it
+            // actually used recently — the §IV-D mix blocks are designed to
+            // leave backend headroom, so light siblings barely slow each
+            // other down.
+            let factor = if self.trace_sibling[t] {
+                2.0 + self.sibling_demand[t]
+            } else {
+                let other = tid.other().index();
+                1.0 + (self.recent_upc[other] / self.backend.config().rename_width).min(1.0)
+            };
+            backend_cycles *= factor;
+        }
+        let cycles = report.cycles.max(backend_cycles);
+        if cycles > 0.0 {
+            self.recent_upc[t] = report.total_uops() as f64 / cycles;
+        }
+        self.clock[t] += cycles;
+
+        // Energy: apportion cycles to delivery classes via the cost model.
+        let dt = self.model.cycles_to_seconds(cycles);
+        let watts = mean_watts(&self.power, &self.frontend.config().costs, &report);
+        let now = self.seconds();
+        self.rapl.deposit(watts * dt, now);
+
+        LoopRun {
+            cycles,
+            iterations,
+            report,
+        }
+    }
+}
+
+/// Estimated mean package power for a report's delivery mix.
+fn mean_watts(
+    power: &PowerModel,
+    costs: &leaky_frontend::CostModel,
+    report: &IterationReport,
+) -> f64 {
+    let lsd_c = report.lsd_uops as f64 * costs.lsd_per_uop;
+    let dsb_c = report.dsb_uops as f64 * costs.dsb_per_uop;
+    let mite_c = report.mite_uops as f64
+        * (costs.mite_per_uop + costs.mite_line_base / 6.0)
+        + report.lcp_stall_cycles
+        + report.switch_penalty_cycles
+        + report.crossing_penalty_cycles;
+    let total = lsd_c + dsb_c + mite_c;
+    if total <= 0.0 {
+        return power.watts(DeliveryClass::Idle);
+    }
+    let idle = power.watts(DeliveryClass::Idle);
+    idle + (lsd_c * (power.watts(DeliveryClass::Lsd) - idle)
+        + dsb_c * (power.watts(DeliveryClass::Dsb) - idle)
+        + mite_c * (power.watts(DeliveryClass::Mite) - idle))
+        / total
+}
+
+/// Classifies a report by dominant delivery class for power sampling.
+fn dominant_class(report: &IterationReport) -> DeliveryClass {
+    if report.total_uops() == 0 {
+        DeliveryClass::Idle
+    } else if report.mite_uops > 0
+        && report.mite_uops * 4 >= report.total_uops()
+    {
+        DeliveryClass::Mite
+    } else if report.dsb_uops >= report.lsd_uops {
+        DeliveryClass::Dsb
+    } else {
+        DeliveryClass::Lsd
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use leaky_isa::{same_set_chain, Alignment, DsbSet};
+
+    const RECV: u64 = 0x0041_8000;
+    const SEND: u64 = 0x0082_0000;
+
+    fn chain(base: u64, set: u8, n: usize) -> BlockChain {
+        same_set_chain(base, DsbSet::new(set), n, Alignment::Aligned)
+    }
+
+    #[test]
+    fn clock_advances_with_work() {
+        let mut core = Core::new(ProcessorModel::gold_6226(), 1);
+        assert_eq!(core.clock(ThreadId::T0), 0.0);
+        let run = core.run_loop(ThreadId::T0, &chain(RECV, 0, 8), 100);
+        assert!(run.cycles > 0.0);
+        assert!((core.clock(ThreadId::T0) - run.cycles).abs() < 1e-9);
+        assert_eq!(core.clock(ThreadId::T1), 0.0);
+    }
+
+    #[test]
+    fn lsd_warm_loop_is_faster_per_iteration() {
+        let mut core = Core::new(ProcessorModel::gold_6226(), 1);
+        let c = chain(RECV, 0, 8);
+        let cold = core.run_once(ThreadId::T0, &c);
+        // LSD lock engages after the configured warm-up streak.
+        for _ in 0..3 {
+            core.run_once(ThreadId::T0, &c);
+        }
+        let warm = core.run_once(ThreadId::T0, &c);
+        assert!(warm.cycles < cold.cycles);
+        assert!(warm.report.lsd_uops > 0);
+    }
+
+    #[test]
+    fn lsd_disabled_machine_never_streams_lsd() {
+        let mut core = Core::new(ProcessorModel::xeon_e2174g(), 1);
+        let c = chain(RECV, 0, 8);
+        for _ in 0..5 {
+            let run = core.run_once(ThreadId::T0, &c);
+            assert_eq!(run.report.lsd_uops, 0);
+        }
+    }
+
+    #[test]
+    fn microcode_patch2_disables_lsd_on_6226() {
+        let mut core =
+            Core::with_microcode(ProcessorModel::gold_6226(), MicrocodePatch::Patch2, 1);
+        let c = chain(RECV, 0, 8);
+        for _ in 0..5 {
+            assert_eq!(core.run_once(ThreadId::T0, &c).report.lsd_uops, 0);
+        }
+    }
+
+    #[test]
+    fn rdtscp_is_noisy_but_ordered_over_work() {
+        let mut core = Core::new(ProcessorModel::gold_6226(), 1);
+        let t0 = core.rdtscp(ThreadId::T0);
+        core.run_loop(ThreadId::T0, &chain(RECV, 0, 8), 1000);
+        let t1 = core.rdtscp(ThreadId::T0);
+        assert!(t1 - t0 > 1000.0);
+    }
+
+    #[test]
+    fn concurrent_sender_evicts_receiver() {
+        // The MT eviction mechanism end-to-end at the core level.
+        let mut core = Core::new(ProcessorModel::gold_6226(), 1);
+        let recv = chain(RECV, 0, 6);
+        let send = chain(SEND, 0, 3);
+        // Warm receiver solo.
+        core.run_loop(ThreadId::T0, &recv, 3);
+        let warm = core.run_once(ThreadId::T0, &recv);
+        // Now run sender concurrently: receiver must slow down.
+        let (r_recv, r_send) = core.run_concurrent(
+            ThreadWork {
+                chain: &recv,
+                iterations: 50,
+            },
+            ThreadWork {
+                chain: &send,
+                iterations: 50,
+            },
+        );
+        assert!(r_send.iterations == 50);
+        let per_iter = r_recv.cycles / 50.0;
+        assert!(
+            per_iter > warm.cycles * 1.5,
+            "contended receiver iteration {per_iter:.1} vs warm {:.1}",
+            warm.cycles
+        );
+        assert!(r_recv.report.mite_uops > 0);
+    }
+
+    #[test]
+    fn concurrent_disjoint_sets_do_not_interfere_after_wake() {
+        let mut core = Core::new(ProcessorModel::gold_6226(), 1);
+        let recv = chain(RECV, 0, 6);
+        let send_y = chain(SEND, 9, 3);
+        core.run_loop(ThreadId::T0, &recv, 3);
+        let (r_recv, _) = core.run_concurrent(
+            ThreadWork {
+                chain: &recv,
+                iterations: 50,
+            },
+            ThreadWork {
+                chain: &send_y,
+                iterations: 50,
+            },
+        );
+        // The wake transition itself displaces some receiver lines, but
+        // steady-state interference must vanish: late iterations are clean.
+        let tail_miss_rate =
+            r_recv.report.mite_uops as f64 / r_recv.report.total_uops() as f64;
+        assert!(
+            tail_miss_rate < 0.2,
+            "steady state should be conflict-free, mite fraction {tail_miss_rate}"
+        );
+    }
+
+    #[test]
+    fn rapl_accumulates_energy() {
+        let mut core = Core::new(ProcessorModel::gold_6226(), 1);
+        core.run_loop(ThreadId::T0, &chain(RECV, 0, 9), 50_000);
+        let e = core.read_rapl();
+        assert!(e > 0, "energy must accumulate: {e}");
+    }
+
+    #[test]
+    fn mite_heavy_run_draws_more_power_than_lsd_run() {
+        let mut core = Core::new(ProcessorModel::gold_6226(), 1);
+        let lsd_chain = chain(RECV, 0, 8);
+        core.run_loop(ThreadId::T0, &lsd_chain, 3);
+        let lsd_run = core.run_once(ThreadId::T0, &lsd_chain);
+        let mite_chain = chain(SEND, 1, 9);
+        core.run_loop(ThreadId::T0, &mite_chain, 3);
+        let mite_run = core.run_once(ThreadId::T0, &mite_chain);
+        let p_lsd = core.mean_power_watts(&lsd_run.report);
+        let p_mite = core.mean_power_watts(&mite_run.report);
+        assert!(
+            p_mite > p_lsd + 5.0,
+            "MITE {p_mite:.1} W vs LSD {p_lsd:.1} W"
+        );
+    }
+
+    #[test]
+    fn run_for_cycles_meets_budget() {
+        let mut core = Core::new(ProcessorModel::gold_6226(), 1);
+        let c = chain(RECV, 0, 4);
+        let run = core.run_for_cycles(ThreadId::T0, &c, 10_000.0);
+        assert!(run.cycles >= 9_000.0 && run.cycles <= 12_000.0);
+        assert!(run.iterations > 100);
+    }
+
+    #[test]
+    fn nop_loop_ipc_near_rename_width() {
+        // §XI baseline: attacker nop loop IPC ≈ 3.58 on real HW; our model
+        // gives the rename-width bound ≈ 4 solo.
+        use leaky_isa::{Addr, Block};
+        let mut core = Core::new(ProcessorModel::gold_6226(), 1);
+        let nop_chain = BlockChain::new(vec![Block::nops(Addr::new(0x10_0000), 100)]);
+        core.run_loop(ThreadId::T0, &nop_chain, 3);
+        let run = core.run_loop(ThreadId::T0, &nop_chain, 1000);
+        let ipc = run.ipc(101);
+        assert!(
+            (3.0..=4.2).contains(&ipc),
+            "solo nop IPC should be near 4, got {ipc:.2}"
+        );
+    }
+
+    #[test]
+    fn smt_halves_nop_ipc() {
+        use leaky_isa::{Addr, Block};
+        let mut core = Core::new(ProcessorModel::gold_6226(), 1);
+        let nop_chain = BlockChain::new(vec![Block::nops(Addr::new(0x10_0000), 100)]);
+        core.run_loop(ThreadId::T0, &nop_chain, 3);
+        core.set_active(ThreadId::T0, true);
+        core.set_active(ThreadId::T1, true);
+        core.set_sibling_demand(ThreadId::T0, 0.0); // trace-driven victim
+        core.run_loop(ThreadId::T0, &nop_chain, 3);
+        let run = core.run_loop(ThreadId::T0, &nop_chain, 1000);
+        let ipc = run.ipc(101);
+        assert!(
+            (1.6..=2.4).contains(&ipc),
+            "SMT nop IPC should be near 2, got {ipc:.2}"
+        );
+    }
+
+    #[test]
+    fn sibling_demand_modulates_smt_ipc() {
+        use leaky_isa::{Addr, Block};
+        let mut core = Core::new(ProcessorModel::gold_6226(), 1);
+        let nop_chain = BlockChain::new(vec![Block::nops(Addr::new(0x10_0000), 100)]);
+        core.set_active(ThreadId::T0, true);
+        core.set_active(ThreadId::T1, true);
+        core.run_loop(ThreadId::T0, &nop_chain, 3);
+        core.set_sibling_demand(ThreadId::T0, 0.0);
+        let low = core.run_loop(ThreadId::T0, &nop_chain, 500).ipc(101);
+        core.set_sibling_demand(ThreadId::T0, 0.4);
+        let high = core.run_loop(ThreadId::T0, &nop_chain, 500).ipc(101);
+        assert!(high < low, "more sibling demand must lower IPC");
+    }
+
+    #[test]
+    fn seeded_cores_reproduce_exactly() {
+        let run = |seed| {
+            let mut core = Core::new(ProcessorModel::gold_6226(), seed);
+            let recv = chain(RECV, 0, 6);
+            let send = chain(SEND, 0, 3);
+            let (a, b) = core.run_concurrent(
+                ThreadWork {
+                    chain: &recv,
+                    iterations: 20,
+                },
+                ThreadWork {
+                    chain: &send,
+                    iterations: 20,
+                },
+            );
+            (a.cycles, b.cycles, core.rdtscp(ThreadId::T0))
+        };
+        assert_eq!(run(7), run(7));
+        assert_ne!(run(7), run(8));
+    }
+}

@@ -1,0 +1,329 @@
+//! The Decoded Stream Buffer (micro-op cache) model.
+//!
+//! 32 sets × 8 ways of 32-byte windows, ≤ 6 µops per line (§IV-B). Lines are
+//! tagged with their owning hardware thread. Under SMT the paper observes
+//! that a solo thread owns the whole DSB, and the second thread becoming
+//! active forces evictions of the first thread's µops (§IV-B); the exact
+//! sharing discipline is configurable via [`SmtDsbPolicy`] (see DESIGN.md).
+
+use leaky_isa::FrontendGeometry;
+
+/// Identity of one DSB line: owning thread, 32-byte window number, and chunk
+/// index (windows holding more than 6 µops need multiple lines, §IV-B).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct LineId {
+    /// Owning hardware thread (0 or 1).
+    pub thread: u8,
+    /// Window number (`addr >> 5`).
+    pub window: u64,
+    /// Chunk index within the window (0 unless the window exceeds 6 µops).
+    pub chunk: u8,
+}
+
+/// How the DSB is shared between two active hyper-threads.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum SmtDsbPolicy {
+    /// Default model: both threads index the full 32 sets and *compete for
+    /// ways* within each set. Reproduces the paper's observation that
+    /// receiver ways + sender ways > 8 forces cross-thread evictions
+    /// (§V-A), and that a waking thread displaces the other's lines.
+    #[default]
+    Competitive,
+    /// Strict set partitioning: when both threads are active each thread
+    /// sees 16 private sets (index folds to `addr[8:5]`); all lines are
+    /// flushed on every partition transition. Matches the paper's §IV-B
+    /// description most literally; kept for ablation.
+    SetPartitioned,
+    /// No isolation and no transition effects (insecure baseline for
+    /// ablation).
+    Shared,
+}
+
+/// Result of inserting a line.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct InsertOutcome {
+    /// The line that was displaced, if the set was full.
+    pub evicted: Option<LineId>,
+}
+
+/// The DSB: per-set MRU-ordered line lists.
+#[derive(Debug, Clone)]
+pub struct Dsb {
+    geom: FrontendGeometry,
+    policy: SmtDsbPolicy,
+    /// `true` while both threads are active (set by the engine).
+    partitioned: bool,
+    /// Per physical set: resident lines, MRU first.
+    sets: Vec<Vec<LineId>>,
+}
+
+impl Dsb {
+    /// Creates an empty DSB.
+    pub fn new(geom: FrontendGeometry, policy: SmtDsbPolicy) -> Self {
+        Dsb {
+            sets: vec![Vec::with_capacity(geom.dsb_ways); geom.dsb_sets],
+            geom,
+            policy,
+            partitioned: false,
+        }
+    }
+
+    /// The sharing policy.
+    pub fn policy(&self) -> SmtDsbPolicy {
+        self.policy
+    }
+
+    /// Whether the DSB is currently in two-thread (partitioned) mode.
+    pub fn is_partitioned(&self) -> bool {
+        self.partitioned
+    }
+
+    /// Switches between solo and two-thread mode. Returns the lines flushed
+    /// by the transition (the paper's partition-transition evictions).
+    pub fn set_partitioned(&mut self, partitioned: bool) -> Vec<LineId> {
+        if self.partitioned == partitioned {
+            return Vec::new();
+        }
+        self.partitioned = partitioned;
+        match self.policy {
+            // Set partitioning re-indexes every line: flush all.
+            SmtDsbPolicy::SetPartitioned => self.flush_all(),
+            // Competitive sharing keeps contents; contention does the rest.
+            SmtDsbPolicy::Competitive | SmtDsbPolicy::Shared => Vec::new(),
+        }
+    }
+
+    /// The physical set index a line maps to under the current mode.
+    fn set_index(&self, line: LineId) -> usize {
+        let full = (line.window % self.geom.dsb_sets as u64) as usize;
+        match self.policy {
+            SmtDsbPolicy::SetPartitioned if self.partitioned => {
+                // Fold to 16 sets per thread: low 4 index bits + thread half.
+                let half = self.geom.dsb_sets / 2;
+                (full % half) + line.thread as usize * half
+            }
+            _ => full,
+        }
+    }
+
+    /// Ways available to one thread in the current mode.
+    pub fn effective_ways(&self) -> usize {
+        self.geom.dsb_ways
+    }
+
+    /// Whether a line is resident (does not disturb recency).
+    pub fn resident(&self, line: LineId) -> bool {
+        self.sets[self.set_index(line)].contains(&line)
+    }
+
+    /// Looks a line up, promoting it to MRU on hit.
+    pub fn lookup(&mut self, line: LineId) -> bool {
+        let set = self.set_index(line);
+        let ways = &mut self.sets[set];
+        if let Some(pos) = ways.iter().position(|&l| l == line) {
+            let l = ways.remove(pos);
+            ways.insert(0, l);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Inserts a line (after a MITE fill), evicting the LRU way if needed.
+    pub fn insert(&mut self, line: LineId) -> InsertOutcome {
+        let ways_limit = self.geom.dsb_ways;
+        let set = self.set_index(line);
+        let ways = &mut self.sets[set];
+        debug_assert!(!ways.contains(&line), "inserting an already-resident line");
+        let evicted = if ways.len() >= ways_limit {
+            ways.pop()
+        } else {
+            None
+        };
+        ways.insert(0, line);
+        InsertOutcome { evicted }
+    }
+
+    /// Flushes every line owned by one thread; returns them.
+    pub fn flush_thread(&mut self, thread: u8) -> Vec<LineId> {
+        let mut flushed = Vec::new();
+        for set in &mut self.sets {
+            set.retain(|l| {
+                if l.thread == thread {
+                    flushed.push(*l);
+                    false
+                } else {
+                    true
+                }
+            });
+        }
+        flushed
+    }
+
+    /// Flushes everything; returns the flushed lines.
+    pub fn flush_all(&mut self) -> Vec<LineId> {
+        let mut flushed = Vec::new();
+        for set in &mut self.sets {
+            flushed.append(set);
+        }
+        flushed
+    }
+
+    /// Number of resident lines owned by a thread.
+    pub fn occupancy(&self, thread: u8) -> usize {
+        self.sets
+            .iter()
+            .map(|s| s.iter().filter(|l| l.thread == thread).count())
+            .sum()
+    }
+
+    /// Resident lines (MRU first) in the physical set that `line` maps to.
+    pub fn set_lines_for(&self, line: LineId) -> &[LineId] {
+        &self.sets[self.set_index(line)]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn line(thread: u8, window: u64) -> LineId {
+        LineId {
+            thread,
+            window,
+            chunk: 0,
+        }
+    }
+
+    fn dsb(policy: SmtDsbPolicy) -> Dsb {
+        Dsb::new(FrontendGeometry::skylake(), policy)
+    }
+
+    #[test]
+    fn lookup_after_insert_hits() {
+        let mut d = dsb(SmtDsbPolicy::Competitive);
+        let l = line(0, 0x20c00);
+        assert!(!d.lookup(l));
+        d.insert(l);
+        assert!(d.lookup(l));
+        assert!(d.resident(l));
+    }
+
+    #[test]
+    fn nine_ways_evict_lru_in_one_set() {
+        // §IV-F: chains of 9 same-set blocks exceed the 8 ways.
+        let mut d = dsb(SmtDsbPolicy::Competitive);
+        // Windows i*32 all map to set 0 (window % 32 == 0).
+        let lines: Vec<LineId> = (0..9).map(|i| line(0, i * 32)).collect();
+        let mut evicted = None;
+        for &l in &lines {
+            let out = d.insert(l);
+            if out.evicted.is_some() {
+                evicted = out.evicted;
+            }
+        }
+        assert_eq!(evicted, Some(lines[0]), "LRU (first inserted) evicted");
+        assert!(!d.resident(lines[0]));
+        for &l in &lines[1..] {
+            assert!(d.resident(l));
+        }
+    }
+
+    #[test]
+    fn eight_ways_fit_without_eviction() {
+        let mut d = dsb(SmtDsbPolicy::Competitive);
+        for i in 0..8 {
+            assert_eq!(d.insert(line(0, i * 32)).evicted, None);
+        }
+        assert_eq!(d.occupancy(0), 8);
+    }
+
+    #[test]
+    fn cross_thread_way_competition() {
+        // §V-A arithmetic: receiver d=6 ways + sender 3 ways > 8 evicts
+        // receiver lines under the competitive policy.
+        let mut d = dsb(SmtDsbPolicy::Competitive);
+        d.set_partitioned(true);
+        for i in 0..6 {
+            d.insert(line(0, i * 32)); // receiver
+        }
+        let mut receiver_evicted = 0;
+        for i in 100..103 {
+            if let Some(e) = d.insert(line(1, i * 32)).evicted {
+                if e.thread == 0 {
+                    receiver_evicted += 1;
+                }
+            }
+        }
+        assert_eq!(receiver_evicted, 1, "6 + 3 = 9 > 8: exactly one eviction");
+    }
+
+    #[test]
+    fn set_partition_transition_flushes_everything() {
+        let mut d = dsb(SmtDsbPolicy::SetPartitioned);
+        for i in 0..4 {
+            d.insert(line(0, i * 32));
+        }
+        let flushed = d.set_partitioned(true);
+        assert_eq!(flushed.len(), 4);
+        assert_eq!(d.occupancy(0), 0);
+        // Transition back also flushes.
+        d.insert(line(0, 0));
+        assert_eq!(d.set_partitioned(false).len(), 1);
+    }
+
+    #[test]
+    fn set_partitioned_threads_use_disjoint_sets() {
+        let mut d = dsb(SmtDsbPolicy::SetPartitioned);
+        d.set_partitioned(true);
+        // Same window, different threads: must land in different halves and
+        // never compete.
+        for i in 0..8 {
+            d.insert(line(0, i * 32));
+            d.insert(line(1, i * 32));
+        }
+        assert_eq!(d.occupancy(0), 8);
+        assert_eq!(d.occupancy(1), 8);
+        // A ninth line from thread 1 evicts thread 1's LRU, not thread 0's.
+        let out = d.insert(line(1, 8 * 32));
+        assert_eq!(out.evicted.map(|l| l.thread), Some(1));
+    }
+
+    #[test]
+    fn competitive_transition_keeps_contents() {
+        let mut d = dsb(SmtDsbPolicy::Competitive);
+        d.insert(line(0, 0));
+        assert!(d.set_partitioned(true).is_empty());
+        assert!(d.resident(line(0, 0)));
+    }
+
+    #[test]
+    fn flush_thread_is_selective() {
+        let mut d = dsb(SmtDsbPolicy::Competitive);
+        d.insert(line(0, 0));
+        d.insert(line(1, 32));
+        let flushed = d.flush_thread(0);
+        assert_eq!(flushed.len(), 1);
+        assert_eq!(d.occupancy(0), 0);
+        assert_eq!(d.occupancy(1), 1);
+    }
+
+    #[test]
+    fn chunked_windows_occupy_distinct_ways() {
+        let mut d = dsb(SmtDsbPolicy::Competitive);
+        let a = LineId {
+            thread: 0,
+            window: 64,
+            chunk: 0,
+        };
+        let b = LineId {
+            thread: 0,
+            window: 64,
+            chunk: 1,
+        };
+        d.insert(a);
+        d.insert(b);
+        assert!(d.resident(a) && d.resident(b));
+        assert_eq!(d.set_lines_for(a).len(), 2);
+    }
+}

@@ -1,0 +1,996 @@
+//! The frontend engine: path selection, inclusive eviction handling, SMT
+//! arbitration and per-iteration cycle accounting.
+
+use std::collections::hash_map::DefaultHasher;
+use std::collections::HashSet;
+use std::hash::{Hash, Hasher};
+
+use leaky_cache::{CacheConfig, SetAssocCache};
+use leaky_isa::{Block, BlockChain, FrontendGeometry};
+
+use crate::costs::CostModel;
+use crate::counters::{IterationReport, UopSource};
+use crate::dsb::{Dsb, LineId, SmtDsbPolicy};
+use crate::lsd::lsd_qualifies;
+
+/// One of the two hardware threads sharing the physical core.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ThreadId {
+    /// Hardware thread 0.
+    T0,
+    /// Hardware thread 1.
+    T1,
+}
+
+impl ThreadId {
+    /// Array index of this thread.
+    pub const fn index(self) -> usize {
+        match self {
+            ThreadId::T0 => 0,
+            ThreadId::T1 => 1,
+        }
+    }
+
+    /// The sibling hardware thread.
+    pub const fn other(self) -> ThreadId {
+        match self {
+            ThreadId::T0 => ThreadId::T1,
+            ThreadId::T1 => ThreadId::T0,
+        }
+    }
+}
+
+impl std::fmt::Display for ThreadId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "HT{}", self.index())
+    }
+}
+
+/// Static configuration of a frontend instance.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FrontendConfig {
+    /// Structure geometry (Table I).
+    pub geometry: FrontendGeometry,
+    /// Cycle-cost calibration.
+    pub costs: CostModel,
+    /// Whether the LSD exists and is enabled. Microcode patch2 disables it
+    /// (§X); the E-2174G/E-2286G machines ship with it disabled (Table I).
+    pub lsd_enabled: bool,
+    /// SMT sharing discipline for the DSB.
+    pub dsb_policy: SmtDsbPolicy,
+    /// Under the competitive policy, whether a partition *transition*
+    /// additionally flushes the previously-solo thread's DSB lines
+    /// (§IV-B's "forces DSB evictions ... to occur").
+    pub flush_on_partition: bool,
+    /// Consecutive clean iterations of the same loop required before the
+    /// LSD locks it. Real loop-stream detection engages only after the
+    /// loop has repeated identically several times; this also means a loop
+    /// interrupted every iteration (e.g. by an interleaved encode phase)
+    /// never streams from the LSD.
+    pub lsd_warmup_iterations: u32,
+}
+
+impl Default for FrontendConfig {
+    fn default() -> Self {
+        FrontendConfig {
+            geometry: FrontendGeometry::skylake(),
+            costs: CostModel::skylake(),
+            lsd_enabled: true,
+            dsb_policy: SmtDsbPolicy::Competitive,
+            flush_on_partition: true,
+            lsd_warmup_iterations: 3,
+        }
+    }
+}
+
+/// A loop currently locked into the LSD of one thread.
+#[derive(Debug, Clone)]
+struct LoopLock {
+    key: u64,
+    /// DSB lines backing the loop (inclusive property: evicting any of them
+    /// flushes the lock).
+    lines: HashSet<(u64, u8)>,
+    uops: u32,
+    /// Bitmask of DSB sets the loop's lines occupy.
+    set_mask: u32,
+    /// Head windows of *sibling-thread* window-crossing blocks executed in
+    /// overlapping sets while this lock is live. The shared window-tracking
+    /// model (§IV-G, Fig. 6): the lock collapses once
+    /// `lines + 2 × crossings` exceeds the LSD's window capacity — without
+    /// any DSB eviction, so delivery falls back to the (faster) DSB.
+    foreign_crossings: HashSet<u64>,
+}
+
+/// The simulated frontend shared by two hardware threads.
+///
+/// See the [crate-level documentation](crate) for the model, and
+/// [`Frontend::run_iteration`] for the central operation.
+#[derive(Debug, Clone)]
+pub struct Frontend {
+    config: FrontendConfig,
+    dsb: Dsb,
+    l1i: SetAssocCache,
+    locks: [Option<LoopLock>; 2],
+    last_source: [UopSource; 2],
+    active: [bool; 2],
+    /// Pending LSD-flush penalty to charge when the thread next runs.
+    pending_lsd_flush: [bool; 2],
+    /// Extra MITE decode pressure exerted by the sibling thread (used by the
+    /// §XI fingerprinting victim model); 0.0 = none.
+    external_mite_pressure: [f64; 2],
+    /// Per thread: (chain key, consecutive clean iterations) for LSD
+    /// warm-up tracking.
+    lock_streak: [(u64, u32); 2],
+    cumulative: [IterationReport; 2],
+}
+
+impl Frontend {
+    /// Creates an idle frontend.
+    pub fn new(config: FrontendConfig) -> Self {
+        Frontend {
+            dsb: Dsb::new(config.geometry, config.dsb_policy),
+            l1i: SetAssocCache::new(CacheConfig::l1i()),
+            locks: [None, None],
+            last_source: [UopSource::Dsb, UopSource::Dsb],
+            active: [false, false],
+            pending_lsd_flush: [false, false],
+            external_mite_pressure: [0.0, 0.0],
+            lock_streak: [(0, 0), (0, 0)],
+            cumulative: [IterationReport::default(), IterationReport::default()],
+            config,
+        }
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &FrontendConfig {
+        &self.config
+    }
+
+    /// The DSB state (for probing/assertions).
+    pub fn dsb(&self) -> &Dsb {
+        &self.dsb
+    }
+
+    /// The shared L1 instruction cache.
+    pub fn l1i(&self) -> &SetAssocCache {
+        &self.l1i
+    }
+
+    /// Mutable access to the L1 instruction cache. Used by attack code that
+    /// manipulates instruction-cache state directly (e.g. the L1I
+    /// Flush+Reload Spectre baseline of Table VII).
+    pub fn l1i_mut(&mut self) -> &mut SetAssocCache {
+        &mut self.l1i
+    }
+
+    /// Whether both hardware threads are currently active.
+    pub fn both_active(&self) -> bool {
+        self.active[0] && self.active[1]
+    }
+
+    /// Marks a hardware thread active or idle. Transitions between solo and
+    /// dual mode repartition the DSB (§IV-B) and may flush lines and LSD
+    /// locks depending on [`FrontendConfig::dsb_policy`].
+    pub fn set_active(&mut self, tid: ThreadId, active: bool) {
+        let was_both = self.both_active();
+        let previously_solo = if self.active[0] {
+            Some(ThreadId::T0)
+        } else if self.active[1] {
+            Some(ThreadId::T1)
+        } else {
+            None
+        };
+        self.active[tid.index()] = active;
+        let now_both = self.both_active();
+        if was_both == now_both {
+            return;
+        }
+        let flushed = self.dsb.set_partitioned(now_both);
+        for line in &flushed {
+            self.invalidate_lock_if_member(*line);
+        }
+        if now_both {
+            // Competitive policy: the waking thread displaces the resident
+            // thread's footprint (paper: partitioning "forces DSB evictions
+            // of micro-ops of the first thread").
+            if self.config.flush_on_partition
+                && self.config.dsb_policy == SmtDsbPolicy::Competitive
+            {
+                if let Some(solo) = previously_solo {
+                    if solo != tid {
+                        let victims = self.dsb.flush_thread(solo.index() as u8);
+                        for line in victims {
+                            self.invalidate_lock_if_member(line);
+                        }
+                    }
+                }
+            }
+            // LSD µop capacity halves: re-validate both locks.
+            for t in 0..2 {
+                let invalid = match &self.locks[t] {
+                    Some(lock) => lock.uops as usize > self.config.geometry.lsd_uops / 2,
+                    None => false,
+                };
+                if invalid {
+                    self.locks[t] = None;
+                    self.pending_lsd_flush[t] = true;
+                    self.lock_streak[t].1 = 0;
+                }
+            }
+        }
+    }
+
+    /// Sets the sibling-pressure factor on this thread's MITE decode costs
+    /// (victim-model hook for the §XI side channel).
+    pub fn set_external_mite_pressure(&mut self, tid: ThreadId, pressure: f64) {
+        assert!(pressure >= 0.0, "pressure must be non-negative");
+        self.external_mite_pressure[tid.index()] = pressure;
+    }
+
+    /// Cumulative counters for one thread since construction or
+    /// [`Frontend::reset_counters`].
+    pub fn counters(&self, tid: ThreadId) -> &IterationReport {
+        &self.cumulative[tid.index()]
+    }
+
+    /// Clears cumulative counters (state is preserved).
+    pub fn reset_counters(&mut self) {
+        self.cumulative = [IterationReport::default(), IterationReport::default()];
+    }
+
+    /// Whether `tid`'s LSD currently streams the given chain.
+    pub fn lsd_locked(&self, tid: ThreadId, chain: &BlockChain) -> bool {
+        self.locks[tid.index()]
+            .as_ref()
+            .is_some_and(|l| l.key == chain_key(chain))
+    }
+
+    /// Executes one iteration of a loop over `chain` on thread `tid`,
+    /// returning what the frontend did.
+    ///
+    /// The first iteration of a cold loop decodes through the MITE and fills
+    /// the DSB; once every backing line is resident and the loop qualifies
+    /// (see [`lsd_qualifies`]) the LSD locks it, and subsequent iterations
+    /// stream from the LSD until an inclusive eviction or partition event
+    /// flushes the lock.
+    pub fn run_iteration(&mut self, tid: ThreadId, chain: &BlockChain) -> IterationReport {
+        let t = tid.index();
+        let mut report = IterationReport::new();
+
+        if std::mem::take(&mut self.pending_lsd_flush[t]) {
+            report.cycles += self.config.costs.lsd_flush;
+            report.lsd_flushes += 1;
+            self.last_source[t] = UopSource::Dsb;
+        }
+
+        let key = chain_key(chain);
+        if self.lock_streak[t].0 == key {
+            self.lock_streak[t].1 = self.lock_streak[t].1.saturating_add(1);
+        } else {
+            self.lock_streak[t] = (key, 1);
+        }
+        if let Some(lock) = &self.locks[t] {
+            if lock.key == key {
+                // LSD streaming: the rest of the frontend is off.
+                let uops = chain.total_uops();
+                report.cycles += self.config.costs.lsd_stream(uops)
+                    + self.config.costs.loop_overhead;
+                report.add_uops(UopSource::Lsd, uops as u64);
+                self.last_source[t] = UopSource::Lsd;
+                // A streaming loop still occupies shared window-tracking
+                // entries: its window-crossing blocks keep pressuring the
+                // sibling's loop tracking (§IV-G, Fig. 6).
+                if self.both_active() && chain.misaligned_count() > 0 {
+                    let blocks: Vec<Block> = chain
+                        .blocks()
+                        .iter()
+                        .filter(|b| !b.is_aligned())
+                        .cloned()
+                        .collect();
+                    for block in &blocks {
+                        self.note_sibling_crossing(tid, block);
+                    }
+                }
+                self.cumulative[t] += report;
+                return report;
+            }
+            // Different loop: the old lock dies (loop exit).
+            self.locks[t] = None;
+        }
+
+        for block in chain.blocks() {
+            self.fetch_l1i(block, &mut report);
+            if block.lcp_count() > 0 {
+                self.deliver_lcp_block(tid, block, &mut report);
+            } else {
+                self.deliver_block(tid, block, &mut report);
+            }
+        }
+        report.cycles += self.config.costs.loop_overhead;
+
+        self.maybe_lock_lsd(tid, chain, key);
+        self.cumulative[t] += report;
+        report
+    }
+
+    /// Runs `n` iterations, detecting steady state to avoid simulating every
+    /// iteration of very long runs (e.g. Fig. 4's 800 M). The result is
+    /// bit-identical to running each iteration because the frontend is
+    /// deterministic and steady state is detected by exact report equality.
+    pub fn run_iterations(
+        &mut self,
+        tid: ThreadId,
+        chain: &BlockChain,
+        n: u64,
+    ) -> IterationReport {
+        let mut total = IterationReport::new();
+        let mut prev: Option<IterationReport> = None;
+        let mut done = 0u64;
+        while done < n {
+            let r = self.run_iteration(tid, chain);
+            done += 1;
+            if prev == Some(r) && done < n {
+                // Steady state: every remaining iteration is identical.
+                let remaining = n - done;
+                total += r.scaled(remaining);
+                self.cumulative[tid.index()] += r.scaled(remaining);
+                done = n;
+            }
+            total += r;
+            prev = Some(r);
+        }
+        total
+    }
+
+    /// Removes every DSB line and LSD lock belonging to `tid` (models
+    /// context-switch / enclave teardown).
+    pub fn flush_thread_state(&mut self, tid: ThreadId) {
+        self.dsb.flush_thread(tid.index() as u8);
+        self.locks[tid.index()] = None;
+        self.pending_lsd_flush[tid.index()] = false;
+    }
+
+    fn fetch_l1i(&mut self, block: &Block, report: &mut IterationReport) {
+        for &line in block.cache_lines() {
+            report.l1i_accesses += 1;
+            if !self.l1i.access_line(line).hit() {
+                report.l1i_misses += 1;
+                report.cycles += self.config.costs.l1i_miss;
+            }
+        }
+    }
+
+    fn mite_pressure_factor(&self, t: usize) -> f64 {
+        1.0 + self.external_mite_pressure[t]
+    }
+
+    fn charge_switch(
+        &mut self,
+        t: usize,
+        new_source: UopSource,
+        report: &mut IterationReport,
+    ) {
+        let old = self.last_source[t];
+        if old == new_source {
+            return;
+        }
+        let costs = self.config.costs;
+        match (old, new_source) {
+            (UopSource::Dsb | UopSource::Lsd, UopSource::Mite) => {
+                report.cycles += costs.dsb_to_mite_switch;
+                report.switch_penalty_cycles += costs.dsb_to_mite_switch;
+                report.dsb_to_mite_switches += 1;
+            }
+            (UopSource::Mite, _) => {
+                report.cycles += costs.mite_to_dsb_switch;
+                report.switch_penalty_cycles += costs.mite_to_dsb_switch;
+            }
+            _ => {}
+        }
+        self.last_source[t] = new_source;
+    }
+
+    fn deliver_block(&mut self, tid: ThreadId, block: &Block, report: &mut IterationReport) {
+        let t = tid.index();
+        let line_uops = self.config.geometry.dsb_line_uops as u32;
+        let smt = self.both_active();
+        let crossing = !block.is_aligned();
+        if crossing {
+            report.cycles += self.config.costs.window_crossing_penalty;
+            report.crossing_penalty_cycles += self.config.costs.window_crossing_penalty;
+            if smt {
+                self.note_sibling_crossing(tid, block);
+            }
+        }
+        for fp in block.windows() {
+            let mut remaining = fp.uops;
+            let mut chunk = 0u8;
+            while remaining > 0 {
+                let uops = remaining.min(line_uops);
+                let lid = LineId {
+                    thread: t as u8,
+                    window: fp.window,
+                    chunk,
+                };
+                if self.dsb.lookup(lid) {
+                    self.charge_switch(t, UopSource::Dsb, report);
+                    report.cycles += self.config.costs.dsb_line(uops);
+                    report.add_uops(UopSource::Dsb, uops as u64);
+                } else {
+                    self.charge_switch(t, UopSource::Mite, report);
+                    report.cycles +=
+                        self.config.costs.mite_line(uops, smt) * self.mite_pressure_factor(t);
+                    report.add_uops(UopSource::Mite, uops as u64);
+                    let out = self.dsb.insert(lid);
+                    if let Some(evicted) = out.evicted {
+                        report.dsb_evictions += 1;
+                        self.invalidate_lock_if_member(evicted);
+                    }
+                }
+                remaining -= uops;
+                chunk += 1;
+            }
+        }
+    }
+
+    /// Records that `tid` executed a window-crossing block and, if the
+    /// sibling thread has an LSD-locked loop occupying one of the same DSB
+    /// sets, accounts it against the shared window-tracking capacity
+    /// (the §IV-G / Fig. 6 misalignment-collision mechanism). The sibling's
+    /// lock collapses — without DSB evictions — once
+    /// `lock lines + 2 × distinct crossings > lsd_windows`.
+    fn note_sibling_crossing(&mut self, tid: ThreadId, block: &Block) {
+        let sets = self.config.geometry.dsb_sets as u64;
+        let other = tid.other().index();
+        let head_window = block.base().window();
+        let head_set = (head_window % sets) as u32;
+        let window_cap = self.config.geometry.lsd_windows;
+        let collapse = match &mut self.locks[other] {
+            Some(lock) if lock.set_mask & (1 << head_set) != 0 => {
+                lock.foreign_crossings.insert(head_window);
+                lock.lines.len() + 2 * lock.foreign_crossings.len() > window_cap
+            }
+            _ => false,
+        };
+        if collapse {
+            self.locks[other] = None;
+            self.pending_lsd_flush[other] = true;
+            // Loop-stream detection must re-warm from scratch.
+            self.lock_streak[other].1 = 0;
+        }
+    }
+
+    /// Instruction-granular delivery for blocks containing LCP-prefixed
+    /// instructions (§IV-H): LCP instructions always decode through the
+    /// MITE with a pre-decode stall (amplified when LCPs are back-to-back),
+    /// while plain instructions hit the DSB once warm. Path switches are
+    /// charged per transition — this is what separates the paper's "mixed"
+    /// and "ordered" issue patterns (Fig. 4).
+    fn deliver_lcp_block(&mut self, tid: ThreadId, block: &Block, report: &mut IterationReport) {
+        let t = tid.index();
+        let smt = self.both_active();
+        let costs = self.config.costs;
+        let pressure = self.mite_pressure_factor(t);
+        let smt_factor = if smt { costs.smt_mite_factor } else { 1.0 };
+        // Instruction-granular switch accounting with pipelined (reduced)
+        // effective penalties — see CostModel::lcp_dsb_to_mite_switch.
+        let charge_lcp_switch = |last: &mut UopSource,
+                                     new_source: UopSource,
+                                     report: &mut IterationReport| {
+            if *last == new_source {
+                return;
+            }
+            match (*last, new_source) {
+                (UopSource::Dsb | UopSource::Lsd, UopSource::Mite) => {
+                    report.cycles += costs.lcp_dsb_to_mite_switch;
+                    report.switch_penalty_cycles += costs.lcp_dsb_to_mite_switch;
+                    report.dsb_to_mite_switches += 1;
+                }
+                (UopSource::Mite, _) => {
+                    report.cycles += costs.lcp_mite_to_dsb_switch;
+                    report.switch_penalty_cycles += costs.lcp_mite_to_dsb_switch;
+                }
+                _ => {}
+            }
+            *last = new_source;
+        };
+        let mut last = self.last_source[t];
+        let mut prev_lcp = false;
+        for (addr, instr) in block.placed_instructions() {
+            if instr.has_lcp() {
+                charge_lcp_switch(&mut last, UopSource::Mite, report);
+                let stall = costs.lcp_stall
+                    + if prev_lcp {
+                        costs.lcp_sequential_extra
+                    } else {
+                        0.0
+                    };
+                report.cycles += (costs.mite_per_instr + stall) * smt_factor * pressure;
+                report.lcp_stall_cycles += stall * smt_factor;
+                report.add_uops(UopSource::Mite, instr.uops() as u64);
+                prev_lcp = true;
+            } else {
+                let lid = LineId {
+                    thread: t as u8,
+                    window: addr.window(),
+                    chunk: 0,
+                };
+                if self.dsb.lookup(lid) {
+                    charge_lcp_switch(&mut last, UopSource::Dsb, report);
+                    report.cycles += costs.dsb_per_uop * instr.uops() as f64;
+                    report.add_uops(UopSource::Dsb, instr.uops() as u64);
+                } else {
+                    charge_lcp_switch(&mut last, UopSource::Mite, report);
+                    report.cycles += costs.mite_per_instr * smt_factor * pressure;
+                    report.add_uops(UopSource::Mite, instr.uops() as u64);
+                    let out = self.dsb.insert(lid);
+                    if let Some(evicted) = out.evicted {
+                        report.dsb_evictions += 1;
+                        self.invalidate_lock_if_member(evicted);
+                    }
+                }
+                prev_lcp = false;
+            }
+        }
+        self.last_source[t] = last;
+    }
+
+    fn maybe_lock_lsd(&mut self, tid: ThreadId, chain: &BlockChain, key: u64) {
+        if !self.config.lsd_enabled {
+            return;
+        }
+        // Loop-stream detection needs several identical iterations before
+        // it engages (the streak was updated for this iteration already).
+        debug_assert_eq!(self.lock_streak[tid.index()].0, key);
+        if self.lock_streak[tid.index()].1 < self.config.lsd_warmup_iterations {
+            return;
+        }
+        // LCP-bearing loops never stream from the LSD: the LCP forces the
+        // MITE path every iteration (§IV-H).
+        if chain.blocks().iter().any(|b| b.lcp_count() > 0) {
+            return;
+        }
+        let smt = self.both_active();
+        if !lsd_qualifies(chain, &self.config.geometry, smt).qualifies() {
+            return;
+        }
+        // Every backing DSB line must be resident (DSB ⊇ LSD).
+        let t = tid.index();
+        let sets = self.config.geometry.dsb_sets as u64;
+        let mut lines = HashSet::new();
+        let mut set_mask = 0u32;
+        for block in chain.blocks() {
+            let line_uops = self.config.geometry.dsb_line_uops as u32;
+            for fp in block.windows() {
+                let chunks = fp.uops.div_ceil(line_uops) as u8;
+                for chunk in 0..chunks {
+                    let lid = LineId {
+                        thread: t as u8,
+                        window: fp.window,
+                        chunk,
+                    };
+                    if !self.dsb.resident(lid) {
+                        return;
+                    }
+                    lines.insert((fp.window, chunk));
+                    set_mask |= 1 << (fp.window % sets) as u32;
+                }
+            }
+        }
+        self.locks[t] = Some(LoopLock {
+            key,
+            lines,
+            uops: chain.total_uops(),
+            set_mask,
+            foreign_crossings: HashSet::new(),
+        });
+    }
+
+    fn invalidate_lock_if_member(&mut self, evicted: LineId) {
+        let t = evicted.thread as usize;
+        let member = self.locks[t]
+            .as_ref()
+            .is_some_and(|l| l.lines.contains(&(evicted.window, evicted.chunk)));
+        if member {
+            self.locks[t] = None;
+            self.pending_lsd_flush[t] = true;
+            self.lock_streak[t].1 = 0;
+        }
+    }
+}
+
+fn chain_key(chain: &BlockChain) -> u64 {
+    let mut h = DefaultHasher::new();
+    for b in chain.blocks() {
+        b.base().value().hash(&mut h);
+        b.instr_count().hash(&mut h);
+    }
+    h.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use leaky_isa::{same_set_chain, Alignment, DsbSet};
+
+    const RECV_BASE: u64 = 0x0041_8000;
+    const SEND_BASE: u64 = 0x0082_0000;
+
+    fn frontend() -> Frontend {
+        Frontend::new(FrontendConfig::default())
+    }
+
+    fn aligned(base: u64, set: u8, n: usize) -> BlockChain {
+        same_set_chain(base, DsbSet::new(set), n, Alignment::Aligned)
+    }
+
+    #[test]
+    fn cold_loop_decodes_via_mite_then_locks_lsd() {
+        let mut fe = frontend();
+        let chain = aligned(RECV_BASE, 0, 8);
+        let cold = fe.run_iteration(ThreadId::T0, &chain);
+        assert_eq!(cold.mite_uops, 40);
+        assert_eq!(cold.lsd_uops, 0);
+        // Lock engages only after the warm-up streak (3 iterations).
+        assert!(!fe.lsd_locked(ThreadId::T0, &chain));
+        fe.run_iteration(ThreadId::T0, &chain);
+        fe.run_iteration(ThreadId::T0, &chain);
+        assert!(fe.lsd_locked(ThreadId::T0, &chain));
+        let warm = fe.run_iteration(ThreadId::T0, &chain);
+        assert_eq!(warm.lsd_uops, 40);
+        assert_eq!(warm.mite_uops, 0);
+        assert!(warm.cycles < cold.cycles / 2.0);
+    }
+
+    #[test]
+    fn nine_way_chain_never_locks_and_keeps_missing() {
+        // §IV-F: 9 same-set blocks exceed both the 8 DSB ways and the LSD
+        // window tracking; delivery oscillates DSB/MITE forever.
+        let mut fe = frontend();
+        let chain = aligned(RECV_BASE, 0, 9);
+        for _ in 0..5 {
+            let r = fe.run_iteration(ThreadId::T0, &chain);
+            assert!(r.mite_uops > 0, "set conflicts must keep MITE busy");
+            assert_eq!(r.lsd_uops, 0);
+        }
+        assert!(!fe.lsd_locked(ThreadId::T0, &chain));
+    }
+
+    #[test]
+    fn eight_vs_nine_blocks_is_the_paper_timing_signal() {
+        // The §IV-F eviction primitive: 8 blocks fast (LSD), 9 slow (MITE).
+        let mut fe = frontend();
+        let eight = aligned(RECV_BASE, 0, 8);
+        let mut warm8 = IterationReport::new();
+        for _ in 0..4 {
+            warm8 = fe.run_iteration(ThreadId::T0, &eight);
+        }
+        let mut fe2 = frontend();
+        let nine = aligned(RECV_BASE, 0, 9);
+        let mut warm9 = IterationReport::new();
+        for _ in 0..4 {
+            warm9 = fe2.run_iteration(ThreadId::T0, &nine);
+        }
+        let per_block8 = warm8.cycles / 8.0;
+        let per_block9 = warm9.cycles / 9.0;
+        assert!(
+            per_block9 > per_block8 * 1.5,
+            "9-block chain must be much slower per block ({per_block8:.2} vs {per_block9:.2})"
+        );
+    }
+
+    #[test]
+    fn no_l1i_misses_after_warmup_for_nine_blocks() {
+        // §IV-F: changing chain length 8 → 9 causes no L1I misses.
+        let mut fe = frontend();
+        let chain = aligned(RECV_BASE, 0, 9);
+        fe.run_iteration(ThreadId::T0, &chain); // cold fills
+        for _ in 0..3 {
+            let r = fe.run_iteration(ThreadId::T0, &chain);
+            assert_eq!(r.l1i_misses, 0);
+        }
+    }
+
+    #[test]
+    fn misaligned_chain_uses_dsb_not_lsd() {
+        // §IV-G: 4 misaligned same-set blocks collide in the LSD but fit the
+        // DSB (8 lines), so steady state is pure DSB delivery.
+        let mut fe = frontend();
+        let chain = same_set_chain(RECV_BASE, DsbSet::new(0), 4, Alignment::Misaligned);
+        fe.run_iteration(ThreadId::T0, &chain);
+        let warm = fe.run_iteration(ThreadId::T0, &chain);
+        assert_eq!(warm.mite_uops, 0);
+        assert_eq!(warm.lsd_uops, 0);
+        assert_eq!(warm.dsb_uops, 20);
+    }
+
+    #[test]
+    fn lsd_vs_dsb_timing_polarity() {
+        // Fig. 2 / §V-B: steady-state LSD delivery is *slower* per µop than
+        // DSB delivery — the misalignment channel's polarity.
+        let mut fe = frontend();
+        let lsd_chain = aligned(RECV_BASE, 0, 4);
+        for _ in 0..3 {
+            fe.run_iteration(ThreadId::T0, &lsd_chain);
+        }
+        let lsd_warm = fe.run_iteration(ThreadId::T0, &lsd_chain);
+        assert_eq!(lsd_warm.lsd_uops, 20);
+
+        // The same aligned loop, forced onto the DSB path (LSD off), streams
+        // faster per iteration — the §V-B "LSD is slower in delivery" fact.
+        let mut fe2 = Frontend::new(FrontendConfig {
+            lsd_enabled: false,
+            ..FrontendConfig::default()
+        });
+        fe2.run_iteration(ThreadId::T0, &lsd_chain);
+        fe2.run_iteration(ThreadId::T0, &lsd_chain); // absorb MITE→DSB switch
+        let dsb_warm = fe2.run_iteration(ThreadId::T0, &lsd_chain);
+        assert_eq!(dsb_warm.dsb_uops, 20);
+
+        assert!(dsb_warm.cycles < lsd_warm.cycles);
+    }
+
+    #[test]
+    fn cross_thread_eviction_breaks_lsd_lock() {
+        // The MT eviction channel mechanism (§V-A): sender inserts
+        // N+1-d same-set lines, evicting receiver lines and flushing the
+        // receiver's LSD.
+        let mut fe = frontend();
+        fe.set_active(ThreadId::T0, true);
+        let recv = aligned(RECV_BASE, 0, 6);
+        for _ in 0..3 {
+            fe.run_iteration(ThreadId::T0, &recv);
+        }
+        assert!(fe.lsd_locked(ThreadId::T0, &recv));
+
+        fe.set_active(ThreadId::T1, true);
+        let send = aligned(SEND_BASE, 0, 3);
+        // With flush_on_partition the wake itself flushed T0; re-warm to
+        // test pure way-contention too.
+        for _ in 0..4 {
+            fe.run_iteration(ThreadId::T0, &recv);
+        }
+        assert!(fe.lsd_locked(ThreadId::T0, &recv));
+        fe.run_iteration(ThreadId::T1, &send); // 6 + 3 > 8 ways
+        assert!(!fe.lsd_locked(ThreadId::T0, &recv));
+        let after = fe.run_iteration(ThreadId::T0, &recv);
+        assert!(after.mite_uops > 0, "receiver must re-decode via MITE");
+        assert!(after.lsd_flushes > 0, "flush penalty charged");
+    }
+
+    #[test]
+    fn sender_to_different_set_leaves_receiver_alone() {
+        // Stealthy m=0 encoding (§V-C): same work, different set, no signal.
+        let mut fe = frontend();
+        fe.set_active(ThreadId::T0, true);
+        fe.set_active(ThreadId::T1, true);
+        let recv = aligned(RECV_BASE, 0, 6);
+        let send_y = aligned(SEND_BASE, 7, 3);
+        for _ in 0..3 {
+            fe.run_iteration(ThreadId::T0, &recv);
+        }
+        // Receiver (30 µops) locks into the (halved) LSD even under SMT.
+        let warm_before = fe.run_iteration(ThreadId::T0, &recv);
+        fe.run_iteration(ThreadId::T1, &send_y);
+        let warm_after = fe.run_iteration(ThreadId::T0, &recv);
+        assert_eq!(warm_before.mite_uops, 0);
+        assert_eq!(warm_after.mite_uops, 0, "different set: no interference");
+        assert_eq!(warm_before.cycles, warm_after.cycles);
+    }
+
+    #[test]
+    fn sibling_misalignment_collapses_lsd_without_evictions() {
+        // Fig. 6 mechanism: sender executes misaligned same-set blocks; the
+        // receiver's LSD lock collapses but its DSB lines survive, so the
+        // receiver's next iteration is pure (fast) DSB delivery.
+        let mut fe = frontend();
+        fe.set_active(ThreadId::T0, true);
+        fe.set_active(ThreadId::T1, true);
+        let recv = aligned(RECV_BASE, 0, 5); // d = 5 (paper §V-B)
+        for _ in 0..3 {
+            fe.run_iteration(ThreadId::T0, &recv);
+        }
+        assert!(fe.lsd_locked(ThreadId::T0, &recv));
+        let lsd_iter = fe.run_iteration(ThreadId::T0, &recv);
+        assert_eq!(lsd_iter.lsd_uops, 25);
+
+        // One misaligned sender block: 5 + 2 = 7 ≤ 8, lock survives.
+        let send1 = same_set_chain(SEND_BASE, DsbSet::new(0), 1, Alignment::Misaligned);
+        fe.run_iteration(ThreadId::T1, &send1);
+        assert!(fe.lsd_locked(ThreadId::T0, &recv));
+
+        // Two more misaligned sender blocks ({5 aligned + 3 misaligned} is a
+        // §IV-G collision pair): 5 + 2·3 > 8 collapses the receiver's lock.
+        // Sender heads total 3 lines, so set 0 holds 5 + 3 = 8 lines and no
+        // DSB eviction occurs.
+        let send2 = same_set_chain(SEND_BASE + 0x10_0000, DsbSet::new(0), 2, Alignment::Misaligned);
+        fe.run_iteration(ThreadId::T1, &send2);
+        assert!(!fe.lsd_locked(ThreadId::T0, &recv));
+
+        let after = fe.run_iteration(ThreadId::T0, &recv);
+        assert_eq!(after.mite_uops, 0, "no DSB evictions: no MITE refetch");
+        assert_eq!(after.dsb_uops, 25, "delivery falls back to the DSB");
+        // DSB delivery is *faster* than LSD streaming — the paper's
+        // misalignment-channel polarity (§V-B): m = 1 gives faster access.
+        let dsb_iter = fe.run_iteration(ThreadId::T0, &recv);
+        if dsb_iter.dsb_uops == 25 {
+            assert!(dsb_iter.cycles < lsd_iter.cycles);
+        }
+    }
+
+    #[test]
+    fn sibling_misalignment_to_other_set_is_harmless() {
+        let mut fe = frontend();
+        fe.set_active(ThreadId::T0, true);
+        fe.set_active(ThreadId::T1, true);
+        let recv = aligned(RECV_BASE, 0, 5);
+        for _ in 0..3 {
+            fe.run_iteration(ThreadId::T0, &recv);
+        }
+        assert!(fe.lsd_locked(ThreadId::T0, &recv));
+        let send = same_set_chain(SEND_BASE, DsbSet::new(9), 3, Alignment::Misaligned);
+        fe.run_iteration(ThreadId::T1, &send);
+        assert!(fe.lsd_locked(ThreadId::T0, &recv), "disjoint sets: no collision");
+    }
+
+    #[test]
+    fn crossing_blocks_pay_split_fetch_penalty() {
+        // §V-D basis: executing misaligned blocks is measurably slower than
+        // the same blocks aligned, even without any conflicts.
+        let aligned3 = same_set_chain(RECV_BASE, DsbSet::new(0), 3, Alignment::Aligned);
+        let mis3 = same_set_chain(RECV_BASE, DsbSet::new(0), 3, Alignment::Misaligned);
+        // LSD disabled so both warm to steady DSB delivery, isolating the
+        // crossing penalty.
+        let no_lsd = FrontendConfig {
+            lsd_enabled: false,
+            ..FrontendConfig::default()
+        };
+        let mut fe_a = Frontend::new(no_lsd);
+        let mut fe_m = Frontend::new(no_lsd);
+        for _ in 0..3 {
+            fe_a.run_iteration(ThreadId::T0, &aligned3);
+            fe_m.run_iteration(ThreadId::T0, &mis3);
+        }
+        let a = fe_a.run_iteration(ThreadId::T0, &aligned3);
+        let m = fe_m.run_iteration(ThreadId::T0, &mis3);
+        assert!(m.cycles > a.cycles, "crossing blocks must cost extra");
+    }
+
+    #[test]
+    fn partition_wake_flushes_solo_thread() {
+        let mut fe = frontend();
+        fe.set_active(ThreadId::T0, true);
+        let recv = aligned(RECV_BASE, 3, 4);
+        fe.run_iteration(ThreadId::T0, &recv);
+        assert!(fe.dsb().occupancy(0) > 0);
+        fe.set_active(ThreadId::T1, true);
+        assert_eq!(
+            fe.dsb().occupancy(0),
+            0,
+            "waking sibling must displace solo thread's lines"
+        );
+    }
+
+    #[test]
+    fn lsd_disabled_machines_never_lock() {
+        let mut fe = Frontend::new(FrontendConfig {
+            lsd_enabled: false,
+            ..FrontendConfig::default()
+        });
+        let chain = aligned(RECV_BASE, 0, 4);
+        for _ in 0..4 {
+            fe.run_iteration(ThreadId::T0, &chain);
+        }
+        assert!(!fe.lsd_locked(ThreadId::T0, &chain));
+        let warm = fe.run_iteration(ThreadId::T0, &chain);
+        assert_eq!(warm.dsb_uops, 20, "falls back to DSB, not LSD");
+    }
+
+    #[test]
+    fn lcp_mixed_vs_ordered_shapes() {
+        // Fig. 4 shape: mixed issue has far more DSB→MITE switches; ordered
+        // issue has more LCP stall cycles; mixed achieves higher IPC
+        // (fewer total cycles for the same instruction count).
+        use leaky_isa::{Addr, Block, LcpPattern};
+        let mut fe_m = frontend();
+        let mixed = BlockChain::new(vec![Block::lcp_adds(
+            Addr::new(0x10_0000),
+            LcpPattern::Mixed,
+            16,
+        )]);
+        let mut fe_o = frontend();
+        let ordered = BlockChain::new(vec![Block::lcp_adds(
+            Addr::new(0x10_0000),
+            LcpPattern::Ordered,
+            16,
+        )]);
+        // Warm both, then compare steady-state iterations.
+        for _ in 0..3 {
+            fe_m.run_iteration(ThreadId::T0, &mixed);
+            fe_o.run_iteration(ThreadId::T0, &ordered);
+        }
+        let m = fe_m.run_iteration(ThreadId::T0, &mixed);
+        let o = fe_o.run_iteration(ThreadId::T0, &ordered);
+        assert!(
+            m.dsb_to_mite_switches > 10 * o.dsb_to_mite_switches,
+            "mixed must switch far more ({} vs {})",
+            m.dsb_to_mite_switches,
+            o.dsb_to_mite_switches
+        );
+        assert!(
+            o.lcp_stall_cycles > m.lcp_stall_cycles,
+            "ordered must stall longer ({} vs {})",
+            o.lcp_stall_cycles,
+            m.lcp_stall_cycles
+        );
+        assert!(m.mite_uops > 0 && o.mite_uops > 0);
+        assert_eq!(m.total_uops(), o.total_uops());
+    }
+
+    #[test]
+    fn run_iterations_steady_state_matches_explicit_loop() {
+        let chain = aligned(RECV_BASE, 0, 8);
+        let mut fe_a = frontend();
+        let total_fast = fe_a.run_iterations(ThreadId::T0, &chain, 1000);
+        let mut fe_b = frontend();
+        let mut total_slow = IterationReport::new();
+        for _ in 0..1000 {
+            total_slow += fe_b.run_iteration(ThreadId::T0, &chain);
+        }
+        // Counts match exactly; cycle sums only up to f64 summation order.
+        assert_eq!(total_fast.total_uops(), total_slow.total_uops());
+        assert_eq!(total_fast.lsd_uops, total_slow.lsd_uops);
+        assert_eq!(total_fast.dsb_evictions, total_slow.dsb_evictions);
+        assert!((total_fast.cycles - total_slow.cycles).abs() / total_slow.cycles < 1e-9);
+    }
+
+    #[test]
+    fn cumulative_counters_accumulate() {
+        let mut fe = frontend();
+        let chain = aligned(RECV_BASE, 0, 4);
+        let a = fe.run_iteration(ThreadId::T0, &chain);
+        let b = fe.run_iteration(ThreadId::T0, &chain);
+        assert_eq!(fe.counters(ThreadId::T0).total_uops(), a.total_uops() + b.total_uops());
+        fe.reset_counters();
+        assert_eq!(fe.counters(ThreadId::T0).total_uops(), 0);
+    }
+
+    #[test]
+    fn flush_thread_state_forces_cold_restart() {
+        let mut fe = frontend();
+        let chain = aligned(RECV_BASE, 0, 4);
+        fe.run_iteration(ThreadId::T0, &chain);
+        fe.run_iteration(ThreadId::T0, &chain);
+        fe.flush_thread_state(ThreadId::T0);
+        let r = fe.run_iteration(ThreadId::T0, &chain);
+        assert_eq!(r.mite_uops, 20, "all lines must refill after flush");
+    }
+
+    #[test]
+    fn external_pressure_slows_mite_only() {
+        let chain = aligned(RECV_BASE, 0, 9); // permanent MITE traffic
+        let mut base = frontend();
+        for _ in 0..3 {
+            base.run_iteration(ThreadId::T0, &chain);
+        }
+        let r0 = base.run_iteration(ThreadId::T0, &chain);
+        let mut loaded = frontend();
+        loaded.set_external_mite_pressure(ThreadId::T0, 1.0);
+        for _ in 0..3 {
+            loaded.run_iteration(ThreadId::T0, &chain);
+        }
+        let r1 = loaded.run_iteration(ThreadId::T0, &chain);
+        assert!(r1.cycles > r0.cycles);
+
+        // A pure-LSD loop is immune to MITE pressure.
+        let lsd_chain = aligned(RECV_BASE, 1, 4);
+        let mut a = frontend();
+        a.run_iteration(ThreadId::T0, &lsd_chain);
+        let wa = a.run_iteration(ThreadId::T0, &lsd_chain);
+        let mut b = frontend();
+        b.set_external_mite_pressure(ThreadId::T0, 1.0);
+        b.run_iteration(ThreadId::T0, &lsd_chain);
+        let wb = b.run_iteration(ThreadId::T0, &lsd_chain);
+        assert_eq!(wa.cycles, wb.cycles);
+    }
+}

@@ -1,0 +1,211 @@
+//! Loop Stream Detector qualification (§IV-A, §IV-G).
+//!
+//! The LSD streams a qualifying loop's µops straight out of the IDQ,
+//! disabling the rest of the frontend. Our qualification rule (fitted to
+//! every data point in §IV-G; see DESIGN.md) is:
+//!
+//! 1. total µops ≤ LSD capacity (64; halved under SMT),
+//! 2. the loop spans ≤ 8 tracked 32-byte windows, where a window-crossing
+//!    (misaligned) block counts for 2,
+//! 3. a loop containing *any* misaligned block must span *strictly fewer*
+//!    than 8 windows.
+
+use leaky_isa::{BlockChain, FrontendGeometry};
+
+/// Why a loop does or does not qualify for the LSD.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LsdVerdict {
+    /// The loop qualifies and will stream from the LSD once warm.
+    Qualifies,
+    /// Too many µops for the LSD (`> capacity`).
+    TooManyUops {
+        /// µops in the loop.
+        uops: u32,
+        /// Effective LSD capacity.
+        capacity: u32,
+    },
+    /// The loop spans too many 32-byte windows.
+    TooManyWindows {
+        /// Windows spanned (misaligned blocks count twice).
+        windows: u32,
+        /// Window tracking capacity.
+        capacity: u32,
+    },
+    /// Misaligned blocks collide in the LSD's window tracking (§IV-G).
+    MisalignmentCollision,
+}
+
+impl LsdVerdict {
+    /// Whether the loop qualifies.
+    pub fn qualifies(self) -> bool {
+        matches!(self, LsdVerdict::Qualifies)
+    }
+}
+
+/// Evaluates the LSD qualification rule for a loop body.
+///
+/// `smt_active` halves the µop capacity (the 64-entry LSD is partitioned
+/// between threads); window tracking is per-thread and stays at 8. This
+/// keeps the paper's MT attacks consistent: a d = 6 receiver (30 µops) still
+/// streams from the LSD under SMT (§V-A), while larger d values stop
+/// qualifying — one source of the error-rate growth in Fig. 8.
+///
+/// # Examples
+///
+/// ```
+/// use leaky_frontend::lsd_qualifies;
+/// use leaky_isa::{same_set_chain, Alignment, DsbSet, FrontendGeometry};
+///
+/// let g = FrontendGeometry::skylake();
+/// let eight = same_set_chain(0x0041_8000, DsbSet::new(0), 8, Alignment::Aligned);
+/// assert!(lsd_qualifies(&eight, &g, false).qualifies());
+///
+/// let four_mis = same_set_chain(0x0041_8000, DsbSet::new(0), 4, Alignment::Misaligned);
+/// assert!(!lsd_qualifies(&four_mis, &g, false).qualifies());
+/// ```
+pub fn lsd_qualifies(
+    chain: &BlockChain,
+    geom: &FrontendGeometry,
+    smt_active: bool,
+) -> LsdVerdict {
+    let div = if smt_active { 2 } else { 1 };
+    let uop_cap = (geom.lsd_uops / div) as u32;
+    let window_cap = geom.lsd_windows as u32;
+
+    let uops = chain.total_uops();
+    if uops > uop_cap {
+        return LsdVerdict::TooManyUops {
+            uops,
+            capacity: uop_cap,
+        };
+    }
+    let windows = chain.window_count() as u32;
+    let misaligned = chain.misaligned_count();
+    if windows > window_cap {
+        return LsdVerdict::TooManyWindows {
+            windows,
+            capacity: window_cap,
+        };
+    }
+    if misaligned > 0 && windows >= window_cap {
+        return LsdVerdict::MisalignmentCollision;
+    }
+    LsdVerdict::Qualifies
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use leaky_isa::{same_set_chain, Alignment, DsbSet};
+
+    const BASE: u64 = 0x0041_8000;
+
+    fn geom() -> FrontendGeometry {
+        FrontendGeometry::skylake()
+    }
+
+    fn aligned(n: usize) -> BlockChain {
+        same_set_chain(BASE, DsbSet::new(0), n, Alignment::Aligned)
+    }
+
+    fn mixed(a: usize, m: usize) -> BlockChain {
+        let al = same_set_chain(BASE, DsbSet::new(0), a, Alignment::Aligned);
+        let mi = same_set_chain(BASE + 0x10_0000, DsbSet::new(0), m, Alignment::Misaligned);
+        al.concat(mi)
+    }
+
+    #[test]
+    fn eight_aligned_blocks_qualify() {
+        // Fig. 3: 8 × 5 = 40 µops < 64 and 8 windows fit.
+        assert!(lsd_qualifies(&aligned(8), &geom(), false).qualifies());
+    }
+
+    #[test]
+    fn twelve_aligned_blocks_fit_uops_but_not_windows() {
+        // §IV-F: "if the chain ... is less than 12, all the blocks should
+        // fit in LSD" by µop count (12 × 5 = 60 ≤ 64) — but window tracking
+        // caps at 8, so eviction-based attacks use ≤ 8 blocks.
+        let v = lsd_qualifies(&aligned(12), &geom(), false);
+        assert_eq!(
+            v,
+            LsdVerdict::TooManyWindows {
+                windows: 12,
+                capacity: 8
+            }
+        );
+    }
+
+    #[test]
+    fn thirteen_blocks_exceed_uop_capacity() {
+        let v = lsd_qualifies(&aligned(13), &geom(), false);
+        assert_eq!(
+            v,
+            LsdVerdict::TooManyUops {
+                uops: 65,
+                capacity: 64
+            }
+        );
+    }
+
+    #[test]
+    fn four_misaligned_blocks_collide() {
+        // §IV-G: "executing 4 chained misaligned blocks that map to the same
+        // DSB set will trigger collisions in LSD".
+        let c = same_set_chain(BASE, DsbSet::new(0), 4, Alignment::Misaligned);
+        assert_eq!(
+            lsd_qualifies(&c, &geom(), false),
+            LsdVerdict::MisalignmentCollision
+        );
+    }
+
+    #[test]
+    fn three_misaligned_blocks_still_fit() {
+        let c = same_set_chain(BASE, DsbSet::new(0), 3, Alignment::Misaligned);
+        assert!(lsd_qualifies(&c, &geom(), false).qualifies());
+    }
+
+    #[test]
+    fn seven_aligned_plus_one_misaligned_flushes() {
+        // §IV-G: "if the 8th instruction mix block is misaligned, LSD will
+        // be flushed".
+        assert!(!lsd_qualifies(&mixed(7, 1), &geom(), false).qualifies());
+    }
+
+    #[test]
+    fn paper_section_4g_pair_table() {
+        // Every {aligned + misaligned} pair §IV-G lists as causing the
+        // LSD→DSB transition must fail qualification...
+        for (a, m) in [(5, 2), (6, 2), (3, 3), (4, 3), (5, 3)] {
+            assert!(
+                !lsd_qualifies(&mixed(a, m), &geom(), false).qualifies(),
+                "{a} aligned + {m} misaligned must not qualify"
+            );
+        }
+        // ...while small mixed loops still qualify.
+        for (a, m) in [(3, 2), (4, 1), (2, 2), (5, 1)] {
+            assert!(
+                lsd_qualifies(&mixed(a, m), &geom(), false).qualifies(),
+                "{a} aligned + {m} misaligned should qualify"
+            );
+        }
+    }
+
+    #[test]
+    fn smt_halves_uop_capacity() {
+        // 8 aligned blocks (40 µops) qualify solo but not with SMT active
+        // (40 > 32); 6 blocks (30 µops) still qualify under SMT, which the
+        // MT eviction channel's d = 6 receiver relies on (§V-A).
+        assert!(lsd_qualifies(&aligned(8), &geom(), false).qualifies());
+        assert!(!lsd_qualifies(&aligned(8), &geom(), true).qualifies());
+        assert!(lsd_qualifies(&aligned(6), &geom(), true).qualifies());
+        assert!(lsd_qualifies(&aligned(4), &geom(), true).qualifies());
+    }
+
+    #[test]
+    fn nop_loop_never_qualifies() {
+        // §XI: the 100-nop receiver loop must not fit the LSD.
+        use leaky_isa::{Addr, Block};
+        let chain = BlockChain::new(vec![Block::nops(Addr::new(0x5000), 100)]);
+        assert!(!lsd_qualifies(&chain, &geom(), false).qualifies());
+    }
+}

@@ -1,0 +1,227 @@
+//! Virtual addresses and their frontend-relevant decompositions.
+//!
+//! The paper reverse-engineers (§IV-B) that with a single active thread, an
+//! instruction's virtual address bits `addr[4:0]` form the byte offset within
+//! the 32-byte DSB window and `addr[9:5]` select one of the 32 DSB sets.
+//! L1I indexing uses 64-byte lines over 64 sets (`addr[5:0]` offset,
+//! `addr[11:6]` set).
+
+use std::fmt;
+
+use crate::geom::FrontendGeometry;
+
+/// A code virtual address.
+///
+/// A thin newtype over `u64` providing the frontend-relevant bit-field
+/// accessors from the paper's reverse engineering.
+///
+/// # Examples
+///
+/// ```
+/// use leaky_isa::{Addr, DsbSet};
+///
+/// let a = Addr::new(0x0041_8064);
+/// assert_eq!(a.dsb_offset(), 0x04);
+/// assert_eq!(a.dsb_set(), DsbSet::new(3));
+/// assert_eq!(a.window(), 0x0041_8064 >> 5);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Addr(u64);
+
+impl Addr {
+    /// Wraps a raw virtual address.
+    pub const fn new(addr: u64) -> Self {
+        Addr(addr)
+    }
+
+    /// The raw address value.
+    pub const fn value(self) -> u64 {
+        self.0
+    }
+
+    /// Byte offset inside the 32-byte DSB window (`addr[4:0]`, §IV-B).
+    pub const fn dsb_offset(self) -> u64 {
+        self.0 & 0x1f
+    }
+
+    /// DSB set index (`addr[9:5]`, §IV-B) for the single-thread, unpartitioned
+    /// case.
+    pub const fn dsb_set(self) -> DsbSet {
+        DsbSet(((self.0 >> 5) & 0x1f) as u8)
+    }
+
+    /// The 32-byte window number (`addr >> 5`); two instructions share a DSB
+    /// line only if they share a window.
+    pub const fn window(self) -> u64 {
+        self.0 >> 5
+    }
+
+    /// L1I cache set index (`addr[11:6]` for 64 sets of 64-byte lines).
+    pub const fn l1i_set(self) -> u64 {
+        (self.0 >> 6) & 0x3f
+    }
+
+    /// The 64-byte cache-line number (`addr >> 6`).
+    pub const fn cache_line(self) -> u64 {
+        self.0 >> 6
+    }
+
+    /// Whether the address is aligned to the start of a 32-byte DSB window.
+    pub const fn is_window_aligned(self) -> bool {
+        self.dsb_offset() == 0
+    }
+
+    /// Adds a byte displacement.
+    pub const fn offset(self, bytes: u64) -> Addr {
+        Addr(self.0 + bytes)
+    }
+
+    /// Byte distance to another (higher) address.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if `other < self`.
+    pub fn distance_to(self, other: Addr) -> u64 {
+        debug_assert!(other.0 >= self.0, "distance_to: other address is lower");
+        other.0 - self.0
+    }
+
+    /// The lowest address `>= self` that maps to `set`, keeping offset 0.
+    pub fn align_up_to_set(self, set: DsbSet, geom: &FrontendGeometry) -> Addr {
+        let window_bytes = geom.dsb_window_bytes as u64;
+        let sets = geom.dsb_sets as u64;
+        let period = window_bytes * sets; // 1024 B: one full pass over all sets
+        let base = self.0 / period * period + set.index() as u64 * window_bytes;
+        if base >= self.0 {
+            Addr(base)
+        } else {
+            Addr(base + period)
+        }
+    }
+}
+
+impl From<u64> for Addr {
+    fn from(v: u64) -> Self {
+        Addr(v)
+    }
+}
+
+impl From<Addr> for u64 {
+    fn from(a: Addr) -> Self {
+        a.0
+    }
+}
+
+impl fmt::Display for Addr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:#010x}", self.0)
+    }
+}
+
+impl fmt::LowerHex for Addr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::LowerHex::fmt(&self.0, f)
+    }
+}
+
+/// A DSB set index in `0..32`.
+///
+/// Newtype so attack parameters cannot confuse set indices with way counts or
+/// block counts.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct DsbSet(u8);
+
+impl DsbSet {
+    /// Creates a set index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= 32`.
+    pub fn new(index: u8) -> Self {
+        assert!(index < 32, "DSB set index must be < 32, got {index}");
+        DsbSet(index)
+    }
+
+    /// The raw index.
+    pub const fn index(self) -> u8 {
+        self.0
+    }
+
+    /// Iterates over all 32 sets.
+    pub fn all() -> impl Iterator<Item = DsbSet> {
+        (0u8..32).map(DsbSet)
+    }
+}
+
+impl fmt::Display for DsbSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "set{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bitfields_match_paper() {
+        // Figure 3 example addresses: 0x0041_8000 etc. map to set 0.
+        let a = Addr::new(0x0041_8000);
+        assert_eq!(a.dsb_offset(), 0);
+        assert_eq!(a.dsb_set().index(), 0);
+        // 0x0041_8020 is the next window: set 1.
+        assert_eq!(Addr::new(0x0041_8020).dsb_set().index(), 1);
+        // +1024 wraps back to the same set with a different tag/window.
+        assert_eq!(Addr::new(0x0041_8400).dsb_set().index(), 0);
+        assert_ne!(Addr::new(0x0041_8400).window(), a.window());
+    }
+
+    #[test]
+    fn misaligned_by_16_keeps_set_but_not_alignment() {
+        let aligned = Addr::new(0x0041_8000);
+        let mis = aligned.offset(16);
+        assert!(aligned.is_window_aligned());
+        assert!(!mis.is_window_aligned());
+        assert_eq!(mis.dsb_set(), aligned.dsb_set());
+        assert_eq!(mis.dsb_offset(), 16);
+    }
+
+    #[test]
+    fn same_dsb_set_blocks_hit_different_l1i_sets() {
+        // Paper §IV-F: blocks 1024 B apart share a DSB set but stride through
+        // L1I sets with period 4, so 9 chained blocks never exceed L1I
+        // associativity.
+        let base = Addr::new(0x0041_8000);
+        let l1i_sets: Vec<u64> = (0..9).map(|i| base.offset(i * 1024).l1i_set()).collect();
+        for s in 0..64 {
+            let count = l1i_sets.iter().filter(|&&x| x == s).count();
+            assert!(count <= 3, "L1I set {s} has {count} blocks");
+        }
+    }
+
+    #[test]
+    fn align_up_to_set_lands_on_requested_set() {
+        let g = FrontendGeometry::skylake();
+        for start in [0u64, 0x0041_8013, 0x0082_0000, 0xffff_0301] {
+            for set in [0u8, 7, 31] {
+                let a = Addr::new(start).align_up_to_set(DsbSet::new(set), &g);
+                assert_eq!(a.dsb_set().index(), set);
+                assert!(a.is_window_aligned());
+                assert!(a.value() >= start);
+                assert!(a.value() - start < 2048);
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "must be < 32")]
+    fn set_index_bounds_checked() {
+        let _ = DsbSet::new(32);
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(Addr::new(0x41_8000).to_string(), "0x00418000");
+        assert_eq!(DsbSet::new(5).to_string(), "set5");
+    }
+}

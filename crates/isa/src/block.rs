@@ -1,0 +1,381 @@
+//! Instruction blocks: contiguous placed code executed as a unit.
+//!
+//! The paper's attacks are phrased in terms of *instruction mix blocks*
+//! (§IV-D): 4 `mov` + 1 `jmp`, 25 bytes, 5 µops, chosen to fit one 32-byte
+//! DSB window, one DSB line (≤ 6 µops), and to avoid backend port
+//! contention. [`Block`] generalises this to every code pattern the paper
+//! uses (nop blocks for the §XI receiver, LCP `add` runs for §IV-H / §V-E).
+
+use std::fmt;
+
+use crate::addr::{Addr, DsbSet};
+use crate::geom::FrontendGeometry;
+use crate::instr::{Instruction, LcpPattern, Opcode};
+
+/// What kind of code a block contains; used by higher layers for labeling
+/// and by the frontend for branch accounting.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BlockKind {
+    /// The paper's 4-mov + 1-jmp instruction mix block (§IV-D).
+    Mix,
+    /// A run of single-byte `nop`s (§XI receiver).
+    Nop,
+    /// Normal/LCP `add` run in a given interleaving (§IV-H, §V-E).
+    LcpAdds(LcpPattern),
+    /// Free-form code supplied by the caller.
+    Custom,
+}
+
+/// The µop footprint of a block within one 32-byte window, used by the
+/// frontend to populate DSB lines.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct WindowFootprint {
+    /// The window number (`addr >> 5`).
+    pub window: u64,
+    /// µops whose instruction *starts* in this window.
+    pub uops: u32,
+    /// Whether the block continues into the following window (i.e. this is
+    /// not its last window).
+    pub continues: bool,
+}
+
+/// A contiguous, placed sequence of instructions executed front to back.
+///
+/// # Examples
+///
+/// ```
+/// use leaky_isa::{Addr, Block};
+///
+/// let b = Block::mix(Addr::new(0x0041_8000));
+/// assert_eq!(b.len_bytes(), 25);
+/// assert_eq!(b.uop_count(), 5);
+/// assert_eq!(b.windows().len(), 1); // aligned: fits one DSB window
+///
+/// let mis = Block::mix(Addr::new(0x0041_8010)); // +16: misaligned
+/// assert_eq!(mis.windows().len(), 2); // spans two windows
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Block {
+    base: Addr,
+    instrs: Vec<Instruction>,
+    kind: BlockKind,
+    /// Precomputed window footprints (hot path for the frontend simulator).
+    windows: Vec<WindowFootprint>,
+    /// Precomputed 64-byte cache-line numbers.
+    cache_lines: Vec<u64>,
+    uop_count: u32,
+    lcp_count: u32,
+}
+
+impl Block {
+    /// Creates a block from explicit instructions.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `instrs` is empty.
+    pub fn from_instructions(base: Addr, instrs: Vec<Instruction>, kind: BlockKind) -> Self {
+        assert!(!instrs.is_empty(), "a block needs at least one instruction");
+        Block::build(base, instrs, kind)
+    }
+
+    /// The paper's instruction mix block: 4 `mov r32, imm32` + 1 `jmp`
+    /// (25 bytes, 5 µops, §IV-D).
+    pub fn mix(base: Addr) -> Self {
+        let mut instrs = vec![Instruction::new(Opcode::MovImm); 4];
+        instrs.push(Instruction::new(Opcode::Jmp));
+        Block::build(base, instrs, BlockKind::Mix)
+    }
+
+    /// A run of `n` single-byte `nop`s followed by a loop-back `jmp`
+    /// (§XI: the side-channel receiver loops through 100 nops).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    pub fn nops(base: Addr, n: usize) -> Self {
+        assert!(n > 0, "nop block needs at least one nop");
+        let mut instrs = vec![Instruction::new(Opcode::Nop); n];
+        instrs.push(Instruction::new(Opcode::Jmp));
+        Block::build(base, instrs, BlockKind::Nop)
+    }
+
+    /// The §IV-H experiment body: `2 * r` `add` instructions, half normal and
+    /// half LCP-prefixed, interleaved per `pattern`, ending in a loop branch.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r == 0`.
+    pub fn lcp_adds(base: Addr, pattern: LcpPattern, r: usize) -> Self {
+        assert!(r > 0, "LCP block needs r > 0");
+        let normal = Instruction::new(Opcode::AddImm);
+        let lcp = Instruction::with_lcp(Opcode::AddImm);
+        let mut instrs = Vec::with_capacity(2 * r + 1);
+        match pattern {
+            LcpPattern::Mixed => {
+                for _ in 0..r {
+                    instrs.push(normal);
+                    instrs.push(lcp);
+                }
+            }
+            LcpPattern::Ordered => {
+                instrs.extend(std::iter::repeat(normal).take(r));
+                instrs.extend(std::iter::repeat(lcp).take(r));
+            }
+        }
+        instrs.push(Instruction::new(Opcode::Jcc));
+        Block::build(base, instrs, BlockKind::LcpAdds(pattern))
+    }
+
+    /// Builds a block, precomputing the frontend-relevant footprints once.
+    fn build(base: Addr, instrs: Vec<Instruction>, kind: BlockKind) -> Self {
+        let mut block = Block {
+            base,
+            instrs,
+            kind,
+            windows: Vec::new(),
+            cache_lines: Vec::new(),
+            uop_count: 0,
+            lcp_count: 0,
+        };
+        block.uop_count = block.instrs.iter().map(|i| i.uops() as u32).sum();
+        block.lcp_count = block.instrs.iter().filter(|i| i.has_lcp()).count() as u32;
+        block.windows = block.compute_windows();
+        let first = block.base.cache_line();
+        let last_byte = block.base.value() + block.len_bytes() - 1;
+        let last = Addr::new(last_byte).cache_line();
+        block.cache_lines = (first..=last).collect();
+        block
+    }
+
+    /// Start address of the block.
+    pub fn base(&self) -> Addr {
+        self.base
+    }
+
+    /// Returns the block relocated to a new base address. Useful for turning
+    /// an aligned block into its misaligned twin (§IV-G).
+    pub fn rebased(&self, base: Addr) -> Block {
+        Block::build(base, self.instrs.clone(), self.kind)
+    }
+
+    /// The block's code-pattern kind.
+    pub fn kind(&self) -> BlockKind {
+        self.kind
+    }
+
+    /// The instructions in execution order.
+    pub fn instructions(&self) -> &[Instruction] {
+        &self.instrs
+    }
+
+    /// Iterates over `(address, instruction)` pairs in execution order.
+    pub fn placed_instructions(&self) -> impl Iterator<Item = (Addr, Instruction)> + '_ {
+        let mut addr = self.base;
+        self.instrs.iter().map(move |&i| {
+            let here = addr;
+            addr = addr.offset(i.length() as u64);
+            (here, i)
+        })
+    }
+
+    /// Total encoded size in bytes.
+    pub fn len_bytes(&self) -> u64 {
+        self.instrs.iter().map(|i| i.length() as u64).sum()
+    }
+
+    /// Address one past the last byte.
+    pub fn end(&self) -> Addr {
+        self.base.offset(self.len_bytes())
+    }
+
+    /// Total µop count.
+    pub fn uop_count(&self) -> u32 {
+        self.uop_count
+    }
+
+    /// Number of instructions.
+    pub fn instr_count(&self) -> usize {
+        self.instrs.len()
+    }
+
+    /// Number of LCP-prefixed instructions in the block.
+    pub fn lcp_count(&self) -> usize {
+        self.lcp_count as usize
+    }
+
+    /// Whether the block starts on a 32-byte window boundary. Misaligned
+    /// blocks are the basis of the §IV-G LSD-eviction attacks.
+    pub fn is_aligned(&self) -> bool {
+        self.base.is_window_aligned()
+    }
+
+    /// The DSB set of the block's *first* window (`addr[9:5]` of the base).
+    pub fn dsb_set(&self) -> DsbSet {
+        self.base.dsb_set()
+    }
+
+    /// The 32-byte windows this block touches, with per-window µop counts.
+    /// A window-crossing ("misaligned") block returns more than one entry;
+    /// the frontend allocates one DSB line per entry.
+    pub fn windows(&self) -> &[WindowFootprint] {
+        &self.windows
+    }
+
+    fn compute_windows(&self) -> Vec<WindowFootprint> {
+        let mut out: Vec<WindowFootprint> = Vec::new();
+        for (addr, instr) in self.placed_instructions() {
+            let w = addr.window();
+            match out.last_mut() {
+                Some(last) if last.window == w => last.uops += instr.uops() as u32,
+                _ => out.push(WindowFootprint {
+                    window: w,
+                    uops: instr.uops() as u32,
+                    continues: false,
+                }),
+            }
+        }
+        let n = out.len();
+        for (i, fp) in out.iter_mut().enumerate() {
+            fp.continues = i + 1 < n;
+        }
+        out
+    }
+
+    /// Number of DSB lines the block needs, honouring the ≤ 6 µops/line
+    /// limit (§IV-B): a window holding more than `dsb_line_uops` µops needs
+    /// extra lines.
+    pub fn dsb_lines(&self, geom: &FrontendGeometry) -> usize {
+        self.windows()
+            .iter()
+            .map(|w| (w.uops as usize).div_ceil(geom.dsb_line_uops))
+            .sum()
+    }
+
+    /// The 64-byte L1I cache lines the block touches.
+    pub fn cache_lines(&self) -> &[u64] {
+        &self.cache_lines
+    }
+}
+
+impl fmt::Display for Block {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{:?}@{} ({} instrs, {} uops, {} B)",
+            self.kind,
+            self.base,
+            self.instr_count(),
+            self.uop_count(),
+            self.len_bytes()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mix_block_matches_paper_parameters() {
+        let b = Block::mix(Addr::new(0x0041_8000));
+        assert_eq!(b.len_bytes(), 25);
+        assert_eq!(b.uop_count(), 5);
+        assert_eq!(b.instr_count(), 5);
+        assert_eq!(b.lcp_count(), 0);
+        assert!(b.is_aligned());
+    }
+
+    #[test]
+    fn aligned_mix_block_occupies_one_window_and_line() {
+        let g = FrontendGeometry::skylake();
+        let b = Block::mix(Addr::new(0x0041_8000));
+        let ws = b.windows();
+        assert_eq!(ws.len(), 1);
+        assert_eq!(ws[0].uops, 5);
+        assert!(!ws[0].continues);
+        assert_eq!(b.dsb_lines(&g), 1);
+    }
+
+    #[test]
+    fn misaligned_mix_block_spans_two_windows() {
+        let g = FrontendGeometry::skylake();
+        let b = Block::mix(Addr::new(0x0041_8010)); // offset 16 (§V-B)
+        let ws = b.windows();
+        assert_eq!(ws.len(), 2);
+        assert!(ws[0].continues);
+        assert!(!ws[1].continues);
+        assert_eq!(ws[0].uops + ws[1].uops, 5);
+        assert_eq!(b.dsb_lines(&g), 2);
+        assert!(!b.is_aligned());
+    }
+
+    #[test]
+    fn placed_instruction_addresses_are_contiguous() {
+        let b = Block::mix(Addr::new(0x1000));
+        let placed: Vec<(Addr, Instruction)> = b.placed_instructions().collect();
+        assert_eq!(placed[0].0, Addr::new(0x1000));
+        assert_eq!(placed[1].0, Addr::new(0x1005));
+        assert_eq!(placed[4].0, Addr::new(0x1014)); // after 4 movs
+        assert_eq!(b.end(), Addr::new(0x1019));
+    }
+
+    #[test]
+    fn nop_block_footprint() {
+        let g = FrontendGeometry::skylake();
+        // §XI: 100 nops (+jmp) won't fit the 64-µop LSD but fit the DSB.
+        let b = Block::nops(Addr::new(0x2000), 100);
+        assert_eq!(b.uop_count(), 101);
+        assert!(b.uop_count() as usize > g.lsd_uops);
+        assert!((b.uop_count() as usize) < g.dsb_capacity_uops());
+        // 100 nops + 5-byte jmp = 105 bytes = two 64-byte cache lines.
+        assert_eq!(b.cache_lines().len(), 2);
+        // 105 bytes = 4 windows of 32 B.
+        assert_eq!(b.windows().len(), 4);
+    }
+
+    #[test]
+    fn nop_window_exceeding_line_uops_needs_multiple_lines() {
+        let g = FrontendGeometry::skylake();
+        // 31 one-byte nops + the jmp start in one window = 32 µops > 6 → 6 lines.
+        let b = Block::nops(Addr::new(0x3000), 31);
+        let first_window_uops = b.windows()[0].uops;
+        assert_eq!(first_window_uops, 32);
+        assert!(b.dsb_lines(&g) >= 6);
+    }
+
+    #[test]
+    fn lcp_block_patterns() {
+        let mixed = Block::lcp_adds(Addr::new(0x4000), LcpPattern::Mixed, 16);
+        let ordered = Block::lcp_adds(Addr::new(0x4000), LcpPattern::Ordered, 16);
+        // §IV-H: 32 instructions within the loop (+ loop branch).
+        assert_eq!(mixed.instr_count(), 33);
+        assert_eq!(ordered.instr_count(), 33);
+        assert_eq!(mixed.lcp_count(), 16);
+        assert_eq!(ordered.lcp_count(), 16);
+        // Same bytes, same µops, different interleaving.
+        assert_eq!(mixed.len_bytes(), ordered.len_bytes());
+        assert_eq!(mixed.uop_count(), ordered.uop_count());
+        assert_ne!(mixed.instructions(), ordered.instructions());
+        // Mixed alternates normal/LCP.
+        assert!(!mixed.instructions()[0].has_lcp());
+        assert!(mixed.instructions()[1].has_lcp());
+        // Ordered groups them.
+        assert!(!ordered.instructions()[15].has_lcp());
+        assert!(ordered.instructions()[16].has_lcp());
+    }
+
+    #[test]
+    fn rebased_preserves_contents() {
+        let b = Block::mix(Addr::new(0x1000));
+        let r = b.rebased(Addr::new(0x2010));
+        assert_eq!(r.instructions(), b.instructions());
+        assert_eq!(r.base(), Addr::new(0x2010));
+        assert!(!r.is_aligned());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one instruction")]
+    fn empty_block_rejected() {
+        let _ = Block::from_instructions(Addr::new(0), Vec::new(), BlockKind::Custom);
+    }
+}

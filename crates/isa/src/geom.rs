@@ -1,0 +1,97 @@
+//! Frontend geometry constants reverse-engineered by the paper (§IV, Table I).
+
+/// Geometry of the frontend structures on the modeled Skylake-family cores.
+///
+/// All four CPUs evaluated in the paper share these parameters (Table I);
+/// they are grouped in a struct so experiments can perturb them for
+/// ablations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct FrontendGeometry {
+    /// Number of DSB sets (paper §IV-B: 32).
+    pub dsb_sets: usize,
+    /// Number of DSB ways per set (paper §IV-B: 8).
+    pub dsb_ways: usize,
+    /// Bytes covered by one DSB window / line (paper §IV-B: 32).
+    pub dsb_window_bytes: usize,
+    /// Maximum µops stored per DSB line (paper §IV-B: 6).
+    pub dsb_line_uops: usize,
+    /// Maximum µops the LSD can stream (paper §IV-A: 64).
+    pub lsd_uops: usize,
+    /// Maximum 32-byte windows a LSD-resident loop may span (fitted to the
+    /// §IV-G misalignment data; see DESIGN.md).
+    pub lsd_windows: usize,
+    /// L1 instruction cache sets (Table I: 64).
+    pub l1i_sets: usize,
+    /// L1 instruction cache ways (Table I: 8).
+    pub l1i_ways: usize,
+    /// L1 instruction cache line size in bytes (Table I: 64).
+    pub l1i_line_bytes: usize,
+    /// Instruction queue entries feeding the decoders (§IV-C: 50).
+    pub iq_entries: usize,
+    /// Legacy decode width: one complex + four simple decoders (§IV, Fig. 1).
+    pub decode_width: usize,
+    /// µops deliverable per cycle from the IDQ to rename (Fig. 1: 6).
+    pub idq_delivery_width: usize,
+}
+
+impl FrontendGeometry {
+    /// The Skylake-family geometry shared by every CPU in the paper's
+    /// Table I.
+    pub const fn skylake() -> Self {
+        FrontendGeometry {
+            dsb_sets: 32,
+            dsb_ways: 8,
+            dsb_window_bytes: 32,
+            dsb_line_uops: 6,
+            lsd_uops: 64,
+            lsd_windows: 8,
+            l1i_sets: 64,
+            l1i_ways: 8,
+            l1i_line_bytes: 64,
+            iq_entries: 50,
+            decode_width: 5,
+            idq_delivery_width: 6,
+        }
+    }
+
+    /// Total µop capacity of the DSB (paper: 32 × 8 × 6 = 1536).
+    pub const fn dsb_capacity_uops(&self) -> usize {
+        self.dsb_sets * self.dsb_ways * self.dsb_line_uops
+    }
+
+    /// Total L1I capacity in bytes (Table I: 32 KB).
+    pub const fn l1i_capacity_bytes(&self) -> usize {
+        self.l1i_sets * self.l1i_ways * self.l1i_line_bytes
+    }
+}
+
+impl Default for FrontendGeometry {
+    fn default() -> Self {
+        Self::skylake()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn skylake_matches_paper_table1() {
+        let g = FrontendGeometry::skylake();
+        assert_eq!(g.dsb_sets, 32);
+        assert_eq!(g.dsb_ways, 8);
+        assert_eq!(g.dsb_window_bytes, 32);
+        assert_eq!(g.dsb_line_uops, 6);
+        assert_eq!(g.lsd_uops, 64);
+        assert_eq!(g.dsb_capacity_uops(), 1536);
+        assert_eq!(g.l1i_capacity_bytes(), 32 * 1024);
+    }
+
+    #[test]
+    fn l1i_is_four_times_dsb_footprint() {
+        // Paper §IV-F: "the size of the L1 instruction is 4 times of DSB".
+        let g = FrontendGeometry::skylake();
+        let dsb_bytes = g.dsb_sets * g.dsb_ways * g.dsb_window_bytes;
+        assert_eq!(g.l1i_capacity_bytes(), 4 * dsb_bytes);
+    }
+}

@@ -1,0 +1,365 @@
+//! Instruction model: opcodes, byte lengths, µop decomposition, prefixes and
+//! execution-port affinity.
+
+use std::fmt;
+
+/// The instruction repertoire used by the paper's attack code.
+///
+/// Only the properties the frontend and a coarse backend observe are modeled:
+/// encoded length, µop count, whether decoding is affected by a
+/// Length-Changing Prefix, and which execution ports the µops can issue to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Opcode {
+    /// `mov r32, imm32` — 5 bytes, 1 µop, any ALU port. The workhorse of the
+    /// paper's instruction mix block (§IV-D).
+    MovImm,
+    /// `add r32, imm8` — 3 bytes, 1 µop. Used by the LCP experiments (§IV-H);
+    /// with a 0x66 prefix it becomes `add r16, imm16` and its *immediate*
+    /// changes size, triggering the pre-decoder's LCP stall.
+    AddImm,
+    /// `nop` — 1 byte, 1 µop, no backend traffic. Used by the §XI side
+    /// channel receiver.
+    Nop,
+    /// `jmp rel32` — 5 bytes, 1 µop on port 6. Ends every mix block.
+    Jmp,
+    /// Conditional branch `jcc rel32` — 6 bytes, 1 µop. Used by loops and by
+    /// the Spectre gadget.
+    Jcc,
+    /// `mov r64, [mem]` load — 4 bytes, 1 µop on a load port. Only used by
+    /// victim/baseline code; the attacks deliberately avoid it (§IV-D).
+    Load,
+    /// `mov [mem], r64` store — 4 bytes, 2 µops (store-address +
+    /// store-data).
+    Store,
+    /// `lea r64, [mem]` — 4 bytes, 1 µop.
+    Lea,
+    /// `rdtscp`-style timer read — 3 bytes, microcoded, 3 µops. Modeled so
+    /// measurement overhead shows up in channel timing.
+    Rdtscp,
+    /// `lfence` serialising instruction — 3 bytes, 1 µop, drains the backend.
+    Lfence,
+    /// `clflush [mem]` — 4 bytes, 2 µops. Used by the Flush+Reload baselines.
+    Clflush,
+}
+
+impl Opcode {
+    /// Encoded length in bytes without a prefix.
+    pub const fn base_length(self) -> u8 {
+        match self {
+            Opcode::MovImm => 5,
+            Opcode::AddImm => 3,
+            Opcode::Nop => 1,
+            Opcode::Jmp => 5,
+            Opcode::Jcc => 6,
+            Opcode::Load => 4,
+            Opcode::Store => 4,
+            Opcode::Lea => 4,
+            Opcode::Rdtscp => 3,
+            Opcode::Lfence => 3,
+            Opcode::Clflush => 4,
+        }
+    }
+
+    /// Number of µops the instruction decodes into.
+    pub const fn uops(self) -> u8 {
+        match self {
+            Opcode::MovImm
+            | Opcode::AddImm
+            | Opcode::Nop
+            | Opcode::Jmp
+            | Opcode::Jcc
+            | Opcode::Load
+            | Opcode::Lea
+            | Opcode::Lfence => 1,
+            Opcode::Store | Opcode::Clflush => 2,
+            Opcode::Rdtscp => 3,
+        }
+    }
+
+    /// Whether an operand-size (0x66) prefix on this opcode changes the
+    /// instruction's *length* (a Length-Changing Prefix, §IV-H). Only
+    /// immediate-carrying ALU ops qualify in our repertoire.
+    pub const fn lcp_capable(self) -> bool {
+        matches!(self, Opcode::AddImm | Opcode::MovImm)
+    }
+
+    /// Whether this is a control-flow instruction.
+    pub const fn is_branch(self) -> bool {
+        matches!(self, Opcode::Jmp | Opcode::Jcc)
+    }
+
+    /// Whether the instruction touches data memory. The paper's instruction
+    /// mix deliberately avoids these (§IV-D) so the frontend is the
+    /// bottleneck and no data-cache traces are left.
+    pub const fn is_memory(self) -> bool {
+        matches!(self, Opcode::Load | Opcode::Store | Opcode::Clflush)
+    }
+
+    /// Execution ports the instruction's primary µop can issue to
+    /// (Skylake-style port map, Fig. 1).
+    pub const fn port_mask(self) -> PortMask {
+        match self {
+            // ALU ops: ports 0, 1, 5, 6.
+            Opcode::MovImm | Opcode::AddImm => PortMask::from_bits(0b0110_0011),
+            // Nop is renamed away: no ports.
+            Opcode::Nop => PortMask::from_bits(0),
+            // Branches: port 6 (and 0 for not-taken Jcc).
+            Opcode::Jmp => PortMask::from_bits(0b0100_0000),
+            Opcode::Jcc => PortMask::from_bits(0b0100_0001),
+            // Loads: ports 2, 3.
+            Opcode::Load => PortMask::from_bits(0b0000_1100),
+            // Store: store-data port 4 (the STA µop uses 2/3/7).
+            Opcode::Store => PortMask::from_bits(0b1001_0000),
+            Opcode::Lea => PortMask::from_bits(0b0010_0011),
+            Opcode::Rdtscp => PortMask::from_bits(0b0000_0011),
+            Opcode::Lfence => PortMask::from_bits(0b0010_0000),
+            Opcode::Clflush => PortMask::from_bits(0b0000_1100),
+        }
+    }
+}
+
+impl fmt::Display for Opcode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Opcode::MovImm => "mov",
+            Opcode::AddImm => "add",
+            Opcode::Nop => "nop",
+            Opcode::Jmp => "jmp",
+            Opcode::Jcc => "jcc",
+            Opcode::Load => "load",
+            Opcode::Store => "store",
+            Opcode::Lea => "lea",
+            Opcode::Rdtscp => "rdtscp",
+            Opcode::Lfence => "lfence",
+            Opcode::Clflush => "clflush",
+        };
+        f.write_str(s)
+    }
+}
+
+/// A set of execution ports (ports 0-7), used for the backend contention
+/// model.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct PortMask(u8);
+
+impl PortMask {
+    /// Creates a mask from raw bits (bit *i* = port *i*).
+    pub const fn from_bits(bits: u8) -> Self {
+        PortMask(bits)
+    }
+
+    /// Raw bits of the mask.
+    pub const fn bits(self) -> u8 {
+        self.0
+    }
+
+    /// Whether the mask contains `port`.
+    pub const fn contains(self, port: u8) -> bool {
+        port < 8 && (self.0 >> port) & 1 == 1
+    }
+
+    /// Number of ports in the mask.
+    pub const fn count(self) -> u32 {
+        self.0.count_ones()
+    }
+
+    /// Iterates over the port numbers in the mask.
+    pub fn iter(self) -> impl Iterator<Item = u8> {
+        (0u8..8).filter(move |&p| self.contains(p))
+    }
+}
+
+impl fmt::Binary for PortMask {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Binary::fmt(&self.0, f)
+    }
+}
+
+/// One modeled instruction: an opcode plus an optional Length-Changing
+/// Prefix.
+///
+/// # Examples
+///
+/// ```
+/// use leaky_isa::{Instruction, Opcode};
+///
+/// let add = Instruction::new(Opcode::AddImm);
+/// let lcp_add = Instruction::with_lcp(Opcode::AddImm);
+/// assert_eq!(add.length(), 3);
+/// assert_eq!(lcp_add.length(), 4); // 0x66 prefix + shrunken imm16 encoding
+/// assert!(lcp_add.has_lcp());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Instruction {
+    opcode: Opcode,
+    lcp: bool,
+}
+
+impl Instruction {
+    /// Creates an instruction without a prefix.
+    pub const fn new(opcode: Opcode) -> Self {
+        Instruction { opcode, lcp: false }
+    }
+
+    /// Creates an instruction carrying a Length-Changing Prefix (0x66).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the opcode cannot take an LCP (see
+    /// [`Opcode::lcp_capable`]).
+    pub fn with_lcp(opcode: Opcode) -> Self {
+        assert!(
+            opcode.lcp_capable(),
+            "{opcode} cannot carry a length-changing prefix"
+        );
+        Instruction { opcode, lcp: true }
+    }
+
+    /// The opcode.
+    pub const fn opcode(self) -> Opcode {
+        self.opcode
+    }
+
+    /// Whether the instruction carries a Length-Changing Prefix. LCP
+    /// instructions force the MITE path and stall the pre-decoder (§IV-H).
+    pub const fn has_lcp(self) -> bool {
+        self.lcp
+    }
+
+    /// Encoded length in bytes. An LCP adds the prefix byte but shrinks the
+    /// immediate from 4 to 2 bytes, netting one byte shorter for `mov` and
+    /// one byte longer for `add` (imm8 → imm16).
+    pub const fn length(self) -> u8 {
+        let base = self.opcode.base_length();
+        if self.lcp {
+            match self.opcode {
+                Opcode::MovImm => base - 1, // 66 B8 imm16 = 4 bytes
+                Opcode::AddImm => base + 1, // 66 83/0 ib -> 66 05 imm16 = 4
+                _ => base,
+            }
+        } else {
+            base
+        }
+    }
+
+    /// µop count (unchanged by prefixes).
+    pub const fn uops(self) -> u8 {
+        self.opcode.uops()
+    }
+
+    /// Execution-port affinity.
+    pub const fn port_mask(self) -> PortMask {
+        self.opcode.port_mask()
+    }
+}
+
+impl From<Opcode> for Instruction {
+    fn from(op: Opcode) -> Self {
+        Instruction::new(op)
+    }
+}
+
+impl fmt::Display for Instruction {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.lcp {
+            write!(f, "66:{}", self.opcode)
+        } else {
+            write!(f, "{}", self.opcode)
+        }
+    }
+}
+
+/// How normal and LCP-prefixed instructions are interleaved in the §IV-H
+/// experiments and the slow-switch covert channel (§V-E).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum LcpPattern {
+    /// One normal `add` followed by one LCP `add`, repeated (the paper's
+    /// "mixed issue"). Maximises DSB↔MITE switches.
+    Mixed,
+    /// All normal `add`s first, then all LCP `add`s (the paper's "ordered
+    /// issue"). Minimises switches but serialises LCP decode stalls.
+    Ordered,
+}
+
+impl fmt::Display for LcpPattern {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LcpPattern::Mixed => f.write_str("mixed"),
+            LcpPattern::Ordered => f.write_str("ordered"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mix_block_ingredients_match_paper() {
+        // §IV-D: 4 mov + 1 jmp = 25 bytes, 5 µops.
+        let bytes = 4 * Instruction::new(Opcode::MovImm).length() as usize
+            + Instruction::new(Opcode::Jmp).length() as usize;
+        let uops = 4 * Opcode::MovImm.uops() as usize + Opcode::Jmp.uops() as usize;
+        assert_eq!(bytes, 25);
+        assert_eq!(uops, 5);
+    }
+
+    #[test]
+    fn lcp_changes_length() {
+        let normal = Instruction::new(Opcode::AddImm);
+        let lcp = Instruction::with_lcp(Opcode::AddImm);
+        assert_ne!(normal.length(), lcp.length());
+        assert_eq!(normal.uops(), lcp.uops());
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot carry")]
+    fn lcp_on_nop_rejected() {
+        let _ = Instruction::with_lcp(Opcode::Nop);
+    }
+
+    #[test]
+    fn memory_ops_flagged() {
+        assert!(Opcode::Load.is_memory());
+        assert!(Opcode::Store.is_memory());
+        assert!(!Opcode::MovImm.is_memory());
+        assert!(!Opcode::Nop.is_memory());
+    }
+
+    #[test]
+    fn branches_flagged() {
+        assert!(Opcode::Jmp.is_branch());
+        assert!(Opcode::Jcc.is_branch());
+        assert!(!Opcode::AddImm.is_branch());
+    }
+
+    #[test]
+    fn port_masks_avoid_overlap_with_memory_for_alu() {
+        // §IV-D requirement 3: the mix block avoids load/store ports.
+        let alu = Opcode::MovImm.port_mask();
+        for p in [2u8, 3, 4, 7] {
+            assert!(!alu.contains(p), "ALU mov should not use memory port {p}");
+        }
+        assert!(alu.count() >= 3, "movs must spread over several ports");
+    }
+
+    #[test]
+    fn port_mask_iter_roundtrip() {
+        let m = PortMask::from_bits(0b0100_0101);
+        let ports: Vec<u8> = m.iter().collect();
+        assert_eq!(ports, vec![0, 2, 6]);
+        assert_eq!(m.count(), 3);
+    }
+
+    #[test]
+    fn nop_uses_no_ports() {
+        assert_eq!(Opcode::Nop.port_mask().count(), 0);
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(Instruction::new(Opcode::MovImm).to_string(), "mov");
+        assert_eq!(Instruction::with_lcp(Opcode::AddImm).to_string(), "66:add");
+        assert_eq!(LcpPattern::Mixed.to_string(), "mixed");
+    }
+}

@@ -1,0 +1,44 @@
+//! x86-like instruction and code-layout model for the `leaky-frontends`
+//! frontend simulator.
+//!
+//! The paper's attacks are built from *instruction mix blocks* — short runs of
+//! simple instructions (4 `mov` + 1 `jmp`, 25 bytes, 5 µops) placed at
+//! addresses chosen so that they map to a particular DSB set, stay inside one
+//! 32-byte window, and avoid L1 instruction-cache conflicts (paper §IV-D,
+//! Fig. 3). This crate models exactly the properties of machine code that the
+//! frontend cares about:
+//!
+//! * instruction **byte length** (including Length-Changing Prefixes, §IV-H),
+//! * **µop decomposition** per instruction,
+//! * **code placement**: virtual addresses, 32-byte DSB windows, alignment
+//!   and misalignment (§IV-G),
+//! * block and chain builders for every code pattern used in the paper.
+//!
+//! # Examples
+//!
+//! ```
+//! use leaky_isa::{Alignment, DsbSet};
+//!
+//! // A paper-style chain of instruction mix blocks mapping to DSB set 3.
+//! let chain = leaky_isa::same_set_chain(0x0041_8000, DsbSet::new(3), 8, Alignment::Aligned);
+//! assert_eq!(chain.blocks().len(), 8);
+//! assert!(chain.blocks().iter().all(|b| b.base().dsb_set() == DsbSet::new(3)));
+//! assert_eq!(chain.total_uops(), 40); // 8 blocks x 5 micro-ops
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod addr;
+pub mod block;
+pub mod chain;
+pub mod geom;
+pub mod instr;
+pub mod region;
+
+pub use addr::{Addr, DsbSet};
+pub use block::{Block, BlockKind, WindowFootprint};
+pub use chain::{same_set_chain, Alignment, BlockChain};
+pub use geom::FrontendGeometry;
+pub use instr::{Instruction, LcpPattern, Opcode, PortMask};
+pub use region::CodeRegion;

@@ -1,0 +1,151 @@
+//! The bounds-checked victim of the Spectre v1 attack (§IX).
+//!
+//! ```c
+//! if (x < bounds) {            // conditional branch, predictor-trained
+//!     transmit(secret[x]);     // disclosure gadget
+//! }
+//! ```
+//!
+//! The attacker is *in-domain* (same thread, e.g. sandboxed code): it can
+//! call the victim with chosen `x` but cannot read `secret` architecturally.
+//! On a mispredicted out-of-bounds call, the gadget runs transiently: its
+//! architectural effects are squashed, but its frontend and cache side
+//! effects persist — which is exactly what the disclosure channel observes.
+
+use crate::predictor::BranchPredictor;
+
+/// Program counter of the victim's bounds-check branch (arbitrary constant).
+pub const VICTIM_BRANCH_PC: u64 = 0x0040_1230;
+
+/// What happened on one victim invocation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum VictimOutcome {
+    /// In-bounds access, executed architecturally.
+    Architectural,
+    /// Out-of-bounds access rejected without speculation (predictor said
+    /// not-taken).
+    Rejected,
+    /// Out-of-bounds access that ran the gadget *transiently*.
+    Transient,
+}
+
+/// The victim program: secret array behind a bounds check.
+#[derive(Debug, Clone)]
+pub struct Victim {
+    secret: Vec<u8>,
+    bounds: usize,
+    predictor: BranchPredictor,
+}
+
+impl Victim {
+    /// Creates a victim holding `secret` (5-bit chunks, values `0..32`)
+    /// guarded by a bounds check at index `bounds` (the public-array
+    /// length).
+    ///
+    /// # Panics
+    ///
+    /// Panics if any secret chunk is ≥ 32 (they index the 32 DSB sets).
+    pub fn new(secret: Vec<u8>, bounds: usize) -> Self {
+        assert!(
+            secret.iter().all(|&c| c < 32),
+            "secret chunks must be 5-bit values"
+        );
+        assert!(bounds > 0, "victim needs a non-empty public array");
+        Victim {
+            secret,
+            bounds,
+            predictor: BranchPredictor::new(1024),
+        }
+    }
+
+    /// Number of secret chunks.
+    pub fn secret_len(&self) -> usize {
+        self.secret.len()
+    }
+
+    /// The public-array bound.
+    pub fn bounds(&self) -> usize {
+        self.bounds
+    }
+
+    /// Invokes the victim with index `x`. For out-of-bounds `x`, the
+    /// `gadget` closure is called with the *secret byte at the out-of-bounds
+    /// offset* only when the branch mispredicts (transient execution); it
+    /// must only create microarchitectural side effects.
+    ///
+    /// `x >= bounds` indexes the secret: chunk `x - bounds`.
+    pub fn call(&mut self, x: usize, mut gadget: impl FnMut(u8)) -> VictimOutcome {
+        let in_bounds = x < self.bounds;
+        let predicted_taken = self.predictor.predict(VICTIM_BRANCH_PC);
+        self.predictor.update(VICTIM_BRANCH_PC, in_bounds);
+        if in_bounds {
+            // Architectural execution of the in-bounds path; the gadget runs
+            // on public data (modeled as chunk value 0-free: callers train
+            // with a known in-bounds element). We deliberately do not invoke
+            // the disclosure gadget here: training calls use x inside the
+            // public array whose "transmit" touches a fixed public element,
+            // which callers model separately if desired.
+            VictimOutcome::Architectural
+        } else if predicted_taken {
+            // Misprediction: the gadget runs transiently on secret data.
+            let chunk = x - self.bounds;
+            let value = self.secret.get(chunk).copied().unwrap_or(0);
+            gadget(value);
+            VictimOutcome::Transient
+        } else {
+            VictimOutcome::Rejected
+        }
+    }
+
+    /// Trains the predictor with `n` in-bounds calls.
+    pub fn train(&mut self, n: usize) {
+        for _ in 0..n {
+            self.call(0, |_| {});
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn untrained_victim_rejects_oob() {
+        let mut v = Victim::new(vec![7], 16);
+        let mut leaked = None;
+        let out = v.call(16, |s| leaked = Some(s));
+        assert_eq!(out, VictimOutcome::Rejected);
+        assert_eq!(leaked, None);
+    }
+
+    #[test]
+    fn trained_victim_leaks_transiently() {
+        let mut v = Victim::new(vec![7, 19], 16);
+        v.train(4);
+        let mut leaked = None;
+        let out = v.call(16, |s| leaked = Some(s));
+        assert_eq!(out, VictimOutcome::Transient);
+        assert_eq!(leaked, Some(7));
+        // Second chunk, after re-training (the misprediction weakened the
+        // counter).
+        v.train(4);
+        let mut leaked = None;
+        assert_eq!(v.call(17, |s| leaked = Some(s)), VictimOutcome::Transient);
+        assert_eq!(leaked, Some(19));
+    }
+
+    #[test]
+    fn in_bounds_calls_never_run_gadget_on_secret() {
+        let mut v = Victim::new(vec![1], 8);
+        v.train(10);
+        let mut ran = false;
+        assert_eq!(v.call(3, |_| ran = true), VictimOutcome::Architectural);
+        assert!(!ran);
+    }
+
+    #[test]
+    #[should_panic(expected = "5-bit")]
+    fn oversized_chunks_rejected() {
+        let _ = Victim::new(vec![32], 4);
+    }
+}

@@ -1,0 +1,229 @@
+//! Distance metrics: Wagner-Fischer edit distance (paper §VI) and Euclidean
+//! distance (paper §XI).
+
+use std::error::Error;
+use std::fmt;
+
+/// Error returned by [`euclidean_distance`] when the traces have different
+/// lengths.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DistanceError {
+    left: usize,
+    right: usize,
+}
+
+impl fmt::Display for DistanceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "trace lengths differ: {} vs {}",
+            self.left, self.right
+        )
+    }
+}
+
+impl Error for DistanceError {}
+
+/// Computes the Levenshtein edit distance between two sequences using the
+/// Wagner-Fischer dynamic program, exactly as the paper uses to score
+/// sent-vs-received covert channel messages (§VI).
+///
+/// Runs in `O(|a| * |b|)` time and `O(min(|a|, |b|))` space.
+///
+/// # Examples
+///
+/// ```
+/// use leaky_stats::edit_distance;
+///
+/// assert_eq!(edit_distance(b"kitten", b"sitting"), 3);
+/// assert_eq!(edit_distance(&[1, 2, 3], &[1, 2, 3]), 0);
+/// ```
+pub fn edit_distance<T: PartialEq>(a: &[T], b: &[T]) -> usize {
+    // Keep the shorter sequence as the DP row.
+    let (short, long) = if a.len() <= b.len() { (a, b) } else { (b, a) };
+    if short.is_empty() {
+        return long.len();
+    }
+    let mut row: Vec<usize> = (0..=short.len()).collect();
+    for (i, litem) in long.iter().enumerate() {
+        let mut prev_diag = row[0];
+        row[0] = i + 1;
+        for (j, sitem) in short.iter().enumerate() {
+            let cost = if litem == sitem { 0 } else { 1 };
+            let new = (prev_diag + cost).min(row[j] + 1).min(row[j + 1] + 1);
+            prev_diag = row[j + 1];
+            row[j + 1] = new;
+        }
+    }
+    row[short.len()]
+}
+
+/// Computes the covert-channel error rate between a sent and a received bit
+/// string: edit distance normalised by the sent length (paper §VI).
+///
+/// Returns `0.0` when both strings are empty.
+///
+/// # Examples
+///
+/// ```
+/// use leaky_stats::error_rate;
+///
+/// let sent = [true, false, true, false];
+/// let recv = [true, false, false, false];
+/// assert!((error_rate(&sent, &recv) - 0.25).abs() < 1e-12);
+/// ```
+pub fn error_rate(sent: &[bool], received: &[bool]) -> f64 {
+    if sent.is_empty() && received.is_empty() {
+        return 0.0;
+    }
+    let denom = sent.len().max(1) as f64;
+    edit_distance(sent, received) as f64 / denom
+}
+
+/// Computes the Euclidean (L2) distance between two equal-length traces,
+/// used by the application-fingerprinting side channel (paper §XI) to compare
+/// attacker IPC waveforms.
+///
+/// # Errors
+///
+/// Returns [`DistanceError`] if the traces have different lengths.
+///
+/// # Examples
+///
+/// ```
+/// use leaky_stats::euclidean_distance;
+///
+/// let d = euclidean_distance(&[0.0, 0.0], &[3.0, 4.0])?;
+/// assert!((d - 5.0).abs() < 1e-12);
+/// # Ok::<(), leaky_stats::DistanceError>(())
+/// ```
+pub fn euclidean_distance(a: &[f64], b: &[f64]) -> Result<f64, DistanceError> {
+    if a.len() != b.len() {
+        return Err(DistanceError {
+            left: a.len(),
+            right: b.len(),
+        });
+    }
+    Ok(a.iter()
+        .zip(b)
+        .map(|(x, y)| (x - y).powi(2))
+        .sum::<f64>()
+        .sqrt())
+}
+
+/// Mean pairwise Euclidean distance between every pair drawn from two sets of
+/// traces. With `a == b` (same set) this yields the paper's *intra-distance*;
+/// with two different sets it yields the *inter-distance* (§XI-B, §XI-C).
+///
+/// Pairs of a trace with itself are skipped when the sets are identical
+/// (detected by pointer equality of the slices).
+///
+/// # Errors
+///
+/// Returns [`DistanceError`] if any pair of traces differs in length.
+pub fn mean_pairwise_distance(
+    a: &[Vec<f64>],
+    b: &[Vec<f64>],
+) -> Result<f64, DistanceError> {
+    let same = std::ptr::eq(a, b);
+    let mut total = 0.0;
+    let mut n = 0u64;
+    for (i, ta) in a.iter().enumerate() {
+        for (j, tb) in b.iter().enumerate() {
+            if same && i == j {
+                continue;
+            }
+            total += euclidean_distance(ta, tb)?;
+            n += 1;
+        }
+    }
+    Ok(if n == 0 { 0.0 } else { total / n as f64 })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn classic_edit_distances() {
+        assert_eq!(edit_distance(b"kitten", b"sitting"), 3);
+        assert_eq!(edit_distance(b"flaw", b"lawn"), 2);
+        assert_eq!(edit_distance(b"", b"abc"), 3);
+        assert_eq!(edit_distance(b"abc", b""), 3);
+        assert_eq!(edit_distance::<u8>(&[], &[]), 0);
+    }
+
+    #[test]
+    fn edit_distance_is_symmetric() {
+        let a = [true, false, false, true, true];
+        let b = [false, true, true];
+        assert_eq!(edit_distance(&a, &b), edit_distance(&b, &a));
+    }
+
+    #[test]
+    fn identical_strings_have_zero_distance() {
+        let a: Vec<u32> = (0..100).collect();
+        assert_eq!(edit_distance(&a, &a), 0);
+    }
+
+    #[test]
+    fn single_substitution() {
+        let sent = [true; 8];
+        let mut recv = sent;
+        recv[3] = false;
+        assert_eq!(edit_distance(&sent, &recv), 1);
+        assert!((error_rate(&sent, &recv) - 0.125).abs() < 1e-12);
+    }
+
+    #[test]
+    fn error_rate_empty_is_zero() {
+        assert_eq!(error_rate(&[], &[]), 0.0);
+    }
+
+    #[test]
+    fn error_rate_total_loss() {
+        let sent = [true, true, true, true];
+        assert_eq!(error_rate(&sent, &[]), 1.0);
+    }
+
+    #[test]
+    fn euclidean_basics() {
+        assert_eq!(euclidean_distance(&[1.0], &[1.0]).unwrap(), 0.0);
+        let d = euclidean_distance(&[1.0, 2.0, 3.0], &[1.0, 2.0, 3.0]).unwrap();
+        assert_eq!(d, 0.0);
+        assert!(euclidean_distance(&[1.0], &[1.0, 2.0]).is_err());
+    }
+
+    #[test]
+    fn euclidean_triangle_inequality() {
+        let a = [1.0, 0.0, 2.0];
+        let b = [0.0, 3.0, 1.0];
+        let c = [2.0, 2.0, 2.0];
+        let ab = euclidean_distance(&a, &b).unwrap();
+        let bc = euclidean_distance(&b, &c).unwrap();
+        let ac = euclidean_distance(&a, &c).unwrap();
+        assert!(ac <= ab + bc + 1e-12);
+    }
+
+    #[test]
+    fn intra_distance_skips_self_pairs() {
+        let set = vec![vec![0.0, 0.0], vec![1.0, 0.0]];
+        let intra = mean_pairwise_distance(&set, &set).unwrap();
+        // Only the (0,1) and (1,0) pairs, each distance 1.
+        assert!((intra - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn inter_distance_counts_all_pairs() {
+        let a = vec![vec![0.0]];
+        let b = vec![vec![3.0], vec![4.0]];
+        let inter = mean_pairwise_distance(&a, &b).unwrap();
+        assert!((inter - 3.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn distance_error_displays_lengths() {
+        let err = euclidean_distance(&[1.0], &[]).unwrap_err();
+        assert!(err.to_string().contains("1 vs 0"));
+    }
+}

@@ -1,0 +1,244 @@
+//! Fixed-bin histograms used to regenerate the paper's Figures 2 and 9.
+
+use std::fmt;
+
+/// A histogram with uniformly sized bins over a fixed range.
+///
+/// Samples below the range are counted in an underflow bucket, samples above
+/// in an overflow bucket, so no data is silently dropped.
+///
+/// # Examples
+///
+/// ```
+/// use leaky_stats::Histogram;
+///
+/// let mut h = Histogram::new(0.0, 10.0, 5);
+/// h.extend([1.0, 1.5, 7.0, 42.0]);
+/// assert_eq!(h.bin_count(0), 2); // [0, 2)
+/// assert_eq!(h.bin_count(3), 1); // [6, 8)
+/// assert_eq!(h.overflow(), 1);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Histogram {
+    lo: f64,
+    hi: f64,
+    bins: Vec<u64>,
+    underflow: u64,
+    overflow: u64,
+}
+
+impl Histogram {
+    /// Creates a histogram covering `[lo, hi)` with `bins` uniform bins.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo >= hi`, `bins == 0`, or either bound is not finite.
+    pub fn new(lo: f64, hi: f64, bins: usize) -> Self {
+        assert!(lo.is_finite() && hi.is_finite(), "histogram bounds must be finite");
+        assert!(lo < hi, "histogram range must be non-empty");
+        assert!(bins > 0, "histogram needs at least one bin");
+        Histogram {
+            lo,
+            hi,
+            bins: vec![0; bins],
+            underflow: 0,
+            overflow: 0,
+        }
+    }
+
+    /// Records one sample.
+    pub fn push(&mut self, x: f64) {
+        if x < self.lo {
+            self.underflow += 1;
+        } else if x >= self.hi {
+            self.overflow += 1;
+        } else {
+            let idx = ((x - self.lo) / self.bin_width()) as usize;
+            // Guard against floating point landing exactly on `hi`'s bin.
+            let idx = idx.min(self.bins.len() - 1);
+            self.bins[idx] += 1;
+        }
+    }
+
+    /// Records every sample from an iterator.
+    pub fn extend<I: IntoIterator<Item = f64>>(&mut self, iter: I) {
+        for x in iter {
+            self.push(x);
+        }
+    }
+
+    /// Width of each bin.
+    pub fn bin_width(&self) -> f64 {
+        (self.hi - self.lo) / self.bins.len() as f64
+    }
+
+    /// Number of bins (excluding under/overflow).
+    pub fn len(&self) -> usize {
+        self.bins.len()
+    }
+
+    /// Returns `true` if no samples have been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.total() == 0
+    }
+
+    /// Count in bin `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= self.len()`.
+    pub fn bin_count(&self, i: usize) -> u64 {
+        self.bins[i]
+    }
+
+    /// Inclusive lower edge of bin `i`.
+    pub fn bin_lo(&self, i: usize) -> f64 {
+        self.lo + i as f64 * self.bin_width()
+    }
+
+    /// Center of bin `i`.
+    pub fn bin_center(&self, i: usize) -> f64 {
+        self.bin_lo(i) + self.bin_width() / 2.0
+    }
+
+    /// Samples that fell below the histogram range.
+    pub fn underflow(&self) -> u64 {
+        self.underflow
+    }
+
+    /// Samples that fell at or above the histogram range.
+    pub fn overflow(&self) -> u64 {
+        self.overflow
+    }
+
+    /// Total number of recorded samples, including under/overflow.
+    pub fn total(&self) -> u64 {
+        self.bins.iter().sum::<u64>() + self.underflow + self.overflow
+    }
+
+    /// Probability density of bin `i` (so the area under the histogram
+    /// integrates to the in-range fraction of samples).
+    pub fn density(&self, i: usize) -> f64 {
+        let total = self.total();
+        if total == 0 {
+            0.0
+        } else {
+            self.bins[i] as f64 / (total as f64 * self.bin_width())
+        }
+    }
+
+    /// Index of the fullest bin, or `None` if all in-range bins are empty.
+    pub fn mode_bin(&self) -> Option<usize> {
+        let (idx, &count) = self
+            .bins
+            .iter()
+            .enumerate()
+            .max_by_key(|&(_, &c)| c)?;
+        if count == 0 {
+            None
+        } else {
+            Some(idx)
+        }
+    }
+
+    /// Iterates over `(bin_center, count)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (f64, u64)> + '_ {
+        self.bins
+            .iter()
+            .enumerate()
+            .map(|(i, &c)| (self.bin_center(i), c))
+    }
+
+    /// Renders a compact ASCII sparkline of the histogram, used by the
+    /// figure-regeneration binaries.
+    pub fn ascii_rows(&self, width: usize) -> Vec<String> {
+        let max = self.bins.iter().copied().max().unwrap_or(0).max(1);
+        self.bins
+            .iter()
+            .enumerate()
+            .map(|(i, &c)| {
+                let bar = "#".repeat((c as usize * width) / max as usize);
+                format!("{:>10.2} | {:<width$} {}", self.bin_lo(i), bar, c, width = width)
+            })
+            .collect()
+    }
+}
+
+impl fmt::Display for Histogram {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for row in self.ascii_rows(40) {
+            writeln!(f, "{row}")?;
+        }
+        Ok(())
+    }
+}
+
+impl Extend<f64> for Histogram {
+    fn extend<I: IntoIterator<Item = f64>>(&mut self, iter: I) {
+        Histogram::extend(self, iter);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bins_partition_range() {
+        let mut h = Histogram::new(0.0, 10.0, 10);
+        for i in 0..10 {
+            h.push(i as f64 + 0.5);
+        }
+        for i in 0..10 {
+            assert_eq!(h.bin_count(i), 1, "bin {i}");
+        }
+        assert_eq!(h.underflow(), 0);
+        assert_eq!(h.overflow(), 0);
+    }
+
+    #[test]
+    fn under_and_overflow_counted() {
+        let mut h = Histogram::new(0.0, 1.0, 4);
+        h.extend([-1.0, 2.0, 1.0]); // exactly `hi` is overflow
+        assert_eq!(h.underflow(), 1);
+        assert_eq!(h.overflow(), 2);
+        assert_eq!(h.total(), 3);
+    }
+
+    #[test]
+    fn boundary_sample_goes_to_right_bin() {
+        let mut h = Histogram::new(0.0, 4.0, 4);
+        h.push(1.0);
+        assert_eq!(h.bin_count(1), 1);
+        h.push(0.0);
+        assert_eq!(h.bin_count(0), 1);
+    }
+
+    #[test]
+    fn density_integrates_to_in_range_fraction() {
+        let mut h = Histogram::new(0.0, 10.0, 20);
+        h.extend((0..1000).map(|i| (i % 10) as f64 + 0.25));
+        let integral: f64 = (0..h.len()).map(|i| h.density(i) * h.bin_width()).sum();
+        assert!((integral - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn mode_bin_finds_peak() {
+        let mut h = Histogram::new(0.0, 3.0, 3);
+        h.extend([0.5, 1.5, 1.6, 1.7, 2.5]);
+        assert_eq!(h.mode_bin(), Some(1));
+        assert_eq!(Histogram::new(0.0, 1.0, 2).mode_bin(), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty")]
+    fn rejects_empty_range() {
+        let _ = Histogram::new(1.0, 1.0, 4);
+    }
+
+    #[test]
+    fn display_has_one_row_per_bin() {
+        let h = Histogram::new(0.0, 1.0, 7);
+        assert_eq!(h.to_string().lines().count(), 7);
+    }
+}

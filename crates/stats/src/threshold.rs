@@ -1,0 +1,305 @@
+//! Timing-threshold calibration and decoding (paper §VI-B).
+//!
+//! The paper establishes the 0/1 decision threshold by transmitting an
+//! alternating `0101...` pattern, averaging the timing of the 0-bits and the
+//! 1-bits, and then judging a measurement as "1" when it is 30-70 % or more
+//! above the threshold. [`ThresholdDecoder`] reproduces that scheme, including
+//! the ambiguity band that triggers re-measurement in our channel
+//! implementations.
+
+use std::error::Error;
+use std::fmt;
+
+/// Error returned when calibration input cannot produce a threshold.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CalibrationError {
+    /// One of the calibration classes had no samples.
+    EmptyClass,
+    /// The two class means were indistinguishable.
+    DegenerateClasses,
+}
+
+impl fmt::Display for CalibrationError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CalibrationError::EmptyClass => write!(f, "calibration class had no samples"),
+            CalibrationError::DegenerateClasses => {
+                write!(f, "calibration class means are indistinguishable")
+            }
+        }
+    }
+}
+
+impl Error for CalibrationError {}
+
+/// Builder for [`ThresholdDecoder`]; collects calibration samples for the
+/// two bit classes.
+///
+/// # Examples
+///
+/// ```
+/// use leaky_stats::ThresholdDecoderBuilder;
+///
+/// let mut b = ThresholdDecoderBuilder::new();
+/// b.push(false, 100.0);
+/// b.push(true, 200.0);
+/// let decoder = b.build()?;
+/// assert!(decoder.decode(190.0));
+/// assert!(!decoder.decode(110.0));
+/// # Ok::<(), leaky_stats::threshold::CalibrationError>(())
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct ThresholdDecoderBuilder {
+    zeros: Vec<f64>,
+    ones: Vec<f64>,
+    band: f64,
+    robust: bool,
+}
+
+impl ThresholdDecoderBuilder {
+    /// Creates an empty builder with the paper's default ambiguity band
+    /// (±15 % of the class separation around the threshold).
+    pub fn new() -> Self {
+        ThresholdDecoderBuilder {
+            zeros: Vec::new(),
+            ones: Vec::new(),
+            band: 0.15,
+            robust: false,
+        }
+    }
+
+    /// Uses class *medians* instead of means, making calibration robust to
+    /// interference bursts (occasional large outliers in the measurement
+    /// stream).
+    pub fn robust(&mut self, robust: bool) -> &mut Self {
+        self.robust = robust;
+        self
+    }
+
+    /// Sets the ambiguity band as a fraction of the class separation.
+    /// Measurements within the band are flagged ambiguous by
+    /// [`ThresholdDecoder::decode_checked`].
+    pub fn ambiguity_band(&mut self, fraction: f64) -> &mut Self {
+        self.band = fraction.max(0.0);
+        self
+    }
+
+    /// Records a calibration measurement with its known bit value.
+    pub fn push(&mut self, bit: bool, measurement: f64) -> &mut Self {
+        if bit {
+            self.ones.push(measurement);
+        } else {
+            self.zeros.push(measurement);
+        }
+        self
+    }
+
+    /// Records measurements for an alternating `0101...` calibration pattern,
+    /// mirroring the paper's calibration procedure.
+    pub fn push_alternating<I: IntoIterator<Item = f64>>(&mut self, measurements: I) -> &mut Self {
+        for (i, m) in measurements.into_iter().enumerate() {
+            self.push(i % 2 == 1, m);
+        }
+        self
+    }
+
+    /// Builds the decoder.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CalibrationError::EmptyClass`] if either class has no
+    /// samples, or [`CalibrationError::DegenerateClasses`] if the class means
+    /// coincide.
+    pub fn build(&self) -> Result<ThresholdDecoder, CalibrationError> {
+        if self.zeros.is_empty() || self.ones.is_empty() {
+            return Err(CalibrationError::EmptyClass);
+        }
+        let center = |samples: &[f64]| -> f64 {
+            if self.robust {
+                crate::summary::median(samples).expect("non-empty class")
+            } else {
+                samples.iter().sum::<f64>() / samples.len() as f64
+            }
+        };
+        let zero_mean = center(&self.zeros);
+        let one_mean = center(&self.ones);
+        if (one_mean - zero_mean).abs() < f64::EPSILON * zero_mean.abs().max(1.0) {
+            return Err(CalibrationError::DegenerateClasses);
+        }
+        Ok(ThresholdDecoder {
+            zero_mean,
+            one_mean,
+            threshold: (zero_mean + one_mean) / 2.0,
+            band: self.band * (one_mean - zero_mean).abs(),
+        })
+    }
+}
+
+/// Decodes timing (or power) measurements into bits relative to a calibrated
+/// threshold.
+///
+/// "1" is the class whose calibration mean was provided as the `true` class;
+/// the decoder handles either polarity (1-bits slower *or* faster than
+/// 0-bits).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ThresholdDecoder {
+    zero_mean: f64,
+    one_mean: f64,
+    threshold: f64,
+    band: f64,
+}
+
+/// Outcome of a decode that also reports ambiguity (measurement too close to
+/// the threshold, prompting the channel to re-measure).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Decoded {
+    /// Confidently decoded bit.
+    Bit(bool),
+    /// Measurement fell inside the ambiguity band; carries the best guess.
+    Ambiguous(bool),
+}
+
+impl Decoded {
+    /// The decoded bit, ignoring ambiguity.
+    pub fn bit(self) -> bool {
+        match self {
+            Decoded::Bit(b) | Decoded::Ambiguous(b) => b,
+        }
+    }
+
+    /// Whether the measurement was ambiguous.
+    pub fn is_ambiguous(self) -> bool {
+        matches!(self, Decoded::Ambiguous(_))
+    }
+}
+
+impl ThresholdDecoder {
+    /// Creates a decoder directly from the two class means, using the
+    /// midpoint threshold and a band expressed as a fraction of separation.
+    pub fn from_means(zero_mean: f64, one_mean: f64, band_fraction: f64) -> Self {
+        ThresholdDecoder {
+            zero_mean,
+            one_mean,
+            threshold: (zero_mean + one_mean) / 2.0,
+            band: band_fraction.max(0.0) * (one_mean - zero_mean).abs(),
+        }
+    }
+
+    /// The calibrated decision threshold.
+    pub fn threshold(&self) -> f64 {
+        self.threshold
+    }
+
+    /// Mean calibration measurement of the 0 class.
+    pub fn zero_mean(&self) -> f64 {
+        self.zero_mean
+    }
+
+    /// Mean calibration measurement of the 1 class.
+    pub fn one_mean(&self) -> f64 {
+        self.one_mean
+    }
+
+    /// Absolute separation between the class means.
+    pub fn separation(&self) -> f64 {
+        (self.one_mean - self.zero_mean).abs()
+    }
+
+    /// Decodes a measurement into a bit.
+    pub fn decode(&self, measurement: f64) -> bool {
+        if self.one_mean > self.zero_mean {
+            measurement > self.threshold
+        } else {
+            measurement < self.threshold
+        }
+    }
+
+    /// Decodes a measurement, reporting whether it fell inside the ambiguity
+    /// band around the threshold.
+    pub fn decode_checked(&self, measurement: f64) -> Decoded {
+        let bit = self.decode(measurement);
+        if (measurement - self.threshold).abs() < self.band {
+            Decoded::Ambiguous(bit)
+        } else {
+            Decoded::Bit(bit)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn calibrates_midpoint() {
+        let mut b = ThresholdDecoderBuilder::new();
+        b.push(false, 100.0).push(false, 110.0);
+        b.push(true, 200.0).push(true, 190.0);
+        let d = b.build().unwrap();
+        assert!((d.threshold() - 150.0).abs() < 1e-9);
+        assert!(d.decode(180.0));
+        assert!(!d.decode(120.0));
+    }
+
+    #[test]
+    fn alternating_calibration_assigns_classes() {
+        let mut b = ThresholdDecoderBuilder::new();
+        // Pattern 0,1,0,1: indices 1 and 3 are ones.
+        b.push_alternating([10.0, 30.0, 10.0, 30.0]);
+        let d = b.build().unwrap();
+        assert_eq!(d.zero_mean(), 10.0);
+        assert_eq!(d.one_mean(), 30.0);
+    }
+
+    #[test]
+    fn inverted_polarity_decodes_correctly() {
+        // 1-bits *faster* than 0-bits (misalignment channel polarity).
+        let d = ThresholdDecoder::from_means(200.0, 100.0, 0.1);
+        assert!(d.decode(90.0));
+        assert!(!d.decode(210.0));
+    }
+
+    #[test]
+    fn ambiguity_band_flags_near_threshold() {
+        let d = ThresholdDecoder::from_means(100.0, 200.0, 0.15);
+        // Threshold 150, band ±15.
+        assert!(d.decode_checked(151.0).is_ambiguous());
+        assert!(!d.decode_checked(180.0).is_ambiguous());
+        assert!(!d.decode_checked(120.0).is_ambiguous());
+        assert!(d.decode_checked(151.0).bit());
+    }
+
+    #[test]
+    fn empty_class_errors() {
+        let mut b = ThresholdDecoderBuilder::new();
+        b.push(false, 1.0);
+        assert_eq!(b.build().unwrap_err(), CalibrationError::EmptyClass);
+    }
+
+    #[test]
+    fn degenerate_classes_error() {
+        let mut b = ThresholdDecoderBuilder::new();
+        b.push(false, 5.0).push(true, 5.0);
+        assert_eq!(b.build().unwrap_err(), CalibrationError::DegenerateClasses);
+    }
+
+    #[test]
+    fn robust_calibration_ignores_outliers() {
+        let mut b = ThresholdDecoderBuilder::new();
+        b.robust(true);
+        for _ in 0..9 {
+            b.push(false, 10.0);
+            b.push(true, 20.0);
+        }
+        b.push(false, 10_000.0); // interference burst in the 0 class
+        let d = b.build().unwrap();
+        assert_eq!(d.zero_mean(), 10.0, "median must reject the outlier");
+        assert!((d.threshold() - 15.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn zero_band_never_ambiguous() {
+        let d = ThresholdDecoder::from_means(0.0, 10.0, 0.0);
+        assert!(!d.decode_checked(5.0001).is_ambiguous());
+    }
+}

@@ -1,0 +1,50 @@
+//! SGX exfiltration (§VIII): a sender inside an enclave leaks a secret key
+//! to an unprivileged receiver outside, using only frontend path switching.
+//!
+//! The receiver triggers the enclave once per bit and times the whole call
+//! (one EENTER/EEXIT per bit, §VIII-2) — SGX's memory encryption and access
+//! control never see anything wrong.
+//!
+//! Run with: `cargo run --release --example sgx_exfiltration`
+
+use leaky_frontends_repro::attacks::channels::non_mt::NonMtKind;
+use leaky_frontends_repro::attacks::params::{bits_to_bytes, bytes_to_bits, ChannelParams, EncodeMode};
+use leaky_frontends_repro::attacks::sgx::SgxNonMtChannel;
+use leaky_frontends_repro::cpu::ProcessorModel;
+
+fn main() {
+    // A 16-byte "sealing key" held inside the enclave.
+    let secret_key: [u8; 16] = [
+        0xde, 0xad, 0xbe, 0xef, 0x01, 0x23, 0x45, 0x67, 0x89, 0xab, 0xcd, 0xef, 0x10, 0x32,
+        0x54, 0x76,
+    ];
+    println!("enclave secret: {}", hex(&secret_key));
+
+    let mut channel = SgxNonMtChannel::new(
+        ProcessorModel::xeon_e2174g(),
+        NonMtKind::Eviction,
+        EncodeMode::Fast,
+        ChannelParams::sgx_non_mt_defaults(),
+        99,
+    )
+    .expect("E-2174G supports SGX");
+
+    let run = channel.transmit(&bytes_to_bits(&secret_key));
+    let leaked = bits_to_bytes(run.received());
+    println!("leaked:         {}", hex(&leaked));
+    println!(
+        "rate: {:.2} Kbps, error: {:.2}%, wall time: {:.1} ms",
+        run.rate_kbps(),
+        run.error_rate() * 100.0,
+        run.seconds() * 1e3
+    );
+    let ok = leaked == secret_key;
+    println!(
+        "key recovered {} (paper Table VI: ~30 Kbps at <1.5% error on this machine)",
+        if ok { "EXACTLY" } else { "with errors" }
+    );
+}
+
+fn hex(bytes: &[u8]) -> String {
+    bytes.iter().map(|b| format!("{b:02x}")).collect()
+}

@@ -1,0 +1,51 @@
+//! The paper's Spectre v1 variant (§IX): transient execution encodes the
+//! secret in *which DSB set* a mix block maps to, leaving the data and
+//! instruction caches untouched — the stealthiest disclosure channel of
+//! Table VII.
+//!
+//! Leaks a string through the frontend channel and compares its cache
+//! footprint against the classic Flush+Reload gadget.
+//!
+//! Run with: `cargo run --release --example spectre_frontend`
+
+use leaky_frontends_repro::spectre::attack::SpectreV1;
+use leaky_frontends_repro::spectre::channels::ChannelKind;
+
+/// Packs an ASCII string into 5-bit chunks (A-Z + a few symbols), the
+/// paper's secret representation (§IX: "5 bit chunks").
+fn to_chunks(s: &str) -> Vec<u8> {
+    s.bytes().map(|b| b % 32).collect()
+}
+
+fn main() {
+    let secret = "LEAKY FRONTENDS";
+    let chunks = to_chunks(secret);
+    println!("victim secret: {secret:?} -> {} five-bit chunks", chunks.len());
+
+    for kind in [ChannelKind::Frontend, ChannelKind::L1dFlushReload] {
+        let mut attack = SpectreV1::new(kind, chunks.clone(), 2022);
+        let result = attack.leak();
+        println!("\nchannel {kind}:");
+        println!(
+            "  recovered {} / {} chunks ({:.0}% accuracy)",
+            result
+                .recovered
+                .iter()
+                .zip(&result.actual)
+                .filter(|(a, b)| a == b)
+                .count(),
+            chunks.len(),
+            result.accuracy() * 100.0
+        );
+        println!(
+            "  L1 miss rate {:.2}% ({} L1I + {} L1D misses)",
+            result.l1_miss_rate() * 100.0,
+            result.l1i_misses,
+            result.l1d_misses
+        );
+    }
+
+    println!("\nThe frontend variant recovers the same secret while displacing no");
+    println!("cache lines at all — invisible to cache-based Spectre detectors");
+    println!("(paper Table VII: 0.21% vs 4.79% for L1D Flush+Reload).");
+}

@@ -1,0 +1,29 @@
+//! Umbrella crate for the `leaky-frontends` reproduction workspace.
+//!
+//! Re-exports every subsystem so that examples and integration tests can use
+//! one coherent namespace. See the individual crates for full documentation:
+//!
+//! * [`isa`] — x86-like instruction & code-layout model
+//! * [`frontend`] — MITE / DSB / LSD frontend simulator
+//! * [`backend`] — execution-engine model (ports, IPC)
+//! * [`cache`] — L1I / L1D cache models and attack helpers
+//! * [`power`] — RAPL-style energy counter
+//! * [`cpu`] — composed SMT core with Table I processor presets
+//! * [`sgx`] — SGX enclave execution contexts
+//! * [`attacks`] — the paper's covert channels, side channels and
+//!   fingerprinting attacks
+//! * [`spectre`] — Spectre v1 variants over six covert channels
+//! * [`workloads`] — synthetic victim workloads for fingerprinting
+//! * [`stats`] — histograms, edit distance, threshold calibration
+
+pub use leaky_backend as backend;
+pub use leaky_cache as cache;
+pub use leaky_cpu as cpu;
+pub use leaky_frontend as frontend;
+pub use leaky_frontends as attacks;
+pub use leaky_isa as isa;
+pub use leaky_power as power;
+pub use leaky_sgx as sgx;
+pub use leaky_spectre as spectre;
+pub use leaky_stats as stats;
+pub use leaky_workloads as workloads;

@@ -1,0 +1,98 @@
+//! Integration tests for microcode-patch fingerprinting (§X) and the IPC
+//! application-fingerprinting side channel (§XI).
+
+use leaky_frontends_repro::attacks::fingerprint::ipc::{
+    distance_summary, FingerprintLibrary, IpcSampler,
+};
+use leaky_frontends_repro::attacks::fingerprint::microcode::MicrocodeFingerprint;
+use leaky_frontends_repro::cpu::{Core, MicrocodePatch, ProcessorModel};
+use leaky_frontends_repro::workloads::{cnn, mobile};
+
+fn quick_sampler() -> IpcSampler {
+    IpcSampler {
+        window_seconds: 0.002,
+        samples: 40,
+        ..IpcSampler::default()
+    }
+}
+
+#[test]
+fn microcode_patches_are_distinguishable_from_user_space() {
+    let fp = MicrocodeFingerprint::default();
+    for patch in [MicrocodePatch::Patch1, MicrocodePatch::Patch2] {
+        let mut core = Core::with_microcode(ProcessorModel::gold_6226(), patch, 12);
+        assert_eq!(fp.fingerprint(&mut core), patch);
+    }
+    assert!(fp.accuracy(ProcessorModel::gold_6226(), 8) > 0.95);
+}
+
+#[test]
+fn microcode_fingerprint_is_meaningless_without_lsd_hardware() {
+    // On machines whose LSD is fused off (E-2174G), both patches look like
+    // patch2 — the §X attack only applies where the patch changes the LSD.
+    let fp = MicrocodeFingerprint::default();
+    for patch in [MicrocodePatch::Patch1, MicrocodePatch::Patch2] {
+        let mut core = Core::with_microcode(ProcessorModel::xeon_e2174g(), patch, 12);
+        assert_eq!(fp.fingerprint(&mut core), MicrocodePatch::Patch2);
+    }
+}
+
+#[test]
+fn cnn_models_separable_and_classifiable() {
+    let s = quick_sampler();
+    let refs: Vec<(String, Vec<Vec<f64>>)> = cnn::models()
+        .iter()
+        .map(|w| {
+            (
+                w.name().to_string(),
+                s.trace_set(ProcessorModel::gold_6226(), w, 2, 60),
+            )
+        })
+        .collect();
+    let sets: Vec<_> = refs.iter().map(|(_, t)| t.clone()).collect();
+    let d = distance_summary(&sets);
+    assert!(d.separable(), "intra {:.3} vs inter {:.3}", d.intra, d.inter);
+
+    let lib = FingerprintLibrary::new(refs);
+    for w in cnn::models() {
+        let probe = s.trace(ProcessorModel::gold_6226(), &w, 444);
+        assert_eq!(lib.classify(&probe), w.name());
+    }
+}
+
+#[test]
+fn ten_mobile_workloads_classify_correctly() {
+    let s = quick_sampler();
+    let refs: Vec<(String, Vec<Vec<f64>>)> = mobile::benchmarks()
+        .iter()
+        .map(|w| {
+            (
+                w.name().to_string(),
+                s.trace_set(ProcessorModel::gold_6226(), w, 2, 70),
+            )
+        })
+        .collect();
+    let lib = FingerprintLibrary::new(refs);
+    let mut correct = 0;
+    for w in mobile::benchmarks() {
+        let probe = s.trace(ProcessorModel::gold_6226(), &w, 555);
+        if lib.classify(&probe) == w.name() {
+            correct += 1;
+        }
+    }
+    assert!(correct >= 9, "only {correct}/10 classified correctly");
+}
+
+#[test]
+fn fingerprinting_survives_partitioned_dsb_and_lsd() {
+    // §XI's robustness claim: the channel works through the shared MITE /
+    // rename even though DSB and LSD are partitioned — i.e. it also works
+    // on machines with the LSD fused off entirely.
+    let s = quick_sampler();
+    let sets: Vec<Vec<Vec<f64>>> = cnn::models()
+        .iter()
+        .map(|w| s.trace_set(ProcessorModel::xeon_e2174g(), w, 2, 80))
+        .collect();
+    let d = distance_summary(&sets);
+    assert!(d.separable());
+}

@@ -1,0 +1,126 @@
+//! Cross-crate invariant tests: the §IV reverse-engineering facts must hold
+//! through the full core stack, not just inside the frontend crate.
+
+use leaky_frontends_repro::cpu::{Core, ProcessorModel};
+use leaky_frontends_repro::frontend::ThreadId;
+use leaky_frontends_repro::isa::{same_set_chain, Alignment, DsbSet, FrontendGeometry};
+
+const BASE_A: u64 = 0x0041_8000;
+const BASE_B: u64 = 0x0082_0000;
+
+#[test]
+fn section_4f_eviction_boundary_at_nine_blocks() {
+    // §IV-F: 8 same-set blocks fit (LSD); the 9th forces DSB evictions and
+    // MITE fallback — with zero L1I misses after warm-up.
+    for count in [8usize, 9] {
+        let mut core = Core::new(ProcessorModel::gold_6226(), 3);
+        let chain = same_set_chain(BASE_A, DsbSet::new(4), count, Alignment::Aligned);
+        core.run_loop(ThreadId::T0, &chain, 8);
+        let warm = core.run_once(ThreadId::T0, &chain);
+        if count == 8 {
+            assert_eq!(warm.report.mite_uops, 0, "8 blocks must stay out of MITE");
+            assert!(warm.report.lsd_uops > 0);
+        } else {
+            assert!(warm.report.mite_uops > 0, "9 blocks must thrash into MITE");
+            assert_eq!(warm.report.dsb_evictions > 0, true);
+        }
+        assert_eq!(warm.report.l1i_misses, 0, "no L1I misses either way (§IV-F)");
+    }
+}
+
+#[test]
+fn section_4g_misalignment_pairs_through_the_core() {
+    // Every §IV-G {aligned + misaligned} collision pair must deny the LSD.
+    for (a, m) in [(7, 1), (5, 2), (6, 2), (3, 3), (4, 3), (5, 3)] {
+        let mut core = Core::new(ProcessorModel::gold_6226(), 3);
+        let aligned = same_set_chain(BASE_A, DsbSet::new(0), a, Alignment::Aligned);
+        let mis = same_set_chain(BASE_B, DsbSet::new(0), m, Alignment::Misaligned);
+        let chain = aligned.concat(mis);
+        core.run_loop(ThreadId::T0, &chain, 10);
+        let warm = core.run_once(ThreadId::T0, &chain);
+        assert_eq!(
+            warm.report.lsd_uops, 0,
+            "{a} aligned + {m} misaligned must not stream from the LSD"
+        );
+    }
+    // The all-aligned 8-block control does stream.
+    let mut core = Core::new(ProcessorModel::gold_6226(), 3);
+    let chain = same_set_chain(BASE_A, DsbSet::new(0), 8, Alignment::Aligned);
+    core.run_loop(ThreadId::T0, &chain, 10);
+    assert!(core.run_once(ThreadId::T0, &chain).report.lsd_uops > 0);
+}
+
+#[test]
+fn dsb_capacity_is_1536_uops() {
+    let g = FrontendGeometry::skylake();
+    assert_eq!(g.dsb_capacity_uops(), 1536);
+}
+
+#[test]
+fn partition_detection_via_mite_usage() {
+    // §IV-B: "whether the DSB is currently partitioned ... can be detected
+    // by checking the increased MITE usage". An application filling many
+    // sets sees MITE traffic spike when the sibling wakes.
+    let mut core = Core::new(ProcessorModel::gold_6226(), 3);
+    let probe = same_set_chain(BASE_A, DsbSet::new(2), 8, Alignment::Aligned);
+    core.run_loop(ThreadId::T0, &probe, 5);
+    let solo = core.run_once(ThreadId::T0, &probe);
+    assert_eq!(solo.report.mite_uops, 0);
+
+    core.set_active(ThreadId::T0, true);
+    core.set_active(ThreadId::T1, true); // sibling wakes: partition event
+    let partitioned = core.run_once(ThreadId::T0, &probe);
+    assert!(
+        partitioned.report.mite_uops > 0,
+        "partition transition must show up as MITE usage"
+    );
+}
+
+#[test]
+fn inclusive_hierarchy_mite_dsb_lsd() {
+    // §IV: MITE ⊇ DSB ⊇ LSD — evicting a DSB line kills the LSD loop, and
+    // the evicted µops must come back through the MITE.
+    let mut core = Core::new(ProcessorModel::gold_6226(), 3);
+    let loop_a = same_set_chain(BASE_A, DsbSet::new(6), 6, Alignment::Aligned);
+    core.run_loop(ThreadId::T0, &loop_a, 8);
+    assert!(core.frontend().lsd_locked(ThreadId::T0, &loop_a));
+
+    // 3 more same-set blocks push the set to 9 lines: eviction.
+    let evictor = same_set_chain(BASE_B, DsbSet::new(6), 3, Alignment::Aligned);
+    core.run_loop(ThreadId::T0, &evictor, 1);
+    assert!(
+        !core.frontend().lsd_locked(ThreadId::T0, &loop_a),
+        "DSB eviction must flush the LSD (inclusivity)"
+    );
+    let after = core.run_once(ThreadId::T0, &loop_a);
+    assert!(after.report.mite_uops > 0);
+}
+
+#[test]
+fn timing_order_lsd_between_dsb_and_mite() {
+    // Fig. 2's three delivery modes, measured through the noisy timer.
+    let mut samples = |count: usize, lsd_enabled: bool| -> f64 {
+        let model = if lsd_enabled {
+            ProcessorModel::gold_6226()
+        } else {
+            ProcessorModel::xeon_e2174g()
+        };
+        let mut core = Core::new(model, 3);
+        let chain = same_set_chain(BASE_A, DsbSet::new(1), count, Alignment::Aligned);
+        core.run_loop(ThreadId::T0, &chain, 10);
+        let mut total = 0.0;
+        let n = 200;
+        for _ in 0..n {
+            let t0 = core.rdtscp(ThreadId::T0);
+            core.run_once(ThreadId::T0, &chain);
+            let t1 = core.rdtscp(ThreadId::T0);
+            total += (t1 - t0) / count as f64;
+        }
+        total / n as f64
+    };
+    let dsb = samples(8, false);
+    let lsd = samples(8, true);
+    let mite = samples(9, true);
+    assert!(dsb < lsd, "DSB ({dsb:.2}) must beat LSD ({lsd:.2}) per block");
+    assert!(lsd < mite, "LSD ({lsd:.2}) must beat MITE ({mite:.2}) per block");
+}

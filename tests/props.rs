@@ -1,0 +1,159 @@
+//! Property-based tests (proptest) over the core data structures and
+//! invariants of the reproduction.
+
+use leaky_frontends_repro::cache::{CacheConfig, SetAssocCache};
+use leaky_frontends_repro::frontend::{Frontend, FrontendConfig, ThreadId};
+use leaky_frontends_repro::isa::{same_set_chain, Alignment, DsbSet, FrontendGeometry};
+use leaky_frontends_repro::stats::{edit_distance, euclidean_distance, Histogram};
+use proptest::prelude::*;
+
+proptest! {
+    /// Edit distance is a metric: identity, symmetry, triangle inequality.
+    #[test]
+    fn edit_distance_is_a_metric(
+        a in proptest::collection::vec(any::<bool>(), 0..40),
+        b in proptest::collection::vec(any::<bool>(), 0..40),
+        c in proptest::collection::vec(any::<bool>(), 0..40),
+    ) {
+        prop_assert_eq!(edit_distance(&a, &a), 0);
+        prop_assert_eq!(edit_distance(&a, &b), edit_distance(&b, &a));
+        let ab = edit_distance(&a, &b);
+        let bc = edit_distance(&b, &c);
+        let ac = edit_distance(&a, &c);
+        prop_assert!(ac <= ab + bc);
+        // Bounded by length difference below and max length above.
+        prop_assert!(ab >= a.len().abs_diff(b.len()));
+        prop_assert!(ab <= a.len().max(b.len()));
+    }
+
+    /// Euclidean distance: non-negativity, identity, symmetry.
+    #[test]
+    fn euclidean_distance_properties(
+        a in proptest::collection::vec(-1e3f64..1e3, 1..24),
+        b in proptest::collection::vec(-1e3f64..1e3, 1..24),
+    ) {
+        prop_assume!(a.len() == b.len() || true);
+        let n = a.len().min(b.len());
+        let (a, b) = (&a[..n], &b[..n]);
+        let d = euclidean_distance(a, b).unwrap();
+        prop_assert!(d >= 0.0);
+        prop_assert_eq!(euclidean_distance(a, a).unwrap(), 0.0);
+        let d2 = euclidean_distance(b, a).unwrap();
+        prop_assert!((d - d2).abs() < 1e-9);
+    }
+
+    /// LRU cache invariants: occupancy never exceeds ways; a just-accessed
+    /// line is always resident and MRU; hits never evict.
+    #[test]
+    fn cache_lru_invariants(
+        lines in proptest::collection::vec(0u64..64, 1..200),
+        ways in 1usize..8,
+        sets in 1usize..8,
+    ) {
+        let mut cache = SetAssocCache::new(CacheConfig {
+            sets,
+            ways,
+            line_bytes: 64,
+        });
+        for &line in &lines {
+            let was_resident = cache.contains_line(line);
+            let outcome = cache.access_line(line);
+            prop_assert_eq!(outcome.hit(), was_resident, "hit iff resident");
+            prop_assert!(cache.contains_line(line));
+            prop_assert_eq!(cache.lru_rank(line), Some(0), "just-accessed is MRU");
+            if was_resident {
+                prop_assert_eq!(outcome.evicted(), None, "hits never evict");
+            }
+            for s in 0..sets {
+                prop_assert!(cache.set_occupancy(s) <= ways);
+            }
+        }
+        let stats = cache.stats();
+        prop_assert_eq!(stats.hits + stats.misses, stats.accesses);
+    }
+
+    /// Histogram conservation: every pushed sample lands exactly once.
+    #[test]
+    fn histogram_conserves_samples(
+        samples in proptest::collection::vec(-50.0f64..150.0, 0..300),
+        bins in 1usize..40,
+    ) {
+        let mut h = Histogram::new(0.0, 100.0, bins);
+        h.extend(samples.iter().copied());
+        prop_assert_eq!(h.total(), samples.len() as u64);
+        let in_range: u64 = (0..h.len()).map(|i| h.bin_count(i)).sum();
+        prop_assert_eq!(
+            in_range + h.underflow() + h.overflow(),
+            samples.len() as u64
+        );
+    }
+
+    /// Frontend µop conservation: every µop of the chain is delivered by
+    /// exactly one path, every iteration, whatever the layout.
+    #[test]
+    fn frontend_delivers_every_uop_exactly_once(
+        set in 0u8..32,
+        count in 1usize..10,
+        aligned in any::<bool>(),
+        iterations in 1usize..6,
+    ) {
+        let alignment = if aligned { Alignment::Aligned } else { Alignment::Misaligned };
+        let chain = same_set_chain(0x0041_8000, DsbSet::new(set), count, alignment);
+        let mut fe = Frontend::new(FrontendConfig::default());
+        for _ in 0..iterations {
+            let report = fe.run_iteration(ThreadId::T0, &chain);
+            prop_assert_eq!(report.total_uops(), chain.total_uops() as u64);
+        }
+    }
+
+    /// Chain-layout invariants: same-set chains really collide in one DSB
+    /// set, never overlap in memory, and misalignment doubles the windows.
+    #[test]
+    fn chain_layout_invariants(
+        set in 0u8..32,
+        count in 1usize..12,
+        base_page in 1u64..1000,
+    ) {
+        let base = base_page * 4096;
+        let geom = FrontendGeometry::skylake();
+        for alignment in [Alignment::Aligned, Alignment::Misaligned] {
+            let chain = same_set_chain(base, DsbSet::new(set), count, alignment);
+            prop_assert_eq!(chain.len(), count);
+            for b in chain.blocks() {
+                prop_assert_eq!(b.dsb_set().index(), set);
+            }
+            // Blocks are disjoint in memory.
+            for w in chain.blocks().windows(2) {
+                prop_assert!(w[0].end() <= w[1].base());
+            }
+            let expected_windows = match alignment {
+                Alignment::Aligned => count,
+                Alignment::Misaligned => 2 * count,
+            };
+            prop_assert_eq!(chain.window_count(), expected_windows);
+            prop_assert_eq!(chain.dsb_lines(&geom), expected_windows);
+        }
+    }
+
+    /// Deterministic replay: two frontends fed the same access pattern
+    /// produce identical reports.
+    #[test]
+    fn frontend_is_deterministic(
+        sets in proptest::collection::vec(0u8..32, 1..12),
+    ) {
+        let chains: Vec<_> = sets
+            .iter()
+            .enumerate()
+            .map(|(i, &s)| {
+                same_set_chain(0x0041_8000 + i as u64 * 0x10_0000, DsbSet::new(s), 4, Alignment::Aligned)
+            })
+            .collect();
+        let mut fe1 = Frontend::new(FrontendConfig::default());
+        let mut fe2 = Frontend::new(FrontendConfig::default());
+        for chain in &chains {
+            let r1 = fe1.run_iteration(ThreadId::T0, chain);
+            let r2 = fe2.run_iteration(ThreadId::T0, chain);
+            prop_assert_eq!(r1, r2);
+        }
+    }
+}

@@ -1,0 +1,106 @@
+//! Integration tests for the SGX exfiltration attacks (§VIII) and the
+//! Spectre v1 variants (§IX, Table VII).
+
+use leaky_frontends_repro::attacks::channels::non_mt::NonMtKind;
+use leaky_frontends_repro::attacks::params::{bits_to_bytes, bytes_to_bits, ChannelParams, EncodeMode};
+use leaky_frontends_repro::attacks::sgx::{SgxAttackError, SgxMtChannel, SgxNonMtChannel};
+use leaky_frontends_repro::cpu::ProcessorModel;
+use leaky_frontends_repro::spectre::attack::{table7, SpectreV1};
+use leaky_frontends_repro::spectre::channels::ChannelKind;
+
+#[test]
+fn sgx_leaks_a_key_through_the_enclave_boundary() {
+    let key = [0x5au8, 0xa5, 0x3c, 0xc3, 0x0f, 0xf0, 0x69, 0x96];
+    let mut ch = SgxNonMtChannel::new(
+        ProcessorModel::xeon_e2286g(),
+        NonMtKind::Eviction,
+        EncodeMode::Fast,
+        ChannelParams::sgx_non_mt_defaults(),
+        4,
+    )
+    .expect("SGX machine");
+    let run = ch.transmit(&bytes_to_bits(&key));
+    assert_eq!(bits_to_bytes(run.received()), key);
+    // Table VI regime: tens of Kbps.
+    assert!(run.rate_kbps() > 5.0 && run.rate_kbps() < 300.0);
+}
+
+#[test]
+fn sgx_rejects_unsupported_configurations() {
+    assert_eq!(
+        SgxNonMtChannel::new(
+            ProcessorModel::gold_6226(),
+            NonMtKind::Eviction,
+            EncodeMode::Fast,
+            ChannelParams::sgx_non_mt_defaults(),
+            1,
+        )
+        .unwrap_err(),
+        SgxAttackError::NoSgx { model: "Gold 6226" }
+    );
+    assert_eq!(
+        SgxMtChannel::new(
+            ProcessorModel::xeon_e2288g(),
+            NonMtKind::Eviction,
+            ChannelParams::sgx_mt_defaults(),
+            1,
+        )
+        .unwrap_err(),
+        SgxAttackError::NoSmt {
+            model: "Xeon E-2288G"
+        }
+    );
+}
+
+#[test]
+fn sgx_mt_channel_decodes_from_sibling_thread() {
+    let mut ch = SgxMtChannel::new(
+        ProcessorModel::xeon_e2174g(),
+        NonMtKind::Eviction,
+        ChannelParams::sgx_mt_defaults(),
+        6,
+    )
+    .unwrap();
+    let msg: Vec<bool> = (0..24).map(|i| i % 3 == 0).collect();
+    let run = ch.transmit(&msg);
+    assert!(
+        run.error_rate() < 0.25,
+        "MT SGX error {:.1}%",
+        run.error_rate() * 100.0
+    );
+}
+
+#[test]
+fn spectre_frontend_variant_recovers_text() {
+    let secret: Vec<u8> = "HPCA".bytes().map(|b| b % 32).collect();
+    let mut attack = SpectreV1::new(ChannelKind::Frontend, secret.clone(), 8);
+    let result = attack.leak();
+    assert_eq!(result.recovered, secret);
+}
+
+#[test]
+fn table7_shape_holds_end_to_end() {
+    let secret: Vec<u8> = (0..16).map(|i| (i * 11) % 32).collect();
+    let rows = table7(&secret, 15);
+    // Everyone recovers the secret...
+    for (kind, result) in &rows {
+        assert_eq!(result.accuracy(), 1.0, "{kind} inaccurate");
+    }
+    // ...but footprints differ: frontend < L1I < data-cache channels.
+    let rate = |k: ChannelKind| {
+        rows.iter()
+            .find(|(kind, _)| *kind == k)
+            .map(|(_, r)| r.l1_miss_rate())
+            .unwrap()
+    };
+    assert!(rate(ChannelKind::Frontend) < rate(ChannelKind::L1iPrimeProbe));
+    assert!(rate(ChannelKind::L1iPrimeProbe) < rate(ChannelKind::MemFlushReload));
+    assert!(rate(ChannelKind::MemFlushReload) < rate(ChannelKind::L1dFlushReload));
+    // The frontend channel leaves the data cache completely alone.
+    let frontend = rows
+        .iter()
+        .find(|(k, _)| *k == ChannelKind::Frontend)
+        .map(|(_, r)| r)
+        .unwrap();
+    assert_eq!(frontend.l1d_misses, 0);
+}
