@@ -7,7 +7,9 @@
 
 use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
 use leaky_frontend::{Dsb, Frontend, FrontendConfig, LineId, SmtDsbPolicy, ThreadId};
-use leaky_isa::{same_set_chain, Alignment, Block, BlockChain, DsbSet, FrontendGeometry, LcpPattern};
+use leaky_isa::{
+    same_set_chain, Alignment, Block, BlockChain, DsbSet, FrontendGeometry, LcpPattern,
+};
 use std::hint::black_box;
 
 fn bench_delivery_paths(c: &mut Criterion) {
@@ -73,8 +75,7 @@ fn bench_dsb_operations(c: &mut Criterion) {
     group.bench_function("insert_evict", |b| {
         b.iter_batched(
             || {
-                let mut dsb =
-                    Dsb::new(FrontendGeometry::skylake(), SmtDsbPolicy::Competitive);
+                let mut dsb = Dsb::new(FrontendGeometry::skylake(), SmtDsbPolicy::Competitive);
                 for i in 0..8 {
                     dsb.insert(LineId {
                         thread: 0,

@@ -13,12 +13,21 @@ fn main() {
         42,
     );
     let dec = ch.debug_decoder();
-    println!("non-MT fast misalign 2288G decoder: zero={:.1} one={:.1} thr={:.1}",
-        dec.zero_mean(), dec.one_mean(), dec.threshold());
+    println!(
+        "non-MT fast misalign 2288G decoder: zero={:.1} one={:.1} thr={:.1}",
+        dec.zero_mean(),
+        dec.one_mean(),
+        dec.threshold()
+    );
     for i in 0..12 {
         let bit = i % 2 == 1;
         let m = ch.debug_measure(bit);
-        println!("  bit={} meas={:.1} -> {}", bit as u8, m, dec.decode(m) as u8);
+        println!(
+            "  bit={} meas={:.1} -> {}",
+            bit as u8,
+            m,
+            dec.decode(m) as u8
+        );
     }
 
     let mut ch = MtChannel::new(
@@ -29,11 +38,20 @@ fn main() {
     )
     .unwrap();
     let dec = ch.debug_decoder();
-    println!("MT misalign 6226 decoder: zero={:.2} one={:.2} thr={:.2}",
-        dec.zero_mean(), dec.one_mean(), dec.threshold());
+    println!(
+        "MT misalign 6226 decoder: zero={:.2} one={:.2} thr={:.2}",
+        dec.zero_mean(),
+        dec.one_mean(),
+        dec.threshold()
+    );
     for i in 0..12 {
         let bit = i % 2 == 1;
         let m = ch.debug_measure(bit);
-        println!("  bit={} meas={:.2} -> {}", bit as u8, m, dec.decode(m) as u8);
+        println!(
+            "  bit={} meas={:.2} -> {}",
+            bit as u8,
+            m,
+            dec.decode(m) as u8
+        );
     }
 }

@@ -11,8 +11,13 @@ fn main() {
     )
     .unwrap();
     let dec = ch.debug_decoder();
-    println!("d=1 decoder: zero={:.2} one={:.2} thr={:.2} sep={:.2}",
-        dec.zero_mean(), dec.one_mean(), dec.threshold(), dec.separation());
+    println!(
+        "d=1 decoder: zero={:.2} one={:.2} thr={:.2} sep={:.2}",
+        dec.zero_mean(),
+        dec.one_mean(),
+        dec.threshold(),
+        dec.separation()
+    );
     for i in 0..14 {
         let bit = i % 2 == 1;
         let m = ch.debug_measure(bit);

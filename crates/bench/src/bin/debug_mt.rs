@@ -9,15 +9,37 @@ fn main() {
     let send = same_set_chain(0x0082_0000, DsbSet::new(3), 3, Alignment::Misaligned);
     // Warm receiver solo to LSD
     core.run_loop(ThreadId::T0, &recv, 5);
-    println!("solo locked: {}", core.frontend().lsd_locked(ThreadId::T0, &recv));
+    println!(
+        "solo locked: {}",
+        core.frontend().lsd_locked(ThreadId::T0, &recv)
+    );
     // m=1 batch
     let (r, s) = core.run_concurrent(
-        ThreadWork { chain: &recv, iterations: 100 },
-        ThreadWork { chain: &send, iterations: 100 },
+        ThreadWork {
+            chain: &recv,
+            iterations: 100,
+        },
+        ThreadWork {
+            chain: &send,
+            iterations: 100,
+        },
     );
-    println!("m=1 batch: recv {:.2}c/iter [{}]", r.cycles / 100.0, r.report);
-    println!("          send {:.2}c/iter iters={} [{}]", s.cycles / s.iterations as f64, s.iterations, s.report);
+    println!(
+        "m=1 batch: recv {:.2}c/iter [{}]",
+        r.cycles / 100.0,
+        r.report
+    );
+    println!(
+        "          send {:.2}c/iter iters={} [{}]",
+        s.cycles / s.iterations as f64,
+        s.iterations,
+        s.report
+    );
     // m=0 batch
     let r0 = core.run_loop(ThreadId::T0, &recv, 100);
-    println!("m=0 batch: recv {:.2}c/iter [{}]", r0.cycles / 100.0, r0.report);
+    println!(
+        "m=0 batch: recv {:.2}c/iter [{}]",
+        r0.cycles / 100.0,
+        r0.report
+    );
 }

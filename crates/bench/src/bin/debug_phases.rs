@@ -12,15 +12,26 @@ fn main() {
     for r in 0..4 {
         let a = core.run_once(tid, &recv);
         let b = core.run_once(tid, &recv);
-        println!("round {r}: init {:.2}c [{}] decode {:.2}c [{}] locked={}",
-            a.cycles, a.report, b.cycles, b.report, core.frontend().lsd_locked(tid, &recv));
+        println!(
+            "round {r}: init {:.2}c [{}] decode {:.2}c [{}] locked={}",
+            a.cycles,
+            a.report,
+            b.cycles,
+            b.report,
+            core.frontend().lsd_locked(tid, &recv)
+        );
     }
     println!("--- m=1 rounds (recv, send-mis, recv) ---");
     for r in 0..4 {
         let a = core.run_once(tid, &recv);
         let s = core.run_once(tid, &send);
         let b = core.run_once(tid, &recv);
-        println!("round {r}: init {:.2} send {:.2} decode {:.2} locked={}",
-            a.cycles, s.cycles, b.cycles, core.frontend().lsd_locked(tid, &recv));
+        println!(
+            "round {r}: init {:.2} send {:.2} decode {:.2} locked={}",
+            a.cycles,
+            s.cycles,
+            b.cycles,
+            core.frontend().lsd_locked(tid, &recv)
+        );
     }
 }

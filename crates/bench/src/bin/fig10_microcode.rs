@@ -29,7 +29,12 @@ fn main() {
         println!("{:<28} -> classified as {}", "", classified.version());
     }
     let acc = fp.accuracy(ProcessorModel::gold_6226(), 25);
-    println!("\nfingerprinting accuracy over 50 trials: {:.1}%", acc * 100.0);
+    println!(
+        "\nfingerprinting accuracy over 50 trials: {:.1}%",
+        acc * 100.0
+    );
     println!("paper: patches \"clearly\" distinguishable; timing the more reliable indicator;");
-    println!("       patch1 small loops run at LSD pace and lower power, patch2 collapses the gap.");
+    println!(
+        "       patch1 small loops run at LSD pace and lower power, patch2 collapses the gap."
+    );
 }

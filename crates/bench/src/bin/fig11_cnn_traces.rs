@@ -39,6 +39,8 @@ fn main() {
             .collect();
         println!("   |{line}|");
     }
-    println!("\npaper: IPC roughly halves under SMT and fluctuates with the victim's layer schedule;");
+    println!(
+        "\npaper: IPC roughly halves under SMT and fluctuates with the victim's layer schedule;"
+    );
     println!("       each model's waveform is visually distinct.");
 }

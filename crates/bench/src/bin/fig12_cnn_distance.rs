@@ -19,8 +19,14 @@ fn main() {
         .map(|w| sampler.trace_set(ProcessorModel::gold_6226(), w, TRIALS, 400))
         .collect();
     let d = distance_summary(&sets);
-    println!("intra-distance (same model):      {:.3}   (paper 0.550)", d.intra);
-    println!("inter-distance (different model): {:.3}   (paper 1.937)", d.inter);
+    println!(
+        "intra-distance (same model):      {:.3}   (paper 0.550)",
+        d.intra
+    );
+    println!(
+        "inter-distance (different model): {:.3}   (paper 1.937)",
+        d.inter
+    );
     println!("separable: {}\n", d.separable());
 
     // Pairwise inter-distance matrix.
@@ -52,7 +58,11 @@ fn main() {
     let probes = 8;
     for (k, m) in models.iter().enumerate() {
         for p in 0..probes {
-            let probe = sampler.trace(ProcessorModel::gold_6226(), m, 900 + (k * probes + p) as u64);
+            let probe = sampler.trace(
+                ProcessorModel::gold_6226(),
+                m,
+                900 + (k * probes + p) as u64,
+            );
             if lib.classify(&probe) == m.name() {
                 correct += 1;
             }

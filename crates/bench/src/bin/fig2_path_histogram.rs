@@ -69,10 +69,7 @@ fn main() {
             mite_hist.bin_count(i),
         );
         if d + l + m > 0 {
-            println!(
-                "{:>10}  {d:>8} {l:>8} {m:>8}",
-                fmt(lsd_hist.bin_lo(i), 2)
-            );
+            println!("{:>10}  {d:>8} {l:>8} {m:>8}", fmt(lsd_hist.bin_lo(i), 2));
         }
     }
 }

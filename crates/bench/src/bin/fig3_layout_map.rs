@@ -55,7 +55,10 @@ fn describe(title: &str, chain: &BlockChain) {
 fn main() {
     println!("Figure 3: instruction-mix-block mapping to MITE/DSB/LSD\n");
     let eight = same_set_chain(0x0041_8000, DsbSet::new(0), 8, Alignment::Aligned);
-    describe("8 aligned blocks, same DSB set (paper's LSD-resident chain)", &eight);
+    describe(
+        "8 aligned blocks, same DSB set (paper's LSD-resident chain)",
+        &eight,
+    );
     let nine = same_set_chain(0x0041_8000, DsbSet::new(0), 9, Alignment::Aligned);
     describe("9 aligned blocks (the §IV-F eviction trigger)", &nine);
     let four_mis = same_set_chain(0x0041_8000, DsbSet::new(0), 4, Alignment::Misaligned);

@@ -31,10 +31,17 @@ fn main() {
     let (mixed, ipc_mixed) = run(LcpPattern::Mixed);
     let (ordered, ipc_ordered) = run(LcpPattern::Ordered);
 
-    println!("{:<26} {:>14} {:>14}", "counter", "mixed issue", "ordered issue");
+    println!(
+        "{:<26} {:>14} {:>14}",
+        "counter", "mixed issue", "ordered issue"
+    );
     println!("{:-<56}", "");
     for (name, m, o) in [
-        ("MITE uops", mixed.mite_uops as f64, ordered.mite_uops as f64),
+        (
+            "MITE uops",
+            mixed.mite_uops as f64,
+            ordered.mite_uops as f64,
+        ),
         ("DSB uops", mixed.dsb_uops as f64, ordered.dsb_uops as f64),
         (
             "LCP stall cycles",

@@ -40,9 +40,17 @@ fn main() {
         }
         println!();
     }
-    println!("paper (G-6226): rate grows ~50 -> ~250 Kbps over d = 1..8; errors grow toward ~15-25%");
-    println!("NOTE (documented deviation, see EXPERIMENTS.md): our protocol wall-balances sender and");
-    println!("receiver, so bit slots grow with the receiver footprint and rate *falls* with d; the");
-    println!("paper's slots are sender-bound (q fixed), so its rate rises. The d = 6 operating point");
+    println!(
+        "paper (G-6226): rate grows ~50 -> ~250 Kbps over d = 1..8; errors grow toward ~15-25%"
+    );
+    println!(
+        "NOTE (documented deviation, see EXPERIMENTS.md): our protocol wall-balances sender and"
+    );
+    println!(
+        "receiver, so bit slots grow with the receiver footprint and rate *falls* with d; the"
+    );
+    println!(
+        "paper's slots are sender-bound (q fixed), so its rate rises. The d = 6 operating point"
+    );
     println!("used by Table III matches in both.");
 }

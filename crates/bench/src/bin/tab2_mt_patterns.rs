@@ -29,8 +29,7 @@ fn main() {
     for pattern in MessagePattern::all() {
         print!("{:<14}", pattern.to_string());
         for &model in &machines {
-            let mut ch =
-                MtChannel::new(model, MtKind::Eviction, params, 99).expect("SMT machine");
+            let mut ch = MtChannel::new(model, MtKind::Eviction, params, 99).expect("SMT machine");
             let run = ch.transmit(&pattern.generate(BITS, 7));
             print!(
                 " {:>9} {:>8}",

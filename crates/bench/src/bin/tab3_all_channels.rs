@@ -10,6 +10,9 @@ use leaky_frontends::channels::non_mt::{NonMtChannel, NonMtKind};
 use leaky_frontends::params::{ChannelParams, EncodeMode, MessagePattern};
 use leaky_frontends::run::Evaluation;
 
+/// One table cell: evaluate a channel on a machine (`None` = unsupported).
+type ChannelEval = Box<dyn Fn(ProcessorModel) -> Option<Evaluation>>;
+
 const BITS: usize = 256;
 const MT_BITS: usize = 96;
 
@@ -59,7 +62,7 @@ fn main() {
     }
     println!("\n{:-<110}", "");
 
-    let configs: [(&str, Box<dyn Fn(ProcessorModel) -> Option<Evaluation>>); 6] = [
+    let configs: [(&str, ChannelEval); 6] = [
         (
             "Non-MT Stealthy Eviction-Based",
             Box::new(|m| Some(non_mt(m, NonMtKind::Eviction, EncodeMode::Stealthy))),

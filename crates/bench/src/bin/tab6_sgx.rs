@@ -13,12 +13,14 @@ use leaky_frontends::params::{ChannelParams, EncodeMode, MessagePattern};
 use leaky_frontends::run::Evaluation;
 use leaky_frontends::sgx::{SgxMtChannel, SgxNonMtChannel};
 
+/// One table cell: evaluate a channel on a machine (`None` = unsupported).
+type ChannelEval = Box<dyn Fn(ProcessorModel) -> Option<Evaluation>>;
+
 const BITS: usize = 48;
 
 fn non_mt(model: ProcessorModel, kind: NonMtKind, mode: EncodeMode) -> Evaluation {
-    let mut ch =
-        SgxNonMtChannel::new(model, kind, mode, ChannelParams::sgx_non_mt_defaults(), 321)
-            .expect("SGX machine");
+    let mut ch = SgxNonMtChannel::new(model, kind, mode, ChannelParams::sgx_non_mt_defaults(), 321)
+        .expect("SGX machine");
     ch.transmit(&MessagePattern::Alternating.generate(BITS, 0))
         .evaluation()
 }
@@ -44,7 +46,7 @@ fn main() {
     }
     println!("\n{:-<92}", "");
 
-    let rows: [(&str, Box<dyn Fn(ProcessorModel) -> Option<Evaluation>>); 6] = [
+    let rows: [(&str, ChannelEval); 6] = [
         (
             "Non-MT Stealthy Eviction-Based",
             Box::new(|m| Some(non_mt(m, NonMtKind::Eviction, EncodeMode::Stealthy))),

@@ -124,7 +124,10 @@ impl SetAssocCache {
     /// Panics if any geometry parameter is zero or `line_bytes` is not a
     /// power of two.
     pub fn new(config: CacheConfig) -> Self {
-        assert!(config.sets > 0 && config.ways > 0, "degenerate cache geometry");
+        assert!(
+            config.sets > 0 && config.ways > 0,
+            "degenerate cache geometry"
+        );
         assert!(
             config.line_bytes.is_power_of_two(),
             "line size must be a power of two"

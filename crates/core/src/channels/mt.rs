@@ -155,12 +155,8 @@ impl MtChannel {
     /// Rebuilds the channel's core with an explicit frontend configuration
     /// (defense evaluation and DSB-policy ablations). Resets calibration.
     pub fn set_frontend_config(&mut self, config: leaky_frontend::FrontendConfig) {
-        self.core = Core::with_frontend_config(
-            *self.core.model(),
-            self.core.microcode(),
-            config,
-            0xab1a7e,
-        );
+        self.core =
+            Core::with_frontend_config(*self.core.model(), self.core.microcode(), config, 0xab1a7e);
         self.decoder = None;
     }
 
@@ -273,8 +269,7 @@ impl MtChannel {
                     // relative band and an absolute noise floor — small-d
                     // channels (tiny timing deltas) must keep sampling,
                     // which is why rate grows with d (Fig. 8).
-                    if decided_one && margin > (dec.separation() * 0.4).max(NOISE_FLOOR_CYCLES)
-                    {
+                    if decided_one && margin > (dec.separation() * 0.4).max(NOISE_FLOOR_CYCLES) {
                         break;
                     }
                 }
@@ -338,7 +333,10 @@ impl MtChannel {
     pub fn transmit(&mut self, message: &[bool]) -> ChannelRun {
         self.ensure_calibrated();
         let decoder = self.decoder.expect("calibrated above");
-        let start = self.core.clock(ThreadId::T0).max(self.core.clock(ThreadId::T1));
+        let start = self
+            .core
+            .clock(ThreadId::T0)
+            .max(self.core.clock(ThreadId::T1));
         let mut received = Vec::with_capacity(message.len());
         let mut prev: Option<bool> = None;
         for &bit in message {
@@ -347,7 +345,10 @@ impl MtChannel {
             received.push(decoder.decode(meas));
             prev = Some(bit);
         }
-        let end = self.core.clock(ThreadId::T0).max(self.core.clock(ThreadId::T1));
+        let end = self
+            .core
+            .clock(ThreadId::T0)
+            .max(self.core.clock(ThreadId::T1));
         ChannelRun::new(
             message.to_vec(),
             received,

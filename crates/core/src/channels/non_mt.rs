@@ -112,13 +112,13 @@ impl NonMtChannel {
     /// Replaces the channel's core with one built from an explicit frontend
     /// configuration — used by the §XII defense evaluation to attack a
     /// hardened (e.g. constant-time) frontend.
-    pub fn with_frontend_config(mut self, config: leaky_frontend::FrontendConfig, seed: u64) -> Self {
-        self.core = Core::with_frontend_config(
-            *self.core.model(),
-            self.core.microcode(),
-            config,
-            seed,
-        );
+    pub fn with_frontend_config(
+        mut self,
+        config: leaky_frontend::FrontendConfig,
+        seed: u64,
+    ) -> Self {
+        self.core =
+            Core::with_frontend_config(*self.core.model(), self.core.microcode(), config, seed);
         self.decoder = None;
         self
     }

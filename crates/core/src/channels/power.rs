@@ -17,8 +17,8 @@ use leaky_stats::ThresholdDecoder;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
-use crate::channels::{calibrate_decoder, eviction_layout, misalignment_layout};
 use crate::channels::non_mt::NonMtKind;
+use crate::channels::{calibrate_decoder, eviction_layout, misalignment_layout};
 use crate::params::ChannelParams;
 use crate::run::ChannelRun;
 
@@ -67,12 +67,7 @@ pub struct PowerChannel {
 impl PowerChannel {
     /// Builds the channel (stealthy zero-encoding, as in the paper's power
     /// evaluation).
-    pub fn new(
-        model: ProcessorModel,
-        kind: NonMtKind,
-        params: ChannelParams,
-        seed: u64,
-    ) -> Self {
+    pub fn new(model: ProcessorModel, kind: NonMtKind, params: ChannelParams, seed: u64) -> Self {
         let geom = FrontendGeometry::skylake();
         params.validate(geom.dsb_ways, kind == NonMtKind::Misalignment);
         let (recv, send_one, send_zero) = match kind {
@@ -140,9 +135,8 @@ impl PowerChannel {
         let dt = (t1 - t0).max(1e-9);
         let u1: f64 = self.rng.gen_range(f64::EPSILON..1.0);
         let u2: f64 = self.rng.gen_range(0.0..1.0);
-        let noise = (-2.0 * u1.ln()).sqrt()
-            * (2.0 * std::f64::consts::PI * u2).cos()
-            * WATTS_NOISE_SIGMA;
+        let noise =
+            (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos() * WATTS_NOISE_SIGMA;
         joules / dt + noise // watts
     }
 

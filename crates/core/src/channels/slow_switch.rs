@@ -133,8 +133,7 @@ mod tests {
     fn transmits_on_table4_machines() {
         // Table IV evaluates the Gold 6226 and E-2288G.
         for model in [ProcessorModel::gold_6226(), ProcessorModel::xeon_e2288g()] {
-            let mut ch =
-                SlowSwitchChannel::new(model, ChannelParams::slow_switch_defaults(), 9);
+            let mut ch = SlowSwitchChannel::new(model, ChannelParams::slow_switch_defaults(), 9);
             let msg = MessagePattern::Alternating.generate(48, 0);
             let run = ch.transmit(&msg);
             assert!(

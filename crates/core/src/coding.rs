@@ -59,7 +59,7 @@ impl Repetition {
 impl Code for Repetition {
     fn encode(&self, data: &[bool]) -> Vec<bool> {
         data.iter()
-            .flat_map(|&b| std::iter::repeat(b).take(self.k))
+            .flat_map(|&b| std::iter::repeat_n(b, self.k))
             .collect()
     }
 

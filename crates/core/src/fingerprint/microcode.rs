@@ -70,16 +70,14 @@ impl MicrocodeFingerprint {
         let t0 = core.rdtscp(tid);
         let run_small = core.run_loop(tid, &small, self.iterations);
         let t1 = core.rdtscp(tid);
-        let small_cycles =
-            (t1 - t0).max(1.0) / (self.iterations * small.len() as u64) as f64;
+        let small_cycles = (t1 - t0).max(1.0) / (self.iterations * small.len() as u64) as f64;
         let small_watts = core.mean_power_watts(&run_small.report);
 
         core.run_loop(tid, &large, self.warmup);
         let t2 = core.rdtscp(tid);
         let run_large = core.run_loop(tid, &large, self.iterations);
         let t3 = core.rdtscp(tid);
-        let large_cycles =
-            (t3 - t2).max(1.0) / (self.iterations * large.len() as u64) as f64;
+        let large_cycles = (t3 - t2).max(1.0) / (self.iterations * large.len() as u64) as f64;
         let large_watts = core.mean_power_watts(&run_large.report);
 
         MicrocodeObservation {
@@ -134,8 +132,7 @@ mod tests {
     #[test]
     fn patch1_small_loop_streams_lsd_slower_than_dsb() {
         let fp = MicrocodeFingerprint::default();
-        let mut core =
-            Core::with_microcode(ProcessorModel::gold_6226(), MicrocodePatch::Patch1, 3);
+        let mut core = Core::with_microcode(ProcessorModel::gold_6226(), MicrocodePatch::Patch1, 3);
         let obs = fp.observe(&mut core);
         assert!(
             obs.small_loop_cycles_per_block > obs.large_loop_cycles_per_block * 1.4,
@@ -150,8 +147,7 @@ mod tests {
     #[test]
     fn patch2_ratio_collapses() {
         let fp = MicrocodeFingerprint::default();
-        let mut core =
-            Core::with_microcode(ProcessorModel::gold_6226(), MicrocodePatch::Patch2, 3);
+        let mut core = Core::with_microcode(ProcessorModel::gold_6226(), MicrocodePatch::Patch2, 3);
         let obs = fp.observe(&mut core);
         let ratio = obs.small_loop_cycles_per_block / obs.large_loop_cycles_per_block;
         assert!(

@@ -149,7 +149,10 @@ impl ChannelParams {
                 "M must satisfy d < M <= N"
             );
         }
-        assert!(self.p > 0 && self.q > 0, "iteration counts must be positive");
+        assert!(
+            self.p > 0 && self.q > 0,
+            "iteration counts must be positive"
+        );
         assert!(self.r > 0, "r must be positive");
     }
 }
@@ -313,10 +316,7 @@ mod tests {
             MessagePattern::AllZeros.generate(3, 0),
             vec![false, false, false]
         );
-        assert_eq!(
-            MessagePattern::AllOnes.generate(2, 0),
-            vec![true, true]
-        );
+        assert_eq!(MessagePattern::AllOnes.generate(2, 0), vec![true, true]);
         assert_eq!(
             MessagePattern::Alternating.generate(4, 0),
             vec![false, true, false, true]

@@ -379,7 +379,8 @@ impl SgxMtChannel {
             let recv = self.recv.clone();
             let send = self.send_one.clone();
             // Enclave transition cost on the sender thread.
-            self.core.idle(ThreadId::T1, self.enclave.round_trip_cycles());
+            self.core
+                .idle(ThreadId::T1, self.enclave.round_trip_cycles());
             self.core.frontend_mut().flush_thread_state(ThreadId::T1);
             let (r, _s) = self.core.run_concurrent(
                 ThreadWork {
@@ -421,12 +422,18 @@ impl SgxMtChannel {
     pub fn transmit(&mut self, message: &[bool]) -> ChannelRun {
         self.ensure_calibrated();
         let decoder = self.decoder.expect("calibrated above");
-        let start = self.core.clock(ThreadId::T0).max(self.core.clock(ThreadId::T1));
+        let start = self
+            .core
+            .clock(ThreadId::T0)
+            .max(self.core.clock(ThreadId::T1));
         let received: Vec<bool> = message
             .iter()
             .map(|&bit| decoder.decode(self.measure_bit(bit)))
             .collect();
-        let end = self.core.clock(ThreadId::T0).max(self.core.clock(ThreadId::T1));
+        let end = self
+            .core
+            .clock(ThreadId::T0)
+            .max(self.core.clock(ThreadId::T1));
         ChannelRun::new(
             message.to_vec(),
             received,
@@ -463,7 +470,12 @@ mod tests {
             1,
         )
         .unwrap_err();
-        assert_eq!(err, SgxAttackError::NoSmt { model: "Xeon E-2288G" });
+        assert_eq!(
+            err,
+            SgxAttackError::NoSmt {
+                model: "Xeon E-2288G"
+            }
+        );
     }
 
     #[test]

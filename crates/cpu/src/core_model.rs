@@ -1,9 +1,7 @@
 //! The composed core: frontend + backend + power + timers + SMT driver.
 
 use leaky_backend::Backend;
-use leaky_frontend::{
-    Frontend, FrontendConfig, IterationReport, SmtDsbPolicy, ThreadId,
-};
+use leaky_frontend::{Frontend, FrontendConfig, IterationReport, SmtDsbPolicy, ThreadId};
 use leaky_isa::BlockChain;
 use leaky_power::{DeliveryClass, PowerModel, Rapl};
 use rand::rngs::StdRng;
@@ -243,14 +241,16 @@ impl Core {
             let jitter: f64 = self.rng.gen_range(-2.0..2.0);
             let pick = if remaining[0] == 0 {
                 1
-            } else if remaining[1] == 0 {
-                0
-            } else if self.clock[0] + jitter <= self.clock[1] {
+            } else if remaining[1] == 0 || self.clock[0] + jitter <= self.clock[1] {
                 0
             } else {
                 1
             };
-            let tid = if pick == 0 { ThreadId::T0 } else { ThreadId::T1 };
+            let tid = if pick == 0 {
+                ThreadId::T0
+            } else {
+                ThreadId::T1
+            };
             let run = self.run_once(tid, chains[pick]);
             runs[pick].cycles += run.cycles;
             runs[pick].iterations += 1;
@@ -402,8 +402,7 @@ fn mean_watts(
 ) -> f64 {
     let lsd_c = report.lsd_uops as f64 * costs.lsd_per_uop;
     let dsb_c = report.dsb_uops as f64 * costs.dsb_per_uop;
-    let mite_c = report.mite_uops as f64
-        * (costs.mite_per_uop + costs.mite_line_base / 6.0)
+    let mite_c = report.mite_uops as f64 * (costs.mite_per_uop + costs.mite_line_base / 6.0)
         + report.lcp_stall_cycles
         + report.switch_penalty_cycles
         + report.crossing_penalty_cycles;
@@ -422,9 +421,7 @@ fn mean_watts(
 fn dominant_class(report: &IterationReport) -> DeliveryClass {
     if report.total_uops() == 0 {
         DeliveryClass::Idle
-    } else if report.mite_uops > 0
-        && report.mite_uops * 4 >= report.total_uops()
-    {
+    } else if report.mite_uops > 0 && report.mite_uops * 4 >= report.total_uops() {
         DeliveryClass::Mite
     } else if report.dsb_uops >= report.lsd_uops {
         DeliveryClass::Dsb
@@ -481,8 +478,7 @@ mod tests {
 
     #[test]
     fn microcode_patch2_disables_lsd_on_6226() {
-        let mut core =
-            Core::with_microcode(ProcessorModel::gold_6226(), MicrocodePatch::Patch2, 1);
+        let mut core = Core::with_microcode(ProcessorModel::gold_6226(), MicrocodePatch::Patch2, 1);
         let c = chain(RECV, 0, 8);
         for _ in 0..5 {
             assert_eq!(core.run_once(ThreadId::T0, &c).report.lsd_uops, 0);
@@ -546,8 +542,7 @@ mod tests {
         );
         // The wake transition itself displaces some receiver lines, but
         // steady-state interference must vanish: late iterations are clean.
-        let tail_miss_rate =
-            r_recv.report.mite_uops as f64 / r_recv.report.total_uops() as f64;
+        let tail_miss_rate = r_recv.report.mite_uops as f64 / r_recv.report.total_uops() as f64;
         assert!(
             tail_miss_rate < 0.2,
             "steady state should be conflict-free, mite fraction {tail_miss_rate}"

@@ -67,9 +67,7 @@ impl Timer {
     /// monotonic at σ-scale, matching real back-to-back `rdtscp` behaviour.
     pub fn read(&mut self, clock_cycles: f64) -> f64 {
         let mut value = clock_cycles + self.gaussian() * self.noise.sigma_cycles;
-        if self.noise.spike_probability > 0.0
-            && self.rng.gen_bool(self.noise.spike_probability)
-        {
+        if self.noise.spike_probability > 0.0 && self.rng.gen_bool(self.noise.spike_probability) {
             value += self.noise.spike_cycles;
         }
         value

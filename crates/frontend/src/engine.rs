@@ -193,8 +193,7 @@ impl Frontend {
             // Competitive policy: the waking thread displaces the resident
             // thread's footprint (paper: partitioning "forces DSB evictions
             // of micro-ops of the first thread").
-            if self.config.flush_on_partition
-                && self.config.dsb_policy == SmtDsbPolicy::Competitive
+            if self.config.flush_on_partition && self.config.dsb_policy == SmtDsbPolicy::Competitive
             {
                 if let Some(solo) = previously_solo {
                     if solo != tid {
@@ -273,8 +272,8 @@ impl Frontend {
             if lock.key == key {
                 // LSD streaming: the rest of the frontend is off.
                 let uops = chain.total_uops();
-                report.cycles += self.config.costs.lsd_stream(uops)
-                    + self.config.costs.loop_overhead;
+                report.cycles +=
+                    self.config.costs.lsd_stream(uops) + self.config.costs.loop_overhead;
                 report.add_uops(UopSource::Lsd, uops as u64);
                 self.last_source[t] = UopSource::Lsd;
                 // A streaming loop still occupies shared window-tracking
@@ -317,12 +316,7 @@ impl Frontend {
     /// iteration of very long runs (e.g. Fig. 4's 800 M). The result is
     /// bit-identical to running each iteration because the frontend is
     /// deterministic and steady state is detected by exact report equality.
-    pub fn run_iterations(
-        &mut self,
-        tid: ThreadId,
-        chain: &BlockChain,
-        n: u64,
-    ) -> IterationReport {
+    pub fn run_iterations(&mut self, tid: ThreadId, chain: &BlockChain, n: u64) -> IterationReport {
         let mut total = IterationReport::new();
         let mut prev: Option<IterationReport> = None;
         let mut done = 0u64;
@@ -364,12 +358,7 @@ impl Frontend {
         1.0 + self.external_mite_pressure[t]
     }
 
-    fn charge_switch(
-        &mut self,
-        t: usize,
-        new_source: UopSource,
-        report: &mut IterationReport,
-    ) {
+    fn charge_switch(&mut self, t: usize, new_source: UopSource, report: &mut IterationReport) {
         let old = self.last_source[t];
         if old == new_source {
             return;
@@ -474,26 +463,25 @@ impl Frontend {
         let smt_factor = if smt { costs.smt_mite_factor } else { 1.0 };
         // Instruction-granular switch accounting with pipelined (reduced)
         // effective penalties — see CostModel::lcp_dsb_to_mite_switch.
-        let charge_lcp_switch = |last: &mut UopSource,
-                                     new_source: UopSource,
-                                     report: &mut IterationReport| {
-            if *last == new_source {
-                return;
-            }
-            match (*last, new_source) {
-                (UopSource::Dsb | UopSource::Lsd, UopSource::Mite) => {
-                    report.cycles += costs.lcp_dsb_to_mite_switch;
-                    report.switch_penalty_cycles += costs.lcp_dsb_to_mite_switch;
-                    report.dsb_to_mite_switches += 1;
+        let charge_lcp_switch =
+            |last: &mut UopSource, new_source: UopSource, report: &mut IterationReport| {
+                if *last == new_source {
+                    return;
                 }
-                (UopSource::Mite, _) => {
-                    report.cycles += costs.lcp_mite_to_dsb_switch;
-                    report.switch_penalty_cycles += costs.lcp_mite_to_dsb_switch;
+                match (*last, new_source) {
+                    (UopSource::Dsb | UopSource::Lsd, UopSource::Mite) => {
+                        report.cycles += costs.lcp_dsb_to_mite_switch;
+                        report.switch_penalty_cycles += costs.lcp_dsb_to_mite_switch;
+                        report.dsb_to_mite_switches += 1;
+                    }
+                    (UopSource::Mite, _) => {
+                        report.cycles += costs.lcp_mite_to_dsb_switch;
+                        report.switch_penalty_cycles += costs.lcp_mite_to_dsb_switch;
+                    }
+                    _ => {}
                 }
-                _ => {}
-            }
-            *last = new_source;
-        };
+                *last = new_source;
+            };
         let mut last = self.last_source[t];
         let mut prev_lcp = false;
         for (addr, instr) in block.placed_instructions() {
@@ -803,7 +791,12 @@ mod tests {
         // §IV-G collision pair): 5 + 2·3 > 8 collapses the receiver's lock.
         // Sender heads total 3 lines, so set 0 holds 5 + 3 = 8 lines and no
         // DSB eviction occurs.
-        let send2 = same_set_chain(SEND_BASE + 0x10_0000, DsbSet::new(0), 2, Alignment::Misaligned);
+        let send2 = same_set_chain(
+            SEND_BASE + 0x10_0000,
+            DsbSet::new(0),
+            2,
+            Alignment::Misaligned,
+        );
         fe.run_iteration(ThreadId::T1, &send2);
         assert!(!fe.lsd_locked(ThreadId::T0, &recv));
 
@@ -830,7 +823,10 @@ mod tests {
         assert!(fe.lsd_locked(ThreadId::T0, &recv));
         let send = same_set_chain(SEND_BASE, DsbSet::new(9), 3, Alignment::Misaligned);
         fe.run_iteration(ThreadId::T1, &send);
-        assert!(fe.lsd_locked(ThreadId::T0, &recv), "disjoint sets: no collision");
+        assert!(
+            fe.lsd_locked(ThreadId::T0, &recv),
+            "disjoint sets: no collision"
+        );
     }
 
     #[test]
@@ -950,7 +946,10 @@ mod tests {
         let chain = aligned(RECV_BASE, 0, 4);
         let a = fe.run_iteration(ThreadId::T0, &chain);
         let b = fe.run_iteration(ThreadId::T0, &chain);
-        assert_eq!(fe.counters(ThreadId::T0).total_uops(), a.total_uops() + b.total_uops());
+        assert_eq!(
+            fe.counters(ThreadId::T0).total_uops(),
+            a.total_uops() + b.total_uops()
+        );
         fe.reset_counters();
         assert_eq!(fe.counters(ThreadId::T0).total_uops(), 0);
     }

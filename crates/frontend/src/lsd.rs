@@ -63,11 +63,7 @@ impl LsdVerdict {
 /// let four_mis = same_set_chain(0x0041_8000, DsbSet::new(0), 4, Alignment::Misaligned);
 /// assert!(!lsd_qualifies(&four_mis, &g, false).qualifies());
 /// ```
-pub fn lsd_qualifies(
-    chain: &BlockChain,
-    geom: &FrontendGeometry,
-    smt_active: bool,
-) -> LsdVerdict {
+pub fn lsd_qualifies(chain: &BlockChain, geom: &FrontendGeometry, smt_active: bool) -> LsdVerdict {
     let div = if smt_active { 2 } else { 1 };
     let uop_cap = (geom.lsd_uops / div) as u32;
     let window_cap = geom.lsd_windows as u32;

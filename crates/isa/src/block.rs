@@ -118,8 +118,8 @@ impl Block {
                 }
             }
             LcpPattern::Ordered => {
-                instrs.extend(std::iter::repeat(normal).take(r));
-                instrs.extend(std::iter::repeat(lcp).take(r));
+                instrs.extend(std::iter::repeat_n(normal, r));
+                instrs.extend(std::iter::repeat_n(lcp, r));
             }
         }
         instrs.push(Instruction::new(Opcode::Jcc));

@@ -117,7 +117,10 @@ impl BlockChain {
     /// Panics if `n` is zero or `n >= self.len()` (both sides must remain
     /// non-empty).
     pub fn split_at(mut self, n: usize) -> (BlockChain, BlockChain) {
-        assert!(n > 0 && n < self.blocks.len(), "split must leave both sides non-empty");
+        assert!(
+            n > 0 && n < self.blocks.len(),
+            "split must leave both sides non-empty"
+        );
         let tail = self.blocks.split_off(n);
         (self, BlockChain { blocks: tail })
     }

@@ -190,8 +190,7 @@ impl Rapl {
         if now_s - self.last_update_s >= Self::UPDATE_INTERVAL_S {
             // Snap to the boundary grid; visible value catches up with a
             // ±1 quantum sampling jitter.
-            let boundaries =
-                ((now_s - self.last_update_s) / Self::UPDATE_INTERVAL_S).floor();
+            let boundaries = ((now_s - self.last_update_s) / Self::UPDATE_INTERVAL_S).floor();
             self.last_update_s += boundaries * Self::UPDATE_INTERVAL_S;
             let jitter = self.rng.gen_range(-1.0..1.0) * Self::QUANTUM_UJ;
             self.visible_uj = (self.energy_uj + jitter).max(self.visible_uj);

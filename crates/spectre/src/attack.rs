@@ -115,7 +115,7 @@ impl SpectreV1 {
         for chunk in 0..chunks {
             self.ctx.background_work(self.kind);
             let rounds = self.kind.decode_rounds();
-            let mut votes = vec![0u32; CHUNK_VALUES];
+            let mut votes = [0u32; CHUNK_VALUES];
             for _ in 0..rounds {
                 self.ctx.prepare(self.kind);
                 self.victim.train(self.trains_per_chunk);
@@ -191,7 +191,8 @@ mod tests {
             let mut attack = SpectreV1::new(kind, secret(), 11);
             let result = attack.leak();
             assert_eq!(
-                result.recovered, secret(),
+                result.recovered,
+                secret(),
                 "{kind} failed to recover the secret"
             );
             assert_eq!(result.accuracy(), 1.0);

@@ -131,8 +131,6 @@ pub struct AttackContext {
     pub(crate) rng: StdRng,
 }
 
-
-
 impl AttackContext {
     /// Builds the shared layouts on a fresh core.
     pub fn new(seed: u64) -> Self {
@@ -145,7 +143,14 @@ impl AttackContext {
             .map(|s| attacker_region.same_set_chain(DsbSet::new(s as u8), 8, Alignment::Aligned))
             .collect();
         let victim_blocks: Vec<BlockChain> = (0..CHUNK_VALUES)
-            .map(|s| same_set_chain(0x0040_0000 + s as u64 * 0x400, DsbSet::new(s as u8), 1, Alignment::Aligned))
+            .map(|s| {
+                same_set_chain(
+                    0x0040_0000 + s as u64 * 0x400,
+                    DsbSet::new(s as u8),
+                    1,
+                    Alignment::Aligned,
+                )
+            })
             .collect();
 
         // L1I probe functions: one per chunk value, 2048 B apart so each
@@ -178,11 +183,7 @@ impl AttackContext {
         let cfg = CacheConfig::l1d();
         let evict_lines: Vec<Vec<u64>> = array_lines
             .iter()
-            .map(|&line| {
-                (1..=8u64)
-                    .map(|w| line + w * cfg.sets as u64)
-                    .collect()
-            })
+            .map(|&line| (1..=8u64).map(|w| line + w * cfg.sets as u64).collect())
             .collect();
 
         // Background working set: 128 lines (8 KB), fits easily.

@@ -14,11 +14,7 @@ pub struct DistanceError {
 
 impl fmt::Display for DistanceError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(
-            f,
-            "trace lengths differ: {} vs {}",
-            self.left, self.right
-        )
+        write!(f, "trace lengths differ: {} vs {}", self.left, self.right)
     }
 }
 
@@ -121,10 +117,7 @@ pub fn euclidean_distance(a: &[f64], b: &[f64]) -> Result<f64, DistanceError> {
 /// # Errors
 ///
 /// Returns [`DistanceError`] if any pair of traces differs in length.
-pub fn mean_pairwise_distance(
-    a: &[Vec<f64>],
-    b: &[Vec<f64>],
-) -> Result<f64, DistanceError> {
+pub fn mean_pairwise_distance(a: &[Vec<f64>], b: &[Vec<f64>]) -> Result<f64, DistanceError> {
     let same = std::ptr::eq(a, b);
     let mut total = 0.0;
     let mut n = 0u64;

@@ -34,7 +34,10 @@ impl Histogram {
     ///
     /// Panics if `lo >= hi`, `bins == 0`, or either bound is not finite.
     pub fn new(lo: f64, hi: f64, bins: usize) -> Self {
-        assert!(lo.is_finite() && hi.is_finite(), "histogram bounds must be finite");
+        assert!(
+            lo.is_finite() && hi.is_finite(),
+            "histogram bounds must be finite"
+        );
         assert!(lo < hi, "histogram range must be non-empty");
         assert!(bins > 0, "histogram needs at least one bin");
         Histogram {
@@ -129,11 +132,7 @@ impl Histogram {
 
     /// Index of the fullest bin, or `None` if all in-range bins are empty.
     pub fn mode_bin(&self) -> Option<usize> {
-        let (idx, &count) = self
-            .bins
-            .iter()
-            .enumerate()
-            .max_by_key(|&(_, &c)| c)?;
+        let (idx, &count) = self.bins.iter().enumerate().max_by_key(|&(_, &c)| c)?;
         if count == 0 {
             None
         } else {
@@ -158,7 +157,13 @@ impl Histogram {
             .enumerate()
             .map(|(i, &c)| {
                 let bar = "#".repeat((c as usize * width) / max as usize);
-                format!("{:>10.2} | {:<width$} {}", self.bin_lo(i), bar, c, width = width)
+                format!(
+                    "{:>10.2} | {:<width$} {}",
+                    self.bin_lo(i),
+                    bar,
+                    c,
+                    width = width
+                )
             })
             .collect()
     }

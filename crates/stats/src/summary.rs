@@ -54,13 +54,6 @@ impl OnlineStats {
         }
     }
 
-    /// Builds an accumulator from an iterator of samples.
-    pub fn from_iter<I: IntoIterator<Item = f64>>(iter: I) -> Self {
-        let mut s = Self::new();
-        s.extend(iter);
-        s
-    }
-
     /// Number of samples pushed so far.
     pub fn count(&self) -> u64 {
         self.count
@@ -118,11 +111,20 @@ impl OnlineStats {
         let total = self.count + other.count;
         let delta = other.mean - self.mean;
         self.mean += delta * other.count as f64 / total as f64;
-        self.m2 += other.m2
-            + delta * delta * (self.count as f64 * other.count as f64) / total as f64;
+        self.m2 +=
+            other.m2 + delta * delta * (self.count as f64 * other.count as f64) / total as f64;
         self.count = total;
         self.min = self.min.min(other.min);
         self.max = self.max.max(other.max);
+    }
+}
+
+impl FromIterator<f64> for OnlineStats {
+    /// Builds an accumulator from an iterator of samples.
+    fn from_iter<I: IntoIterator<Item = f64>>(iter: I) -> Self {
+        let mut s = Self::new();
+        s.extend(iter);
+        s
     }
 }
 

@@ -276,12 +276,9 @@ pub mod mobile {
                     period: 9,
                     mid: 0.70,
                     amp: 0.20,
-                }
+                },
             ),
-            Workload::new(
-                "gaussian-blur",
-                Pattern::Constant(0.88),
-            ),
+            Workload::new("gaussian-blur", Pattern::Constant(0.88)),
             Workload::new(
                 "ray-tracing",
                 Pattern::Phases(vec![(8, 0.97), (1, 0.55), (8, 0.93), (1, 0.50)]),

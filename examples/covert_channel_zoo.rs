@@ -26,15 +26,20 @@ fn report(name: &str, run: &ChannelRun) {
 fn main() {
     let msg = MessagePattern::Alternating.generate(96, 0);
     let power_msg = MessagePattern::Alternating.generate(24, 0);
-    println!("channel                                          rate          error\n{}", "-".repeat(72));
+    println!(
+        "channel                                          rate          error\n{}",
+        "-".repeat(72)
+    );
 
     for (kind, params) in [
         (NonMtKind::Eviction, ChannelParams::eviction_defaults()),
-        (NonMtKind::Misalignment, ChannelParams::misalignment_defaults()),
+        (
+            NonMtKind::Misalignment,
+            ChannelParams::misalignment_defaults(),
+        ),
     ] {
         for mode in [EncodeMode::Stealthy, EncodeMode::Fast] {
-            let mut ch =
-                NonMtChannel::new(ProcessorModel::xeon_e2288g(), kind, mode, params, 7);
+            let mut ch = NonMtChannel::new(ProcessorModel::xeon_e2288g(), kind, mode, params, 7);
             report(
                 &format!("non-MT {mode} {kind} (E-2288G)"),
                 &ch.transmit(&msg),
@@ -44,7 +49,10 @@ fn main() {
 
     for (kind, params) in [
         (MtKind::Eviction, ChannelParams::mt_defaults()),
-        (MtKind::Misalignment, ChannelParams::mt_misalignment_defaults()),
+        (
+            MtKind::Misalignment,
+            ChannelParams::mt_misalignment_defaults(),
+        ),
     ] {
         let mut ch = MtChannel::new(ProcessorModel::gold_6226(), kind, params, 7)
             .expect("Gold 6226 has SMT");

@@ -45,7 +45,11 @@ fn main() {
             "victim runs {:<12} -> attacker identifies {:<12} {}",
             victim.name(),
             guess,
-            if guess == victim.name() { "CORRECT" } else { "wrong" }
+            if guess == victim.name() {
+                "CORRECT"
+            } else {
+                "wrong"
+            }
         );
     }
 }

@@ -8,7 +8,9 @@
 //! Run with: `cargo run --release --example quickstart`
 
 use leaky_frontends_repro::attacks::channels::non_mt::{NonMtChannel, NonMtKind};
-use leaky_frontends_repro::attacks::params::{bits_to_bytes, bytes_to_bits, ChannelParams, EncodeMode};
+use leaky_frontends_repro::attacks::params::{
+    bits_to_bytes, bytes_to_bits, ChannelParams, EncodeMode,
+};
 use leaky_frontends_repro::cpu::ProcessorModel;
 
 fn main() {

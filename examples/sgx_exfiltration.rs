@@ -8,15 +8,17 @@
 //! Run with: `cargo run --release --example sgx_exfiltration`
 
 use leaky_frontends_repro::attacks::channels::non_mt::NonMtKind;
-use leaky_frontends_repro::attacks::params::{bits_to_bytes, bytes_to_bits, ChannelParams, EncodeMode};
+use leaky_frontends_repro::attacks::params::{
+    bits_to_bytes, bytes_to_bits, ChannelParams, EncodeMode,
+};
 use leaky_frontends_repro::attacks::sgx::SgxNonMtChannel;
 use leaky_frontends_repro::cpu::ProcessorModel;
 
 fn main() {
     // A 16-byte "sealing key" held inside the enclave.
     let secret_key: [u8; 16] = [
-        0xde, 0xad, 0xbe, 0xef, 0x01, 0x23, 0x45, 0x67, 0x89, 0xab, 0xcd, 0xef, 0x10, 0x32,
-        0x54, 0x76,
+        0xde, 0xad, 0xbe, 0xef, 0x01, 0x23, 0x45, 0x67, 0x89, 0xab, 0xcd, 0xef, 0x10, 0x32, 0x54,
+        0x76,
     ];
     println!("enclave secret: {}", hex(&secret_key));
 

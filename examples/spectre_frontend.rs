@@ -20,7 +20,10 @@ fn to_chunks(s: &str) -> Vec<u8> {
 fn main() {
     let secret = "LEAKY FRONTENDS";
     let chunks = to_chunks(secret);
-    println!("victim secret: {secret:?} -> {} five-bit chunks", chunks.len());
+    println!(
+        "victim secret: {secret:?} -> {} five-bit chunks",
+        chunks.len()
+    );
 
     for kind in [ChannelKind::Frontend, ChannelKind::L1dFlushReload] {
         let mut attack = SpectreV1::new(kind, chunks.clone(), 2022);

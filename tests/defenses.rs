@@ -29,7 +29,10 @@ fn disabling_smt_stops_mt_but_not_non_mt_attacks() {
         1,
     );
     let run = non_mt.transmit(&MessagePattern::Alternating.generate(48, 0));
-    assert!(run.error_rate() < 0.05, "non-MT attack must survive SMT-off");
+    assert!(
+        run.error_rate() < 0.05,
+        "non-MT attack must survive SMT-off"
+    );
 }
 
 #[test]

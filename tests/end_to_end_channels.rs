@@ -67,7 +67,10 @@ fn mt_channels_work_on_smt_machines_and_not_on_2288g() {
     ] {
         for (kind, params) in [
             (MtKind::Eviction, ChannelParams::mt_defaults()),
-            (MtKind::Misalignment, ChannelParams::mt_misalignment_defaults()),
+            (
+                MtKind::Misalignment,
+                ChannelParams::mt_misalignment_defaults(),
+            ),
         ] {
             let mut ch = MtChannel::new(model, kind, params, 5).expect("SMT available");
             let run = ch.transmit(&msg);
@@ -126,7 +129,12 @@ fn slow_switch_matches_table4_regime() {
     ] {
         let mut ch = SlowSwitchChannel::new(model, ChannelParams::slow_switch_defaults(), 5);
         let run = ch.transmit(&msg);
-        assert!(run.error_rate() <= max_err, "{}: {:.1}%", model.name, run.error_rate() * 100.0);
+        assert!(
+            run.error_rate() <= max_err,
+            "{}: {:.1}%",
+            model.name,
+            run.error_rate() * 100.0
+        );
         assert!(
             run.rate_kbps() > 200.0 && run.rate_kbps() < 3000.0,
             "{}: {:.0} Kbps",

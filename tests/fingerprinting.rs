@@ -51,7 +51,12 @@ fn cnn_models_separable_and_classifiable() {
         .collect();
     let sets: Vec<_> = refs.iter().map(|(_, t)| t.clone()).collect();
     let d = distance_summary(&sets);
-    assert!(d.separable(), "intra {:.3} vs inter {:.3}", d.intra, d.inter);
+    assert!(
+        d.separable(),
+        "intra {:.3} vs inter {:.3}",
+        d.intra,
+        d.inter
+    );
 
     let lib = FingerprintLibrary::new(refs);
     for w in cnn::models() {

@@ -22,9 +22,12 @@ fn section_4f_eviction_boundary_at_nine_blocks() {
             assert!(warm.report.lsd_uops > 0);
         } else {
             assert!(warm.report.mite_uops > 0, "9 blocks must thrash into MITE");
-            assert_eq!(warm.report.dsb_evictions > 0, true);
+            assert!(warm.report.dsb_evictions > 0);
         }
-        assert_eq!(warm.report.l1i_misses, 0, "no L1I misses either way (§IV-F)");
+        assert_eq!(
+            warm.report.l1i_misses, 0,
+            "no L1I misses either way (§IV-F)"
+        );
     }
 }
 
@@ -99,7 +102,7 @@ fn inclusive_hierarchy_mite_dsb_lsd() {
 #[test]
 fn timing_order_lsd_between_dsb_and_mite() {
     // Fig. 2's three delivery modes, measured through the noisy timer.
-    let mut samples = |count: usize, lsd_enabled: bool| -> f64 {
+    let samples = |count: usize, lsd_enabled: bool| -> f64 {
         let model = if lsd_enabled {
             ProcessorModel::gold_6226()
         } else {
@@ -121,6 +124,12 @@ fn timing_order_lsd_between_dsb_and_mite() {
     let dsb = samples(8, false);
     let lsd = samples(8, true);
     let mite = samples(9, true);
-    assert!(dsb < lsd, "DSB ({dsb:.2}) must beat LSD ({lsd:.2}) per block");
-    assert!(lsd < mite, "LSD ({lsd:.2}) must beat MITE ({mite:.2}) per block");
+    assert!(
+        dsb < lsd,
+        "DSB ({dsb:.2}) must beat LSD ({lsd:.2}) per block"
+    );
+    assert!(
+        lsd < mite,
+        "LSD ({lsd:.2}) must beat MITE ({mite:.2}) per block"
+    );
 }

@@ -2,7 +2,9 @@
 //! Spectre v1 variants (§IX, Table VII).
 
 use leaky_frontends_repro::attacks::channels::non_mt::NonMtKind;
-use leaky_frontends_repro::attacks::params::{bits_to_bytes, bytes_to_bits, ChannelParams, EncodeMode};
+use leaky_frontends_repro::attacks::params::{
+    bits_to_bytes, bytes_to_bits, ChannelParams, EncodeMode,
+};
 use leaky_frontends_repro::attacks::sgx::{SgxAttackError, SgxMtChannel, SgxNonMtChannel};
 use leaky_frontends_repro::cpu::ProcessorModel;
 use leaky_frontends_repro::spectre::attack::{table7, SpectreV1};
