@@ -9,6 +9,7 @@
 
 #![forbid(unsafe_code)]
 
+pub mod perf;
 pub mod table;
 
 pub use table::TableWriter;

@@ -1,0 +1,343 @@
+//! Perf-trajectory harness: wall-clock timing of the simulator's hot
+//! primitives and a minimal JSON layer for `BENCH_frontend.json`.
+//!
+//! The `perf_report` binary uses this module to time the frontend's
+//! per-iteration paths and per-bit channel costs, emit the results as
+//! JSON, and (in `--check` mode) compare a fresh measurement against the
+//! committed baseline so CI catches large simulator regressions. The
+//! container has no crates.io access, so the JSON layer is hand-rolled:
+//! a serializer for the flat report shape and a small recursive-descent
+//! parser sufficient to read it back.
+
+use std::fmt::Write as _;
+use std::time::Instant;
+
+/// One named measurement, in nanoseconds per operation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Metric {
+    /// Stable metric name (JSON key).
+    pub name: String,
+    /// Nanoseconds per operation (median over samples).
+    pub ns_per_op: f64,
+    /// Operations per timed sample (for context in the report).
+    pub ops_per_sample: u64,
+}
+
+/// Times `op`, returning the median nanoseconds per operation.
+///
+/// Runs `warmup` untimed operations, then `samples` timed samples of
+/// `ops` operations each, and reports the median sample to shed
+/// scheduler noise. The closure should already hold any setup state.
+pub fn time_ns_per_op<F: FnMut()>(warmup: u64, samples: usize, ops: u64, mut op: F) -> f64 {
+    assert!(samples > 0 && ops > 0, "need at least one sample of one op");
+    for _ in 0..warmup {
+        op();
+    }
+    let mut per_op: Vec<f64> = (0..samples)
+        .map(|_| {
+            let start = Instant::now();
+            for _ in 0..ops {
+                op();
+            }
+            start.elapsed().as_nanos() as f64 / ops as f64
+        })
+        .collect();
+    per_op.sort_by(|a, b| a.total_cmp(b));
+    per_op[per_op.len() / 2]
+}
+
+/// Serializes metrics (plus an optional pre-rendered `"reference"`
+/// object) into the `BENCH_frontend.json` document shape.
+pub fn render_report(metrics: &[Metric], reference_json: Option<&str>) -> String {
+    let mut out = String::new();
+    out.push_str("{\n  \"schema\": \"leaky-frontends/perf-report/v1\",\n");
+    out.push_str("  \"unit\": \"ns_per_op\",\n  \"metrics\": {\n");
+    for (i, m) in metrics.iter().enumerate() {
+        let comma = if i + 1 < metrics.len() { "," } else { "" };
+        let _ = writeln!(
+            out,
+            "    \"{}\": {{ \"ns_per_op\": {:.2}, \"ops_per_sample\": {} }}{comma}",
+            m.name, m.ns_per_op, m.ops_per_sample
+        );
+    }
+    out.push_str("  }");
+    if let Some(r) = reference_json {
+        out.push_str(",\n  \"reference\": ");
+        out.push_str(r.trim_end());
+    }
+    out.push_str("\n}\n");
+    out
+}
+
+/// A parsed JSON value (subset: no escape sequences beyond `\"` and
+/// `\\`, no scientific-notation edge cases beyond `f64::from_str`).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// `null`
+    Null,
+    /// `true` / `false`
+    Bool(bool),
+    /// Any JSON number, as `f64`.
+    Num(f64),
+    /// A string literal.
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object; insertion order preserved.
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// Looks up a key in an object.
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(pairs) => pairs.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The numeric value, if this is a number.
+    pub fn as_num(&self) -> Option<f64> {
+        match self {
+            Json::Num(n) => Some(*n),
+            _ => None,
+        }
+    }
+}
+
+/// Parses a JSON document.
+///
+/// # Errors
+///
+/// Returns a human-readable description of the first syntax error.
+pub fn parse_json(text: &str) -> Result<Json, String> {
+    let bytes = text.as_bytes();
+    let mut pos = 0usize;
+    let value = parse_value(bytes, &mut pos)?;
+    skip_ws(bytes, &mut pos);
+    if pos != bytes.len() {
+        return Err(format!("trailing content at byte {pos}"));
+    }
+    Ok(value)
+}
+
+fn skip_ws(bytes: &[u8], pos: &mut usize) {
+    while *pos < bytes.len() && bytes[*pos].is_ascii_whitespace() {
+        *pos += 1;
+    }
+}
+
+fn parse_value(bytes: &[u8], pos: &mut usize) -> Result<Json, String> {
+    skip_ws(bytes, pos);
+    match bytes.get(*pos) {
+        None => Err("unexpected end of input".into()),
+        Some(b'{') => {
+            *pos += 1;
+            let mut pairs = Vec::new();
+            skip_ws(bytes, pos);
+            if bytes.get(*pos) == Some(&b'}') {
+                *pos += 1;
+                return Ok(Json::Obj(pairs));
+            }
+            loop {
+                skip_ws(bytes, pos);
+                let key = parse_string(bytes, pos)?;
+                skip_ws(bytes, pos);
+                if bytes.get(*pos) != Some(&b':') {
+                    return Err(format!("expected ':' at byte {pos}"));
+                }
+                *pos += 1;
+                let value = parse_value(bytes, pos)?;
+                pairs.push((key, value));
+                skip_ws(bytes, pos);
+                match bytes.get(*pos) {
+                    Some(b',') => *pos += 1,
+                    Some(b'}') => {
+                        *pos += 1;
+                        return Ok(Json::Obj(pairs));
+                    }
+                    _ => return Err(format!("expected ',' or '}}' at byte {pos}")),
+                }
+            }
+        }
+        Some(b'[') => {
+            *pos += 1;
+            let mut items = Vec::new();
+            skip_ws(bytes, pos);
+            if bytes.get(*pos) == Some(&b']') {
+                *pos += 1;
+                return Ok(Json::Arr(items));
+            }
+            loop {
+                items.push(parse_value(bytes, pos)?);
+                skip_ws(bytes, pos);
+                match bytes.get(*pos) {
+                    Some(b',') => *pos += 1,
+                    Some(b']') => {
+                        *pos += 1;
+                        return Ok(Json::Arr(items));
+                    }
+                    _ => return Err(format!("expected ',' or ']' at byte {pos}")),
+                }
+            }
+        }
+        Some(b'"') => Ok(Json::Str(parse_string(bytes, pos)?)),
+        Some(b't') if bytes[*pos..].starts_with(b"true") => {
+            *pos += 4;
+            Ok(Json::Bool(true))
+        }
+        Some(b'f') if bytes[*pos..].starts_with(b"false") => {
+            *pos += 5;
+            Ok(Json::Bool(false))
+        }
+        Some(b'n') if bytes[*pos..].starts_with(b"null") => {
+            *pos += 4;
+            Ok(Json::Null)
+        }
+        Some(_) => {
+            let start = *pos;
+            while *pos < bytes.len()
+                && matches!(bytes[*pos], b'0'..=b'9' | b'-' | b'+' | b'.' | b'e' | b'E')
+            {
+                *pos += 1;
+            }
+            let text = std::str::from_utf8(&bytes[start..*pos]).map_err(|e| e.to_string())?;
+            text.parse::<f64>()
+                .map(Json::Num)
+                .map_err(|_| format!("invalid number {text:?} at byte {start}"))
+        }
+    }
+}
+
+fn parse_string(bytes: &[u8], pos: &mut usize) -> Result<String, String> {
+    if bytes.get(*pos) != Some(&b'"') {
+        return Err(format!("expected string at byte {pos}"));
+    }
+    *pos += 1;
+    let mut out = String::new();
+    while let Some(&b) = bytes.get(*pos) {
+        *pos += 1;
+        match b {
+            b'"' => return Ok(out),
+            b'\\' => match bytes.get(*pos) {
+                Some(&c @ (b'"' | b'\\' | b'/')) => {
+                    out.push(c as char);
+                    *pos += 1;
+                }
+                Some(b'n') => {
+                    out.push('\n');
+                    *pos += 1;
+                }
+                Some(b't') => {
+                    out.push('\t');
+                    *pos += 1;
+                }
+                other => return Err(format!("unsupported escape {other:?}")),
+            },
+            _ => out.push(b as char),
+        }
+    }
+    Err("unterminated string".into())
+}
+
+/// Extracts the `metrics` map of a parsed report as `(name, ns_per_op)`
+/// pairs.
+///
+/// # Errors
+///
+/// Returns an error when the document lacks a well-formed `metrics`
+/// object.
+pub fn report_metrics(doc: &Json) -> Result<Vec<(String, f64)>, String> {
+    let metrics = doc
+        .get("metrics")
+        .ok_or_else(|| "report has no \"metrics\" object".to_string())?;
+    let Json::Obj(pairs) = metrics else {
+        return Err("\"metrics\" is not an object".into());
+    };
+    pairs
+        .iter()
+        .map(|(name, v)| {
+            let ns = v
+                .get("ns_per_op")
+                .and_then(Json::as_num)
+                .ok_or_else(|| format!("metric {name:?} has no numeric ns_per_op"))?;
+            Ok((name.clone(), ns))
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn render_then_parse_roundtrips() {
+        let metrics = vec![
+            Metric {
+                name: "lsd_iteration".into(),
+                ns_per_op: 123.45,
+                ops_per_sample: 1000,
+            },
+            Metric {
+                name: "dsb_lookup_hit".into(),
+                ns_per_op: 7.0,
+                ops_per_sample: 100_000,
+            },
+        ];
+        let text = render_report(&metrics, Some("{ \"note\": \"x\", \"n\": 3 }"));
+        let doc = parse_json(&text).unwrap();
+        let parsed = report_metrics(&doc).unwrap();
+        assert_eq!(parsed.len(), 2);
+        assert_eq!(parsed[0].0, "lsd_iteration");
+        assert!((parsed[0].1 - 123.45).abs() < 1e-9);
+        assert_eq!(
+            doc.get("reference").unwrap().get("n"),
+            Some(&Json::Num(3.0))
+        );
+        assert_eq!(
+            doc.get("schema"),
+            Some(&Json::Str("leaky-frontends/perf-report/v1".into()))
+        );
+    }
+
+    #[test]
+    fn parser_rejects_malformed_documents() {
+        assert!(parse_json("{").is_err());
+        assert!(parse_json("{\"a\": }").is_err());
+        assert!(parse_json("{\"a\": 1} trailing").is_err());
+        assert!(parse_json("[1, 2").is_err());
+        assert!(parse_json("\"open").is_err());
+    }
+
+    #[test]
+    fn parser_handles_nesting_and_scalars() {
+        let doc =
+            parse_json("{\"a\": [1, -2.5, true, null], \"b\": {\"c\": \"s\\\"t\"},\n \"d\": 1e3}")
+                .unwrap();
+        assert_eq!(doc.get("d"), Some(&Json::Num(1000.0)));
+        let Json::Arr(items) = doc.get("a").unwrap() else {
+            panic!("a must be an array");
+        };
+        assert_eq!(items[1], Json::Num(-2.5));
+        assert_eq!(items[2], Json::Bool(true));
+        assert_eq!(items[3], Json::Null);
+        assert_eq!(
+            doc.get("b").unwrap().get("c"),
+            Some(&Json::Str("s\"t".into()))
+        );
+    }
+
+    #[test]
+    fn missing_metrics_is_an_error() {
+        let doc = parse_json("{\"schema\": \"x\"}").unwrap();
+        assert!(report_metrics(&doc).is_err());
+    }
+
+    #[test]
+    fn timer_returns_positive_medians() {
+        let mut acc = 0u64;
+        let ns = time_ns_per_op(2, 3, 100, || acc = acc.wrapping_add(1));
+        assert!(ns >= 0.0);
+        assert!(acc > 0);
+    }
+}

@@ -108,11 +108,22 @@ impl CacheStats {
 ///
 /// Lines are tracked by *line number* (`addr / line_bytes`); the tag is the
 /// full line number so distinct lines never alias.
+///
+/// Storage is one contiguous `sets × ways` buffer with per-set occupancy
+/// counters: set `s` occupies `lines[s*ways .. s*ways + lens[s]]`, MRU
+/// first. LRU maintenance is a `rotate_right` on the set's slice, so the
+/// per-access hot path (this backs every simulated L1I fetch) allocates
+/// nothing.
 #[derive(Debug, Clone)]
 pub struct SetAssocCache {
     config: CacheConfig,
-    /// Per set: line numbers in LRU order, most-recently-used first.
-    sets: Vec<Vec<u64>>,
+    /// Flat `sets × ways` slots; only each set's occupied prefix is valid.
+    lines: Box<[u64]>,
+    /// Per-set occupancy.
+    lens: Box<[u16]>,
+    /// `sets - 1` when the set count is a power of two, turning the
+    /// per-access set index into an AND instead of a 64-bit division.
+    index_mask: Option<u64>,
     stats: CacheStats,
 }
 
@@ -121,8 +132,8 @@ impl SetAssocCache {
     ///
     /// # Panics
     ///
-    /// Panics if any geometry parameter is zero or `line_bytes` is not a
-    /// power of two.
+    /// Panics if any geometry parameter is zero, `line_bytes` is not a
+    /// power of two, or the associativity exceeds `u16`.
     pub fn new(config: CacheConfig) -> Self {
         assert!(
             config.sets > 0 && config.ways > 0,
@@ -132,10 +143,25 @@ impl SetAssocCache {
             config.line_bytes.is_power_of_two(),
             "line size must be a power of two"
         );
+        assert!(config.ways <= u16::MAX as usize, "ways must fit a u16");
         SetAssocCache {
             config,
-            sets: vec![Vec::with_capacity(config.ways); config.sets],
+            lines: vec![0; config.sets * config.ways].into_boxed_slice(),
+            lens: vec![0; config.sets].into_boxed_slice(),
+            index_mask: config
+                .sets
+                .is_power_of_two()
+                .then_some(config.sets as u64 - 1),
             stats: CacheStats::default(),
+        }
+    }
+
+    /// Set index of a line under this cache's geometry (mask fast path).
+    #[inline]
+    fn set_of_line(&self, line: u64) -> usize {
+        match self.index_mask {
+            Some(mask) => (line & mask) as usize,
+            None => self.config.set_of_line(line),
         }
     }
 
@@ -145,6 +171,7 @@ impl SetAssocCache {
     }
 
     /// Access by byte address.
+    #[inline]
     pub fn access_addr(&mut self, addr: u64) -> AccessOutcome {
         self.access_line(self.config.line_of(addr))
     }
@@ -155,25 +182,31 @@ impl SetAssocCache {
     }
 
     /// Access by line number, updating LRU state and statistics.
+    #[inline]
     pub fn access_line(&mut self, line: u64) -> AccessOutcome {
         self.stats.accesses += 1;
-        let set = self.config.set_of_line(line);
-        let ways = &mut self.sets[set];
-        if let Some(pos) = ways.iter().position(|&l| l == line) {
+        let ways = self.config.ways;
+        let set = self.set_of_line(line);
+        let base = set * ways;
+        let len = self.lens[set] as usize;
+        let occupied = &mut self.lines[base..base + len];
+        if let Some(pos) = occupied.iter().position(|&l| l == line) {
             self.stats.hits += 1;
-            let l = ways.remove(pos);
-            ways.insert(0, l);
+            // Promote to MRU: the hit slot rotates to the set's front.
+            occupied[..=pos].rotate_right(1);
             return AccessOutcome::Hit;
         }
         self.stats.misses += 1;
-        let evicted = if ways.len() == self.config.ways {
-            let victim = ways.pop().expect("full set has a victim");
+        let evicted = if len == ways {
             self.stats.evictions += 1;
-            Some(victim)
+            Some(self.lines[base + ways - 1])
         } else {
+            self.lens[set] = (len + 1) as u16;
             None
         };
-        ways.insert(0, line);
+        let new_len = self.lens[set] as usize;
+        self.lines[base..base + new_len].rotate_right(1);
+        self.lines[base] = line;
         AccessOutcome::Miss { evicted }
     }
 
@@ -183,9 +216,9 @@ impl SetAssocCache {
     }
 
     /// Whether a line is present (does not disturb LRU state).
+    #[inline]
     pub fn contains_line(&self, line: u64) -> bool {
-        let set = self.config.set_of_line(line);
-        self.sets[set].contains(&line)
+        self.set_lines(self.set_of_line(line)).contains(&line)
     }
 
     /// LRU rank of a line within its set: `Some(0)` = most recently used,
@@ -193,16 +226,22 @@ impl SetAssocCache {
     /// observable exploited by the L1D-LRU covert channel (Table VII's
     /// "L1D LRU" baseline, after Xiong & Szefer).
     pub fn lru_rank(&self, line: u64) -> Option<usize> {
-        let set = self.config.set_of_line(line);
-        self.sets[set].iter().position(|&l| l == line)
+        self.set_lines(self.set_of_line(line))
+            .iter()
+            .position(|&l| l == line)
     }
 
     /// Flushes one line (`clflush`): removes it without touching LRU order
     /// of other lines.
     pub fn flush_line(&mut self, line: u64) {
-        let set = self.config.set_of_line(line);
-        if let Some(pos) = self.sets[set].iter().position(|&l| l == line) {
-            self.sets[set].remove(pos);
+        let set = self.set_of_line(line);
+        let base = set * self.config.ways;
+        let len = self.lens[set] as usize;
+        let occupied = &mut self.lines[base..base + len];
+        if let Some(pos) = occupied.iter().position(|&l| l == line) {
+            // Close the gap, preserving the LRU order of the survivors.
+            occupied[pos..].rotate_left(1);
+            self.lens[set] = (len - 1) as u16;
             self.stats.flushes += 1;
         }
     }
@@ -214,9 +253,9 @@ impl SetAssocCache {
 
     /// Invalidates the entire cache (keeps statistics).
     pub fn flush_all(&mut self) {
-        for set in &mut self.sets {
-            self.stats.flushes += set.len() as u64;
-            set.clear();
+        for len in &mut self.lens {
+            self.stats.flushes += *len as u64;
+            *len = 0;
         }
     }
 
@@ -226,12 +265,14 @@ impl SetAssocCache {
     ///
     /// Panics if `set >= config.sets`.
     pub fn set_occupancy(&self, set: usize) -> usize {
-        self.sets[set].len()
+        self.lens[set] as usize
     }
 
     /// Lines currently resident in a set, MRU first.
+    #[inline]
     pub fn set_lines(&self, set: usize) -> &[u64] {
-        &self.sets[set]
+        let base = set * self.config.ways;
+        &self.lines[base..base + self.lens[set] as usize]
     }
 
     /// Running statistics.

@@ -10,6 +10,11 @@ use rand::{Rng, SeedableRng};
 use crate::model::{MicrocodePatch, ProcessorModel};
 use crate::timer::{NoiseModel, Timer};
 
+/// Upper bound on memoised backend-throughput entries per core (a channel
+/// juggles a handful of chains; eviction only matters for long sweeps
+/// that rebuild layouts on one core).
+const BACKEND_CACHE_CAPACITY: usize = 64;
+
 /// The result of running a loop on one thread.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct LoopRun {
@@ -66,9 +71,11 @@ pub struct Core {
     /// Each thread's recent µops-per-cycle, used to share backend width
     /// proportionally under SMT.
     recent_upc: [f64; 2],
-    /// Memoised backend throughput per chain (keyed by first-block base,
-    /// block count, instruction count) — `finish_run` is the hottest path.
-    backend_cache: std::collections::HashMap<(u64, usize, usize), f64>,
+    /// Memoised backend throughput per chain, keyed by the precomputed
+    /// [`BlockChain::key`] and kept MRU-first — `finish_run` is the
+    /// hottest path, so the common case is one equality probe on the
+    /// front slot.
+    backend_cache: Vec<(u64, f64)>,
     rng: StdRng,
 }
 
@@ -109,7 +116,7 @@ impl Core {
             sibling_demand: [0.0, 0.0],
             trace_sibling: [false, false],
             recent_upc: [0.0, 0.0],
-            backend_cache: std::collections::HashMap::new(),
+            backend_cache: Vec::new(),
             rng: StdRng::seed_from_u64(seed ^ 0x5851_f42d),
             model,
             patch,
@@ -338,23 +345,27 @@ impl Core {
         iterations: u64,
         report: IterationReport,
     ) -> LoopRun {
-        let key = (
-            chain.blocks()[0].base().value(),
-            chain.len(),
-            chain.total_instructions(),
-        );
-        let per_iter = match self.backend_cache.get(&key) {
-            Some(&v) => v,
-            None => {
-                let instrs: Vec<_> = chain
-                    .blocks()
-                    .iter()
-                    .flat_map(|b| b.instructions().iter().copied())
-                    .collect();
-                let v = self.backend.throughput_cycles(&instrs);
-                self.backend_cache.insert(key, v);
-                v
-            }
+        let key = chain.key();
+        let per_iter = match self.backend_cache.first() {
+            Some(&(k, v)) if k == key => v,
+            _ => match self.backend_cache.iter().position(|&(k, _)| k == key) {
+                Some(pos) => {
+                    // Promote to MRU so the steady-state probe stays O(1).
+                    self.backend_cache[..=pos].rotate_right(1);
+                    self.backend_cache[0].1
+                }
+                None => {
+                    let instrs: Vec<_> = chain
+                        .blocks()
+                        .iter()
+                        .flat_map(|b| b.instructions().iter().copied())
+                        .collect();
+                    let v = self.backend.throughput_cycles(&instrs);
+                    self.backend_cache.insert(0, (key, v));
+                    self.backend_cache.truncate(BACKEND_CACHE_CAPACITY);
+                    v
+                }
+            },
         };
         let mut backend_cycles = per_iter * iterations as f64;
         let t = tid.index();

@@ -95,17 +95,20 @@ impl CostModel {
     }
 
     /// Cost of delivering one DSB line holding `uops` µops.
+    #[inline]
     pub fn dsb_line(&self, uops: u32) -> f64 {
         self.dsb_per_uop * uops as f64
     }
 
     /// Cost of streaming `uops` µops from the LSD.
+    #[inline]
     pub fn lsd_stream(&self, uops: u32) -> f64 {
         self.lsd_per_uop * uops as f64
     }
 
     /// Cost of decoding one window of `uops` µops through the MITE,
     /// optionally inflated by SMT contention.
+    #[inline]
     pub fn mite_line(&self, uops: u32, smt_contended: bool) -> f64 {
         let base = self.mite_line_base + self.mite_per_uop * uops as f64;
         if smt_contended {

@@ -80,6 +80,7 @@ impl IterationReport {
     }
 
     /// Records µop delivery from a source.
+    #[inline]
     pub fn add_uops(&mut self, source: UopSource, uops: u64) {
         match source {
             UopSource::Lsd => self.lsd_uops += uops,
@@ -135,6 +136,44 @@ impl IterationReport {
     }
 }
 
+/// Finds the smallest period `k ≤ max_period` such that the last `2k`
+/// reports of `history` form the same `k`-report cycle twice in a row,
+/// i.e. the run has (apparently) entered a steady state of period `k`.
+///
+/// Period 1 — two identical consecutive reports — is the classic steady
+/// state; longer periods capture delivery patterns that oscillate between
+/// a few alternating iteration shapes. `Frontend::run_iterations` uses
+/// this to collapse the remainder of an 800 M-iteration run (Fig. 4
+/// scale) into `O(k)` scaled additions.
+///
+/// Reports are compared exactly (including `f64` cycle counts), which is
+/// meaningful because the simulator is deterministic.
+///
+/// # Examples
+///
+/// ```
+/// use leaky_frontend::{detect_report_period, IterationReport};
+///
+/// let a = IterationReport { cycles: 1.0, ..Default::default() };
+/// let b = IterationReport { cycles: 2.0, ..Default::default() };
+/// assert_eq!(detect_report_period(&[a, a], 8), Some(1));
+/// assert_eq!(detect_report_period(&[a, b, a, b], 8), Some(2));
+/// assert_eq!(detect_report_period(&[a, b], 8), None);
+/// ```
+pub fn detect_report_period(history: &[IterationReport], max_period: usize) -> Option<usize> {
+    for k in 1..=max_period {
+        if history.len() < 2 * k {
+            break;
+        }
+        let tail = &history[history.len() - k..];
+        let prev = &history[history.len() - 2 * k..history.len() - k];
+        if tail == prev {
+            return Some(k);
+        }
+    }
+    None
+}
+
 impl Add for IterationReport {
     type Output = IterationReport;
 
@@ -145,6 +184,7 @@ impl Add for IterationReport {
 }
 
 impl AddAssign for IterationReport {
+    #[inline]
     fn add_assign(&mut self, rhs: IterationReport) {
         self.cycles += rhs.cycles;
         self.lsd_uops += rhs.lsd_uops;
@@ -250,5 +290,30 @@ mod tests {
     #[test]
     fn miss_rate_handles_zero_accesses() {
         assert_eq!(IterationReport::new().l1i_miss_rate(), 0.0);
+    }
+
+    #[test]
+    fn period_detection_prefers_smallest_cycle() {
+        let r = |c: f64| IterationReport {
+            cycles: c,
+            ..Default::default()
+        };
+        let (a, b, c) = (r(1.0), r(2.0), r(3.0));
+        // Too little history.
+        assert_eq!(detect_report_period(&[a], 8), None);
+        assert_eq!(detect_report_period(&[a, b], 8), None);
+        // Period 1 wins even when longer periods also match.
+        assert_eq!(detect_report_period(&[b, a, a], 8), Some(1));
+        assert_eq!(detect_report_period(&[a, a, a, a], 8), Some(1));
+        // Genuine period 2 and 3 cycles.
+        assert_eq!(detect_report_period(&[a, b, a, b], 8), Some(2));
+        assert_eq!(detect_report_period(&[c, a, b, c, a, b], 8), Some(3));
+        // A period above the cap is not detected.
+        assert_eq!(detect_report_period(&[c, a, b, c, a, b], 2), None);
+        // Transient prefixes don't confuse the tail comparison.
+        assert_eq!(detect_report_period(&[c, c, a, b, a, b], 8), Some(2));
+        // Near-cycles differing only in one float are rejected.
+        let almost = r(2.0 + 1e-12);
+        assert_eq!(detect_report_period(&[a, b, a, almost], 8), None);
     }
 }

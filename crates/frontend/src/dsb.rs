@@ -5,6 +5,12 @@
 //! that a solo thread owns the whole DSB, and the second thread becoming
 //! active forces evictions of the first thread's µops (§IV-B); the exact
 //! sharing discipline is configurable via [`SmtDsbPolicy`] (see DESIGN.md).
+//!
+//! Storage is a single contiguous `sets × ways` buffer of packed line ids
+//! with per-set occupancy counters and ring heads — no per-access
+//! allocation, no pointer chasing — because this structure sits on the
+//! innermost loop of every covert-channel bit the reproduction simulates.
+//! See [`Dsb`] for the ring layout.
 
 use leaky_isa::FrontendGeometry;
 
@@ -18,6 +24,26 @@ pub struct LineId {
     pub window: u64,
     /// Chunk index within the window (0 unless the window exceeds 6 µops).
     pub chunk: u8,
+}
+
+/// Packed wire format of a [`LineId`]: `window << 9 | thread << 8 | chunk`.
+/// One `u64` per line keeps a whole DSB set in a single cache line.
+/// Windows are `addr >> 5`, so any address below 2^60 packs losslessly.
+#[inline]
+pub(crate) fn pack_line(line: LineId) -> u64 {
+    debug_assert!(line.window < 1 << 55, "window exceeds packed capacity");
+    debug_assert!(line.thread < 2, "thread must be 0 or 1");
+    (line.window << 9) | ((line.thread as u64) << 8) | line.chunk as u64
+}
+
+/// Inverse of [`pack_line`].
+#[inline]
+pub(crate) fn unpack_line(packed: u64) -> LineId {
+    LineId {
+        thread: ((packed >> 8) & 1) as u8,
+        window: packed >> 9,
+        chunk: (packed & 0xff) as u8,
+    }
 }
 
 /// How the DSB is shared between two active hyper-threads.
@@ -46,25 +72,58 @@ pub struct InsertOutcome {
     pub evicted: Option<LineId>,
 }
 
-/// The DSB: per-set MRU-ordered line lists.
+/// The DSB: a flat fixed-capacity buffer of packed lines.
+///
+/// Each set is a *ring*: slot `heads[s] + i (mod ways)` of the set's
+/// segment holds the `i`-th line in MRU-first order. The ring makes the
+/// two patterns the paper's attacks hammer O(1) instead of O(ways)
+/// memmoves — promoting the LRU tail (a warm loop walking its lines
+/// cyclically) and evict-plus-fill (a thrashing set) are both just a head
+/// decrement and one slot write.
 #[derive(Debug, Clone)]
 pub struct Dsb {
     geom: FrontendGeometry,
     policy: SmtDsbPolicy,
     /// `true` while both threads are active (set by the engine).
     partitioned: bool,
-    /// Per physical set: resident lines, MRU first.
-    sets: Vec<Vec<LineId>>,
+    /// `sets × ways` packed line slots (ring per set, see type docs).
+    lines: Box<[u64]>,
+    /// Per-set occupancy.
+    lens: Box<[u8]>,
+    /// Per-set ring head: physical slot of the MRU line.
+    heads: Box<[u8]>,
+    /// `sets - 1` when the set count is a power of two (the Table I
+    /// geometry), letting the per-access index be an AND instead of a
+    /// 64-bit division; `None` falls back to `%` for odd ablations.
+    index_mask: Option<u64>,
 }
 
 impl Dsb {
     /// Creates an empty DSB.
     pub fn new(geom: FrontendGeometry, policy: SmtDsbPolicy) -> Self {
+        assert!(geom.dsb_ways <= u8::MAX as usize, "ways must fit a u8");
         Dsb {
-            sets: vec![Vec::with_capacity(geom.dsb_ways); geom.dsb_sets],
+            lines: vec![0; geom.dsb_sets * geom.dsb_ways].into_boxed_slice(),
+            lens: vec![0; geom.dsb_sets].into_boxed_slice(),
+            heads: vec![0; geom.dsb_sets].into_boxed_slice(),
+            index_mask: geom
+                .dsb_sets
+                .is_power_of_two()
+                .then_some(geom.dsb_sets as u64 - 1),
             geom,
             policy,
             partitioned: false,
+        }
+    }
+
+    /// Physical slot (within a set's segment) of logical MRU position `i`.
+    #[inline]
+    fn phys(head: usize, i: usize, ways: usize) -> usize {
+        let p = head + i;
+        if p >= ways {
+            p - ways
+        } else {
+            p
         }
     }
 
@@ -94,8 +153,12 @@ impl Dsb {
     }
 
     /// The physical set index a line maps to under the current mode.
+    #[inline]
     fn set_index(&self, line: LineId) -> usize {
-        let full = (line.window % self.geom.dsb_sets as u64) as usize;
+        let full = match self.index_mask {
+            Some(mask) => (line.window & mask) as usize,
+            None => (line.window % self.geom.dsb_sets as u64) as usize,
+        };
         match self.policy {
             SmtDsbPolicy::SetPartitioned if self.partitioned => {
                 // Fold to 16 sets per thread: low 4 index bits + thread half.
@@ -111,75 +174,233 @@ impl Dsb {
         self.geom.dsb_ways
     }
 
+    /// Logical MRU position of `packed` in a set, if resident. Probes the
+    /// MRU slot first, then scans from the LRU end: a loop re-touching the
+    /// same window hits at position 0, and a warm loop walking its lines
+    /// cyclically hits at the tail — both in one or two compares.
+    #[inline]
+    fn find(
+        &self,
+        base: usize,
+        head: usize,
+        len: usize,
+        ways: usize,
+        packed: u64,
+    ) -> Option<usize> {
+        if len == 0 {
+            return None;
+        }
+        if self.lines[base + head] == packed {
+            return Some(0);
+        }
+        (1..len)
+            .rev()
+            .find(|&i| self.lines[base + Self::phys(head, i, ways)] == packed)
+    }
+
+    /// Makes the line at logical position `pos` the MRU of its set.
+    #[inline]
+    fn promote(&mut self, set: usize, base: usize, pos: usize, packed: u64) {
+        if pos == 0 {
+            return;
+        }
+        let ways = self.geom.dsb_ways;
+        let head = self.heads[set] as usize;
+        let len = self.lens[set] as usize;
+        if pos == len - 1 {
+            // Tail promotion: the ring rotates wholesale — move the head
+            // back one slot and park the tail's value there (a no-op write
+            // when the set is full, because head-1 *is* the tail's slot).
+            let new_head = Self::phys(head, ways - 1, ways);
+            self.lines[base + new_head] = packed;
+            self.heads[set] = new_head as u8;
+            return;
+        }
+        // Middle promotion: shift logical [0, pos) down one, then place
+        // the hit line at the front.
+        for i in (1..=pos).rev() {
+            self.lines[base + Self::phys(head, i, ways)] =
+                self.lines[base + Self::phys(head, i - 1, ways)];
+        }
+        self.lines[base + head] = packed;
+    }
+
+    /// Fills a (verified-absent) line as the new MRU, evicting the LRU
+    /// when the set is full.
+    #[inline]
+    fn fill(&mut self, set: usize, base: usize, packed: u64) -> Option<LineId> {
+        let ways = self.geom.dsb_ways;
+        let head = self.heads[set] as usize;
+        let len = self.lens[set] as usize;
+        let new_head = Self::phys(head, ways - 1, ways);
+        let evicted = if len >= ways {
+            // The slot before the head is the LRU tail: overwrite in place.
+            Some(unpack_line(self.lines[base + new_head]))
+        } else {
+            self.lens[set] = (len + 1) as u8;
+            None
+        };
+        self.lines[base + new_head] = packed;
+        self.heads[set] = new_head as u8;
+        evicted
+    }
+
     /// Whether a line is resident (does not disturb recency).
+    #[inline]
     pub fn resident(&self, line: LineId) -> bool {
-        self.sets[self.set_index(line)].contains(&line)
+        let ways = self.geom.dsb_ways;
+        let set = self.set_index(line);
+        self.find(
+            set * ways,
+            self.heads[set] as usize,
+            self.lens[set] as usize,
+            ways,
+            pack_line(line),
+        )
+        .is_some()
     }
 
     /// Looks a line up, promoting it to MRU on hit.
+    #[inline]
     pub fn lookup(&mut self, line: LineId) -> bool {
+        let ways = self.geom.dsb_ways;
         let set = self.set_index(line);
-        let ways = &mut self.sets[set];
-        if let Some(pos) = ways.iter().position(|&l| l == line) {
-            let l = ways.remove(pos);
-            ways.insert(0, l);
-            true
-        } else {
-            false
+        let base = set * ways;
+        let packed = pack_line(line);
+        match self.find(
+            base,
+            self.heads[set] as usize,
+            self.lens[set] as usize,
+            ways,
+            packed,
+        ) {
+            Some(pos) => {
+                self.promote(set, base, pos, packed);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Looks a line up and, on a miss, fills it in the same pass (the
+    /// frontend's per-line delivery step): returns whether the line hit
+    /// and, on a miss into a full set, the LRU line it displaced.
+    /// Equivalent to `lookup` followed by `insert` on miss, with a single
+    /// scan of the set.
+    #[inline]
+    pub fn access(&mut self, line: LineId) -> (bool, Option<LineId>) {
+        let ways = self.geom.dsb_ways;
+        let set = self.set_index(line);
+        let base = set * ways;
+        let packed = pack_line(line);
+        match self.find(
+            base,
+            self.heads[set] as usize,
+            self.lens[set] as usize,
+            ways,
+            packed,
+        ) {
+            Some(pos) => {
+                self.promote(set, base, pos, packed);
+                (true, None)
+            }
+            None => (false, self.fill(set, base, packed)),
         }
     }
 
     /// Inserts a line (after a MITE fill), evicting the LRU way if needed.
+    #[inline]
     pub fn insert(&mut self, line: LineId) -> InsertOutcome {
-        let ways_limit = self.geom.dsb_ways;
+        let ways = self.geom.dsb_ways;
         let set = self.set_index(line);
-        let ways = &mut self.sets[set];
-        debug_assert!(!ways.contains(&line), "inserting an already-resident line");
-        let evicted = if ways.len() >= ways_limit {
-            ways.pop()
-        } else {
-            None
-        };
-        ways.insert(0, line);
-        InsertOutcome { evicted }
+        let base = set * ways;
+        let packed = pack_line(line);
+        debug_assert!(
+            self.find(
+                base,
+                self.heads[set] as usize,
+                self.lens[set] as usize,
+                ways,
+                packed
+            )
+            .is_none(),
+            "inserting an already-resident line"
+        );
+        InsertOutcome {
+            evicted: self.fill(set, base, packed),
+        }
     }
 
     /// Flushes every line owned by one thread; returns them.
     pub fn flush_thread(&mut self, thread: u8) -> Vec<LineId> {
+        let ways = self.geom.dsb_ways;
+        let thread_bit = (thread as u64) << 8;
         let mut flushed = Vec::new();
-        for set in &mut self.sets {
-            set.retain(|l| {
-                if l.thread == thread {
-                    flushed.push(*l);
-                    false
+        let mut kept_buf = vec![0u64; ways];
+        for set in 0..self.lens.len() {
+            let base = set * ways;
+            let head = self.heads[set] as usize;
+            let len = self.lens[set] as usize;
+            let mut kept = 0usize;
+            for i in 0..len {
+                let packed = self.lines[base + Self::phys(head, i, ways)];
+                if packed & (1 << 8) == thread_bit {
+                    flushed.push(unpack_line(packed));
                 } else {
-                    true
+                    kept_buf[kept] = packed;
+                    kept += 1;
                 }
-            });
+            }
+            // Re-lay the survivors from slot 0, preserving MRU order.
+            self.lines[base..base + kept].copy_from_slice(&kept_buf[..kept]);
+            self.heads[set] = 0;
+            self.lens[set] = kept as u8;
         }
         flushed
     }
 
     /// Flushes everything; returns the flushed lines.
     pub fn flush_all(&mut self) -> Vec<LineId> {
+        let ways = self.geom.dsb_ways;
         let mut flushed = Vec::new();
-        for set in &mut self.sets {
-            flushed.append(set);
+        for set in 0..self.lens.len() {
+            let base = set * ways;
+            let head = self.heads[set] as usize;
+            let len = std::mem::take(&mut self.lens[set]) as usize;
+            flushed.extend(
+                (0..len).map(|i| unpack_line(self.lines[base + Self::phys(head, i, ways)])),
+            );
+            self.heads[set] = 0;
         }
         flushed
     }
 
     /// Number of resident lines owned by a thread.
     pub fn occupancy(&self, thread: u8) -> usize {
-        self.sets
-            .iter()
-            .map(|s| s.iter().filter(|l| l.thread == thread).count())
+        let ways = self.geom.dsb_ways;
+        let thread_bit = (thread as u64) << 8;
+        (0..self.lens.len())
+            .map(|set| {
+                let base = set * ways;
+                let head = self.heads[set] as usize;
+                let len = self.lens[set] as usize;
+                (0..len)
+                    .filter(|&i| {
+                        self.lines[base + Self::phys(head, i, ways)] & (1 << 8) == thread_bit
+                    })
+                    .count()
+            })
             .sum()
     }
 
     /// Resident lines (MRU first) in the physical set that `line` maps to.
-    pub fn set_lines_for(&self, line: LineId) -> &[LineId] {
-        &self.sets[self.set_index(line)]
+    pub fn set_lines_for(&self, line: LineId) -> impl Iterator<Item = LineId> + '_ {
+        let ways = self.geom.dsb_ways;
+        let set = self.set_index(line);
+        let base = set * ways;
+        let head = self.heads[set] as usize;
+        let len = self.lens[set] as usize;
+        (0..len).map(move |i| unpack_line(self.lines[base + Self::phys(head, i, ways)]))
     }
 }
 
@@ -197,6 +418,21 @@ mod tests {
 
     fn dsb(policy: SmtDsbPolicy) -> Dsb {
         Dsb::new(FrontendGeometry::skylake(), policy)
+    }
+
+    #[test]
+    fn pack_roundtrips() {
+        for l in [
+            line(0, 0),
+            line(1, 0x20c00),
+            LineId {
+                thread: 1,
+                window: (1 << 55) - 1,
+                chunk: 255,
+            },
+        ] {
+            assert_eq!(unpack_line(pack_line(l)), l);
+        }
     }
 
     #[test]
@@ -236,6 +472,20 @@ mod tests {
             assert_eq!(d.insert(line(0, i * 32)).evicted, None);
         }
         assert_eq!(d.occupancy(0), 8);
+    }
+
+    #[test]
+    fn lookup_promotes_to_mru() {
+        let mut d = dsb(SmtDsbPolicy::Competitive);
+        for i in 0..8 {
+            d.insert(line(0, i * 32));
+        }
+        // Re-touch the LRU line (first inserted); the next insert must then
+        // evict the second-oldest instead.
+        assert!(d.lookup(line(0, 0)));
+        let out = d.insert(line(0, 8 * 32));
+        assert_eq!(out.evicted, Some(line(0, 32)));
+        assert!(d.resident(line(0, 0)));
     }
 
     #[test]
@@ -309,6 +559,21 @@ mod tests {
     }
 
     #[test]
+    fn flush_thread_preserves_survivor_recency() {
+        let mut d = dsb(SmtDsbPolicy::Competitive);
+        // Interleave two threads in one set, then flush thread 0: thread
+        // 1's lines must keep their MRU-first relative order.
+        d.insert(line(1, 0));
+        d.insert(line(0, 32));
+        d.insert(line(1, 2 * 32));
+        d.insert(line(0, 3 * 32));
+        d.insert(line(1, 4 * 32));
+        d.flush_thread(0);
+        let order: Vec<u64> = d.set_lines_for(line(1, 0)).map(|l| l.window).collect();
+        assert_eq!(order, vec![4 * 32, 2 * 32, 0]);
+    }
+
+    #[test]
     fn chunked_windows_occupy_distinct_ways() {
         let mut d = dsb(SmtDsbPolicy::Competitive);
         let a = LineId {
@@ -324,6 +589,6 @@ mod tests {
         d.insert(a);
         d.insert(b);
         assert!(d.resident(a) && d.resident(b));
-        assert_eq!(d.set_lines_for(a).len(), 2);
+        assert_eq!(d.set_lines_for(a).count(), 2);
     }
 }

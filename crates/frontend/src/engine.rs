@@ -1,17 +1,21 @@
 //! The frontend engine: path selection, inclusive eviction handling, SMT
 //! arbitration and per-iteration cycle accounting.
-
-use std::collections::hash_map::DefaultHasher;
-use std::collections::HashSet;
-use std::hash::{Hash, Hasher};
+//!
+//! The per-iteration hot path is zero-allocation: chain identity comes
+//! from the precomputed [`BlockChain::key`], delivery walks the flat
+//! slices of a memoized [`DeliveryPlan`](crate::plan), the DSB is one
+//! contiguous buffer, and LSD lock bookkeeping lives in inline sorted
+//! arrays. The retained [`crate::reference::NaiveFrontend`] oracle plus
+//! the differential property tests prove the reports are bit-identical
+//! to the naive implementation.
 
 use leaky_cache::{CacheConfig, SetAssocCache};
-use leaky_isa::{Block, BlockChain, FrontendGeometry};
+use leaky_isa::{BlockChain, FrontendGeometry};
 
 use crate::costs::CostModel;
-use crate::counters::{IterationReport, UopSource};
+use crate::counters::{detect_report_period, IterationReport, UopSource};
 use crate::dsb::{Dsb, LineId, SmtDsbPolicy};
-use crate::lsd::lsd_qualifies;
+use crate::plan::{pack_lock_member, DeliveryPlan, PlanBlock, PlanCache};
 
 /// One of the two hardware threads sharing the physical core.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -83,22 +87,67 @@ impl Default for FrontendConfig {
     }
 }
 
-/// A loop currently locked into the LSD of one thread.
+/// Upper bound on lock-membership lines: a locked loop streams at most
+/// 64 µops ([`FrontendGeometry::lsd_uops`]) and every DSB line stores at
+/// least one µop, so a qualifying loop never spans more lines than this.
+const MAX_LOCK_LINES: usize = 64;
+
+/// Upper bound on tracked distinct sibling crossings: the lock collapses
+/// once `lines + 2 × crossings` exceeds the 8-window tracking capacity,
+/// so the live set stays tiny; 16 covers any plausible ablation geometry.
+/// Overflow is treated as a collapse.
+const MAX_LOCK_CROSSINGS: usize = 16;
+
+/// Longest report cycle `run_iterations` recognises as steady state.
+const MAX_STEADY_PERIOD: usize = 16;
+
+/// A loop currently locked into the LSD of one thread. All bookkeeping is
+/// inline (no heap): membership is a sorted array of packed
+/// `(window << 8) | chunk` entries copied from the delivery plan, probed
+/// by binary search on evictions.
 #[derive(Debug, Clone)]
 struct LoopLock {
     key: u64,
-    /// DSB lines backing the loop (inclusive property: evicting any of them
-    /// flushes the lock).
-    lines: HashSet<(u64, u8)>,
     uops: u32,
     /// Bitmask of DSB sets the loop's lines occupy.
     set_mask: u32,
+    /// Sorted packed line members (inclusive property: evicting any of
+    /// them flushes the lock). Only `lines[..n_lines]` is meaningful.
+    lines: [u64; MAX_LOCK_LINES],
+    n_lines: u8,
     /// Head windows of *sibling-thread* window-crossing blocks executed in
     /// overlapping sets while this lock is live. The shared window-tracking
     /// model (§IV-G, Fig. 6): the lock collapses once
     /// `lines + 2 × crossings` exceeds the LSD's window capacity — without
     /// any DSB eviction, so delivery falls back to the (faster) DSB.
-    foreign_crossings: HashSet<u64>,
+    /// Only `crossings[..n_crossings]` is meaningful.
+    crossings: [u64; MAX_LOCK_CROSSINGS],
+    n_crossings: u8,
+}
+
+impl LoopLock {
+    fn contains_line(&self, packed: u64) -> bool {
+        self.lines[..self.n_lines as usize]
+            .binary_search(&packed)
+            .is_ok()
+    }
+
+    /// Records a (deduplicated) sibling crossing; returns the updated
+    /// distinct-crossing count, or `None` when the inline capacity would
+    /// overflow (callers treat that as a collapse — reachable only with
+    /// window-tracking capacities far beyond any Table I machine).
+    fn note_crossing(&mut self, window: u64) -> Option<usize> {
+        let n = self.n_crossings as usize;
+        if self.crossings[..n].contains(&window) {
+            return Some(n);
+        }
+        if n >= MAX_LOCK_CROSSINGS {
+            return None;
+        }
+        self.crossings[n] = window;
+        self.n_crossings += 1;
+        Some(n + 1)
+    }
 }
 
 /// The simulated frontend shared by two hardware threads.
@@ -122,6 +171,8 @@ pub struct Frontend {
     /// warm-up tracking.
     lock_streak: [(u64, u32); 2],
     cumulative: [IterationReport; 2],
+    /// Memoized delivery plans for the chains this frontend executes.
+    plans: PlanCache,
 }
 
 impl Frontend {
@@ -137,6 +188,7 @@ impl Frontend {
             external_mite_pressure: [0.0, 0.0],
             lock_streak: [(0, 0), (0, 0)],
             cumulative: [IterationReport::default(), IterationReport::default()],
+            plans: PlanCache::default(),
             config,
         }
     }
@@ -241,7 +293,7 @@ impl Frontend {
     pub fn lsd_locked(&self, tid: ThreadId, chain: &BlockChain) -> bool {
         self.locks[tid.index()]
             .as_ref()
-            .is_some_and(|l| l.key == chain_key(chain))
+            .is_some_and(|l| l.key == chain.key())
     }
 
     /// Executes one iteration of a loop over `chain` on thread `tid`,
@@ -249,10 +301,20 @@ impl Frontend {
     ///
     /// The first iteration of a cold loop decodes through the MITE and fills
     /// the DSB; once every backing line is resident and the loop qualifies
-    /// (see [`lsd_qualifies`]) the LSD locks it, and subsequent iterations
-    /// stream from the LSD until an inclusive eviction or partition event
-    /// flushes the lock.
+    /// (see [`crate::lsd_qualifies`]) the LSD locks it, and subsequent
+    /// iterations stream from the LSD until an inclusive eviction or
+    /// partition event flushes the lock.
+    ///
+    /// The first call for a given chain memoizes its
+    /// [delivery plan](crate::plan); subsequent iterations are
+    /// allocation-free.
     pub fn run_iteration(&mut self, tid: ThreadId, chain: &BlockChain) -> IterationReport {
+        let plan = self.plans.get_or_build(chain, &self.config.geometry);
+        self.run_iteration_plan(tid, &plan)
+    }
+
+    /// The hot path: one iteration over a prebuilt delivery plan.
+    fn run_iteration_plan(&mut self, tid: ThreadId, plan: &DeliveryPlan) -> IterationReport {
         let t = tid.index();
         let mut report = IterationReport::new();
 
@@ -262,7 +324,7 @@ impl Frontend {
             self.last_source[t] = UopSource::Dsb;
         }
 
-        let key = chain_key(chain);
+        let key = plan.key;
         if self.lock_streak[t].0 == key {
             self.lock_streak[t].1 = self.lock_streak[t].1.saturating_add(1);
         } else {
@@ -271,7 +333,7 @@ impl Frontend {
         if let Some(lock) = &self.locks[t] {
             if lock.key == key {
                 // LSD streaming: the rest of the frontend is off.
-                let uops = chain.total_uops();
+                let uops = plan.total_uops;
                 report.cycles +=
                     self.config.costs.lsd_stream(uops) + self.config.costs.loop_overhead;
                 report.add_uops(UopSource::Lsd, uops as u64);
@@ -279,15 +341,10 @@ impl Frontend {
                 // A streaming loop still occupies shared window-tracking
                 // entries: its window-crossing blocks keep pressuring the
                 // sibling's loop tracking (§IV-G, Fig. 6).
-                if self.both_active() && chain.misaligned_count() > 0 {
-                    let blocks: Vec<Block> = chain
-                        .blocks()
-                        .iter()
-                        .filter(|b| !b.is_aligned())
-                        .cloned()
-                        .collect();
-                    for block in &blocks {
-                        self.note_sibling_crossing(tid, block);
+                if self.both_active() {
+                    for i in 0..plan.crossing_head_windows.len() {
+                        let window = plan.crossing_head_windows[i];
+                        self.note_sibling_crossing(tid, window);
                     }
                 }
                 self.cumulative[t] += report;
@@ -297,41 +354,70 @@ impl Frontend {
             self.locks[t] = None;
         }
 
-        for block in chain.blocks() {
-            self.fetch_l1i(block, &mut report);
-            if block.lcp_count() > 0 {
-                self.deliver_lcp_block(tid, block, &mut report);
+        for &blk in &plan.blocks {
+            self.fetch_l1i(
+                &plan.cache_lines[blk.cache_start as usize..blk.cache_end as usize],
+                &mut report,
+            );
+            if blk.has_lcp {
+                self.deliver_lcp_block(tid, plan, blk, &mut report);
             } else {
-                self.deliver_block(tid, block, &mut report);
+                self.deliver_block(tid, plan, blk, &mut report);
             }
         }
         report.cycles += self.config.costs.loop_overhead;
 
-        self.maybe_lock_lsd(tid, chain, key);
+        self.maybe_lock_lsd(tid, plan, key);
         self.cumulative[t] += report;
         report
     }
 
     /// Runs `n` iterations, detecting steady state to avoid simulating every
-    /// iteration of very long runs (e.g. Fig. 4's 800 M). The result is
-    /// bit-identical to running each iteration because the frontend is
-    /// deterministic and steady state is detected by exact report equality.
+    /// iteration of very long runs (e.g. Fig. 4's 800 M). Steady state is a
+    /// *report cycle* of period `k ≤ 16` observed twice in a row (period 1 —
+    /// exact repetition — is the seed's rule and the common case;
+    /// oscillating delivery patterns settle into longer cycles). Counts
+    /// then match the plain loop exactly and cycle totals agree up to
+    /// `f64` summation order.
+    ///
+    /// **Known approximation** (inherited from the seed's period-1 rule,
+    /// and load-bearing for the committed Table VII numbers): report
+    /// equality is trusted even while the LSD warm-up streak is still
+    /// counting, so a loop whose pre-lock iterations repeat exactly is
+    /// extrapolated on its pre-lock delivery path rather than
+    /// transitioning to LSD streaming mid-run. With the default
+    /// three-iteration warm-up the cold-start transient breaks the
+    /// repetition and the collapse is faithful; longer warm-ups can pin a
+    /// qualifying loop to the DSB path (see
+    /// `steady_state_collapse_can_freeze_lsd_warmup` and DESIGN.md §6).
     pub fn run_iterations(&mut self, tid: ThreadId, chain: &BlockChain, n: u64) -> IterationReport {
+        let plan = self.plans.get_or_build(chain, &self.config.geometry);
         let mut total = IterationReport::new();
-        let mut prev: Option<IterationReport> = None;
+        let mut history: Vec<IterationReport> = Vec::with_capacity(2 * MAX_STEADY_PERIOD);
         let mut done = 0u64;
         while done < n {
-            let r = self.run_iteration(tid, chain);
+            let r = self.run_iteration_plan(tid, &plan);
             done += 1;
-            if prev == Some(r) && done < n {
-                // Steady state: every remaining iteration is identical.
-                let remaining = n - done;
-                total += r.scaled(remaining);
-                self.cumulative[tid.index()] += r.scaled(remaining);
-                done = n;
+            if history.len() == 2 * MAX_STEADY_PERIOD {
+                history.remove(0);
+            }
+            history.push(r);
+            if done < n {
+                if let Some(k) = detect_report_period(&history, MAX_STEADY_PERIOD) {
+                    // The last k reports form a cycle: charge all complete
+                    // remaining cycles at once.
+                    let full_cycles = (n - done) / k as u64;
+                    if full_cycles > 0 {
+                        for rep in &history[history.len() - k..] {
+                            let s = rep.scaled(full_cycles);
+                            total += s;
+                            self.cumulative[tid.index()] += s;
+                        }
+                        done += full_cycles * k as u64;
+                    }
+                }
             }
             total += r;
-            prev = Some(r);
         }
         total
     }
@@ -344,8 +430,8 @@ impl Frontend {
         self.pending_lsd_flush[tid.index()] = false;
     }
 
-    fn fetch_l1i(&mut self, block: &Block, report: &mut IterationReport) {
-        for &line in block.cache_lines() {
+    fn fetch_l1i(&mut self, cache_lines: &[u64], report: &mut IterationReport) {
+        for &line in cache_lines {
             report.l1i_accesses += 1;
             if !self.l1i.access_line(line).hit() {
                 report.l1i_misses += 1;
@@ -363,81 +449,82 @@ impl Frontend {
         if old == new_source {
             return;
         }
-        let costs = self.config.costs;
         match (old, new_source) {
             (UopSource::Dsb | UopSource::Lsd, UopSource::Mite) => {
-                report.cycles += costs.dsb_to_mite_switch;
-                report.switch_penalty_cycles += costs.dsb_to_mite_switch;
+                let penalty = self.config.costs.dsb_to_mite_switch;
+                report.cycles += penalty;
+                report.switch_penalty_cycles += penalty;
                 report.dsb_to_mite_switches += 1;
             }
             (UopSource::Mite, _) => {
-                report.cycles += costs.mite_to_dsb_switch;
-                report.switch_penalty_cycles += costs.mite_to_dsb_switch;
+                let penalty = self.config.costs.mite_to_dsb_switch;
+                report.cycles += penalty;
+                report.switch_penalty_cycles += penalty;
             }
             _ => {}
         }
         self.last_source[t] = new_source;
     }
 
-    fn deliver_block(&mut self, tid: ThreadId, block: &Block, report: &mut IterationReport) {
+    fn deliver_block(
+        &mut self,
+        tid: ThreadId,
+        plan: &DeliveryPlan,
+        blk: PlanBlock,
+        report: &mut IterationReport,
+    ) {
         let t = tid.index();
-        let line_uops = self.config.geometry.dsb_line_uops as u32;
         let smt = self.both_active();
-        let crossing = !block.is_aligned();
-        if crossing {
+        if blk.crossing {
             report.cycles += self.config.costs.window_crossing_penalty;
             report.crossing_penalty_cycles += self.config.costs.window_crossing_penalty;
             if smt {
-                self.note_sibling_crossing(tid, block);
+                self.note_sibling_crossing(tid, blk.head_window);
             }
         }
-        for fp in block.windows() {
-            let mut remaining = fp.uops;
-            let mut chunk = 0u8;
-            while remaining > 0 {
-                let uops = remaining.min(line_uops);
-                let lid = LineId {
-                    thread: t as u8,
-                    window: fp.window,
-                    chunk,
-                };
-                if self.dsb.lookup(lid) {
-                    self.charge_switch(t, UopSource::Dsb, report);
-                    report.cycles += self.config.costs.dsb_line(uops);
-                    report.add_uops(UopSource::Dsb, uops as u64);
-                } else {
-                    self.charge_switch(t, UopSource::Mite, report);
-                    report.cycles +=
-                        self.config.costs.mite_line(uops, smt) * self.mite_pressure_factor(t);
-                    report.add_uops(UopSource::Mite, uops as u64);
-                    let out = self.dsb.insert(lid);
-                    if let Some(evicted) = out.evicted {
-                        report.dsb_evictions += 1;
-                        self.invalidate_lock_if_member(evicted);
-                    }
+        for line in &plan.lines[blk.lines_start as usize..blk.lines_end as usize] {
+            let lid = LineId {
+                thread: t as u8,
+                window: line.window,
+                chunk: line.chunk,
+            };
+            let (hit, evicted) = self.dsb.access(lid);
+            if hit {
+                self.charge_switch(t, UopSource::Dsb, report);
+                report.cycles += self.config.costs.dsb_line(line.uops);
+                report.add_uops(UopSource::Dsb, line.uops as u64);
+            } else {
+                self.charge_switch(t, UopSource::Mite, report);
+                report.cycles +=
+                    self.config.costs.mite_line(line.uops, smt) * self.mite_pressure_factor(t);
+                report.add_uops(UopSource::Mite, line.uops as u64);
+                if let Some(evicted) = evicted {
+                    report.dsb_evictions += 1;
+                    self.invalidate_lock_if_member(evicted);
                 }
-                remaining -= uops;
-                chunk += 1;
             }
         }
     }
 
-    /// Records that `tid` executed a window-crossing block and, if the
-    /// sibling thread has an LSD-locked loop occupying one of the same DSB
-    /// sets, accounts it against the shared window-tracking capacity
-    /// (the §IV-G / Fig. 6 misalignment-collision mechanism). The sibling's
-    /// lock collapses — without DSB evictions — once
-    /// `lock lines + 2 × distinct crossings > lsd_windows`.
-    fn note_sibling_crossing(&mut self, tid: ThreadId, block: &Block) {
+    /// Records that `tid` executed a window-crossing block (head window
+    /// `window`) and, if the sibling thread has an LSD-locked loop
+    /// occupying one of the same DSB sets, accounts it against the shared
+    /// window-tracking capacity (the §IV-G / Fig. 6 misalignment-collision
+    /// mechanism). The sibling's lock collapses — without DSB evictions —
+    /// once `lock lines + 2 × distinct crossings > lsd_windows`.
+    fn note_sibling_crossing(&mut self, tid: ThreadId, window: u64) {
         let sets = self.config.geometry.dsb_sets as u64;
         let other = tid.other().index();
-        let head_window = block.base().window();
-        let head_set = (head_window % sets) as u32;
+        let head_set = (window % sets) as u32;
         let window_cap = self.config.geometry.lsd_windows;
         let collapse = match &mut self.locks[other] {
             Some(lock) if lock.set_mask & (1 << head_set) != 0 => {
-                lock.foreign_crossings.insert(head_window);
-                lock.lines.len() + 2 * lock.foreign_crossings.len() > window_cap
+                match lock.note_crossing(window) {
+                    Some(crossings) => lock.n_lines as usize + 2 * crossings > window_cap,
+                    // Inline tracking overflow: only reachable with a
+                    // window capacity far beyond Table I; treat as collapse.
+                    None => true,
+                }
             }
             _ => false,
         };
@@ -455,7 +542,13 @@ impl Frontend {
     /// while plain instructions hit the DSB once warm. Path switches are
     /// charged per transition — this is what separates the paper's "mixed"
     /// and "ordered" issue patterns (Fig. 4).
-    fn deliver_lcp_block(&mut self, tid: ThreadId, block: &Block, report: &mut IterationReport) {
+    fn deliver_lcp_block(
+        &mut self,
+        tid: ThreadId,
+        plan: &DeliveryPlan,
+        blk: PlanBlock,
+        report: &mut IterationReport,
+    ) {
         let t = tid.index();
         let smt = self.both_active();
         let costs = self.config.costs;
@@ -484,8 +577,8 @@ impl Frontend {
             };
         let mut last = self.last_source[t];
         let mut prev_lcp = false;
-        for (addr, instr) in block.placed_instructions() {
-            if instr.has_lcp() {
+        for instr in &plan.instrs[blk.instr_start as usize..blk.instr_end as usize] {
+            if instr.has_lcp {
                 charge_lcp_switch(&mut last, UopSource::Mite, report);
                 let stall = costs.lcp_stall
                     + if prev_lcp {
@@ -495,24 +588,24 @@ impl Frontend {
                     };
                 report.cycles += (costs.mite_per_instr + stall) * smt_factor * pressure;
                 report.lcp_stall_cycles += stall * smt_factor;
-                report.add_uops(UopSource::Mite, instr.uops() as u64);
+                report.add_uops(UopSource::Mite, instr.uops as u64);
                 prev_lcp = true;
             } else {
                 let lid = LineId {
                     thread: t as u8,
-                    window: addr.window(),
+                    window: instr.window,
                     chunk: 0,
                 };
-                if self.dsb.lookup(lid) {
+                let (hit, evicted) = self.dsb.access(lid);
+                if hit {
                     charge_lcp_switch(&mut last, UopSource::Dsb, report);
-                    report.cycles += costs.dsb_per_uop * instr.uops() as f64;
-                    report.add_uops(UopSource::Dsb, instr.uops() as u64);
+                    report.cycles += costs.dsb_per_uop * instr.uops as f64;
+                    report.add_uops(UopSource::Dsb, instr.uops as u64);
                 } else {
                     charge_lcp_switch(&mut last, UopSource::Mite, report);
                     report.cycles += costs.mite_per_instr * smt_factor * pressure;
-                    report.add_uops(UopSource::Mite, instr.uops() as u64);
-                    let out = self.dsb.insert(lid);
-                    if let Some(evicted) = out.evicted {
+                    report.add_uops(UopSource::Mite, instr.uops as u64);
+                    if let Some(evicted) = evicted {
                         report.dsb_evictions += 1;
                         self.invalidate_lock_if_member(evicted);
                     }
@@ -523,7 +616,7 @@ impl Frontend {
         self.last_source[t] = last;
     }
 
-    fn maybe_lock_lsd(&mut self, tid: ThreadId, chain: &BlockChain, key: u64) {
+    fn maybe_lock_lsd(&mut self, tid: ThreadId, plan: &DeliveryPlan, key: u64) {
         if !self.config.lsd_enabled {
             return;
         }
@@ -535,65 +628,57 @@ impl Frontend {
         }
         // LCP-bearing loops never stream from the LSD: the LCP forces the
         // MITE path every iteration (§IV-H).
-        if chain.blocks().iter().any(|b| b.lcp_count() > 0) {
+        if plan.has_lcp {
             return;
         }
         let smt = self.both_active();
-        if !lsd_qualifies(chain, &self.config.geometry, smt).qualifies() {
+        if !plan.lsd_fits[usize::from(smt)] {
+            return;
+        }
+        // A qualifying loop's µops bound its line count at MAX_LOCK_LINES;
+        // this is only reachable under ablation geometries that enlarge
+        // the LSD beyond anything the paper models.
+        if plan.lock_lines.len() > MAX_LOCK_LINES {
+            debug_assert!(false, "lock membership exceeds inline capacity");
             return;
         }
         // Every backing DSB line must be resident (DSB ⊇ LSD).
         let t = tid.index();
-        let sets = self.config.geometry.dsb_sets as u64;
-        let mut lines = HashSet::new();
-        let mut set_mask = 0u32;
-        for block in chain.blocks() {
-            let line_uops = self.config.geometry.dsb_line_uops as u32;
-            for fp in block.windows() {
-                let chunks = fp.uops.div_ceil(line_uops) as u8;
-                for chunk in 0..chunks {
-                    let lid = LineId {
-                        thread: t as u8,
-                        window: fp.window,
-                        chunk,
-                    };
-                    if !self.dsb.resident(lid) {
-                        return;
-                    }
-                    lines.insert((fp.window, chunk));
-                    set_mask |= 1 << (fp.window % sets) as u32;
-                }
+        for line in &plan.lines {
+            let lid = LineId {
+                thread: t as u8,
+                window: line.window,
+                chunk: line.chunk,
+            };
+            if !self.dsb.resident(lid) {
+                return;
             }
         }
+        let mut lines = [0u64; MAX_LOCK_LINES];
+        lines[..plan.lock_lines.len()].copy_from_slice(&plan.lock_lines);
         self.locks[t] = Some(LoopLock {
             key,
+            uops: plan.total_uops,
+            set_mask: plan.set_mask,
             lines,
-            uops: chain.total_uops(),
-            set_mask,
-            foreign_crossings: HashSet::new(),
+            n_lines: plan.lock_lines.len() as u8,
+            crossings: [0; MAX_LOCK_CROSSINGS],
+            n_crossings: 0,
         });
     }
 
     fn invalidate_lock_if_member(&mut self, evicted: LineId) {
         let t = evicted.thread as usize;
+        let packed = pack_lock_member(evicted.window, evicted.chunk);
         let member = self.locks[t]
             .as_ref()
-            .is_some_and(|l| l.lines.contains(&(evicted.window, evicted.chunk)));
+            .is_some_and(|l| l.contains_line(packed));
         if member {
             self.locks[t] = None;
             self.pending_lsd_flush[t] = true;
             self.lock_streak[t].1 = 0;
         }
     }
-}
-
-fn chain_key(chain: &BlockChain) -> u64 {
-    let mut h = DefaultHasher::new();
-    for b in chain.blocks() {
-        b.base().value().hash(&mut h);
-        b.instr_count().hash(&mut h);
-    }
-    h.finish()
 }
 
 #[cfg(test)]
@@ -938,6 +1023,101 @@ mod tests {
         assert_eq!(total_fast.lsd_uops, total_slow.lsd_uops);
         assert_eq!(total_fast.dsb_evictions, total_slow.dsb_evictions);
         assert!((total_fast.cycles - total_slow.cycles).abs() / total_slow.cycles < 1e-9);
+    }
+
+    #[test]
+    fn run_iterations_collapses_mite_thrash_in_constant_time() {
+        // The 9-way §IV-F chain repeats the same all-miss report, so even a
+        // Fig. 4-scale run must cost a handful of live iterations. 800 M
+        // naive iterations would take minutes; this must be instant.
+        let chain = aligned(RECV_BASE, 0, 9);
+        let mut fe = frontend();
+        let total = fe.run_iterations(ThreadId::T0, &chain, 800_000_000);
+        assert_eq!(total.total_uops(), 800_000_000 * 45);
+        assert_eq!(total.lsd_uops, 0);
+        // Exact-arithmetic cross-check on a small prefix.
+        let mut fe2 = frontend();
+        let small = fe2.run_iterations(ThreadId::T0, &chain, 100);
+        let mut fe3 = frontend();
+        let mut slow = IterationReport::new();
+        for _ in 0..100 {
+            slow += fe3.run_iteration(ThreadId::T0, &chain);
+        }
+        assert_eq!(small.total_uops(), slow.total_uops());
+        assert_eq!(small.dsb_evictions, slow.dsb_evictions);
+    }
+
+    #[test]
+    fn run_iterations_matches_plain_loop_at_default_warmup() {
+        // With the default warm-up, the cold-start transient (one-off
+        // MITE→DSB switch penalties) breaks report repetition until the
+        // lock decision is behind us, so the collapse is faithful to the
+        // plain loop including the LSD transition.
+        let chain = aligned(RECV_BASE, 0, 8);
+        let mut fast = frontend();
+        let total_fast = fast.run_iterations(ThreadId::T0, &chain, 100);
+        let mut slow = frontend();
+        let mut total_slow = IterationReport::new();
+        for _ in 0..100 {
+            total_slow += slow.run_iteration(ThreadId::T0, &chain);
+        }
+        assert!(total_slow.lsd_uops > 0, "the loop must eventually stream");
+        assert_eq!(total_fast.lsd_uops, total_slow.lsd_uops);
+        assert_eq!(total_fast.dsb_uops, total_slow.dsb_uops);
+        assert_eq!(total_fast.mite_uops, total_slow.mite_uops);
+    }
+
+    #[test]
+    fn steady_state_collapse_can_freeze_lsd_warmup() {
+        // Characterizes the documented approximation inherited from the
+        // seed (see `run_iterations` docs): with a warm-up longer than the
+        // default, the pre-lock DSB iterations repeat exactly and the
+        // detector extrapolates them, so the loop never transitions to LSD
+        // streaming inside `run_iterations`. The committed Table VII
+        // miss-rate numbers depend on this rule; revisiting it is a
+        // calibration-level change, not a hot-path one.
+        let config = FrontendConfig {
+            lsd_warmup_iterations: 5,
+            ..FrontendConfig::default()
+        };
+        let chain = aligned(RECV_BASE, 0, 8);
+        let mut collapsed = Frontend::new(config);
+        let fast = collapsed.run_iterations(ThreadId::T0, &chain, 100);
+        assert_eq!(fast.lsd_uops, 0, "pre-lock path extrapolated (documented)");
+        let mut slow = Frontend::new(config);
+        let mut plain = IterationReport::new();
+        for _ in 0..100 {
+            plain += slow.run_iteration(ThreadId::T0, &chain);
+        }
+        assert!(plain.lsd_uops > 0, "the plain loop locks after warm-up");
+        // Totals still conserve work: same µop count, different paths.
+        assert_eq!(fast.total_uops(), plain.total_uops());
+    }
+
+    #[test]
+    fn run_iterations_handles_period_two_report_cycles() {
+        // Force an oscillating report sequence by alternating a warm LSD
+        // loop with a one-off pending flush: simulate the generalized
+        // period detector on a crafted frontend where iteration reports
+        // alternate between two values. We synthesize this by running a
+        // chain whose warm-up transient differs from steady state and
+        // checking that the totals still match the naive loop exactly on
+        // counts for several n values (the detector must never over- or
+        // under-count whatever period it snaps to).
+        let chain = same_set_chain(RECV_BASE, DsbSet::new(0), 4, Alignment::Misaligned);
+        for n in [1u64, 2, 3, 7, 50, 1000] {
+            let mut fast = frontend();
+            let total_fast = fast.run_iterations(ThreadId::T0, &chain, n);
+            let mut slow = frontend();
+            let mut total_slow = IterationReport::new();
+            for _ in 0..n {
+                total_slow += slow.run_iteration(ThreadId::T0, &chain);
+            }
+            assert_eq!(total_fast.total_uops(), total_slow.total_uops(), "n={n}");
+            assert_eq!(total_fast.dsb_uops, total_slow.dsb_uops, "n={n}");
+            assert_eq!(total_fast.dsb_evictions, total_slow.dsb_evictions);
+            assert!((total_fast.cycles - total_slow.cycles).abs() <= 1e-9 * total_slow.cycles);
+        }
     }
 
     #[test]

@@ -52,9 +52,12 @@ pub mod counters;
 pub mod dsb;
 pub mod engine;
 pub mod lsd;
+mod plan;
+pub mod reference;
 
 pub use costs::CostModel;
-pub use counters::{IterationReport, UopSource};
+pub use counters::{detect_report_period, IterationReport, UopSource};
 pub use dsb::{Dsb, LineId, SmtDsbPolicy};
 pub use engine::{Frontend, FrontendConfig, ThreadId};
 pub use lsd::{lsd_qualifies, LsdVerdict};
+pub use reference::NaiveFrontend;

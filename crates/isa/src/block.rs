@@ -6,7 +6,9 @@
 //! contention. [`Block`] generalises this to every code pattern the paper
 //! uses (nop blocks for the §XI receiver, LCP `add` runs for §IV-H / §V-E).
 
+use std::collections::hash_map::DefaultHasher;
 use std::fmt;
+use std::hash::{Hash, Hasher};
 
 use crate::addr::{Addr, DsbSet};
 use crate::geom::FrontendGeometry;
@@ -39,6 +41,27 @@ pub struct WindowFootprint {
     pub continues: bool,
 }
 
+/// One DSB line a block occupies, precomputed at block construction for
+/// the canonical Skylake-family line capacity
+/// ([`FrontendGeometry::skylake`]'s 6 µops/line, shared by every Table I
+/// machine). A window holding more than 6 µops spills into further
+/// *chunks*; the frontend simulator walks these flat slots instead of
+/// re-deriving windows and chunk splits every iteration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct LineSlot {
+    /// The window number (`addr >> 5`).
+    pub window: u64,
+    /// Chunk index within the window (0 unless the window exceeds the
+    /// per-line µop capacity).
+    pub chunk: u8,
+    /// µops stored in this line.
+    pub uops: u32,
+}
+
+/// Per-line µop capacity the precomputed [`LineSlot`]s assume — the
+/// Skylake-family value shared by every machine in the paper's Table I.
+const CANONICAL_DSB_LINE_UOPS: u32 = FrontendGeometry::skylake().dsb_line_uops as u32;
+
 /// A contiguous, placed sequence of instructions executed front to back.
 ///
 /// # Examples
@@ -61,8 +84,13 @@ pub struct Block {
     kind: BlockKind,
     /// Precomputed window footprints (hot path for the frontend simulator).
     windows: Vec<WindowFootprint>,
+    /// Precomputed DSB line slots for the canonical 6-µop line capacity.
+    line_slots: Vec<LineSlot>,
     /// Precomputed 64-byte cache-line numbers.
     cache_lines: Vec<u64>,
+    /// Content hash over base address and instruction stream, precomputed
+    /// so per-iteration loop identification costs nothing.
+    key: u64,
     uop_count: u32,
     lcp_count: u32,
 }
@@ -133,17 +161,25 @@ impl Block {
             instrs,
             kind,
             windows: Vec::new(),
+            line_slots: Vec::new(),
             cache_lines: Vec::new(),
+            key: 0,
             uop_count: 0,
             lcp_count: 0,
         };
         block.uop_count = block.instrs.iter().map(|i| i.uops() as u32).sum();
         block.lcp_count = block.instrs.iter().filter(|i| i.has_lcp()).count() as u32;
         block.windows = block.compute_windows();
+        block.line_slots = block.compute_line_slots(CANONICAL_DSB_LINE_UOPS);
         let first = block.base.cache_line();
         let last_byte = block.base.value() + block.len_bytes() - 1;
         let last = Addr::new(last_byte).cache_line();
         block.cache_lines = (first..=last).collect();
+        let mut h = DefaultHasher::new();
+        block.base.value().hash(&mut h);
+        block.kind.hash(&mut h);
+        block.instrs.hash(&mut h);
+        block.key = h.finish();
         block
     }
 
@@ -219,6 +255,51 @@ impl Block {
     /// the frontend allocates one DSB line per entry.
     pub fn windows(&self) -> &[WindowFootprint] {
         &self.windows
+    }
+
+    /// The DSB lines the block occupies, precomputed for the canonical
+    /// 6-µop line capacity ([`FrontendGeometry::skylake`]). Windows and
+    /// chunks appear in delivery order, so the frontend's hot path can
+    /// walk this flat slice directly. For a non-canonical geometry use
+    /// [`Block::compute_line_slots`] instead.
+    pub fn dsb_line_slots(&self) -> &[LineSlot] {
+        &self.line_slots
+    }
+
+    /// Derives the block's DSB line slots for an arbitrary per-line µop
+    /// capacity (ablation geometries). The canonical capacity's slots are
+    /// precomputed — prefer [`Block::dsb_line_slots`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `line_uops` is zero.
+    pub fn compute_line_slots(&self, line_uops: u32) -> Vec<LineSlot> {
+        assert!(line_uops > 0, "a DSB line stores at least one µop");
+        let mut slots = Vec::with_capacity(self.windows.len());
+        for fp in &self.windows {
+            let mut remaining = fp.uops;
+            let mut chunk = 0u8;
+            while remaining > 0 {
+                let uops = remaining.min(line_uops);
+                slots.push(LineSlot {
+                    window: fp.window,
+                    chunk,
+                    uops,
+                });
+                remaining -= uops;
+                chunk += 1;
+            }
+        }
+        slots
+    }
+
+    /// Content hash over the block's base address, kind and instruction
+    /// stream, precomputed at construction. Two blocks with equal keys are
+    /// (modulo hash collisions) the same placed code; the frontend uses
+    /// chain keys built from block keys to identify loops without
+    /// re-hashing per iteration.
+    pub fn key(&self) -> u64 {
+        self.key
     }
 
     fn compute_windows(&self) -> Vec<WindowFootprint> {
@@ -362,6 +443,52 @@ mod tests {
         // Ordered groups them.
         assert!(!ordered.instructions()[15].has_lcp());
         assert!(ordered.instructions()[16].has_lcp());
+    }
+
+    #[test]
+    fn line_slots_match_windows_and_capacity() {
+        let g = FrontendGeometry::skylake();
+        // Aligned mix block: one window, one slot of 5 µops.
+        let b = Block::mix(Addr::new(0x0041_8000));
+        assert_eq!(b.dsb_line_slots().len(), 1);
+        assert_eq!(b.dsb_line_slots()[0].uops, 5);
+        assert_eq!(b.dsb_line_slots()[0].chunk, 0);
+        // A 32-µop window splits into ceil(32/6) = 6 chunks of ≤ 6 µops.
+        let nops = Block::nops(Addr::new(0x3000), 31);
+        let slots = nops.dsb_line_slots();
+        let first_window = slots[0].window;
+        let first: Vec<_> = slots.iter().filter(|s| s.window == first_window).collect();
+        assert_eq!(first.len(), 6);
+        assert!(first.iter().all(|s| s.uops <= g.dsb_line_uops as u32));
+        assert_eq!(first.iter().map(|s| s.uops).sum::<u32>(), 32);
+        assert_eq!(
+            first.iter().map(|s| s.chunk).collect::<Vec<_>>(),
+            vec![0, 1, 2, 3, 4, 5]
+        );
+        // Slot count always equals dsb_lines, and the precomputed slots
+        // match an explicit derivation at the canonical capacity.
+        for b in [&b, &nops] {
+            assert_eq!(b.dsb_line_slots().len(), b.dsb_lines(&g));
+            assert_eq!(b.dsb_line_slots(), b.compute_line_slots(6).as_slice());
+        }
+        // Non-canonical capacities re-derive.
+        assert_eq!(nops.compute_line_slots(32).len(), nops.windows().len());
+    }
+
+    #[test]
+    fn block_keys_distinguish_content_and_placement() {
+        let a = Block::mix(Addr::new(0x1000));
+        let same = Block::mix(Addr::new(0x1000));
+        let moved = Block::mix(Addr::new(0x2000));
+        let other = Block::nops(Addr::new(0x1000), 4);
+        assert_eq!(a.key(), same.key());
+        assert_ne!(a.key(), moved.key());
+        assert_ne!(a.key(), other.key());
+        // Same address, same instruction count, different interleaving:
+        // the keys must still differ (content-sensitive hashing).
+        let mixed = Block::lcp_adds(Addr::new(0x4000), LcpPattern::Mixed, 16);
+        let ordered = Block::lcp_adds(Addr::new(0x4000), LcpPattern::Ordered, 16);
+        assert_ne!(mixed.key(), ordered.key());
     }
 
     #[test]

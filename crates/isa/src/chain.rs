@@ -7,7 +7,9 @@
 //! chain, and the chain as a whole forms a loop that may or may not qualify
 //! for the LSD.
 
+use std::collections::hash_map::DefaultHasher;
 use std::fmt;
+use std::hash::{Hash, Hasher};
 
 use crate::addr::{Addr, DsbSet};
 use crate::block::Block;
@@ -47,6 +49,11 @@ impl fmt::Display for Alignment {
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct BlockChain {
     blocks: Vec<Block>,
+    /// Loop-identity key over the blocks' content keys, maintained on
+    /// every structural change so hot loops never re-hash the chain.
+    key: u64,
+    /// Cached µop total (same maintenance discipline as `key`).
+    total_uops: u32,
 }
 
 impl BlockChain {
@@ -58,10 +65,38 @@ impl BlockChain {
     /// Panics if `blocks` is empty.
     pub fn new(blocks: Vec<Block>) -> Self {
         assert!(!blocks.is_empty(), "a chain needs at least one block");
-        BlockChain { blocks }
+        let mut chain = BlockChain {
+            blocks,
+            key: 0,
+            total_uops: 0,
+        };
+        chain.refresh_cached();
+        chain
+    }
+
+    /// Recomputes the cached key and µop total after a structural change.
+    fn refresh_cached(&mut self) {
+        let mut h = DefaultHasher::new();
+        self.blocks.len().hash(&mut h);
+        for b in &self.blocks {
+            b.key().hash(&mut h);
+        }
+        self.key = h.finish();
+        self.total_uops = self.blocks.iter().map(Block::uop_count).sum();
+    }
+
+    /// The chain's loop-identity key: a content hash over every block's
+    /// placement and instruction stream, precomputed at construction.
+    /// The frontend uses it to recognise "the same loop again" in O(1)
+    /// per iteration (LSD streak tracking, lock identity, memoized
+    /// delivery plans).
+    #[inline]
+    pub fn key(&self) -> u64 {
+        self.key
     }
 
     /// The blocks in execution order.
+    #[inline]
     pub fn blocks(&self) -> &[Block] {
         &self.blocks
     }
@@ -76,9 +111,10 @@ impl BlockChain {
         self.blocks.is_empty()
     }
 
-    /// Total µops per loop iteration.
+    /// Total µops per loop iteration (cached at construction).
+    #[inline]
     pub fn total_uops(&self) -> u32 {
-        self.blocks.iter().map(Block::uop_count).sum()
+        self.total_uops
     }
 
     /// Total instructions per loop iteration.
@@ -107,6 +143,7 @@ impl BlockChain {
     /// sub-chains in the §IV-G experiments).
     pub fn concat(mut self, mut other: BlockChain) -> BlockChain {
         self.blocks.append(&mut other.blocks);
+        self.refresh_cached();
         self
     }
 
@@ -122,7 +159,8 @@ impl BlockChain {
             "split must leave both sides non-empty"
         );
         let tail = self.blocks.split_off(n);
-        (self, BlockChain { blocks: tail })
+        self.refresh_cached();
+        (self, BlockChain::new(tail))
     }
 }
 
@@ -135,6 +173,7 @@ impl FromIterator<Block> for BlockChain {
 impl Extend<Block> for BlockChain {
     fn extend<I: IntoIterator<Item = Block>>(&mut self, iter: I) {
         self.blocks.extend(iter);
+        self.refresh_cached();
     }
 }
 
@@ -272,6 +311,34 @@ mod tests {
         assert!(a_end.value() < 0x0082_0000);
         assert_eq!(b.blocks()[0].dsb_set(), a.blocks()[0].dsb_set());
         assert_ne!(b.blocks()[0].base().window(), a.blocks()[0].base().window());
+    }
+
+    #[test]
+    fn chain_keys_track_structural_changes() {
+        let a = same_set_chain(BASE, DsbSet::new(0), 5, Alignment::Aligned);
+        let same = same_set_chain(BASE, DsbSet::new(0), 5, Alignment::Aligned);
+        assert_eq!(a.key(), same.key());
+        // Different length, alignment, or placement: different key.
+        assert_ne!(
+            a.key(),
+            same_set_chain(BASE, DsbSet::new(0), 6, Alignment::Aligned).key()
+        );
+        assert_ne!(
+            a.key(),
+            same_set_chain(BASE, DsbSet::new(0), 5, Alignment::Misaligned).key()
+        );
+        // concat / split_at / extend keep key and µop totals current.
+        let b = same_set_chain(BASE + 0x10_0000, DsbSet::new(0), 3, Alignment::Aligned);
+        let joined = a.clone().concat(b.clone());
+        assert_ne!(joined.key(), a.key());
+        assert_eq!(joined.total_uops(), a.total_uops() + b.total_uops());
+        let (head, tail) = joined.clone().split_at(5);
+        assert_eq!(head.key(), a.key());
+        assert_eq!(tail.key(), b.key());
+        let mut grown = a.clone();
+        grown.extend(b.blocks().to_vec());
+        assert_eq!(grown.key(), joined.key());
+        assert_eq!(grown.total_uops(), joined.total_uops());
     }
 
     #[test]

@@ -37,7 +37,7 @@ pub mod instr;
 pub mod region;
 
 pub use addr::{Addr, DsbSet};
-pub use block::{Block, BlockKind, WindowFootprint};
+pub use block::{Block, BlockKind, LineSlot, WindowFootprint};
 pub use chain::{same_set_chain, Alignment, BlockChain};
 pub use geom::FrontendGeometry;
 pub use instr::{Instruction, LcpPattern, Opcode, PortMask};

@@ -34,7 +34,10 @@ pub mod histogram;
 pub mod summary;
 pub mod threshold;
 
-pub use distance::{edit_distance, error_rate, euclidean_distance, DistanceError};
+pub use distance::{
+    edit_distance, edit_distance_bits, error_rate, euclidean_distance, mean_pairwise_distance,
+    DistanceError,
+};
 pub use histogram::Histogram;
 pub use summary::OnlineStats;
 pub use threshold::{ThresholdDecoder, ThresholdDecoderBuilder};

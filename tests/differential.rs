@@ -1,0 +1,185 @@
+//! Differential property tests: the zero-allocation [`Frontend`] must be
+//! bit-identical to the retained naive reference engine
+//! ([`NaiveFrontend`]) across random chains, SMT schedules and sharing
+//! policies. Both engines execute the same random interleavings of
+//! iterations, activity transitions and flushes, and every single
+//! [`IterationReport`] (an exact `f64`-carrying struct) is compared with
+//! `==` — any divergence in delivery order, cost arithmetic or lock
+//! bookkeeping fails immediately.
+
+use leaky_frontends_repro::frontend::{
+    Frontend, FrontendConfig, NaiveFrontend, SmtDsbPolicy, ThreadId,
+};
+use leaky_frontends_repro::isa::{
+    same_set_chain, Addr, Alignment, Block, BlockChain, DsbSet, LcpPattern,
+};
+use proptest::prelude::*;
+
+/// Decodes one byte into a random (but valid) chain. The generator
+/// covers the paper's whole layout space: aligned/misaligned same-set
+/// chains of 1-10 blocks on any set, nop blocks, LCP blocks of both
+/// interleavings, and concatenations of aligned + misaligned runs.
+fn chain_from(spec: (u8, u8, u8)) -> BlockChain {
+    let (kind, set, count) = spec;
+    let set = DsbSet::new(set % 32);
+    let count = (count % 10) as usize + 1;
+    let base = 0x0041_8000 + (kind as u64 % 7) * 0x10_0000;
+    match kind % 6 {
+        0 => same_set_chain(base, set, count, Alignment::Aligned),
+        1 => same_set_chain(base, set, count, Alignment::Misaligned),
+        2 => same_set_chain(base, set, count.min(5), Alignment::Aligned).concat(same_set_chain(
+            base + 0x20_0000,
+            set,
+            count.min(4),
+            Alignment::Misaligned,
+        )),
+        3 => BlockChain::new(vec![Block::nops(Addr::new(base), count * 17 + 1)]),
+        4 => BlockChain::new(vec![Block::lcp_adds(
+            Addr::new(base),
+            LcpPattern::Mixed,
+            count * 3,
+        )]),
+        _ => BlockChain::new(vec![Block::lcp_adds(
+            Addr::new(base),
+            LcpPattern::Ordered,
+            count * 3,
+        )]),
+    }
+}
+
+fn config_from(policy: u8, lsd_enabled: bool, flush_on_partition: bool) -> FrontendConfig {
+    FrontendConfig {
+        lsd_enabled,
+        flush_on_partition,
+        dsb_policy: match policy % 3 {
+            0 => SmtDsbPolicy::Competitive,
+            1 => SmtDsbPolicy::SetPartitioned,
+            _ => SmtDsbPolicy::Shared,
+        },
+        // Vary the LSD warm-up too: steady-state detection must respect
+        // pending lock transitions at every threshold.
+        lsd_warmup_iterations: (policy / 3 % 6) as u32 + 1,
+        ..FrontendConfig::default()
+    }
+}
+
+proptest! {
+    /// Core differential property: arbitrary interleavings of iterations,
+    /// thread activity changes and thread flushes produce identical
+    /// reports, lock states and DSB occupancies on both engines.
+    #[test]
+    fn optimized_frontend_matches_naive_reference(
+        chain_specs in proptest::collection::vec((any::<u8>(), any::<u8>(), any::<u8>()), 1..4),
+        schedule in proptest::collection::vec((any::<u8>(), any::<u8>(), any::<u8>()), 1..60),
+        policy in any::<u8>(),
+        lsd_enabled in any::<bool>(),
+        flush_on_partition in any::<bool>(),
+    ) {
+        let chains: Vec<BlockChain> = chain_specs.into_iter().map(chain_from).collect();
+        let config = config_from(policy, lsd_enabled, flush_on_partition);
+        let mut fast = Frontend::new(config);
+        let mut naive = NaiveFrontend::new(config);
+        for (op, tsel, csel) in schedule {
+            let tid = if tsel % 2 == 0 { ThreadId::T0 } else { ThreadId::T1 };
+            match op % 8 {
+                // Activity transitions are rarer than iterations (2/8),
+                // flushes rarest (1/8), iterations the bulk (5/8).
+                0 => {
+                    let active = csel % 2 == 0;
+                    fast.set_active(tid, active);
+                    naive.set_active(tid, active);
+                }
+                1 => {
+                    fast.set_active(tid, true);
+                    naive.set_active(tid, true);
+                }
+                2 => {
+                    fast.flush_thread_state(tid);
+                    naive.flush_thread_state(tid);
+                }
+                _ => {
+                    let chain = &chains[csel as usize % chains.len()];
+                    let fast_report = fast.run_iteration(tid, chain);
+                    let naive_report = naive.run_iteration(tid, chain);
+                    prop_assert_eq!(fast_report, naive_report, "iteration reports diverged");
+                    prop_assert_eq!(
+                        fast.lsd_locked(tid, chain),
+                        naive.lsd_locked(tid, chain),
+                        "lock state diverged"
+                    );
+                }
+            }
+            for t in 0..2u8 {
+                prop_assert_eq!(
+                    fast.dsb().occupancy(t),
+                    naive.dsb_occupancy(t),
+                    "DSB occupancy diverged"
+                );
+            }
+        }
+        for tid in [ThreadId::T0, ThreadId::T1] {
+            prop_assert_eq!(fast.counters(tid), naive.counters(tid), "cumulative counters diverged");
+        }
+    }
+
+    /// `run_iterations`' period-k steady-state collapse is semantically
+    /// the plain loop: counts match exactly, cycles up to f64 summation
+    /// order.
+    #[test]
+    fn run_iterations_matches_naive_loop(
+        spec in (any::<u8>(), any::<u8>(), any::<u8>()),
+        n in 1u64..400,
+        policy in any::<u8>(),
+        lsd_enabled in any::<bool>(),
+    ) {
+        let chain = chain_from(spec);
+        // Default warm-up only: with longer warm-ups the steady-state rule
+        // intentionally diverges from the plain loop (the documented
+        // approximation characterized by
+        // `steady_state_collapse_can_freeze_lsd_warmup` in leaky_frontend).
+        let config = FrontendConfig {
+            lsd_warmup_iterations: FrontendConfig::default().lsd_warmup_iterations,
+            ..config_from(policy, lsd_enabled, true)
+        };
+        let mut fast = Frontend::new(config);
+        let mut naive = NaiveFrontend::new(config);
+        let total_fast = fast.run_iterations(ThreadId::T0, &chain, n);
+        let total_naive = naive.run_iterations(ThreadId::T0, &chain, n);
+        prop_assert_eq!(total_fast.total_uops(), total_naive.total_uops());
+        prop_assert_eq!(total_fast.lsd_uops, total_naive.lsd_uops);
+        prop_assert_eq!(total_fast.dsb_uops, total_naive.dsb_uops);
+        prop_assert_eq!(total_fast.mite_uops, total_naive.mite_uops);
+        prop_assert_eq!(total_fast.dsb_evictions, total_naive.dsb_evictions);
+        prop_assert_eq!(total_fast.lsd_flushes, total_naive.lsd_flushes);
+        prop_assert_eq!(total_fast.dsb_to_mite_switches, total_naive.dsb_to_mite_switches);
+        prop_assert_eq!(total_fast.l1i_accesses, total_naive.l1i_accesses);
+        prop_assert_eq!(total_fast.l1i_misses, total_naive.l1i_misses);
+        let scale = total_naive.cycles.abs().max(1.0);
+        prop_assert!(
+            (total_fast.cycles - total_naive.cycles).abs() <= 1e-9 * scale,
+            "cycles diverged: {} vs {}",
+            total_fast.cycles,
+            total_naive.cycles
+        );
+        // After the run both engines hold the same lock state, so resuming
+        // from steady state stays bit-identical too.
+        prop_assert_eq!(
+            fast.lsd_locked(ThreadId::T0, &chain),
+            naive.lsd_locked(ThreadId::T0, &chain)
+        );
+        let fast_next = fast.run_iteration(ThreadId::T0, &chain);
+        let naive_next = naive.run_iteration(ThreadId::T0, &chain);
+        prop_assert_eq!(fast_next, naive_next, "post-run state diverged");
+    }
+
+    /// Myers bit-parallel edit distance (used by `error_rate`) agrees with
+    /// the Wagner-Fischer row DP on arbitrary bit strings.
+    #[test]
+    fn bit_parallel_edit_distance_matches_dp(
+        a in proptest::collection::vec(any::<bool>(), 0..300),
+        b in proptest::collection::vec(any::<bool>(), 0..300),
+    ) {
+        use leaky_frontends_repro::stats::{edit_distance, edit_distance_bits};
+        prop_assert_eq!(edit_distance_bits(&a, &b), edit_distance(&a, &b));
+    }
+}

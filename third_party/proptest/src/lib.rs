@@ -49,6 +49,27 @@ pub mod strategy {
             rng.gen_range(self.start as f64..self.end as f64) as f32
         }
     }
+
+    /// Tuples of strategies are strategies over tuples of their values
+    /// (mirrors the real crate's tuple `Strategy` impls).
+    macro_rules! tuple_strategy {
+        ($($name:ident),+) => {
+            impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+                type Value = ($($name::Value,)+);
+                #[allow(non_snake_case)]
+                fn new_value(&self, rng: &mut StdRng) -> Self::Value {
+                    let ($($name,)+) = self;
+                    ($($name.new_value(rng),)+)
+                }
+            }
+        };
+    }
+
+    tuple_strategy!(A, B);
+    tuple_strategy!(A, B, C);
+    tuple_strategy!(A, B, C, D);
+    tuple_strategy!(A, B, C, D, E);
+    tuple_strategy!(A, B, C, D, E, F);
 }
 
 pub mod arbitrary {
