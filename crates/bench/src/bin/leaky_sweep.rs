@@ -1,0 +1,142 @@
+//! `leaky_sweep`: the unified experiment-sweep CLI (DESIGN.md §7).
+//!
+//! Runs registered `leaky_exp` experiments on the deterministic scoped
+//! worker pool and renders them in one of three formats. Output is
+//! byte-identical at any `--jobs N` (pinned by `tests/sweep_determinism.rs`).
+//!
+//! ```text
+//! leaky_sweep                          # run every registered sweep, table format
+//! leaky_sweep fig8_d_sweep tab5_power_channels
+//! leaky_sweep --list                   # registered names, grid sizes, titles
+//! leaky_sweep --quick --jobs 4         # CI smoke grids on 4 workers
+//! leaky_sweep --format json            # leaky-frontends/sweep/v1 document
+//! leaky_sweep --format legacy tab3_all_channels   # pre-migration stdout
+//! ```
+
+use std::process::ExitCode;
+
+use leaky_bench::sweep::{
+    default_jobs, has_legacy_rendering, render_json_document, render_legacy, render_table,
+};
+use leaky_exp::{run_experiment, standard_registry};
+
+enum Format {
+    Table,
+    Json,
+    Legacy,
+}
+
+fn usage() -> &'static str {
+    "usage: leaky_sweep [EXPERIMENT...] [--list] [--quick] [--jobs N] [--format table|json|legacy]"
+}
+
+fn main() -> ExitCode {
+    let registry = standard_registry();
+    let args: Vec<String> = std::env::args().skip(1).collect();
+
+    let mut names: Vec<String> = Vec::new();
+    let mut quick = false;
+    let mut list = false;
+    let mut jobs = default_jobs();
+    let mut format = Format::Table;
+
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--quick" => quick = true,
+            "--list" => list = true,
+            "--help" | "-h" => {
+                println!("{}", usage());
+                return ExitCode::SUCCESS;
+            }
+            "--jobs" => {
+                let Some(n) = it
+                    .next()
+                    .and_then(|v| v.parse::<usize>().ok())
+                    .filter(|&n| n > 0)
+                else {
+                    eprintln!("--jobs needs a positive integer\n{}", usage());
+                    return ExitCode::from(2);
+                };
+                jobs = n;
+            }
+            "--format" => {
+                format = match it.next().map(String::as_str) {
+                    Some("table") => Format::Table,
+                    Some("json") => Format::Json,
+                    Some("legacy") => Format::Legacy,
+                    other => {
+                        eprintln!("unknown format {other:?}\n{}", usage());
+                        return ExitCode::from(2);
+                    }
+                };
+            }
+            flag if flag.starts_with('-') => {
+                eprintln!("unknown flag {flag:?}\n{}", usage());
+                return ExitCode::from(2);
+            }
+            name => names.push(name.to_string()),
+        }
+    }
+
+    if list {
+        for exp in registry.iter() {
+            println!(
+                "{:<26} {:>3} cells ({:>2} quick)  {}",
+                exp.name(),
+                exp.grid(false).len(),
+                exp.grid(true).len(),
+                exp.title()
+            );
+        }
+        return ExitCode::SUCCESS;
+    }
+
+    // Validate filters before running anything expensive.
+    for name in &names {
+        if registry.get(name).is_none() {
+            eprintln!(
+                "unknown experiment {name:?}; registered: {}",
+                registry.names().join(", ")
+            );
+            return ExitCode::from(2);
+        }
+    }
+    let selected: Vec<&str> = if names.is_empty() {
+        registry.names()
+    } else {
+        names.iter().map(String::as_str).collect()
+    };
+    if matches!(format, Format::Legacy) {
+        for name in &selected {
+            if !has_legacy_rendering(name) {
+                eprintln!("{name:?} has no legacy rendering (only the migrated paper sweeps do)");
+                return ExitCode::from(2);
+            }
+        }
+    }
+
+    let runs: Vec<_> = selected
+        .iter()
+        .map(|name| run_experiment(registry.get(name).expect("validated"), quick, jobs))
+        .collect();
+
+    match format {
+        Format::Table => {
+            for (i, run) in runs.iter().enumerate() {
+                if i > 0 {
+                    println!();
+                }
+                print!("{}", render_table(run));
+            }
+        }
+        Format::Json => print!("{}", render_json_document(&runs)),
+        Format::Legacy => {
+            for run in &runs {
+                // Renderability was validated before the runs started.
+                print!("{}", render_legacy(run).expect("validated"));
+            }
+        }
+    }
+    ExitCode::SUCCESS
+}

@@ -251,6 +251,28 @@ fn measure(budget: &Budget) -> Vec<Metric> {
     });
     push("error_rate_4096", ns, 20);
 
+    // Sweep-orchestration throughput: ns per grid cell for one quick
+    // sweep of the whole leaky_exp registry, at 1 worker and at 4
+    // workers (the layer Tables II-VI and Fig. 8 execute on; the
+    // 4-worker number tracks pool overhead and, on multi-core runners,
+    // scaling). Median of a few whole-registry runs.
+    for jobs in [1usize, 4] {
+        let runs = 3;
+        let mut per_cell = Vec::with_capacity(runs);
+        let mut cells = 0;
+        for _ in 0..runs {
+            let (n, ns) = leaky_bench::sweep::quick_sweep_throughput(jobs);
+            cells = n as u64;
+            per_cell.push(ns as f64 / n as f64);
+        }
+        per_cell.sort_by(|a, b| a.total_cmp(b));
+        push(
+            &format!("sweep_cell_quick_jobs{jobs}"),
+            per_cell[per_cell.len() / 2],
+            cells,
+        );
+    }
+
     metrics
 }
 

@@ -2,96 +2,13 @@
 //! misalignment-based covert channel (non-MT stealthy/fast + MT) on all
 //! four Table I machines; alternating message, d = 6 (eviction) /
 //! d = 5, M = 8 (misalignment).
-
-use leaky_bench::table::fmt;
-use leaky_cpu::ProcessorModel;
-use leaky_frontends::channels::mt::{MtChannel, MtKind};
-use leaky_frontends::channels::non_mt::{NonMtChannel, NonMtKind};
-use leaky_frontends::params::{ChannelParams, EncodeMode, MessagePattern};
-use leaky_frontends::run::Evaluation;
-
-/// One table cell: evaluate a channel on a machine (`None` = unsupported).
-type ChannelEval = Box<dyn Fn(ProcessorModel) -> Option<Evaluation>>;
-
-const BITS: usize = 256;
-const MT_BITS: usize = 96;
-
-fn non_mt(model: ProcessorModel, kind: NonMtKind, mode: EncodeMode) -> Evaluation {
-    let params = match kind {
-        NonMtKind::Eviction => ChannelParams::eviction_defaults(),
-        NonMtKind::Misalignment => ChannelParams::misalignment_defaults(),
-    };
-    let mut ch = NonMtChannel::new(model, kind, mode, params, 1234);
-    ch.transmit(&MessagePattern::Alternating.generate(BITS, 0))
-        .evaluation()
-}
-
-fn mt(model: ProcessorModel, kind: MtKind) -> Option<Evaluation> {
-    let params = match kind {
-        MtKind::Eviction => ChannelParams::mt_defaults(),
-        MtKind::Misalignment => ChannelParams::mt_misalignment_defaults(),
-    };
-    let mut ch = MtChannel::new(model, kind, params, 1234).ok()?;
-    Some(
-        ch.transmit(&MessagePattern::Alternating.generate(MT_BITS, 0))
-            .evaluation(),
-    )
-}
-
-fn row(label: &str, evals: &[Option<Evaluation>]) {
-    print!("{label:<34}");
-    for e in evals {
-        match e {
-            Some(e) => print!(
-                " {:>9} {:>7}",
-                fmt(e.rate_kbps, 2),
-                format!("{}%", fmt(e.error_rate * 100.0, 2))
-            ),
-            None => print!(" {:>9} {:>7}", "--", "--"),
-        }
-    }
-    println!();
-}
+//!
+//! Thin wrapper: the sweep itself lives in `leaky_exp` (spec
+//! `tab3_all_channels`; see EXPERIMENTS.md) and runs on the
+//! deterministic worker pool, so output is bit-identical at any job
+//! count — and to this binary's pre-migration stdout
+//! (`tests/golden/tab3_all_channels.txt`).
 
 fn main() {
-    let machines = ProcessorModel::all();
-    println!("Table III: covert-channel rates (Kbps) and error rates, alternating message\n");
-    print!("{:<34}", "channel");
-    for m in &machines {
-        print!(" {:>17}", m.name);
-    }
-    println!("\n{:-<110}", "");
-
-    let configs: [(&str, ChannelEval); 6] = [
-        (
-            "Non-MT Stealthy Eviction-Based",
-            Box::new(|m| Some(non_mt(m, NonMtKind::Eviction, EncodeMode::Stealthy))),
-        ),
-        (
-            "Non-MT Stealthy Misalignment",
-            Box::new(|m| Some(non_mt(m, NonMtKind::Misalignment, EncodeMode::Stealthy))),
-        ),
-        (
-            "Non-MT Fast Eviction-Based",
-            Box::new(|m| Some(non_mt(m, NonMtKind::Eviction, EncodeMode::Fast))),
-        ),
-        (
-            "Non-MT Fast Misalignment",
-            Box::new(|m| Some(non_mt(m, NonMtKind::Misalignment, EncodeMode::Fast))),
-        ),
-        ("MT Eviction-Based", Box::new(|m| mt(m, MtKind::Eviction))),
-        (
-            "MT Misalignment-Based",
-            Box::new(|m| mt(m, MtKind::Misalignment)),
-        ),
-    ];
-
-    for (label, run) in &configs {
-        let evals: Vec<Option<Evaluation>> = machines.iter().map(|&m| run(m)).collect();
-        row(label, &evals);
-    }
-
-    println!("\npaper reference points (alternating message):");
-    println!("  Non-MT Fast Misalignment on E-2288G: 1410.84 Kbps, 0.00% error (fastest attack)");
-    println!("  Non-MT rates >> MT rates; fast >= stealthy; E-2288G has no MT columns (SMT off)");
+    leaky_bench::sweep::run_legacy("tab3_all_channels");
 }

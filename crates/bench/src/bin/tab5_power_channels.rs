@@ -3,38 +3,11 @@
 //!
 //! Paper: eviction-based 0.66 Kbps / 18.87%; misalignment-based
 //! 0.63 Kbps / 9.07%.
-
-use leaky_bench::table::fmt;
-use leaky_cpu::ProcessorModel;
-use leaky_frontends::channels::non_mt::NonMtKind;
-use leaky_frontends::channels::power::PowerChannel;
-use leaky_frontends::params::{ChannelParams, MessagePattern};
-
-const BITS: usize = 64;
+//!
+//! Thin wrapper over the `tab5_power_channels` spec in `leaky_exp`;
+//! output is bit-identical to the pre-migration binary
+//! (`tests/golden/tab5_power_channels.txt`).
 
 fn main() {
-    println!("Table V: non-MT power-based channels (Gold 6226), alternating message\n");
-    println!("{:<22} {:>12} {:>10}", "channel", "rate Kbps", "error");
-    println!("{:-<46}", "");
-    for (kind, params) in [
-        (NonMtKind::Eviction, ChannelParams::power_defaults()),
-        (
-            NonMtKind::Misalignment,
-            ChannelParams {
-                d: 5,
-                ..ChannelParams::power_defaults()
-            },
-        ),
-    ] {
-        let mut ch = PowerChannel::new(ProcessorModel::gold_6226(), kind, params, 55);
-        let run = ch.transmit(&MessagePattern::Alternating.generate(BITS, 0));
-        println!(
-            "{:<22} {:>12} {:>9}%",
-            format!("{kind}-based"),
-            fmt(run.rate_kbps(), 2),
-            fmt(run.error_rate() * 100.0, 2)
-        );
-    }
-    println!("\npaper: eviction 0.66 Kbps / 18.87%; misalignment 0.63 Kbps / 9.07%");
-    println!("(>100 bps: high-bandwidth by the TCSEC criterion the paper cites)");
+    leaky_bench::sweep::run_legacy("tab5_power_channels");
 }

@@ -3,30 +3,12 @@
 //! Paper: MEM F+R 2.81%, L1D F+R 4.79%, L1D LRU 4.48%, L1I F+R 0.45%,
 //! L1I P+P 0.48%, Frontend 0.21% — the frontend channel leaves the caches
 //! quietest of all.
-
-use leaky_bench::table::fmt;
-use leaky_spectre::attack::table7;
+//!
+//! Thin wrapper over the `tab7_spectre_miss_rates` spec in `leaky_exp`
+//! (one attack per worker-pool cell; each `SpectreV1` owns its core,
+//! victim and RNG); output is bit-identical to the pre-migration binary
+//! (`tests/golden/tab7_spectre_miss_rates.txt`).
 
 fn main() {
-    println!("Table VII: Spectre v1 L1 miss rates by disclosure channel (Gold 6226)\n");
-    // A 24-chunk (120-bit) secret; every channel must recover it exactly.
-    let secret: Vec<u8> = (0..24).map(|i| (i * 7 + 3) % 32).collect();
-    let rows = table7(&secret, 2024);
-    println!(
-        "{:<10} {:>12} {:>10} {:>12} {:>12}",
-        "channel", "L1 miss", "accuracy", "L1I misses", "L1D misses"
-    );
-    println!("{:-<60}", "");
-    for (kind, result) in &rows {
-        println!(
-            "{:<10} {:>11}% {:>9}% {:>12} {:>12}",
-            kind.label(),
-            fmt(result.l1_miss_rate() * 100.0, 2),
-            fmt(result.accuracy() * 100.0, 0),
-            result.l1i_misses,
-            result.l1d_misses,
-        );
-    }
-    println!("\npaper:   MEM F+R 2.81%  L1D F+R 4.79%  L1D LRU 4.48%  L1I F+R 0.45%  L1I P+P 0.48%  Frontend 0.21%");
-    println!("shape:   Frontend < L1I channels << data-cache channels; frontend displaces no cache lines");
+    leaky_bench::sweep::run_legacy("tab7_spectre_miss_rates");
 }

@@ -6,10 +6,16 @@
 //! reports; `cargo bench` additionally runs Criterion micro-benchmarks over
 //! the frontend primitives. See DESIGN.md §3 for the experiment index and
 //! EXPERIMENTS.md for paper-vs-measured results.
+//!
+//! The heavy parameter sweeps (Table III, Fig. 8, Tables V and VII) are
+//! registered as `leaky_exp` specs and run on its deterministic worker
+//! pool; the `leaky_sweep` binary is the unified CLI and the [`sweep`]
+//! module holds its renderers (DESIGN.md §7).
 
 #![forbid(unsafe_code)]
 
 pub mod perf;
+pub mod sweep;
 pub mod table;
 
 pub use table::TableWriter;

@@ -1,0 +1,57 @@
+//! Wrapper-vs-migrated golden tests: the four thin wrapper binaries must
+//! produce byte-identical stdout to their pre-migration versions (the
+//! committed `tests/golden/*.txt` captures, taken at the commit before
+//! the sweeps moved onto `leaky_exp`).
+//!
+//! `LEAKY_SWEEP_JOBS=3` forces the parallel pool path, so these tests
+//! also pin full-grid determinism, not just rendering.
+
+use std::process::Command;
+
+fn golden_matches(bin_path: &str, golden_name: &str) {
+    let golden = std::fs::read_to_string(
+        std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+            .join("tests/golden")
+            .join(golden_name),
+    )
+    .expect("committed golden output");
+    let out = Command::new(bin_path)
+        .env("LEAKY_SWEEP_JOBS", "3")
+        .output()
+        .expect("binary runs");
+    assert!(out.status.success(), "{bin_path} must exit 0");
+    let stdout = String::from_utf8(out.stdout).expect("utf-8 stdout");
+    assert_eq!(
+        stdout, golden,
+        "{golden_name}: migrated binary diverged from pre-migration output"
+    );
+}
+
+#[test]
+fn fig8_d_sweep_matches_pre_migration_output() {
+    golden_matches(env!("CARGO_BIN_EXE_fig8_d_sweep"), "fig8_d_sweep.txt");
+}
+
+#[test]
+fn tab5_power_channels_matches_pre_migration_output() {
+    golden_matches(
+        env!("CARGO_BIN_EXE_tab5_power_channels"),
+        "tab5_power_channels.txt",
+    );
+}
+
+#[test]
+fn tab3_all_channels_matches_pre_migration_output() {
+    golden_matches(
+        env!("CARGO_BIN_EXE_tab3_all_channels"),
+        "tab3_all_channels.txt",
+    );
+}
+
+#[test]
+fn tab7_spectre_miss_rates_matches_pre_migration_output() {
+    golden_matches(
+        env!("CARGO_BIN_EXE_tab7_spectre_miss_rates"),
+        "tab7_spectre_miss_rates.txt",
+    );
+}

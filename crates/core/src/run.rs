@@ -66,6 +66,19 @@ impl ChannelRun {
         self.rate_kbps() * (1.0 - self.error_rate())
     }
 
+    /// Shannon capacity of the channel in Kbps, modelling it as a binary
+    /// symmetric channel with crossover probability equal to the measured
+    /// error rate (§VI): `rate × (1 − H(p))` with `H` the binary entropy.
+    ///
+    /// Unlike [`effective_rate_kbps`](Self::effective_rate_kbps) (a linear
+    /// discount), this is the information-theoretic ceiling on what an
+    /// optimal code could extract: it reaches 0 at `p = 0.5` (pure noise)
+    /// and climbs back to the raw rate at `p = 1` (a perfectly inverted
+    /// channel is noiseless).
+    pub fn capacity_kbps(&self) -> f64 {
+        self.rate_kbps() * (1.0 - binary_entropy(self.error_rate().clamp(0.0, 1.0)))
+    }
+
     /// Condenses the run into an [`Evaluation`].
     pub fn evaluation(&self) -> Evaluation {
         Evaluation {
@@ -73,6 +86,15 @@ impl ChannelRun {
             error_rate: self.error_rate(),
             bits: self.sent.len(),
         }
+    }
+}
+
+/// Binary entropy `H(p)` in bits, with the `0·log 0 = 0` convention.
+fn binary_entropy(p: f64) -> f64 {
+    if p <= 0.0 || p >= 1.0 {
+        0.0
+    } else {
+        -p * p.log2() - (1.0 - p) * (1.0 - p).log2()
     }
 }
 
@@ -149,6 +171,41 @@ mod tests {
         assert!((ev.rate_kbps - run.rate_kbps()).abs() < 1e-12);
         let shown = ev.to_string();
         assert!(shown.contains("Kbps"));
+    }
+
+    #[test]
+    fn capacity_at_zero_error_is_raw_rate() {
+        // p = 0: H(0) = 0, so capacity equals the raw transmission rate.
+        let run = ChannelRun::new(vec![true; 1000], vec![true; 1000], 1e6, 1e9);
+        assert_eq!(run.error_rate(), 0.0);
+        assert!((run.capacity_kbps() - run.rate_kbps()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn capacity_at_half_error_is_zero() {
+        // p = 0.5: H(0.5) = 1 bit, the channel carries no information.
+        // The edit distance between T^512 and T^256 F^256 is exactly 256
+        // substitutions (error_rate is edit-distance based, so patterned
+        // flips that compress to shifts would not hit p = 0.5).
+        let sent = vec![true; 512];
+        let mut recv = vec![true; 256];
+        recv.extend(std::iter::repeat_n(false, 256));
+        let run = ChannelRun::new(sent, recv, 1e6, 1e9);
+        assert!((run.error_rate() - 0.5).abs() < 1e-12);
+        assert!(run.capacity_kbps().abs() < 1e-9);
+        assert!(run.capacity_kbps() < run.effective_rate_kbps());
+    }
+
+    #[test]
+    fn capacity_at_full_error_is_raw_rate() {
+        // p = 1: a deterministic bit-flipper is as good as a clean wire.
+        let sent = vec![true; 256];
+        let recv = vec![false; 256];
+        let run = ChannelRun::new(sent, recv, 1e6, 1e9);
+        assert_eq!(run.error_rate(), 1.0);
+        assert!((run.capacity_kbps() - run.rate_kbps()).abs() < 1e-12);
+        // The linear discount would call this channel worthless.
+        assert_eq!(run.effective_rate_kbps(), 0.0);
     }
 
     #[test]

@@ -1,0 +1,110 @@
+//! Ordered result collection: re-sequencing out-of-order completions.
+
+/// Collects `(index, value)` completions arriving in any order and
+/// releases them in index order, so a parallel sweep's downstream fold
+/// (table rows, Welford merges, JSON arrays) is independent of worker
+/// scheduling.
+#[derive(Debug)]
+pub struct OrderedCollector<T> {
+    slots: Vec<Option<T>>,
+    filled: usize,
+}
+
+impl<T> OrderedCollector<T> {
+    /// Creates a collector expecting exactly `n` results.
+    pub fn new(n: usize) -> Self {
+        OrderedCollector {
+            slots: (0..n).map(|_| None).collect(),
+            filled: 0,
+        }
+    }
+
+    /// Records the result of cell `index`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an out-of-range index or a duplicate delivery — both
+    /// indicate a pool bug, and silently dropping either would corrupt
+    /// the sweep.
+    pub fn insert(&mut self, index: usize, value: T) {
+        assert!(
+            index < self.slots.len(),
+            "result index {index} out of range"
+        );
+        assert!(
+            self.slots[index].is_none(),
+            "duplicate result for cell {index}"
+        );
+        self.slots[index] = Some(value);
+        self.filled += 1;
+    }
+
+    /// Number of results recorded so far.
+    pub fn filled(&self) -> usize {
+        self.filled
+    }
+
+    /// Whether every expected result has arrived.
+    pub fn is_complete(&self) -> bool {
+        self.filled == self.slots.len()
+    }
+
+    /// Releases the results in index order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any cell is missing (a worker died without reporting).
+    pub fn into_ordered(self) -> Vec<T> {
+        self.slots
+            .into_iter()
+            .enumerate()
+            .map(|(i, slot)| slot.unwrap_or_else(|| panic!("cell {i} never reported")))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reorders_out_of_order_completions() {
+        let mut c = OrderedCollector::new(4);
+        for i in [2usize, 0, 3, 1] {
+            assert!(!c.is_complete());
+            c.insert(i, i * 10);
+        }
+        assert!(c.is_complete());
+        assert_eq!(c.into_ordered(), vec![0, 10, 20, 30]);
+    }
+
+    #[test]
+    fn empty_collector_is_trivially_complete() {
+        let c: OrderedCollector<u8> = OrderedCollector::new(0);
+        assert!(c.is_complete());
+        assert!(c.into_ordered().is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate result")]
+    fn duplicate_delivery_panics() {
+        let mut c = OrderedCollector::new(2);
+        c.insert(1, ());
+        c.insert(1, ());
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_index_panics() {
+        let mut c = OrderedCollector::new(2);
+        c.insert(2, ());
+    }
+
+    #[test]
+    #[should_panic(expected = "cell 1 never reported")]
+    fn incomplete_release_panics() {
+        let mut c = OrderedCollector::new(2);
+        c.insert(0, ());
+        let _ = c.into_ordered();
+    }
+}

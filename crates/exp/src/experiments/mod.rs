@@ -1,0 +1,110 @@
+//! Registered paper sweeps (EXPERIMENTS.md maps bins to spec names).
+//!
+//! Each migrated spec reproduces one legacy figure/table binary's grid
+//! cell-for-cell, pinning the *legacy* RNG seeds so the committed
+//! outputs stay bit-identical (the derived `JobCell::seed` streams are
+//! for new experiments; `rng_stream_grid` demonstrates them).
+
+mod fig8;
+mod rng_grid;
+mod tab3;
+mod tab5;
+mod tab7;
+
+pub use fig8::Fig8DSweep;
+pub use rng_grid::RngStreamGrid;
+pub use tab3::Tab3AllChannels;
+pub use tab5::Tab5PowerChannels;
+pub use tab7::Tab7SpectreMissRates;
+
+use crate::runner::Registry;
+use leaky_cpu::ProcessorModel;
+
+/// The registry every frontend (CLI, wrappers, perf harness) shares.
+pub fn standard_registry() -> Registry {
+    let mut reg = Registry::new();
+    reg.register(Box::new(Tab3AllChannels));
+    reg.register(Box::new(Fig8DSweep));
+    reg.register(Box::new(Tab5PowerChannels));
+    reg.register(Box::new(Tab7SpectreMissRates));
+    reg.register(Box::new(RngStreamGrid));
+    reg
+}
+
+/// Resolves a Table I machine by its display name (the axis value).
+///
+/// # Panics
+///
+/// Panics on an unknown name — grids only emit names from
+/// [`ProcessorModel::all`], so this is a spec bug.
+pub(crate) fn machine(name: &str) -> ProcessorModel {
+    ProcessorModel::all()
+        .into_iter()
+        .find(|m| m.name == name)
+        .unwrap_or_else(|| panic!("unknown machine {name:?}"))
+}
+
+/// The quick/full profile axis: a single-valued axis, so the sweep's
+/// content keys (and therefore derived seeds) distinguish the two
+/// workload sizes.
+pub(crate) fn profile(quick: bool) -> &'static str {
+    if quick {
+        "quick"
+    } else {
+        "full"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::runner::run_experiment;
+
+    #[test]
+    fn registry_contains_the_migrated_sweeps() {
+        let reg = standard_registry();
+        assert_eq!(
+            reg.names(),
+            vec![
+                "tab3_all_channels",
+                "fig8_d_sweep",
+                "tab5_power_channels",
+                "tab7_spectre_miss_rates",
+                "rng_stream_grid",
+            ]
+        );
+    }
+
+    #[test]
+    fn machine_lookup_roundtrips() {
+        for m in ProcessorModel::all() {
+            assert_eq!(machine(m.name).name, m.name);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown machine")]
+    fn unknown_machine_panics() {
+        let _ = machine("Pentium II");
+    }
+
+    #[test]
+    fn quick_grids_are_parallel_deterministic() {
+        // The heavyweight full grids are covered by the golden-output
+        // integration tests in leaky_bench; here the quick variants of
+        // every registered sweep must be bit-identical at jobs 1 vs 4.
+        let reg = standard_registry();
+        for exp in reg.iter() {
+            let a = run_experiment(exp, true, 1);
+            let b = run_experiment(exp, true, 4);
+            assert_eq!(a.cells.len(), b.cells.len(), "{}", exp.name());
+            for (x, y) in a.cells.iter().zip(&b.cells) {
+                assert_eq!(x, y, "{} diverged at jobs 4", exp.name());
+            }
+            assert_eq!(a.summaries.len(), b.summaries.len());
+            for (x, y) in a.summaries.iter().zip(&b.summaries) {
+                assert_eq!(x, y, "{} summary diverged", exp.name());
+            }
+        }
+    }
+}

@@ -1,0 +1,57 @@
+//! Table V: non-MT power-based covert channels on the Gold 6226 (spec
+//! behind the `tab5_power_channels` binary).
+
+use super::{machine, profile};
+use crate::grid::{JobCell, ParamGrid};
+use crate::runner::{Experiment, Metric};
+use leaky_frontends::channels::non_mt::NonMtKind;
+use leaky_frontends::channels::power::PowerChannel;
+use leaky_frontends::params::{ChannelParams, MessagePattern};
+
+/// Legacy seed pinned by the pre-migration binary.
+const SEED: u64 = 55;
+
+/// Table V sweep: channel kind on the Gold 6226.
+pub struct Tab5PowerChannels;
+
+impl Experiment for Tab5PowerChannels {
+    fn name(&self) -> &'static str {
+        "tab5_power_channels"
+    }
+
+    fn title(&self) -> &'static str {
+        "Table V: non-MT power-based channels (Gold 6226), alternating message"
+    }
+
+    fn grid(&self, quick: bool) -> ParamGrid {
+        ParamGrid::new(self.name())
+            .axis_strs("profile", [profile(quick)])
+            .axis_strs("kind", ["eviction", "misalignment"])
+    }
+
+    fn run_cell(&self, cell: &JobCell) -> Option<Vec<Metric>> {
+        let bits = if cell.str("profile") == "quick" {
+            16
+        } else {
+            64
+        };
+        let (kind, params) = match cell.str("kind") {
+            "eviction" => (NonMtKind::Eviction, ChannelParams::power_defaults()),
+            "misalignment" => (
+                NonMtKind::Misalignment,
+                ChannelParams {
+                    d: 5,
+                    ..ChannelParams::power_defaults()
+                },
+            ),
+            other => panic!("unknown kind {other:?}"),
+        };
+        let mut ch = PowerChannel::new(machine("Gold 6226"), kind, params, SEED);
+        let run = ch.transmit(&MessagePattern::Alternating.generate(bits, 0));
+        Some(vec![
+            Metric::new("rate_kbps", run.rate_kbps()),
+            Metric::new("error_rate", run.error_rate()),
+            Metric::new("capacity_kbps", run.capacity_kbps()),
+        ])
+    }
+}

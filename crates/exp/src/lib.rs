@@ -1,0 +1,41 @@
+//! `leaky_exp` — deterministic parallel experiment orchestration.
+//!
+//! The paper's headline results (Tables II–VII, Figs. 8–12) are
+//! parameter sweeps: a grid of channel × machine × parameter cells, each
+//! cell an independent simulation. This crate turns those sweeps into a
+//! subsystem (DESIGN.md §7):
+//!
+//! * [`grid`] expands a declarative [`ParamGrid`] into ordered
+//!   [`JobCell`]s, each with a stable *content key* naming its
+//!   coordinates.
+//! * [`seed`] derives a per-cell RNG seed by running splitmix64 over the
+//!   cell's content key, so a cell's random stream depends only on *what*
+//!   it computes — never on scheduling, worker count, or sibling cells.
+//! * [`pool`] runs cells on a hand-rolled scoped worker pool
+//!   (`std::thread::scope`; the container has no crates.io access) and
+//!   [`collect::OrderedCollector`] re-sequences completions by cell
+//!   index, so downstream folds see results in grid order regardless of
+//!   which worker finished first.
+//! * [`runner`] ties it together: an [`Experiment`] produces named f64
+//!   metrics per cell; summaries fold per-cell Welford accumulators with
+//!   `leaky_stats::summary::merge_ordered`, keeping output bit-identical
+//!   at any `--jobs N`.
+//! * [`experiments`] registers the migrated paper sweeps
+//!   (`tab3_all_channels`, `fig8_d_sweep`, `tab5_power_channels`,
+//!   `tab7_spectre_miss_rates`) plus an RNG-stream demo grid; the
+//!   `leaky_sweep` binary in `leaky_bench` is the unified CLI over this
+//!   registry, and the legacy figure/table binaries are thin wrappers.
+
+#![forbid(unsafe_code)]
+
+pub mod collect;
+pub mod experiments;
+pub mod grid;
+pub mod pool;
+pub mod runner;
+pub mod seed;
+
+pub use collect::OrderedCollector;
+pub use experiments::standard_registry;
+pub use grid::{Axis, AxisValue, JobCell, ParamGrid};
+pub use runner::{run_experiment, CellResult, Experiment, Metric, Registry, SweepRun};

@@ -1,0 +1,119 @@
+//! Hand-rolled scoped worker pool (`std::thread::scope`).
+//!
+//! The container builds with no crates.io access, so there is no rayon;
+//! the pool is a work-stealing-free classic: an atomic next-index
+//! counter hands cells to workers, completions flow through an mpsc
+//! channel, and an [`OrderedCollector`] re-sequences them. Determinism
+//! does not depend on the pool at all — cells are pure functions of
+//! their index, and ordering is restored at collection — so any `jobs`
+//! count produces identical output.
+
+use crate::collect::OrderedCollector;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::mpsc;
+use std::thread;
+
+/// Runs `f(0..n)` on `jobs` worker threads and returns the results in
+/// index order.
+///
+/// `jobs` is clamped to `[1, n]`; `jobs == 1` runs inline on the caller
+/// thread (no pool, no channel), which is also the reference order the
+/// parallel path must reproduce.
+///
+/// # Panics
+///
+/// A panicking cell propagates: the scope joins all workers and re-raises.
+pub fn run_ordered<T, F>(jobs: usize, n: usize, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    if n == 0 {
+        return Vec::new();
+    }
+    let jobs = jobs.clamp(1, n);
+    if jobs == 1 {
+        return (0..n).map(f).collect();
+    }
+
+    let next = AtomicUsize::new(0);
+    let (tx, rx) = mpsc::channel::<(usize, T)>();
+    let mut collector = OrderedCollector::new(n);
+    thread::scope(|scope| {
+        for _ in 0..jobs {
+            let tx = tx.clone();
+            let next = &next;
+            let f = &f;
+            scope.spawn(move || loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= n {
+                    break;
+                }
+                // A closed receiver means the collector bailed; stop early.
+                if tx.send((i, f(i))).is_err() {
+                    break;
+                }
+            });
+        }
+        drop(tx);
+        for (i, value) in rx {
+            collector.insert(i, value);
+        }
+    });
+    collector.into_ordered()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn parallel_matches_sequential() {
+        let cell = |i: usize| (i as u64).wrapping_mul(0x9e37_79b9).rotate_left(7);
+        let seq = run_ordered(1, 100, cell);
+        for jobs in [2, 4, 7, 100, 5000] {
+            assert_eq!(run_ordered(jobs, 100, cell), seq, "jobs = {jobs}");
+        }
+    }
+
+    #[test]
+    fn every_cell_runs_exactly_once() {
+        let counts: Vec<AtomicUsize> = (0..64).map(|_| AtomicUsize::new(0)).collect();
+        let out = run_ordered(8, 64, |i| {
+            counts[i].fetch_add(1, Ordering::Relaxed);
+            i
+        });
+        assert_eq!(out, (0..64).collect::<Vec<_>>());
+        assert!(counts.iter().all(|c| c.load(Ordering::Relaxed) == 1));
+    }
+
+    #[test]
+    fn slow_early_cells_do_not_scramble_order() {
+        // Make low indices finish last: order must still be by index.
+        let out = run_ordered(4, 16, |i| {
+            std::thread::sleep(std::time::Duration::from_micros(((16 - i) * 200) as u64));
+            i * 3
+        });
+        assert_eq!(out, (0..16).map(|i| i * 3).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn zero_cells_is_empty() {
+        let out: Vec<u8> = run_ordered(4, 0, |_| unreachable!("no cells to run"));
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn worker_panic_propagates() {
+        let caught = std::panic::catch_unwind(|| {
+            run_ordered(3, 8, |i| {
+                if i == 5 {
+                    panic!("cell 5 exploded");
+                }
+                i
+            })
+        });
+        assert!(caught.is_err());
+    }
+}

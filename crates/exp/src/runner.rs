@@ -1,0 +1,272 @@
+//! Experiment specs, sweep execution, and the registry.
+
+use crate::grid::{JobCell, ParamGrid};
+use crate::pool::run_ordered;
+use leaky_stats::summary::merge_ordered;
+use leaky_stats::OnlineStats;
+use std::time::Instant;
+
+/// One named measurement produced by a cell.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Metric {
+    /// Stable metric name (table column / JSON key).
+    pub name: &'static str,
+    /// Measured value.
+    pub value: f64,
+}
+
+impl Metric {
+    /// Convenience constructor.
+    pub fn new(name: &'static str, value: f64) -> Self {
+        Metric { name, value }
+    }
+}
+
+/// A declarative experiment: a grid plus a per-cell measurement.
+///
+/// Implementations must be pure in the cell: `run_cell` may not depend
+/// on which other cells ran, in what order, or on which thread — that is
+/// what makes `--jobs N` bit-identical. Cells needing randomness take it
+/// from [`crate::seed::cell_rng`] (or a spec-pinned legacy seed, for
+/// sweeps whose committed outputs predate this subsystem).
+pub trait Experiment: Sync {
+    /// Registry name (also the CLI filter argument), e.g. `"fig8_d_sweep"`.
+    fn name(&self) -> &'static str;
+
+    /// One-line human description (CLI `--list`, table headers).
+    fn title(&self) -> &'static str;
+
+    /// The parameter grid; `quick` selects a cheaper variant of the same
+    /// sweep for CI smoke runs (typically fewer message bits).
+    fn grid(&self, quick: bool) -> ParamGrid;
+
+    /// Measures one cell. `None` marks a structurally unsupported cell
+    /// (e.g. an SMT channel on a machine with SMT disabled) — it stays in
+    /// the output as a gap but contributes nothing to summaries.
+    fn run_cell(&self, cell: &JobCell) -> Option<Vec<Metric>>;
+}
+
+/// The outcome of one cell: its coordinates plus measurements.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CellResult {
+    /// The cell that was run.
+    pub cell: JobCell,
+    /// Measurements, or `None` for an unsupported cell.
+    pub metrics: Option<Vec<Metric>>,
+}
+
+impl CellResult {
+    /// Looks up a metric value by name.
+    pub fn metric(&self, name: &str) -> Option<f64> {
+        self.metrics
+            .as_ref()?
+            .iter()
+            .find(|m| m.name == name)
+            .map(|m| m.value)
+    }
+}
+
+/// A completed sweep: ordered cell results plus per-metric summaries.
+#[derive(Debug, Clone)]
+pub struct SweepRun {
+    /// Experiment name.
+    pub name: &'static str,
+    /// Experiment title.
+    pub title: &'static str,
+    /// Whether the quick grid was used.
+    pub quick: bool,
+    /// Worker threads the sweep ran on (affects wall time only).
+    pub jobs: usize,
+    /// Cell results, in grid order.
+    pub cells: Vec<CellResult>,
+    /// Per-metric Welford summaries over all supported cells, keyed by
+    /// metric name in first-appearance order. Built by merging per-cell
+    /// accumulators in grid order (`merge_ordered`), so they are
+    /// bit-identical at any `jobs`.
+    pub summaries: Vec<(String, OnlineStats)>,
+    /// Wall-clock nanoseconds of the execution phase. Excluded from all
+    /// deterministic renderings; `perf_report`'s sweep-throughput
+    /// metrics aggregate it via `leaky_bench::sweep::quick_sweep_throughput`.
+    pub elapsed_ns: u128,
+}
+
+/// Expands, executes, collects, and summarizes one experiment.
+pub fn run_experiment(exp: &dyn Experiment, quick: bool, jobs: usize) -> SweepRun {
+    let cells = exp.grid(quick).expand();
+    let start = Instant::now();
+    let outputs = run_ordered(jobs, cells.len(), |i| exp.run_cell(&cells[i]));
+    let elapsed_ns = start.elapsed().as_nanos();
+
+    let results: Vec<CellResult> = cells
+        .into_iter()
+        .zip(outputs)
+        .map(|(cell, metrics)| CellResult { cell, metrics })
+        .collect();
+
+    // Summaries: one single-sample Welford accumulator per (cell, metric),
+    // merged strictly in grid order. The grouping of merges is part of the
+    // bit-identical contract (f64 addition is not associative), which is
+    // why this happens after ordered collection, not inside the workers.
+    let mut names: Vec<String> = Vec::new();
+    for r in &results {
+        for m in r.metrics.iter().flatten() {
+            if !names.iter().any(|n| n == m.name) {
+                names.push(m.name.to_string());
+            }
+        }
+    }
+    let summaries = names
+        .into_iter()
+        .map(|name| {
+            let stats = merge_ordered(
+                results
+                    .iter()
+                    .filter_map(|r| r.metric(&name).map(|v| OnlineStats::from_iter([v]))),
+            );
+            (name, stats)
+        })
+        .collect();
+
+    SweepRun {
+        name: exp.name(),
+        title: exp.title(),
+        quick,
+        jobs,
+        cells: results,
+        summaries,
+        elapsed_ns,
+    }
+}
+
+/// The set of registered experiments, looked up by name.
+#[derive(Default)]
+pub struct Registry {
+    entries: Vec<Box<dyn Experiment>>,
+}
+
+impl Registry {
+    /// Creates an empty registry.
+    pub fn new() -> Self {
+        Registry::default()
+    }
+
+    /// Adds an experiment.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a duplicate name — two specs answering to one CLI
+    /// filter would make "which sweep ran?" ambiguous.
+    pub fn register(&mut self, exp: Box<dyn Experiment>) {
+        assert!(
+            self.get(exp.name()).is_none(),
+            "duplicate experiment {:?}",
+            exp.name()
+        );
+        self.entries.push(exp);
+    }
+
+    /// Looks up an experiment by name.
+    pub fn get(&self, name: &str) -> Option<&dyn Experiment> {
+        self.entries
+            .iter()
+            .find(|e| e.name() == name)
+            .map(|e| e.as_ref())
+    }
+
+    /// All experiments, in registration order.
+    pub fn iter(&self) -> impl Iterator<Item = &dyn Experiment> {
+        self.entries.iter().map(|e| e.as_ref())
+    }
+
+    /// Registered names, in registration order.
+    pub fn names(&self) -> Vec<&'static str> {
+        self.entries.iter().map(|e| e.name()).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::seed::cell_rng;
+    use rand::Rng as _;
+
+    /// A cheap spec exercising the full machinery, including derived
+    /// per-cell streams and unsupported cells.
+    struct Demo;
+
+    impl Experiment for Demo {
+        fn name(&self) -> &'static str {
+            "demo"
+        }
+        fn title(&self) -> &'static str {
+            "machinery demo"
+        }
+        fn grid(&self, quick: bool) -> ParamGrid {
+            let hi = if quick { 4 } else { 16 };
+            ParamGrid::new(self.name())
+                .axis_strs("mode", ["on", "off"])
+                .axis_ints("i", 0..hi)
+        }
+        fn run_cell(&self, cell: &JobCell) -> Option<Vec<Metric>> {
+            if cell.str("mode") == "off" && cell.int("i") % 5 == 4 {
+                return None; // exercise unsupported cells
+            }
+            let mut rng = cell_rng(cell);
+            let noise: f64 = rng.gen_range(0.0..1e-3);
+            Some(vec![
+                Metric::new("value", cell.int("i") as f64 + noise),
+                Metric::new("noise", noise),
+            ])
+        }
+    }
+
+    fn flat(run: &SweepRun) -> Vec<(String, Option<Vec<Metric>>)> {
+        run.cells
+            .iter()
+            .map(|c| (c.cell.key.clone(), c.metrics.clone()))
+            .collect()
+    }
+
+    #[test]
+    fn jobs_count_does_not_change_results() {
+        let reference = run_experiment(&Demo, false, 1);
+        for jobs in [2, 4, 9] {
+            let parallel = run_experiment(&Demo, false, jobs);
+            assert_eq!(flat(&parallel), flat(&reference), "jobs = {jobs}");
+            assert_eq!(parallel.summaries.len(), reference.summaries.len());
+            for (a, b) in parallel.summaries.iter().zip(&reference.summaries) {
+                assert_eq!(a.0, b.0);
+                // Bit-identical, not approximately equal.
+                assert_eq!(a.1, b.1, "summary {:?} drifted at jobs = {jobs}", a.0);
+            }
+        }
+    }
+
+    #[test]
+    fn summaries_skip_unsupported_cells() {
+        let run = run_experiment(&Demo, false, 3);
+        let unsupported = run.cells.iter().filter(|c| c.metrics.is_none()).count();
+        assert!(unsupported > 0, "demo grid must contain gaps");
+        let (name, stats) = &run.summaries[0];
+        assert_eq!(name, "value");
+        assert_eq!(stats.count() as usize, run.cells.len() - unsupported);
+    }
+
+    #[test]
+    fn quick_grid_is_smaller() {
+        assert!(Demo.grid(true).len() < Demo.grid(false).len());
+    }
+
+    #[test]
+    fn registry_lookup_and_duplicate_rejection() {
+        let mut reg = Registry::new();
+        reg.register(Box::new(Demo));
+        assert_eq!(reg.names(), vec!["demo"]);
+        assert!(reg.get("demo").is_some());
+        assert!(reg.get("nope").is_none());
+        let dup = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            reg.register(Box::new(Demo))
+        }));
+        assert!(dup.is_err());
+    }
+}

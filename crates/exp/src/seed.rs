@@ -1,0 +1,83 @@
+//! Per-cell seed derivation: splitmix64 over the cell's content key.
+//!
+//! A sweep cell's random stream must depend only on *what* the cell
+//! computes (its content key), never on execution order or worker
+//! count — otherwise `--jobs 4` would reshuffle the noise and break
+//! bit-identical output. The derivation is: FNV-1a over the key bytes
+//! to condense the string, then one [`SplitMix64::split`] to decorrelate
+//! keys that differ in few bits (FNV is fast but weakly avalanching).
+
+use rand::rngs::{SplitMix64, StdRng};
+use rand::{RngCore as _, SeedableRng as _};
+
+use crate::grid::JobCell;
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// Derives the deterministic RNG seed of a content key.
+pub fn derive_seed(key: &str) -> u64 {
+    let mut h = FNV_OFFSET;
+    for &b in key.as_bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(FNV_PRIME);
+    }
+    SplitMix64::new(h).split().next_u64()
+}
+
+/// The cell's independent random stream: a [`StdRng`] over the derived
+/// seed. Two cells never share a stream; re-running a cell always
+/// replays the same stream.
+pub fn cell_rng(cell: &JobCell) -> StdRng {
+    StdRng::seed_from_u64(cell.seed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::grid::ParamGrid;
+    use rand::Rng as _;
+
+    #[test]
+    fn derivation_is_pinned() {
+        // Literal pinned values: any change to the FNV constants or the
+        // post-FNV split silently re-seeds every derived-stream sweep
+        // (and the jobs-1-vs-4 diff cannot catch it, since both sides
+        // shift together) — so make it loud instead.
+        assert_eq!(derive_seed("tab3_all_channels"), 0x8c19_f8b0_621c_bdb0);
+        assert_eq!(derive_seed("x/d=1"), 0x370b_4a6e_2840_3e66);
+        assert_eq!(derive_seed("x/d=2"), 0xbbc4_45b0_ea0e_d0a5);
+    }
+
+    #[test]
+    fn near_identical_keys_decorrelate() {
+        // Keys differing by one trailing digit must not produce nearby
+        // seeds (the reason for the post-FNV split()).
+        let seeds: Vec<u64> = (0..64)
+            .map(|i| derive_seed(&format!("exp/cell={i}")))
+            .collect();
+        for w in seeds.windows(2) {
+            assert_ne!(w[0], w[1]);
+            // Crude avalanche check: adjacent cells differ in many bits.
+            assert!((w[0] ^ w[1]).count_ones() > 8);
+        }
+    }
+
+    #[test]
+    fn cell_rngs_are_independent_streams() {
+        let cells = ParamGrid::new("s").axis_ints("i", 0..8).expand();
+        let firsts: Vec<f64> = cells
+            .iter()
+            .map(|c| cell_rng(c).gen_range(0.0..1.0))
+            .collect();
+        let replay: Vec<f64> = cells
+            .iter()
+            .map(|c| cell_rng(c).gen_range(0.0..1.0))
+            .collect();
+        assert_eq!(firsts, replay, "streams must replay exactly");
+        let mut sorted = firsts.clone();
+        sorted.sort_by(|a, b| a.total_cmp(b));
+        sorted.dedup();
+        assert_eq!(sorted.len(), firsts.len(), "streams collided");
+    }
+}

@@ -119,6 +119,33 @@ impl OnlineStats {
     }
 }
 
+/// Merges a sequence of accumulators strictly left-to-right.
+///
+/// Floating-point addition is not associative, so the *grouping* of
+/// [`OnlineStats::merge`] calls affects the low bits of the result. A
+/// parallel sweep that wants bit-identical output at any worker count
+/// must therefore collect its per-shard accumulators in a deterministic
+/// order and fold them sequentially — which is exactly what this does.
+///
+/// # Examples
+///
+/// ```
+/// use leaky_stats::{summary::merge_ordered, OnlineStats};
+///
+/// let parts = [
+///     OnlineStats::from_iter([1.0, 2.0]),
+///     OnlineStats::from_iter([3.0]),
+/// ];
+/// assert_eq!(merge_ordered(parts).mean(), 2.0);
+/// ```
+pub fn merge_ordered<I: IntoIterator<Item = OnlineStats>>(parts: I) -> OnlineStats {
+    let mut acc = OnlineStats::new();
+    for part in parts {
+        acc.merge(&part);
+    }
+    acc
+}
+
 impl FromIterator<f64> for OnlineStats {
     /// Builds an accumulator from an iterator of samples.
     fn from_iter<I: IntoIterator<Item = f64>>(iter: I) -> Self {
@@ -225,6 +252,20 @@ mod tests {
         let mut e = OnlineStats::new();
         e.merge(&before);
         assert_eq!(e, before);
+    }
+
+    #[test]
+    fn merge_ordered_equals_manual_left_fold() {
+        let shards: Vec<OnlineStats> = (0..7)
+            .map(|s| OnlineStats::from_iter((0..50).map(|i| ((s * 50 + i) as f64 * 0.13).cos())))
+            .collect();
+        let mut manual = OnlineStats::new();
+        for s in &shards {
+            manual.merge(s);
+        }
+        // Bit-identical, not just approximately equal: merge_ordered is
+        // the determinism anchor for parallel sweeps.
+        assert_eq!(merge_ordered(shards), manual);
     }
 
     #[test]

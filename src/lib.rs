@@ -15,10 +15,12 @@
 //! * [`spectre`] — Spectre v1 variants over six covert channels
 //! * [`workloads`] — synthetic victim workloads for fingerprinting
 //! * [`stats`] — histograms, edit distance, threshold calibration
+//! * [`exp`] — deterministic parallel experiment orchestration (sweeps)
 
 pub use leaky_backend as backend;
 pub use leaky_cache as cache;
 pub use leaky_cpu as cpu;
+pub use leaky_exp as exp;
 pub use leaky_frontend as frontend;
 pub use leaky_frontends as attacks;
 pub use leaky_isa as isa;

@@ -85,6 +85,62 @@ int_sample_range!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
 pub mod rngs {
     use super::{RngCore, SeedableRng};
 
+    /// SplitMix64: a tiny splittable generator (Steele et al.,
+    /// OOPSLA'14). Besides seeding [`StdRng`], it is the workspace's
+    /// stream-derivation primitive: [`SplitMix64::split`] and
+    /// [`SplitMix64::stream`] derive statistically independent child
+    /// generators from a parent, so every cell of a parameter sweep can
+    /// own a reproducible stream that does not depend on how many other
+    /// cells ran before it (or on which worker thread ran it).
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub struct SplitMix64 {
+        state: u64,
+    }
+
+    impl SplitMix64 {
+        /// Creates a generator whose first outputs are the mix of
+        /// `seed + γ`, `seed + 2γ`, … (γ the golden-ratio increment).
+        pub fn new(seed: u64) -> Self {
+            SplitMix64 { state: seed }
+        }
+
+        /// Derives an independent child generator.
+        ///
+        /// Advances `self` once and uses a *differently finalized* mix
+        /// of the advanced state as the child's starting point, so the
+        /// child's output stream overlaps neither the parent's
+        /// continuation nor the streams of siblings split earlier.
+        pub fn split(&mut self) -> SplitMix64 {
+            let z = self.next_u64();
+            // Second finalizer (Stafford's mix13 variant constants) so a
+            // child never starts at a state the parent will emit.
+            let mut c = z ^ 0x6a09_e667_f3bc_c909;
+            c = (c ^ (c >> 31)).wrapping_mul(0x7fb5_d329_728e_a185);
+            c = (c ^ (c >> 27)).wrapping_mul(0x81da_de5b_de6d_187d);
+            SplitMix64::new(c ^ (c >> 33))
+        }
+
+        /// Derives the `stream`-th independent generator of a `seed`:
+        /// `stream(seed, i)` is the `i`-th child of a parent seeded with
+        /// `seed`, without materializing the first `i - 1` children.
+        pub fn stream(seed: u64, stream: u64) -> SplitMix64 {
+            let mut parent = SplitMix64::new(seed ^ stream.wrapping_mul(0x9e37_79b9_7f4a_7c15));
+            parent.split()
+        }
+    }
+
+    impl RngCore for SplitMix64 {
+        fn next_u64(&mut self) -> u64 {
+            splitmix64(&mut self.state)
+        }
+    }
+
+    impl SeedableRng for SplitMix64 {
+        fn seed_from_u64(seed: u64) -> Self {
+            SplitMix64::new(seed)
+        }
+    }
+
     /// Deterministic xoshiro256++ generator, seeded via SplitMix64
     /// (the same seeding scheme the real `StdRng` family uses for
     /// `seed_from_u64`).
@@ -99,6 +155,15 @@ pub mod rngs {
         z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
         z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
         z ^ (z >> 31)
+    }
+
+    impl StdRng {
+        /// Seeds the `stream`-th independent `StdRng` of `seed` (see
+        /// [`SplitMix64::stream`]): distinct streams of one seed are as
+        /// unrelated as distinct seeds.
+        pub fn from_stream(seed: u64, stream: u64) -> Self {
+            Self::seed_from_u64(SplitMix64::stream(seed, stream).next_u64())
+        }
     }
 
     impl SeedableRng for StdRng {
@@ -153,9 +218,68 @@ pub mod seq {
 
 #[cfg(test)]
 mod tests {
-    use super::rngs::StdRng;
+    use super::rngs::{SplitMix64, StdRng};
     use super::seq::SliceRandom;
-    use super::{Rng, SeedableRng};
+    use super::{Rng, RngCore, SeedableRng};
+
+    #[test]
+    fn splitmix_is_deterministic_and_seed_sensitive() {
+        let mut a = SplitMix64::new(0xDEAD);
+        let mut b = SplitMix64::seed_from_u64(0xDEAD);
+        let mut c = SplitMix64::new(0xDEAE);
+        let (xa, xb, xc): (Vec<u64>, Vec<u64>, Vec<u64>) = (
+            (0..32).map(|_| a.next_u64()).collect(),
+            (0..32).map(|_| b.next_u64()).collect(),
+            (0..32).map(|_| c.next_u64()).collect(),
+        );
+        assert_eq!(xa, xb);
+        assert_ne!(xa, xc);
+    }
+
+    #[test]
+    fn split_children_are_independent_of_parent_and_siblings() {
+        let mut parent = SplitMix64::new(7);
+        let mut child0 = parent.split();
+        let mut child1 = parent.split();
+        let mut cont = parent; // parent's own continuation
+        let take = |r: &mut SplitMix64| (0..64).map(|_| r.next_u64()).collect::<Vec<_>>();
+        let (s0, s1, sp) = (take(&mut child0), take(&mut child1), take(&mut cont));
+        assert_ne!(s0, s1, "sibling streams must differ");
+        assert_ne!(s0, sp, "child must not replay the parent");
+        assert_ne!(s1, sp);
+        // Splitting is reproducible: a fresh parent yields the same children.
+        let mut parent2 = SplitMix64::new(7);
+        assert_eq!(take(&mut parent2.split()), s0);
+        assert_eq!(take(&mut parent2.split()), s1);
+    }
+
+    #[test]
+    fn stream_derivation_is_random_access() {
+        // stream(seed, i) must not require deriving streams 0..i-1, and
+        // distinct stream ids must give distinct generators.
+        let mut streams: Vec<u64> = (0..100)
+            .map(|i| SplitMix64::stream(42, i).next_u64())
+            .collect();
+        streams.sort_unstable();
+        streams.dedup();
+        assert_eq!(streams.len(), 100, "stream ids collided");
+        assert_ne!(
+            SplitMix64::stream(42, 3).next_u64(),
+            SplitMix64::stream(43, 3).next_u64(),
+            "streams must be seed-sensitive"
+        );
+    }
+
+    #[test]
+    fn std_rng_from_stream_matches_manual_derivation() {
+        let mut via_api = StdRng::from_stream(9, 4);
+        let mut manual = StdRng::seed_from_u64(SplitMix64::stream(9, 4).next_u64());
+        for _ in 0..16 {
+            assert_eq!(via_api.next_u64(), manual.next_u64());
+        }
+        let mut other = StdRng::from_stream(9, 5);
+        assert_ne!(via_api.next_u64(), other.next_u64());
+    }
 
     #[test]
     fn deterministic_given_seed() {
