@@ -19,9 +19,15 @@ fn sweep(args: &[&str]) -> (String, String, bool) {
 }
 
 /// The small grid the determinism gate sweeps: cheap even in debug
-/// builds, yet covering both a migrated channel sweep and the
-/// derived-seed demo grid.
-const GRID: [&str; 3] = ["tab5_power_channels", "fig8_d_sweep", "rng_stream_grid"];
+/// builds, yet covering a migrated channel sweep, the derived-seed demo
+/// grid, and the cross-microarchitecture sweep (whose cells build
+/// per-profile cores, exercising the profile-keyed caches in parallel).
+const GRID: [&str; 4] = [
+    "tab5_power_channels",
+    "fig8_d_sweep",
+    "tab3_uarch",
+    "rng_stream_grid",
+];
 
 #[test]
 fn table_output_is_byte_identical_across_jobs() {

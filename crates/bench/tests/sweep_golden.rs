@@ -8,7 +8,7 @@
 
 use std::process::Command;
 
-fn golden_matches(bin_path: &str, golden_name: &str) {
+fn golden_matches_args(bin_path: &str, args: &[&str], golden_name: &str) {
     let golden = std::fs::read_to_string(
         std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
             .join("tests/golden")
@@ -16,6 +16,7 @@ fn golden_matches(bin_path: &str, golden_name: &str) {
     )
     .expect("committed golden output");
     let out = Command::new(bin_path)
+        .args(args)
         .env("LEAKY_SWEEP_JOBS", "3")
         .output()
         .expect("binary runs");
@@ -23,8 +24,12 @@ fn golden_matches(bin_path: &str, golden_name: &str) {
     let stdout = String::from_utf8(out.stdout).expect("utf-8 stdout");
     assert_eq!(
         stdout, golden,
-        "{golden_name}: migrated binary diverged from pre-migration output"
+        "{golden_name}: binary diverged from committed output"
     );
+}
+
+fn golden_matches(bin_path: &str, golden_name: &str) {
+    golden_matches_args(bin_path, &[], golden_name);
 }
 
 #[test]
@@ -53,5 +58,18 @@ fn tab7_spectre_miss_rates_matches_pre_migration_output() {
     golden_matches(
         env!("CARGO_BIN_EXE_tab7_spectre_miss_rates"),
         "tab7_spectre_miss_rates.txt",
+    );
+}
+
+#[test]
+fn tab3_uarch_matches_committed_output() {
+    // The cross-microarchitecture sweep has no legacy binary; its golden
+    // pins the full grid through the unified CLI — the skylake rows are
+    // the Table III operating point, and any change to profile geometry,
+    // cost models, plan keying or per-cell seed derivation shows up here.
+    golden_matches_args(
+        env!("CARGO_BIN_EXE_leaky_sweep"),
+        &["tab3_uarch", "--format", "table"],
+        "tab3_uarch.txt",
     );
 }

@@ -10,7 +10,7 @@ pub mod non_mt;
 pub mod power;
 pub mod slow_switch;
 
-use leaky_isa::{Alignment, BlockChain, CodeRegion, DsbSet};
+use leaky_isa::{Alignment, BlockChain, CodeRegion, DsbSet, FrontendGeometry};
 use leaky_stats::{ThresholdDecoder, ThresholdDecoderBuilder};
 
 use crate::params::ChannelParams;
@@ -36,11 +36,11 @@ pub(crate) struct EvictionLayout {
     pub send_zero: BlockChain,
 }
 
-pub(crate) fn eviction_layout(params: &ChannelParams, ways: usize) -> EvictionLayout {
-    let mut recv_region = CodeRegion::new(RECEIVER_REGION);
-    let mut send_region = CodeRegion::new(SENDER_REGION);
-    let mut alt_region = CodeRegion::new(SENDER_ALT_REGION);
-    let sender = params.sender_blocks_eviction(ways);
+pub(crate) fn eviction_layout(params: &ChannelParams, geom: &FrontendGeometry) -> EvictionLayout {
+    let mut recv_region = CodeRegion::with_geometry(RECEIVER_REGION, *geom);
+    let mut send_region = CodeRegion::with_geometry(SENDER_REGION, *geom);
+    let mut alt_region = CodeRegion::with_geometry(SENDER_ALT_REGION, *geom);
+    let sender = params.sender_blocks_eviction(geom.dsb_ways);
     EvictionLayout {
         recv: recv_region.same_set_chain(DsbSet::new(SET_X), params.d, Alignment::Aligned),
         send_one: send_region.same_set_chain(DsbSet::new(SET_X), sender, Alignment::Aligned),
@@ -58,10 +58,13 @@ pub(crate) struct MisalignmentLayout {
     pub send_zero: BlockChain,
 }
 
-pub(crate) fn misalignment_layout(params: &ChannelParams) -> MisalignmentLayout {
-    let mut recv_region = CodeRegion::new(RECEIVER_REGION);
-    let mut send_region = CodeRegion::new(SENDER_REGION);
-    let mut alt_region = CodeRegion::new(SENDER_ALT_REGION);
+pub(crate) fn misalignment_layout(
+    params: &ChannelParams,
+    geom: &FrontendGeometry,
+) -> MisalignmentLayout {
+    let mut recv_region = CodeRegion::with_geometry(RECEIVER_REGION, *geom);
+    let mut send_region = CodeRegion::with_geometry(SENDER_REGION, *geom);
+    let mut alt_region = CodeRegion::with_geometry(SENDER_ALT_REGION, *geom);
     let sender = params.sender_blocks_misalignment();
     MisalignmentLayout {
         recv: recv_region.same_set_chain(DsbSet::new(SET_X), params.d, Alignment::Aligned),
@@ -71,24 +74,31 @@ pub(crate) fn misalignment_layout(params: &ChannelParams) -> MisalignmentLayout 
 }
 
 /// Calibrates a threshold decoder by transmitting a known alternating
-/// pattern and averaging the 0-bit and 1-bit measurements (§VI-B).
-///
-/// # Panics
-///
-/// Panics if the channel is so degenerate that the two classes coincide —
-/// which indicates a broken layout, not a noisy channel.
-pub(crate) fn calibrate_decoder(
+/// pattern and averaging the 0-bit and 1-bit measurements (§VI-B),
+/// reporting failure when the two classes coincide. This is the single
+/// home of the decoder settings (ambiguity band, robust averaging):
+/// every channel's calibration — panicking or fallible — routes here,
+/// so they can never drift apart.
+pub(crate) fn try_calibrate_decoder(
     mut measure: impl FnMut(bool) -> f64,
     calibration_bits: usize,
-) -> ThresholdDecoder {
+) -> Result<ThresholdDecoder, leaky_stats::threshold::CalibrationError> {
     let mut builder = ThresholdDecoderBuilder::new();
     builder.ambiguity_band(0.2).robust(true);
     for i in 0..calibration_bits {
         let bit = i % 2 == 1;
         builder.push(bit, measure(bit));
     }
-    builder
-        .build()
+    builder.build()
+}
+
+/// Panicking wrapper over [`try_calibrate_decoder`] for channels where
+/// indistinguishable classes indicate a broken layout, not a defense.
+pub(crate) fn calibrate_decoder(
+    measure: impl FnMut(bool) -> f64,
+    calibration_bits: usize,
+) -> ThresholdDecoder {
+    try_calibrate_decoder(measure, calibration_bits)
         .expect("calibration produced indistinguishable classes")
 }
 
@@ -100,7 +110,7 @@ mod tests {
     #[test]
     fn eviction_layout_collides_in_set_x() {
         let params = ChannelParams::eviction_defaults();
-        let l = eviction_layout(&params, 8);
+        let l = eviction_layout(&params, &FrontendGeometry::skylake());
         assert_eq!(l.recv.len(), 6);
         assert_eq!(l.send_one.len(), 3);
         assert_eq!(l.send_zero.len(), 3);
@@ -119,7 +129,7 @@ mod tests {
     #[test]
     fn misalignment_layout_fits_ways_but_crosses_windows() {
         let params = ChannelParams::misalignment_defaults();
-        let l = misalignment_layout(&params);
+        let l = misalignment_layout(&params, &FrontendGeometry::skylake());
         let g = FrontendGeometry::skylake();
         assert_eq!(l.recv.len(), 5);
         assert_eq!(l.send_one.misaligned_count(), 3);
@@ -133,7 +143,7 @@ mod tests {
     #[test]
     fn regions_are_disjoint() {
         let params = ChannelParams::eviction_defaults();
-        let l = eviction_layout(&params, 8);
+        let l = eviction_layout(&params, &FrontendGeometry::skylake());
         let recv_end = l.recv.blocks().last().unwrap().end().value();
         let send_start = l.send_one.blocks()[0].base().value();
         assert!(recv_end <= send_start);

@@ -12,14 +12,14 @@
 //! early bit declaration once the signal is decisive, which is why all-1s
 //! messages transmit faster than all-0s (Table II).
 
-use leaky_cpu::{Core, ProcessorModel, ThreadWork};
-use leaky_frontend::ThreadId;
-use leaky_isa::{BlockChain, FrontendGeometry};
+use leaky_cpu::{Core, MicrocodePatch, ProcessorModel, ThreadWork};
+use leaky_frontend::{ThreadId, UarchProfile};
+use leaky_isa::BlockChain;
 use leaky_stats::ThresholdDecoder;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
-use crate::channels::{calibrate_decoder, eviction_layout, misalignment_layout};
+use crate::channels::{eviction_layout, misalignment_layout};
 use crate::params::ChannelParams;
 use crate::run::ChannelRun;
 
@@ -119,23 +119,41 @@ impl MtChannel {
         params: ChannelParams,
         seed: u64,
     ) -> Result<Self, MtUnsupported> {
+        Self::with_profile(model, kind, params, &UarchProfile::skylake(), seed)
+    }
+
+    /// Builds the channel under an explicit microarchitecture profile
+    /// (layout geometry and cost model from the profile; see
+    /// [`NonMtChannel::with_profile`](crate::channels::non_mt::NonMtChannel::with_profile)).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MtUnsupported`] if the processor model has hyper-threading
+    /// disabled.
+    pub fn with_profile(
+        model: ProcessorModel,
+        kind: MtKind,
+        params: ChannelParams,
+        profile: &UarchProfile,
+        seed: u64,
+    ) -> Result<Self, MtUnsupported> {
         if !model.smt_enabled {
             return Err(MtUnsupported { model: model.name });
         }
-        let geom = FrontendGeometry::skylake();
+        let geom = &profile.geometry;
         params.validate(geom.dsb_ways, kind == MtKind::Misalignment);
         let (recv, send_one) = match kind {
             MtKind::Eviction => {
-                let l = eviction_layout(&params, geom.dsb_ways);
+                let l = eviction_layout(&params, geom);
                 (l.recv, l.send_one)
             }
             MtKind::Misalignment => {
-                let l = misalignment_layout(&params);
+                let l = misalignment_layout(&params, geom);
                 (l.recv, l.send_one)
             }
         };
         Ok(MtChannel {
-            core: Core::new(model, seed),
+            core: Core::with_profile(model, MicrocodePatch::Patch1, profile, seed),
             kind,
             params,
             noise: MtNoise::default(),
@@ -309,23 +327,27 @@ impl MtChannel {
         (t1 - t0).max(1.0) / iters as f64
     }
 
-    fn ensure_calibrated(&mut self) {
+    /// Attempts calibration, reporting failure instead of panicking: a
+    /// hardened (e.g. constant-time-profile) frontend may present no
+    /// timing difference between the bit classes, which is the §XII
+    /// defense succeeding rather than a harness error.
+    pub fn try_calibrate(&mut self) -> Result<(), leaky_stats::threshold::CalibrationError> {
         if self.decoder.is_some() {
-            return;
+            return Ok(());
         }
         for i in 0..8 {
             let _ = self.measure_bit(i % 2 == 1, None, false); // warmup
         }
-        let mut samples = Vec::with_capacity(CALIBRATION_BITS);
-        for i in 0..CALIBRATION_BITS {
-            let bit = i % 2 == 1;
-            samples.push((bit, self.measure_bit(bit, None, false)));
-        }
-        let mut iter = samples.into_iter();
-        self.decoder = Some(calibrate_decoder(
-            move |_| iter.next().expect("calibration sample").1,
+        self.decoder = Some(crate::channels::try_calibrate_decoder(
+            |bit| self.measure_bit(bit, None, false),
             CALIBRATION_BITS,
-        ));
+        )?);
+        Ok(())
+    }
+
+    fn ensure_calibrated(&mut self) {
+        self.try_calibrate()
+            .expect("calibration produced indistinguishable classes");
     }
 
     /// Transmits a message; calibration happens first and is excluded from
@@ -386,6 +408,52 @@ mod tests {
             seed,
         )
         .expect("6226 supports SMT")
+    }
+
+    #[test]
+    fn profile_construction_matches_default_and_respects_smt() {
+        // skylake profile == legacy construction, bit for bit.
+        let msg = MessagePattern::Alternating.generate(16, 0);
+        let mut a = eviction_channel(7);
+        let mut b = MtChannel::with_profile(
+            ProcessorModel::gold_6226(),
+            MtKind::Eviction,
+            ChannelParams::mt_defaults(),
+            &UarchProfile::skylake(),
+            7,
+        )
+        .unwrap();
+        assert_eq!(a.transmit(&msg).received(), b.transmit(&msg).received());
+        // SMT-less machines stay unsupported on every profile.
+        assert!(MtChannel::with_profile(
+            ProcessorModel::xeon_e2288g(),
+            MtKind::Eviction,
+            ChannelParams::mt_defaults(),
+            &UarchProfile::icelake(),
+            7,
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn icelake_profile_eviction_channel_still_works() {
+        // No LSD on the profile: the eviction channel leaks through DSB
+        // way contention alone; try_calibrate must succeed.
+        let mut ch = MtChannel::with_profile(
+            ProcessorModel::gold_6226(),
+            MtKind::Eviction,
+            ChannelParams::mt_defaults(),
+            &UarchProfile::icelake(),
+            11,
+        )
+        .unwrap();
+        ch.try_calibrate().expect("DSB contention is calibratable");
+        let run = ch.transmit(&MessagePattern::Alternating.generate(24, 0));
+        assert!(
+            run.error_rate() < 0.35,
+            "icelake MT eviction error {:.1}%",
+            run.error_rate() * 100.0
+        );
     }
 
     #[test]

@@ -6,12 +6,12 @@
 //! frontend path of the blocks that the Init and Decode steps execute,
 //! while the 0-encoding (silent or decoy-set) leaves them alone.
 
-use leaky_cpu::{Core, ProcessorModel};
-use leaky_frontend::ThreadId;
-use leaky_isa::{BlockChain, FrontendGeometry};
+use leaky_cpu::{Core, MicrocodePatch, ProcessorModel};
+use leaky_frontend::{ThreadId, UarchProfile};
+use leaky_isa::BlockChain;
 use leaky_stats::ThresholdDecoder;
 
-use crate::channels::{calibrate_decoder, eviction_layout, misalignment_layout};
+use crate::channels::{eviction_layout, misalignment_layout};
 use crate::params::{ChannelParams, EncodeMode};
 use crate::run::ChannelRun;
 
@@ -68,7 +68,8 @@ pub struct NonMtChannel {
 }
 
 impl NonMtChannel {
-    /// Builds the channel on a fresh core for `model`.
+    /// Builds the channel on a fresh core for `model`, under the default
+    /// (`skylake`) microarchitecture profile.
     ///
     /// # Panics
     ///
@@ -81,15 +82,36 @@ impl NonMtChannel {
         params: ChannelParams,
         seed: u64,
     ) -> Self {
-        let geom = FrontendGeometry::skylake();
+        Self::with_profile(model, kind, mode, params, &UarchProfile::skylake(), seed)
+    }
+
+    /// Builds the channel for an explicit microarchitecture profile: the
+    /// code layout is derived from the profile's geometry (sender block
+    /// counts follow its DSB way count) and the core runs the profile's
+    /// cost model, with loop streaming gated by both the profile and the
+    /// machine.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `params` violate the §V constraints under the profile's
+    /// geometry.
+    pub fn with_profile(
+        model: ProcessorModel,
+        kind: NonMtKind,
+        mode: EncodeMode,
+        params: ChannelParams,
+        profile: &UarchProfile,
+        seed: u64,
+    ) -> Self {
+        let geom = &profile.geometry;
         params.validate(geom.dsb_ways, kind == NonMtKind::Misalignment);
         let (recv, send_one, send_zero) = match kind {
             NonMtKind::Eviction => {
-                let l = eviction_layout(&params, geom.dsb_ways);
+                let l = eviction_layout(&params, geom);
                 (l.recv, l.send_one, l.send_zero)
             }
             NonMtKind::Misalignment => {
-                let l = misalignment_layout(&params);
+                let l = misalignment_layout(&params, geom);
                 (l.recv, l.send_one, l.send_zero)
             }
         };
@@ -98,7 +120,7 @@ impl NonMtChannel {
             EncodeMode::Fast => None,
         };
         NonMtChannel {
-            core: Core::new(model, seed),
+            core: Core::with_profile(model, MicrocodePatch::Patch1, profile, seed),
             kind,
             mode,
             params,
@@ -133,13 +155,10 @@ impl NonMtChannel {
         for i in 0..WARMUP_BITS {
             let _ = self.measure_bit(i % 2 == 1);
         }
-        let mut builder = leaky_stats::ThresholdDecoderBuilder::new();
-        builder.ambiguity_band(0.2).robust(true);
-        for i in 0..CALIBRATION_BITS {
-            let bit = i % 2 == 1;
-            builder.push(bit, self.measure_bit(bit));
-        }
-        self.decoder = Some(builder.build()?);
+        self.decoder = Some(crate::channels::try_calibrate_decoder(
+            |bit| self.measure_bit(bit),
+            CALIBRATION_BITS,
+        )?);
         Ok(())
     }
 
@@ -195,25 +214,8 @@ impl NonMtChannel {
     }
 
     fn ensure_calibrated(&mut self) {
-        if self.decoder.is_some() {
-            return;
-        }
-        // Discard cold-start transients, then record calibration samples.
-        for i in 0..WARMUP_BITS {
-            let _ = self.measure_bit(i % 2 == 1);
-        }
-        let mut measurements = Vec::with_capacity(CALIBRATION_BITS);
-        for i in 0..CALIBRATION_BITS {
-            let bit = i % 2 == 1;
-            measurements.push((bit, self.measure_bit(bit)));
-        }
-        self.decoder = Some(calibrate_decoder(
-            {
-                let mut iter = measurements.into_iter();
-                move |_| iter.next().expect("enough calibration samples").1
-            },
-            CALIBRATION_BITS,
-        ));
+        self.try_calibrate()
+            .expect("calibration produced indistinguishable classes");
     }
 
     /// Transmits a message, returning sent/received bits and timing.
@@ -350,6 +352,75 @@ mod tests {
                 run.error_rate() * 100.0
             );
         }
+    }
+
+    #[test]
+    fn icelake_profile_still_leaks_through_the_dsb() {
+        // The Ice-Lake-class profile has no LSD, but eviction channels work
+        // through pure DSB/MITE transitions (like the LSD-less E-2174G).
+        let mut ch = NonMtChannel::with_profile(
+            ProcessorModel::xeon_e2288g(),
+            NonMtKind::Eviction,
+            EncodeMode::Fast,
+            ChannelParams::eviction_defaults(),
+            &UarchProfile::icelake(),
+            42,
+        );
+        let msg = MessagePattern::Alternating.generate(48, 0);
+        let run = ch.transmit(&msg);
+        assert!(
+            run.error_rate() < 0.10,
+            "icelake eviction error {:.2}%",
+            run.error_rate() * 100.0
+        );
+    }
+
+    #[test]
+    fn constant_time_profile_kills_the_channel() {
+        // The registered defense profile reproduces the §XII result without
+        // hand-building a FrontendConfig.
+        let mut ch = NonMtChannel::with_profile(
+            ProcessorModel::xeon_e2288g(),
+            NonMtKind::Eviction,
+            EncodeMode::Stealthy,
+            ChannelParams::eviction_defaults(),
+            &UarchProfile::constant_time(),
+            5,
+        );
+        match ch.try_calibrate() {
+            Err(_) => {} // indistinguishable classes: perfect defense
+            Ok(()) => {
+                let run = ch.transmit(&MessagePattern::Random.generate(64, 9));
+                assert!(
+                    run.error_rate() > 0.25,
+                    "constant-time profile leaked: {:.1}% error",
+                    run.error_rate() * 100.0
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn skylake_profile_is_the_default_construction() {
+        // `new` and `with_profile(skylake)` must be byte-equivalent runs.
+        let msg = MessagePattern::Alternating.generate(32, 0);
+        let mut a = channel(
+            ProcessorModel::gold_6226(),
+            NonMtKind::Eviction,
+            EncodeMode::Fast,
+        );
+        let mut b = NonMtChannel::with_profile(
+            ProcessorModel::gold_6226(),
+            NonMtKind::Eviction,
+            EncodeMode::Fast,
+            ChannelParams::eviction_defaults(),
+            &UarchProfile::skylake(),
+            42,
+        );
+        let ra = a.transmit(&msg);
+        let rb = b.transmit(&msg);
+        assert_eq!(ra.received(), rb.received());
+        assert_eq!(ra.rate_kbps(), rb.rate_kbps());
     }
 
     #[test]

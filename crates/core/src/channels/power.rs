@@ -10,9 +10,9 @@
 //! fast-forwarded with [`leaky_cpu::Core::replay`], which deposits energy
 //! identically to full simulation.
 
-use leaky_cpu::{Core, LoopRun, ProcessorModel};
-use leaky_frontend::ThreadId;
-use leaky_isa::{BlockChain, FrontendGeometry};
+use leaky_cpu::{Core, LoopRun, MicrocodePatch, ProcessorModel};
+use leaky_frontend::{ThreadId, UarchProfile};
+use leaky_isa::BlockChain;
 use leaky_stats::ThresholdDecoder;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -66,22 +66,34 @@ pub struct PowerChannel {
 
 impl PowerChannel {
     /// Builds the channel (stealthy zero-encoding, as in the paper's power
-    /// evaluation).
+    /// evaluation) under the default (`skylake`) profile.
     pub fn new(model: ProcessorModel, kind: NonMtKind, params: ChannelParams, seed: u64) -> Self {
-        let geom = FrontendGeometry::skylake();
+        Self::with_profile(model, kind, params, &UarchProfile::skylake(), seed)
+    }
+
+    /// Builds the channel under an explicit microarchitecture profile
+    /// (layout geometry and cost model from the profile).
+    pub fn with_profile(
+        model: ProcessorModel,
+        kind: NonMtKind,
+        params: ChannelParams,
+        profile: &UarchProfile,
+        seed: u64,
+    ) -> Self {
+        let geom = &profile.geometry;
         params.validate(geom.dsb_ways, kind == NonMtKind::Misalignment);
         let (recv, send_one, send_zero) = match kind {
             NonMtKind::Eviction => {
-                let l = eviction_layout(&params, geom.dsb_ways);
+                let l = eviction_layout(&params, geom);
                 (l.recv, l.send_one, l.send_zero)
             }
             NonMtKind::Misalignment => {
-                let l = misalignment_layout(&params);
+                let l = misalignment_layout(&params, geom);
                 (l.recv, l.send_one, l.send_zero)
             }
         };
         PowerChannel {
-            core: Core::new(model, seed),
+            core: Core::with_profile(model, MicrocodePatch::Patch1, profile, seed),
             kind,
             params,
             recv,

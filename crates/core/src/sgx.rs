@@ -85,11 +85,11 @@ impl SgxNonMtChannel {
         params.validate(geom.dsb_ways, kind == NonMtKind::Misalignment);
         let (recv, send_one, send_zero) = match kind {
             NonMtKind::Eviction => {
-                let l = eviction_layout(&params, geom.dsb_ways);
+                let l = eviction_layout(&params, &geom);
                 (l.recv, l.send_one, l.send_zero)
             }
             NonMtKind::Misalignment => {
-                let l = misalignment_layout(&params);
+                let l = misalignment_layout(&params, &geom);
                 (l.recv, l.send_one, l.send_zero)
             }
         };
@@ -221,11 +221,11 @@ impl SgxPowerChannel {
         params.validate(geom.dsb_ways, kind == NonMtKind::Misalignment);
         let (recv, send_one, send_zero) = match kind {
             NonMtKind::Eviction => {
-                let l = eviction_layout(&params, geom.dsb_ways);
+                let l = eviction_layout(&params, &geom);
                 (l.recv, l.send_one, l.send_zero)
             }
             NonMtKind::Misalignment => {
-                let l = misalignment_layout(&params);
+                let l = misalignment_layout(&params, &geom);
                 (l.recv, l.send_one, l.send_zero)
             }
         };
@@ -351,11 +351,11 @@ impl SgxMtChannel {
         params.validate(geom.dsb_ways, kind == NonMtKind::Misalignment);
         let (recv, send_one) = match kind {
             NonMtKind::Eviction => {
-                let l = eviction_layout(&params, geom.dsb_ways);
+                let l = eviction_layout(&params, &geom);
                 (l.recv, l.send_one)
             }
             NonMtKind::Misalignment => {
-                let l = misalignment_layout(&params);
+                let l = misalignment_layout(&params, &geom);
                 (l.recv, l.send_one)
             }
         };

@@ -1,7 +1,9 @@
 //! The composed core: frontend + backend + power + timers + SMT driver.
 
 use leaky_backend::Backend;
-use leaky_frontend::{Frontend, FrontendConfig, IterationReport, SmtDsbPolicy, ThreadId};
+use leaky_frontend::{
+    Frontend, FrontendConfig, IterationReport, SmtDsbPolicy, ThreadId, UarchProfile,
+};
 use leaky_isa::BlockChain;
 use leaky_power::{DeliveryClass, PowerModel, Rapl};
 use rand::rngs::StdRng;
@@ -72,10 +74,13 @@ pub struct Core {
     /// proportionally under SMT.
     recent_upc: [f64; 2],
     /// Memoised backend throughput per chain, keyed by the precomputed
-    /// [`BlockChain::key`] and kept MRU-first — `finish_run` is the
-    /// hottest path, so the common case is one equality probe on the
-    /// front slot.
-    backend_cache: Vec<(u64, f64)>,
+    /// ([`BlockChain::key`], frontend profile key) pair and kept
+    /// MRU-first — `finish_run` is the hottest path, so the common case
+    /// is one equality probe on the front slot. The profile-key half
+    /// makes [`Core::reconfigure_frontend`] safe: entries memoised under
+    /// a previous configuration stop matching instead of leaking into
+    /// the new one.
+    backend_cache: Vec<((u64, u64), f64)>,
     rng: StdRng,
 }
 
@@ -93,6 +98,25 @@ impl Core {
             lsd_enabled: model.lsd_enabled_under(patch),
             dsb_policy: SmtDsbPolicy::Competitive,
             ..FrontendConfig::default()
+        };
+        Self::with_frontend_config(model, patch, config, seed)
+    }
+
+    /// Creates a core running a registered (or perturbed) microarchitecture
+    /// profile: geometry, cost model and LSD availability come from the
+    /// profile, further gated by the processor model / microcode patch
+    /// (a patch can disable loop streaming, never enable it on a profile
+    /// that lacks it). The `skylake` profile reproduces
+    /// [`Core::with_microcode`] bit-for-bit.
+    pub fn with_profile(
+        model: ProcessorModel,
+        patch: MicrocodePatch,
+        profile: &UarchProfile,
+        seed: u64,
+    ) -> Self {
+        let config = FrontendConfig {
+            lsd_enabled: profile.lsd_enabled && model.lsd_enabled_under(patch),
+            ..FrontendConfig::from_profile(profile)
         };
         Self::with_frontend_config(model, patch, config, seed)
     }
@@ -142,6 +166,16 @@ impl Core {
     /// control and state flushes).
     pub fn frontend_mut(&mut self) -> &mut Frontend {
         &mut self.frontend
+    }
+
+    /// Swaps the frontend onto a new configuration in place (microcode
+    /// update / machine change semantics — see
+    /// [`Frontend::reconfigure`]), keeping clocks, RAPL state and RNG
+    /// streams. The backend-throughput memo needs no flush: its entries
+    /// are keyed by (chain, profile key), so values memoised under the
+    /// old configuration simply stop matching.
+    pub fn reconfigure_frontend(&mut self, config: FrontendConfig) {
+        self.frontend.reconfigure(config);
     }
 
     /// The backend model.
@@ -345,7 +379,7 @@ impl Core {
         iterations: u64,
         report: IterationReport,
     ) -> LoopRun {
-        let key = chain.key();
+        let key = (chain.key(), self.frontend.profile_key());
         let per_iter = match self.backend_cache.first() {
             Some(&(k, v)) if k == key => v,
             _ => match self.backend_cache.iter().position(|&(k, _)| k == key) {
@@ -641,6 +675,76 @@ mod tests {
         core.set_sibling_demand(ThreadId::T0, 0.4);
         let high = core.run_loop(ThreadId::T0, &nop_chain, 500).ipc(101);
         assert!(high < low, "more sibling demand must lower IPC");
+    }
+
+    #[test]
+    fn with_profile_skylake_matches_historical_construction() {
+        // The default profile must reproduce `Core::new` bit-for-bit.
+        let run = |mut core: Core| {
+            let c = chain(RECV, 0, 8);
+            let r = core.run_loop(ThreadId::T0, &c, 50);
+            (r.cycles, core.rdtscp(ThreadId::T0))
+        };
+        let legacy = run(Core::new(ProcessorModel::gold_6226(), 7));
+        let profiled = run(Core::with_profile(
+            ProcessorModel::gold_6226(),
+            MicrocodePatch::Patch1,
+            &UarchProfile::skylake(),
+            7,
+        ));
+        assert_eq!(legacy, profiled);
+    }
+
+    #[test]
+    fn profile_lsd_gating_composes_with_the_machine() {
+        // icelake fuses the LSD off regardless of machine/microcode...
+        let mut icl = Core::with_profile(
+            ProcessorModel::gold_6226(),
+            MicrocodePatch::Patch1,
+            &UarchProfile::icelake(),
+            1,
+        );
+        let c = chain(RECV, 0, 8);
+        for _ in 0..5 {
+            assert_eq!(icl.run_once(ThreadId::T0, &c).report.lsd_uops, 0);
+        }
+        // ...and a machine without the LSD cannot re-enable it under the
+        // skylake profile either.
+        let mut sky = Core::with_profile(
+            ProcessorModel::xeon_e2174g(),
+            MicrocodePatch::Patch1,
+            &UarchProfile::skylake(),
+            1,
+        );
+        for _ in 0..5 {
+            assert_eq!(sky.run_once(ThreadId::T0, &c).report.lsd_uops, 0);
+        }
+    }
+
+    #[test]
+    fn reconfigure_rekeys_the_backend_memo() {
+        // Backend throughput memoised under one profile must not leak into
+        // another: after a reconfigure, a fresh equivalent core and the
+        // reconfigured core must agree exactly on the same chain.
+        let c = chain(RECV, 0, 8);
+        let icl_config = FrontendConfig::from_profile(&UarchProfile::icelake());
+        let mut reconfigured = Core::new(ProcessorModel::gold_6226(), 9);
+        reconfigured.run_loop(ThreadId::T0, &c, 10); // populate the memo
+        reconfigured.reconfigure_frontend(icl_config);
+        let after = reconfigured.run_once(ThreadId::T0, &c);
+
+        let mut fresh = Core::with_frontend_config(
+            ProcessorModel::gold_6226(),
+            MicrocodePatch::Patch1,
+            icl_config,
+            9,
+        );
+        // Match the clock state the reconfigured core accumulated, then
+        // compare the frontend work (cycles depend only on frontend state
+        // and the memoised backend throughput).
+        let fresh_cold = fresh.run_once(ThreadId::T0, &c);
+        assert_eq!(after.report, fresh_cold.report);
+        assert!((after.cycles - fresh_cold.cycles).abs() < 1e-12);
     }
 
     #[test]

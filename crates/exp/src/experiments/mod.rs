@@ -8,17 +8,20 @@
 mod fig8;
 mod rng_grid;
 mod tab3;
+mod tab3_uarch;
 mod tab5;
 mod tab7;
 
 pub use fig8::Fig8DSweep;
 pub use rng_grid::RngStreamGrid;
 pub use tab3::Tab3AllChannels;
+pub use tab3_uarch::Tab3Uarch;
 pub use tab5::Tab5PowerChannels;
 pub use tab7::Tab7SpectreMissRates;
 
 use crate::runner::Registry;
 use leaky_cpu::ProcessorModel;
+use leaky_uarch::UarchProfile;
 
 /// The registry every frontend (CLI, wrappers, perf harness) shares.
 pub fn standard_registry() -> Registry {
@@ -27,6 +30,7 @@ pub fn standard_registry() -> Registry {
     reg.register(Box::new(Fig8DSweep));
     reg.register(Box::new(Tab5PowerChannels));
     reg.register(Box::new(Tab7SpectreMissRates));
+    reg.register(Box::new(Tab3Uarch));
     reg.register(Box::new(RngStreamGrid));
     reg
 }
@@ -55,6 +59,17 @@ pub(crate) fn profile(quick: bool) -> &'static str {
     }
 }
 
+/// Resolves a microarchitecture profile by its registry key (the `uarch`
+/// axis value).
+///
+/// # Panics
+///
+/// Panics on an unknown key — grids only emit keys from
+/// [`UarchProfile::keys`], so this is a spec bug.
+pub(crate) fn uarch(key: &str) -> UarchProfile {
+    UarchProfile::by_key(key).unwrap_or_else(|| panic!("unknown uarch profile {key:?}"))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -70,6 +85,7 @@ mod tests {
                 "fig8_d_sweep",
                 "tab5_power_channels",
                 "tab7_spectre_miss_rates",
+                "tab3_uarch",
                 "rng_stream_grid",
             ]
         );

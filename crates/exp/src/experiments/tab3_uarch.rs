@@ -1,0 +1,216 @@
+//! Table III across microarchitecture profiles: every covert channel on
+//! the primary (Gold 6226) machine, swept over the `uarch` axis
+//! (DESIGN.md §8). The `skylake` column reproduces Table III's operating
+//! point; `icelake` shows the channels surviving an LSD-less,
+//! wider-decode core; `constant_time` shows the §XII defense killing
+//! them (a channel that fails threshold calibration reports rate 0 and
+//! error 0.5 — a dead channel, which is the defense's success metric).
+
+use super::{machine, profile, uarch};
+use crate::grid::{JobCell, ParamGrid};
+use crate::runner::{Experiment, Metric};
+use leaky_frontends::channels::mt::{MtChannel, MtKind};
+use leaky_frontends::channels::non_mt::{NonMtChannel, NonMtKind};
+use leaky_frontends::params::{ChannelParams, EncodeMode, MessagePattern};
+use leaky_frontends::run::ChannelRun;
+use leaky_uarch::UarchProfile;
+
+/// The machine the cross-profile sweep runs on: the paper's primary
+/// test machine (SMT and LSD available, so every channel has a column).
+const MACHINE: &str = "Gold 6226";
+
+/// Cross-microarchitecture Table III sweep: uarch × channel.
+pub struct Tab3Uarch;
+
+impl Tab3Uarch {
+    fn bits(quick: bool) -> (usize, usize) {
+        // (non-MT bits, MT bits); smaller than tab3_all_channels' full
+        // sizes — the grid is 3× wider and rates stabilize well before
+        // 128 bits.
+        if quick {
+            (32, 16)
+        } else {
+            (128, 48)
+        }
+    }
+}
+
+impl Experiment for Tab3Uarch {
+    fn name(&self) -> &'static str {
+        "tab3_uarch"
+    }
+
+    fn title(&self) -> &'static str {
+        "Table III rates across microarchitecture profiles (Gold 6226), alternating message"
+    }
+
+    fn grid(&self, quick: bool) -> ParamGrid {
+        ParamGrid::new(self.name())
+            .axis_strs("profile", [profile(quick)])
+            .axis_strs("uarch", UarchProfile::keys())
+            .axis_strs("channel", super::tab3::CHANNELS)
+            .axis_strs("machine", [MACHINE])
+    }
+
+    fn run_cell(&self, cell: &JobCell) -> Option<Vec<Metric>> {
+        let quick = cell.str("profile") == "quick";
+        let (bits, mt_bits) = Self::bits(quick);
+        let model = machine(cell.str("machine"));
+        let uarch_profile = uarch(cell.str("uarch"));
+        // Derived per-cell seed (this sweep postdates the legacy binaries,
+        // so its streams are content-addressed rather than pinned).
+        let seed = cell.seed;
+        let message = |n| MessagePattern::Alternating.generate(n, 0);
+        let run = match cell.str("channel") {
+            "non-mt-stealthy-eviction" => non_mt(
+                model,
+                NonMtKind::Eviction,
+                EncodeMode::Stealthy,
+                &uarch_profile,
+                seed,
+                &message(bits),
+            ),
+            "non-mt-stealthy-misalignment" => non_mt(
+                model,
+                NonMtKind::Misalignment,
+                EncodeMode::Stealthy,
+                &uarch_profile,
+                seed,
+                &message(bits),
+            ),
+            "non-mt-fast-eviction" => non_mt(
+                model,
+                NonMtKind::Eviction,
+                EncodeMode::Fast,
+                &uarch_profile,
+                seed,
+                &message(bits),
+            ),
+            "non-mt-fast-misalignment" => non_mt(
+                model,
+                NonMtKind::Misalignment,
+                EncodeMode::Fast,
+                &uarch_profile,
+                seed,
+                &message(bits),
+            ),
+            "mt-eviction" => mt(
+                model,
+                MtKind::Eviction,
+                &uarch_profile,
+                seed,
+                &message(mt_bits),
+            )?,
+            "mt-misalignment" => mt(
+                model,
+                MtKind::Misalignment,
+                &uarch_profile,
+                seed,
+                &message(mt_bits),
+            )?,
+            other => panic!("unknown channel {other:?}"),
+        };
+        Some(run)
+    }
+}
+
+fn metrics_of(run: &ChannelRun) -> Vec<Metric> {
+    vec![
+        Metric::new("rate_kbps", run.rate_kbps()),
+        Metric::new("error_rate", run.error_rate()),
+        Metric::new("capacity_kbps", run.capacity_kbps()),
+    ]
+}
+
+/// The dead-channel row: calibration found no timing separation between
+/// the bit classes (the §XII defense succeeding), so nothing transmits.
+fn dead_channel() -> Vec<Metric> {
+    vec![
+        Metric::new("rate_kbps", 0.0),
+        Metric::new("error_rate", 0.5),
+        Metric::new("capacity_kbps", 0.0),
+    ]
+}
+
+fn non_mt(
+    model: leaky_cpu::ProcessorModel,
+    kind: NonMtKind,
+    mode: EncodeMode,
+    uarch_profile: &UarchProfile,
+    seed: u64,
+    message: &[bool],
+) -> Vec<Metric> {
+    let params = match kind {
+        NonMtKind::Eviction => ChannelParams::eviction_defaults(),
+        NonMtKind::Misalignment => ChannelParams::misalignment_defaults(),
+    };
+    let mut ch = NonMtChannel::with_profile(model, kind, mode, params, uarch_profile, seed);
+    if ch.try_calibrate().is_err() {
+        return dead_channel();
+    }
+    metrics_of(&ch.transmit(message))
+}
+
+/// `None` on machines with SMT disabled (structurally unsupported cell).
+fn mt(
+    model: leaky_cpu::ProcessorModel,
+    kind: MtKind,
+    uarch_profile: &UarchProfile,
+    seed: u64,
+    message: &[bool],
+) -> Option<Vec<Metric>> {
+    let params = match kind {
+        MtKind::Eviction => ChannelParams::mt_defaults(),
+        MtKind::Misalignment => ChannelParams::mt_misalignment_defaults(),
+    };
+    let mut ch = MtChannel::with_profile(model, kind, params, uarch_profile, seed).ok()?;
+    if ch.try_calibrate().is_err() {
+        return Some(dead_channel());
+    }
+    Some(metrics_of(&ch.transmit(message)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::runner::run_experiment;
+
+    #[test]
+    fn grid_covers_every_profile_and_channel() {
+        let grid = Tab3Uarch.grid(false);
+        assert_eq!(grid.len(), 3 * 6);
+        let cells = grid.expand();
+        assert_eq!(cells[0].key, "tab3_uarch/profile=full/uarch=skylake/channel=non-mt-stealthy-eviction/machine=Gold 6226");
+    }
+
+    #[test]
+    fn constant_time_profile_reports_dead_or_noise_channels() {
+        // The defense column, §XII scope: equalizing path costs kills the
+        // *stealthy* channels (whose 0-encoding does matched dummy work —
+        // the only difference was the frontend path). Fast variants still
+        // leak trivially through the raw presence/absence of sender work,
+        // and MT variants through SMT backend contention — both outside
+        // what a constant-time frontend can hide.
+        let run = run_experiment(&Tab3Uarch, true, 2);
+        for cell in run.cells.iter().filter(|c| {
+            c.cell.str("uarch") == "constant_time"
+                && c.cell.str("channel").starts_with("non-mt-stealthy")
+        }) {
+            let err = cell.metric("error_rate").expect("supported on 6226");
+            assert!(
+                err > 0.2,
+                "{}: constant-time profile leaked (error {err:.3})",
+                cell.cell.key
+            );
+        }
+        // ...while the skylake column transmits the fast non-MT channels
+        // essentially error-free, as in Table III.
+        for cell in run.cells.iter().filter(|c| {
+            c.cell.str("uarch") == "skylake" && c.cell.str("channel") == "non-mt-fast-eviction"
+        }) {
+            let err = cell.metric("error_rate").expect("supported");
+            assert!(err < 0.10, "{}: error {err:.3}", cell.cell.key);
+            assert!(cell.metric("rate_kbps").expect("supported") > 100.0);
+        }
+    }
+}

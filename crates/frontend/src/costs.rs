@@ -1,197 +1,11 @@
-//! Calibrated cycle-cost model for the frontend paths.
+//! Cycle-cost calibration, re-exported from [`leaky_uarch`].
 //!
-//! The absolute constants are fitted so the simulator reproduces the *shape*
-//! of the paper's measurements (Fig. 2 timing separation, Fig. 4 IPC
-//! ordering, Table III rate magnitudes); see DESIGN.md §4 for the fitting
-//! rationale. All values are in cycles.
+//! The [`CostModel`] moved into `leaky_uarch` when microarchitecture
+//! profiles became first-class (DESIGN.md §8): a cost model is one half
+//! of a [`leaky_uarch::UarchProfile`] (the other being the
+//! [`leaky_isa::FrontendGeometry`]), and the profile registry lives
+//! below this crate so channels, cores and sweeps can name
+//! microarchitectures without depending on the engine. This module keeps
+//! the historical `leaky_frontend::costs::CostModel` path working.
 
-/// Cycle costs of frontend events.
-///
-/// The three delivery paths obey the paper's ordering (§IV, §V-B, Fig. 2):
-/// DSB delivery is fastest per µop, LSD delivery is slightly *slower* per µop
-/// than DSB (the paper exploits this in the misalignment channels), and MITE
-/// decode is far slower — plus it pays switch penalties when the frontend
-/// transitions between paths.
-#[derive(Debug, Clone, Copy, PartialEq)]
-pub struct CostModel {
-    /// Cycles per µop streamed from the DSB.
-    pub dsb_per_uop: f64,
-    /// Cycles per µop streamed from the LSD. Slightly larger than
-    /// [`CostModel::dsb_per_uop`] per the paper's observation that "LSD is
-    /// indeed slower in delivery" (§V-B, Fig. 2).
-    pub lsd_per_uop: f64,
-    /// Fixed cycles to decode one 32-byte window through the MITE
-    /// (fetch + pre-decode + decode slot allocation).
-    pub mite_line_base: f64,
-    /// Additional MITE cycles per µop in the window.
-    pub mite_per_uop: f64,
-    /// Penalty when delivery switches from DSB to MITE (§IV-H).
-    pub dsb_to_mite_switch: f64,
-    /// Penalty when delivery switches back from MITE to DSB.
-    pub mite_to_dsb_switch: f64,
-    /// Penalty when an LSD-locked loop is flushed and delivery falls back to
-    /// DSB/MITE (inclusive-eviction transition, §IV-F).
-    pub lsd_flush: f64,
-    /// Pre-decode stall for one Length-Changing-Prefix instruction (§IV-H:
-    /// "up to 3 cycles"; effective fitted value).
-    pub lcp_stall: f64,
-    /// Extra serialization when an LCP instruction directly follows another
-    /// LCP instruction (LCPs decode strictly sequentially, §IV-H).
-    pub lcp_sequential_extra: f64,
-    /// Per-instruction MITE decode cost used inside LCP blocks (instruction
-    /// granularity).
-    pub mite_per_instr: f64,
-    /// Effective DSB→MITE switch cost at *instruction* granularity inside
-    /// LCP blocks: back-to-back switches overlap in the pipeline, so the
-    /// exposed penalty is far below the cold-switch cost.
-    pub lcp_dsb_to_mite_switch: f64,
-    /// Effective MITE→DSB switch cost at instruction granularity.
-    pub lcp_mite_to_dsb_switch: f64,
-    /// Extra fetch cost for a block that straddles two 32-byte windows
-    /// (split fetch; basis of the non-MT misalignment timing signal,
-    /// §V-D).
-    pub window_crossing_penalty: f64,
-    /// L1I miss penalty (line fill from L2).
-    pub l1i_miss: f64,
-    /// Loop-closing overhead per iteration (taken-branch redirect).
-    pub loop_overhead: f64,
-    /// Multiplier on MITE costs when both hyper-threads are active — the
-    /// MITE (fetch, IQ, decoders) is competitively shared (§IV-C).
-    pub smt_mite_factor: f64,
-    /// Cycles of fixed overhead per `rdtscp` measurement.
-    pub timer_overhead: f64,
-}
-
-impl CostModel {
-    /// The calibrated Skylake-family model used throughout the
-    /// reproduction.
-    pub const fn skylake() -> Self {
-        CostModel {
-            dsb_per_uop: 0.18,
-            lsd_per_uop: 0.48,
-            mite_line_base: 4.0,
-            mite_per_uop: 0.6,
-            dsb_to_mite_switch: 8.0,
-            mite_to_dsb_switch: 2.0,
-            lsd_flush: 6.0,
-            lcp_stall: 1.5,
-            lcp_sequential_extra: 1.0,
-            mite_per_instr: 0.8,
-            // Fig. 4 reports ~9.0e8 switch-penalty cycles over 800 M
-            // mixed-issue iterations (~31 switches each): ~1 cycle per
-            // iteration, so the exposed per-switch cost is a small
-            // fraction of a cycle. Keeping these near that measurement
-            // also preserves the Table IV slow-switch margin: the
-            // mixed/ordered gap is the serialized-stall signal minus the
-            // mixed pattern's switch overhead.
-            lcp_dsb_to_mite_switch: 0.15,
-            lcp_mite_to_dsb_switch: 0.1,
-            window_crossing_penalty: 4.5,
-            l1i_miss: 12.0,
-            loop_overhead: 1.0,
-            smt_mite_factor: 2.0,
-            timer_overhead: 30.0,
-        }
-    }
-
-    /// Cost of delivering one DSB line holding `uops` µops.
-    #[inline]
-    pub fn dsb_line(&self, uops: u32) -> f64 {
-        self.dsb_per_uop * uops as f64
-    }
-
-    /// Cost of streaming `uops` µops from the LSD.
-    #[inline]
-    pub fn lsd_stream(&self, uops: u32) -> f64 {
-        self.lsd_per_uop * uops as f64
-    }
-
-    /// Cost of decoding one window of `uops` µops through the MITE,
-    /// optionally inflated by SMT contention.
-    #[inline]
-    pub fn mite_line(&self, uops: u32, smt_contended: bool) -> f64 {
-        let base = self.mite_line_base + self.mite_per_uop * uops as f64;
-        if smt_contended {
-            base * self.smt_mite_factor
-        } else {
-            base
-        }
-    }
-}
-
-impl CostModel {
-    /// A hypothetical *constant-time frontend* (paper §XII): every path
-    /// delivers at the same per-µop cost and no switch, flush, stall or
-    /// crossing penalties exist. This forgoes the performance/power benefit
-    /// of the multi-path design — the paper's point is precisely that
-    /// removing the signatures removes the benefit — but eliminates the
-    /// timing side channel, as the defense tests demonstrate.
-    pub const fn constant_time() -> Self {
-        CostModel {
-            dsb_per_uop: 0.48,
-            lsd_per_uop: 0.48,
-            mite_line_base: 0.0,
-            mite_per_uop: 0.48,
-            dsb_to_mite_switch: 0.0,
-            mite_to_dsb_switch: 0.0,
-            lsd_flush: 0.0,
-            lcp_stall: 0.0,
-            lcp_sequential_extra: 0.0,
-            mite_per_instr: 0.48,
-            lcp_dsb_to_mite_switch: 0.0,
-            lcp_mite_to_dsb_switch: 0.0,
-            window_crossing_penalty: 0.0,
-            l1i_miss: 12.0,
-            loop_overhead: 1.0,
-            smt_mite_factor: 1.0,
-            timer_overhead: 30.0,
-        }
-    }
-}
-
-impl Default for CostModel {
-    fn default() -> Self {
-        Self::skylake()
-    }
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    #[test]
-    fn path_ordering_matches_paper() {
-        let c = CostModel::skylake();
-        // Per 5-µop mix block: DSB < LSD << MITE (Fig. 2).
-        let dsb = c.dsb_line(5);
-        let lsd = c.lsd_stream(5);
-        let mite = c.mite_line(5, false);
-        assert!(dsb < lsd, "DSB must deliver faster than LSD");
-        assert!(lsd < mite / 2.0, "MITE must be much slower than LSD");
-    }
-
-    #[test]
-    fn smt_contention_inflates_mite_only() {
-        let c = CostModel::skylake();
-        assert_eq!(
-            c.mite_line(5, true),
-            c.mite_line(5, false) * c.smt_mite_factor
-        );
-    }
-
-    #[test]
-    fn switch_penalties_are_asymmetric() {
-        let c = CostModel::skylake();
-        assert!(c.dsb_to_mite_switch > c.mite_to_dsb_switch);
-    }
-
-    #[test]
-    fn constant_time_model_has_uniform_paths() {
-        let c = CostModel::constant_time();
-        assert_eq!(c.dsb_line(5), c.lsd_stream(5));
-        assert_eq!(c.dsb_line(5), c.mite_line(5, true));
-        assert_eq!(c.dsb_to_mite_switch, 0.0);
-        assert_eq!(c.lcp_stall, 0.0);
-        assert_eq!(c.window_crossing_penalty, 0.0);
-    }
-}
+pub use leaky_uarch::costs::CostModel;

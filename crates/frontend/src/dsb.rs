@@ -102,6 +102,10 @@ impl Dsb {
     /// Creates an empty DSB.
     pub fn new(geom: FrontendGeometry, policy: SmtDsbPolicy) -> Self {
         assert!(geom.dsb_ways <= u8::MAX as usize, "ways must fit a u8");
+        // The engine's LSD-lock set masks are one u64 bit per set; a wider
+        // ablation geometry would silently wrap the shift in release
+        // builds, so refuse it loudly here (both engines construct a DSB).
+        assert!(geom.dsb_sets <= 64, "set masks support at most 64 DSB sets");
         Dsb {
             lines: vec![0; geom.dsb_sets * geom.dsb_ways].into_boxed_slice(),
             lens: vec![0; geom.dsb_sets].into_boxed_slice(),

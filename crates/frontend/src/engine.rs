@@ -11,6 +11,7 @@
 
 use leaky_cache::{CacheConfig, SetAssocCache};
 use leaky_isa::{BlockChain, FrontendGeometry};
+use leaky_uarch::UarchProfile;
 
 use crate::costs::CostModel;
 use crate::counters::{detect_report_period, IterationReport, UopSource};
@@ -74,6 +75,53 @@ pub struct FrontendConfig {
     pub lsd_warmup_iterations: u32,
 }
 
+impl FrontendConfig {
+    /// Builds a configuration from a microarchitecture profile: geometry,
+    /// cost model and LSD availability come from the profile, SMT policy
+    /// and warm-up from the defaults. The `skylake` profile reproduces
+    /// [`FrontendConfig::default`] exactly.
+    pub fn from_profile(profile: &UarchProfile) -> Self {
+        FrontendConfig {
+            geometry: profile.geometry,
+            costs: profile.costs,
+            lsd_enabled: profile.lsd_enabled,
+            ..FrontendConfig::default()
+        }
+    }
+
+    /// Content hash over every configuration field — the *profile key*
+    /// that memoization layers (the delivery-plan cache, `leaky_cpu`'s
+    /// backend-throughput memo) pair with chain keys, so state cached
+    /// under one configuration can never serve another.
+    pub fn profile_key(&self) -> u64 {
+        leaky_uarch::config_fingerprint(
+            &self.geometry,
+            &self.costs,
+            &[
+                self.lsd_enabled as u64,
+                match self.dsb_policy {
+                    SmtDsbPolicy::Competitive => 0,
+                    SmtDsbPolicy::SetPartitioned => 1,
+                    SmtDsbPolicy::Shared => 2,
+                },
+                self.flush_on_partition as u64,
+                self.lsd_warmup_iterations as u64,
+            ],
+        )
+    }
+
+    /// The L1I cache geometry this configuration implies (Table I values
+    /// live in [`FrontendGeometry`]; a perturbed geometry gets a matching
+    /// perturbed cache instead of the hardcoded Skylake preset).
+    pub(crate) fn l1i_config(&self) -> CacheConfig {
+        CacheConfig {
+            sets: self.geometry.l1i_sets,
+            ways: self.geometry.l1i_ways,
+            line_bytes: self.geometry.l1i_line_bytes,
+        }
+    }
+}
+
 impl Default for FrontendConfig {
     fn default() -> Self {
         FrontendConfig {
@@ -88,9 +136,11 @@ impl Default for FrontendConfig {
 }
 
 /// Upper bound on lock-membership lines: a locked loop streams at most
-/// 64 µops ([`FrontendGeometry::lsd_uops`]) and every DSB line stores at
-/// least one µop, so a qualifying loop never spans more lines than this.
-const MAX_LOCK_LINES: usize = 64;
+/// [`FrontendGeometry::lsd_uops`] µops and every DSB line stores at
+/// least one µop, so a qualifying loop never spans more lines than its
+/// LSD capacity — 64 on every Table I machine; 128 leaves headroom for
+/// ablation profiles that double it.
+const MAX_LOCK_LINES: usize = 128;
 
 /// Upper bound on tracked distinct sibling crossings: the lock collapses
 /// once `lines + 2 × crossings` exceeds the 8-window tracking capacity,
@@ -109,8 +159,9 @@ const MAX_STEADY_PERIOD: usize = 16;
 struct LoopLock {
     key: u64,
     uops: u32,
-    /// Bitmask of DSB sets the loop's lines occupy.
-    set_mask: u32,
+    /// Bitmask of DSB sets the loop's lines occupy (one bit per set;
+    /// wide enough for ablation geometries of up to 64 sets).
+    set_mask: u64,
     /// Sorted packed line members (inclusive property: evicting any of
     /// them flushes the lock). Only `lines[..n_lines]` is meaningful.
     lines: [u64; MAX_LOCK_LINES],
@@ -171,8 +222,12 @@ pub struct Frontend {
     /// warm-up tracking.
     lock_streak: [(u64, u32); 2],
     cumulative: [IterationReport; 2],
-    /// Memoized delivery plans for the chains this frontend executes.
+    /// Memoized delivery plans for the chains this frontend executes,
+    /// keyed by (chain key, `config_key`).
     plans: PlanCache,
+    /// Cached [`FrontendConfig::profile_key`] of the active configuration
+    /// (hashing per iteration would put FNV on the hot path).
+    config_key: u64,
 }
 
 impl Frontend {
@@ -180,7 +235,7 @@ impl Frontend {
     pub fn new(config: FrontendConfig) -> Self {
         Frontend {
             dsb: Dsb::new(config.geometry, config.dsb_policy),
-            l1i: SetAssocCache::new(CacheConfig::l1i()),
+            l1i: SetAssocCache::new(config.l1i_config()),
             locks: [None, None],
             last_source: [UopSource::Dsb, UopSource::Dsb],
             active: [false, false],
@@ -189,13 +244,45 @@ impl Frontend {
             lock_streak: [(0, 0), (0, 0)],
             cumulative: [IterationReport::default(), IterationReport::default()],
             plans: PlanCache::default(),
+            config_key: config.profile_key(),
             config,
         }
+    }
+
+    /// Creates an idle frontend for a microarchitecture profile (see
+    /// [`FrontendConfig::from_profile`]).
+    pub fn with_profile(profile: &UarchProfile) -> Self {
+        Self::new(FrontendConfig::from_profile(profile))
     }
 
     /// The configuration in use.
     pub fn config(&self) -> &FrontendConfig {
         &self.config
+    }
+
+    /// The cached profile key of the active configuration — what the
+    /// plan cache (and `leaky_cpu`'s backend memo) pair with chain keys.
+    pub fn profile_key(&self) -> u64 {
+        self.config_key
+    }
+
+    /// Swaps in a new configuration, modeling a microcode update /
+    /// machine change: the DSB and L1I are rebuilt empty for the new
+    /// geometry and all LSD locks, streaks and pending penalties are
+    /// dropped. Cumulative counters survive (callers that want a clean
+    /// slate call [`Frontend::reset_counters`]); so does the memoized
+    /// plan cache — its (chain, profile-key) entries make stale plans
+    /// unreachable rather than requiring a flush, and switching *back*
+    /// to a previous configuration rehits its plans.
+    pub fn reconfigure(&mut self, config: FrontendConfig) {
+        self.dsb = Dsb::new(config.geometry, config.dsb_policy);
+        self.l1i = SetAssocCache::new(config.l1i_config());
+        self.locks = [None, None];
+        self.last_source = [UopSource::Dsb, UopSource::Dsb];
+        self.pending_lsd_flush = [false, false];
+        self.lock_streak = [(0, 0), (0, 0)];
+        self.config_key = config.profile_key();
+        self.config = config;
     }
 
     /// The DSB state (for probing/assertions).
@@ -309,7 +396,9 @@ impl Frontend {
     /// [delivery plan](crate::plan); subsequent iterations are
     /// allocation-free.
     pub fn run_iteration(&mut self, tid: ThreadId, chain: &BlockChain) -> IterationReport {
-        let plan = self.plans.get_or_build(chain, &self.config.geometry);
+        let plan = self
+            .plans
+            .get_or_build(chain, &self.config.geometry, self.config_key);
         self.run_iteration_plan(tid, &plan)
     }
 
@@ -391,7 +480,9 @@ impl Frontend {
     /// qualifying loop to the DSB path (see
     /// `steady_state_collapse_can_freeze_lsd_warmup` and DESIGN.md §6).
     pub fn run_iterations(&mut self, tid: ThreadId, chain: &BlockChain, n: u64) -> IterationReport {
-        let plan = self.plans.get_or_build(chain, &self.config.geometry);
+        let plan = self
+            .plans
+            .get_or_build(chain, &self.config.geometry, self.config_key);
         let mut total = IterationReport::new();
         let mut history: Vec<IterationReport> = Vec::with_capacity(2 * MAX_STEADY_PERIOD);
         let mut done = 0u64;
@@ -515,10 +606,10 @@ impl Frontend {
     fn note_sibling_crossing(&mut self, tid: ThreadId, window: u64) {
         let sets = self.config.geometry.dsb_sets as u64;
         let other = tid.other().index();
-        let head_set = (window % sets) as u32;
+        let head_set = window % sets;
         let window_cap = self.config.geometry.lsd_windows;
         let collapse = match &mut self.locks[other] {
-            Some(lock) if lock.set_mask & (1 << head_set) != 0 => {
+            Some(lock) if lock.set_mask & (1u64 << head_set) != 0 => {
                 match lock.note_crossing(window) {
                     Some(crossings) => lock.n_lines as usize + 2 * crossings > window_cap,
                     // Inline tracking overflow: only reachable with a
@@ -1118,6 +1209,68 @@ mod tests {
             assert_eq!(total_fast.dsb_evictions, total_slow.dsb_evictions);
             assert!((total_fast.cycles - total_slow.cycles).abs() <= 1e-9 * total_slow.cycles);
         }
+    }
+
+    #[test]
+    fn reconfigure_invalidates_stale_plans_and_state() {
+        use leaky_uarch::UarchProfile;
+        // A 31-nop window: 6 DSB lines at the Skylake 6-µop capacity but
+        // only 4 at the Ice-Lake-class 8-µop capacity. If reconfiguring
+        // reused the memoized Skylake plan, the line accounting (and with
+        // it every counter) would be wrong.
+        use leaky_isa::{Addr, Block};
+        let chain = BlockChain::new(vec![Block::nops(Addr::new(0x3000), 31)]);
+        let mut fe = Frontend::with_profile(&UarchProfile::skylake());
+        let sky_cold = fe.run_iteration(ThreadId::T0, &chain);
+        let icl_config = FrontendConfig::from_profile(&UarchProfile::icelake());
+        fe.reconfigure(icl_config);
+        assert_eq!(fe.profile_key(), icl_config.profile_key());
+        let icl_cold = fe.run_iteration(ThreadId::T0, &chain);
+        // Both are cold MITE fills of the same 32 + 5 µops...
+        assert_eq!(icl_cold.total_uops(), sky_cold.total_uops());
+        // ...but a fresh Ice-Lake frontend must agree exactly with the
+        // reconfigured one — the reconfigured engine may not have reused
+        // the Skylake plan's splits.
+        let mut fresh = Frontend::new(icl_config);
+        let fresh_cold = fresh.run_iteration(ThreadId::T0, &chain);
+        assert_eq!(icl_cold, fresh_cold);
+        // Switching back rehits the original plan and the original costs.
+        fe.reconfigure(FrontendConfig::default());
+        let sky_again = fe.run_iteration(ThreadId::T0, &chain);
+        assert_eq!(sky_again, sky_cold);
+    }
+
+    #[test]
+    fn l1i_follows_the_configured_geometry() {
+        let mut geom = FrontendGeometry::skylake();
+        geom.l1i_ways = 12;
+        geom.l1i_sets = 32;
+        let fe = Frontend::new(FrontendConfig {
+            geometry: geom,
+            ..FrontendConfig::default()
+        });
+        assert_eq!(fe.l1i().config().ways, 12);
+        assert_eq!(fe.l1i().config().sets, 32);
+        // Default remains the Table I 32 KB / 8-way / 64-set shape.
+        let default_fe = frontend();
+        assert_eq!(default_fe.l1i().config().sets, 64);
+        assert_eq!(default_fe.l1i().config().ways, 8);
+    }
+
+    #[test]
+    fn skylake_profile_config_is_bit_identical_to_default() {
+        let from_profile = FrontendConfig::from_profile(&leaky_uarch::UarchProfile::skylake());
+        assert_eq!(from_profile, FrontendConfig::default());
+        assert_eq!(
+            from_profile.profile_key(),
+            FrontendConfig::default().profile_key()
+        );
+        // Any field change moves the key.
+        let perturbed = FrontendConfig {
+            lsd_warmup_iterations: 4,
+            ..FrontendConfig::default()
+        };
+        assert_ne!(perturbed.profile_key(), from_profile.profile_key());
     }
 
     #[test]

@@ -59,5 +59,6 @@ pub use costs::CostModel;
 pub use counters::{detect_report_period, IterationReport, UopSource};
 pub use dsb::{Dsb, LineId, SmtDsbPolicy};
 pub use engine::{Frontend, FrontendConfig, ThreadId};
+pub use leaky_uarch::UarchProfile;
 pub use lsd::{lsd_qualifies, LsdVerdict};
 pub use reference::NaiveFrontend;

@@ -68,6 +68,11 @@ pub(crate) struct PlanBlock {
 pub(crate) struct DeliveryPlan {
     /// The chain's identity key ([`BlockChain::key`]).
     pub key: u64,
+    /// The profile key of the configuration this plan was built under
+    /// ([`crate::FrontendConfig::profile_key`]). Cache lookups match on
+    /// `(key, config_key)`, so reconfiguring a frontend's geometry or
+    /// cost model can never resurrect a stale plan.
+    pub config_key: u64,
     /// Total µops per iteration.
     pub total_uops: u32,
     /// Per-block ranges and flags, in execution order.
@@ -84,8 +89,9 @@ pub(crate) struct DeliveryPlan {
     /// Sorted, deduplicated `(window << 8) | chunk` members for LSD lock
     /// bookkeeping (binary-searched on every eviction).
     pub lock_lines: Vec<u64>,
-    /// Bitmask of DSB sets the chain's windows map to.
-    pub set_mask: u32,
+    /// Bitmask of DSB sets the chain's windows map to (one bit per set;
+    /// wide enough for ablation geometries of up to 64 sets).
+    pub set_mask: u64,
     /// Whether any block carries an LCP (such chains never lock the LSD).
     pub has_lcp: bool,
     /// LSD qualification verdict, indexed by `[solo, smt]`.
@@ -99,13 +105,14 @@ pub(crate) fn pack_lock_member(window: u64, chunk: u8) -> u64 {
 }
 
 impl DeliveryPlan {
-    /// Precomputes the delivery recipe for `chain` under `geom`.
-    pub fn build(chain: &BlockChain, geom: &FrontendGeometry) -> DeliveryPlan {
-        let canonical_line_uops = FrontendGeometry::skylake().dsb_line_uops;
+    /// Precomputes the delivery recipe for `chain` under `geom`,
+    /// stamping it with the owning configuration's `config_key`.
+    pub fn build(chain: &BlockChain, geom: &FrontendGeometry, config_key: u64) -> DeliveryPlan {
         let line_uops = geom.dsb_line_uops as u32;
         let sets = geom.dsb_sets as u64;
         let mut plan = DeliveryPlan {
             key: chain.key(),
+            config_key,
             total_uops: chain.total_uops(),
             blocks: Vec::with_capacity(chain.len()),
             lines: Vec::new(),
@@ -122,27 +129,16 @@ impl DeliveryPlan {
         };
         for block in chain.blocks() {
             let lines_start = plan.lines.len() as u32;
-            if geom.dsb_line_uops == canonical_line_uops {
-                // Canonical geometry: reuse the slots precomputed at
-                // block construction.
-                plan.lines
-                    .extend(block.dsb_line_slots().iter().map(|s| PlanLine {
-                        window: s.window,
-                        chunk: s.chunk,
-                        uops: s.uops,
-                    }));
-            } else {
-                plan.lines.extend(
-                    block
-                        .compute_line_slots(line_uops)
-                        .iter()
-                        .map(|s| PlanLine {
-                            window: s.window,
-                            chunk: s.chunk,
-                            uops: s.uops,
-                        }),
-                );
-            }
+            // `line_slots_for` reuses the block's precomputed slots only
+            // when the active geometry matches the capacity they were
+            // derived for (the block records it), so a perturbed geometry
+            // can never pick up cached Skylake splits.
+            plan.lines
+                .extend(block.line_slots_for(line_uops).iter().map(|s| PlanLine {
+                    window: s.window,
+                    chunk: s.chunk,
+                    uops: s.uops,
+                }));
             let cache_start = plan.cache_lines.len() as u32;
             plan.cache_lines.extend_from_slice(block.cache_lines());
             let instr_start = plan.instrs.len() as u32;
@@ -162,7 +158,7 @@ impl DeliveryPlan {
                 plan.crossing_head_windows.push(head_window);
             }
             for line in &plan.lines[lines_start as usize..] {
-                plan.set_mask |= 1 << (line.window % sets) as u32;
+                plan.set_mask |= 1u64 << (line.window % sets);
             }
             plan.blocks.push(PlanBlock {
                 lines_start,
@@ -187,12 +183,15 @@ impl DeliveryPlan {
     }
 }
 
-/// Small MRU cache of delivery plans, keyed by chain identity.
+/// Small MRU cache of delivery plans, keyed by *(chain identity,
+/// configuration profile key)*.
 ///
 /// Capacity covers every chain a channel juggles at once (receiver,
-/// sender 1/0 encodings, decoys) with ample slack; the cache is owned by
-/// a [`crate::Frontend`], whose geometry is fixed, so entries never go
-/// stale. Hits cost one equality probe on the MRU slot.
+/// sender 1/0 encodings, decoys) with ample slack. The profile-key half
+/// of the cache key is what makes [`crate::Frontend::reconfigure`] safe:
+/// plans built under the old geometry or cost model simply stop
+/// matching, so a reconfigured frontend rebuilds rather than reusing
+/// stale splits. Hits cost one equality probe on the MRU slot.
 #[derive(Debug, Clone, Default)]
 pub(crate) struct PlanCache {
     plans: Vec<Rc<DeliveryPlan>>,
@@ -202,23 +201,29 @@ pub(crate) struct PlanCache {
 const PLAN_CACHE_CAPACITY: usize = 32;
 
 impl PlanCache {
-    /// Returns the plan for `chain`, building and caching it on first use.
+    /// Returns the plan for `chain` under the configuration identified by
+    /// `config_key`, building and caching it on first use.
     pub fn get_or_build(
         &mut self,
         chain: &BlockChain,
         geom: &FrontendGeometry,
+        config_key: u64,
     ) -> Rc<DeliveryPlan> {
         let key = chain.key();
         if let Some(front) = self.plans.first() {
-            if front.key == key {
+            if front.key == key && front.config_key == config_key {
                 return Rc::clone(front);
             }
         }
-        if let Some(pos) = self.plans.iter().position(|p| p.key == key) {
+        if let Some(pos) = self
+            .plans
+            .iter()
+            .position(|p| p.key == key && p.config_key == config_key)
+        {
             self.plans[..=pos].rotate_right(1);
             return Rc::clone(&self.plans[0]);
         }
-        let plan = Rc::new(DeliveryPlan::build(chain, geom));
+        let plan = Rc::new(DeliveryPlan::build(chain, geom, config_key));
         self.plans.insert(0, Rc::clone(&plan));
         self.plans.truncate(PLAN_CACHE_CAPACITY);
         plan
@@ -236,8 +241,9 @@ mod tests {
     fn plan_matches_chain_shape() {
         let geom = FrontendGeometry::skylake();
         let chain = same_set_chain(BASE, DsbSet::new(0), 8, Alignment::Aligned);
-        let plan = DeliveryPlan::build(&chain, &geom);
+        let plan = DeliveryPlan::build(&chain, &geom, 7);
         assert_eq!(plan.key, chain.key());
+        assert_eq!(plan.config_key, 7);
         assert_eq!(plan.total_uops, 40);
         assert_eq!(plan.blocks.len(), 8);
         assert_eq!(plan.lines.len(), chain.dsb_lines(&geom));
@@ -253,7 +259,7 @@ mod tests {
     fn misaligned_plan_tracks_crossings() {
         let geom = FrontendGeometry::skylake();
         let chain = same_set_chain(BASE, DsbSet::new(3), 4, Alignment::Misaligned);
-        let plan = DeliveryPlan::build(&chain, &geom);
+        let plan = DeliveryPlan::build(&chain, &geom, 0);
         assert_eq!(plan.crossing_head_windows.len(), 4);
         assert!(plan.blocks.iter().all(|b| b.crossing));
         // Two windows per block: head set 3 and the spill into set 4.
@@ -271,7 +277,7 @@ mod tests {
             LcpPattern::Mixed,
             16,
         )]);
-        let plan = DeliveryPlan::build(&chain, &geom);
+        let plan = DeliveryPlan::build(&chain, &geom, 0);
         assert!(plan.has_lcp);
         assert_eq!(plan.instrs.len(), 33);
         assert_eq!(plan.instrs.iter().filter(|i| i.has_lcp).count(), 16);
@@ -294,16 +300,46 @@ mod tests {
             })
             .collect();
         for c in &chains {
-            let p = cache.get_or_build(c, &geom);
+            let p = cache.get_or_build(c, &geom, 1);
             assert_eq!(p.key, c.key());
         }
         assert!(cache.plans.len() <= PLAN_CACHE_CAPACITY);
         // Re-fetch returns the identical (shared) plan, promoted to MRU.
-        let again = cache.get_or_build(chains.last().unwrap(), &geom);
+        let again = cache.get_or_build(chains.last().unwrap(), &geom, 1);
         assert_eq!(Rc::strong_count(&again), 2); // the cache slot + `again`
         assert_eq!(cache.plans[0].key, chains.last().unwrap().key());
         // Evicted early entries rebuild rather than error.
-        let rebuilt = cache.get_or_build(&chains[0], &geom);
+        let rebuilt = cache.get_or_build(&chains[0], &geom, 1);
         assert_eq!(rebuilt.key, chains[0].key());
+    }
+
+    #[test]
+    fn cache_never_crosses_profile_keys() {
+        // The satellite bugfix: the same chain under two configurations
+        // (e.g. before/after a geometry reconfigure) must get two distinct
+        // plans, and re-fetching under either key must return that key's
+        // plan — never the other's.
+        let sky = FrontendGeometry::skylake();
+        let wide = FrontendGeometry {
+            dsb_line_uops: 8,
+            ..sky
+        };
+        // A 31-nop block: one 32-µop window → 6 chunks at 6 µops/line
+        // but only 4 chunks at 8 µops/line.
+        let chain = BlockChain::new(vec![leaky_isa::Block::nops(
+            leaky_isa::Addr::new(0x3000),
+            31,
+        )]);
+        let mut cache = PlanCache::default();
+        let a = cache.get_or_build(&chain, &sky, 10);
+        let b = cache.get_or_build(&chain, &wide, 20);
+        assert_eq!(a.key, b.key, "same chain");
+        assert_ne!(a.lines.len(), b.lines.len(), "splits must differ");
+        let a2 = cache.get_or_build(&chain, &sky, 10);
+        assert_eq!(a2.lines.len(), a.lines.len());
+        assert_eq!(a2.config_key, 10);
+        let b2 = cache.get_or_build(&chain, &wide, 20);
+        assert_eq!(b2.lines.len(), b.lines.len());
+        assert_eq!(b2.config_key, 20);
     }
 }

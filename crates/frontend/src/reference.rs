@@ -11,7 +11,7 @@
 
 use std::collections::HashSet;
 
-use leaky_cache::{CacheConfig, SetAssocCache};
+use leaky_cache::SetAssocCache;
 use leaky_isa::{Block, BlockChain};
 
 use crate::counters::{IterationReport, UopSource};
@@ -33,6 +33,9 @@ struct NaiveDsb {
 
 impl NaiveDsb {
     fn new(sets: usize, ways: usize, policy: SmtDsbPolicy) -> Self {
+        // Mirror of the optimized Dsb's limit: lock set masks are one u64
+        // bit per set.
+        assert!(sets <= 64, "set masks support at most 64 DSB sets");
         NaiveDsb {
             sets_count: sets,
             ways,
@@ -131,7 +134,7 @@ struct NaiveLock {
     key: u64,
     lines: HashSet<(u64, u8)>,
     uops: u32,
-    set_mask: u32,
+    set_mask: u64,
     foreign_crossings: HashSet<u64>,
 }
 
@@ -159,7 +162,7 @@ impl NaiveFrontend {
                 config.geometry.dsb_ways,
                 config.dsb_policy,
             ),
-            l1i: SetAssocCache::new(CacheConfig::l1i()),
+            l1i: SetAssocCache::new(config.l1i_config()),
             locks: [None, None],
             last_source: [UopSource::Dsb, UopSource::Dsb],
             active: [false, false],
@@ -169,6 +172,24 @@ impl NaiveFrontend {
             cumulative: [IterationReport::default(), IterationReport::default()],
             config,
         }
+    }
+
+    /// Swaps in a new configuration (same semantics as
+    /// [`crate::Frontend::reconfigure`]): DSB and L1I rebuilt empty for
+    /// the new geometry, locks/streaks/pending penalties dropped,
+    /// cumulative counters kept.
+    pub fn reconfigure(&mut self, config: FrontendConfig) {
+        self.dsb = NaiveDsb::new(
+            config.geometry.dsb_sets,
+            config.geometry.dsb_ways,
+            config.dsb_policy,
+        );
+        self.l1i = SetAssocCache::new(config.l1i_config());
+        self.locks = [None, None];
+        self.last_source = [UopSource::Dsb, UopSource::Dsb];
+        self.pending_lsd_flush = [false, false];
+        self.lock_streak = [(0, 0), (0, 0)];
+        self.config = config;
     }
 
     /// Whether both hardware threads are currently active.
@@ -400,10 +421,10 @@ impl NaiveFrontend {
         let sets = self.config.geometry.dsb_sets as u64;
         let other = tid.other().index();
         let head_window = block.base().window();
-        let head_set = (head_window % sets) as u32;
+        let head_set = head_window % sets;
         let window_cap = self.config.geometry.lsd_windows;
         let collapse = match &mut self.locks[other] {
-            Some(lock) if lock.set_mask & (1 << head_set) != 0 => {
+            Some(lock) if lock.set_mask & (1u64 << head_set) != 0 => {
                 lock.foreign_crossings.insert(head_window);
                 lock.lines.len() + 2 * lock.foreign_crossings.len() > window_cap
             }
@@ -499,7 +520,7 @@ impl NaiveFrontend {
         let t = tid.index();
         let sets = self.config.geometry.dsb_sets as u64;
         let mut lines = HashSet::new();
-        let mut set_mask = 0u32;
+        let mut set_mask = 0u64;
         for block in chain.blocks() {
             let line_uops = self.config.geometry.dsb_line_uops as u32;
             for fp in block.windows() {
@@ -514,7 +535,7 @@ impl NaiveFrontend {
                         return;
                     }
                     lines.insert((fp.window, chunk));
-                    set_mask |= 1 << (fp.window % sets) as u32;
+                    set_mask |= 1u64 << (fp.window % sets);
                 }
             }
         }

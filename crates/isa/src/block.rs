@@ -44,9 +44,13 @@ pub struct WindowFootprint {
 /// One DSB line a block occupies, precomputed at block construction for
 /// the canonical Skylake-family line capacity
 /// ([`FrontendGeometry::skylake`]'s 6 µops/line, shared by every Table I
-/// machine). A window holding more than 6 µops spills into further
-/// *chunks*; the frontend simulator walks these flat slots instead of
-/// re-deriving windows and chunk splits every iteration.
+/// machine). A window holding more µops than the line capacity spills
+/// into further *chunks*; the frontend simulator walks these flat slots
+/// instead of re-deriving windows and chunk splits every iteration. The
+/// capacity the cached slots assume is recorded on the block
+/// ([`Block::cached_line_uops`]), so consumers running a perturbed
+/// geometry detect the mismatch and re-derive instead of silently
+/// reusing Skylake splits.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct LineSlot {
     /// The window number (`addr >> 5`).
@@ -84,8 +88,11 @@ pub struct Block {
     kind: BlockKind,
     /// Precomputed window footprints (hot path for the frontend simulator).
     windows: Vec<WindowFootprint>,
-    /// Precomputed DSB line slots for the canonical 6-µop line capacity.
+    /// Precomputed DSB line slots for `line_slots_uops` µops per line.
     line_slots: Vec<LineSlot>,
+    /// The per-line µop capacity `line_slots` was computed for — the key
+    /// that guards the cache against non-canonical geometries.
+    line_slots_uops: u32,
     /// Precomputed 64-byte cache-line numbers.
     cache_lines: Vec<u64>,
     /// Content hash over base address and instruction stream, precomputed
@@ -162,6 +169,7 @@ impl Block {
             kind,
             windows: Vec::new(),
             line_slots: Vec::new(),
+            line_slots_uops: CANONICAL_DSB_LINE_UOPS,
             cache_lines: Vec::new(),
             key: 0,
             uop_count: 0,
@@ -260,10 +268,36 @@ impl Block {
     /// The DSB lines the block occupies, precomputed for the canonical
     /// 6-µop line capacity ([`FrontendGeometry::skylake`]). Windows and
     /// chunks appear in delivery order, so the frontend's hot path can
-    /// walk this flat slice directly. For a non-canonical geometry use
-    /// [`Block::compute_line_slots`] instead.
+    /// walk this flat slice directly. Callers running an arbitrary
+    /// geometry must check [`Block::cached_line_uops`] first (or use
+    /// [`Block::line_slots_for`], which does) — these slots are only
+    /// valid for that capacity.
     pub fn dsb_line_slots(&self) -> &[LineSlot] {
         &self.line_slots
+    }
+
+    /// The per-line µop capacity [`Block::dsb_line_slots`] was computed
+    /// for. Geometry-aware consumers compare this against their active
+    /// `dsb_line_uops` before reusing the cached slots.
+    pub fn cached_line_uops(&self) -> u32 {
+        self.line_slots_uops
+    }
+
+    /// The block's DSB line slots under an arbitrary per-line µop
+    /// capacity: the precomputed slice when `line_uops` matches the
+    /// cached capacity, a fresh derivation otherwise. This is the
+    /// geometry-safe accessor — it cannot hand Skylake splits to a
+    /// perturbed geometry.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `line_uops` is zero.
+    pub fn line_slots_for(&self, line_uops: u32) -> std::borrow::Cow<'_, [LineSlot]> {
+        if line_uops == self.line_slots_uops {
+            std::borrow::Cow::Borrowed(&self.line_slots)
+        } else {
+            std::borrow::Cow::Owned(self.compute_line_slots(line_uops))
+        }
     }
 
     /// Derives the block's DSB line slots for an arbitrary per-line µop
@@ -473,6 +507,27 @@ mod tests {
         }
         // Non-canonical capacities re-derive.
         assert_eq!(nops.compute_line_slots(32).len(), nops.windows().len());
+    }
+
+    #[test]
+    fn cached_slots_are_keyed_by_their_capacity() {
+        let nops = Block::nops(Addr::new(0x3000), 31);
+        assert_eq!(nops.cached_line_uops(), 6);
+        // Matching capacity: the cached slice is returned by reference.
+        assert!(matches!(
+            nops.line_slots_for(6),
+            std::borrow::Cow::Borrowed(_)
+        ));
+        assert_eq!(&*nops.line_slots_for(6), nops.dsb_line_slots());
+        // A perturbed geometry must never see the Skylake splits: the
+        // 32-µop window is 6 chunks at 6 µops/line but 4 at 8 µops/line.
+        let wide = nops.line_slots_for(8);
+        assert!(matches!(wide, std::borrow::Cow::Owned(_)));
+        assert_eq!(
+            wide.iter().filter(|s| s.window == wide[0].window).count(),
+            4
+        );
+        assert_eq!(&*wide, nops.compute_line_slots(8).as_slice());
     }
 
     #[test]

@@ -210,13 +210,41 @@ pub fn same_set_chain(
     count: usize,
     alignment: Alignment,
 ) -> BlockChain {
+    same_set_chain_with(
+        region_base,
+        set,
+        count,
+        alignment,
+        &FrontendGeometry::skylake(),
+    )
+}
+
+/// [`same_set_chain`] under an explicit geometry: block stride is one
+/// full pass over `geom`'s DSB sets and misalignment is half a window,
+/// so the layout stays a same-set chain on any profile whose window/set
+/// parameters differ from Table I.
+///
+/// # Panics
+///
+/// Panics if `count` is zero or `set` indexes beyond `geom.dsb_sets`.
+pub fn same_set_chain_with(
+    region_base: u64,
+    set: DsbSet,
+    count: usize,
+    alignment: Alignment,
+    geom: &FrontendGeometry,
+) -> BlockChain {
     assert!(count > 0, "chain needs at least one block");
-    let geom = FrontendGeometry::skylake();
-    let start = Addr::new(region_base).align_up_to_set(set, &geom);
-    let stride = (geom.dsb_window_bytes * geom.dsb_sets) as u64; // 1024 B
+    assert!(
+        (set.index() as usize) < geom.dsb_sets,
+        "set {set} out of range for a {}-set DSB",
+        geom.dsb_sets
+    );
+    let start = Addr::new(region_base).align_up_to_set(set, geom);
+    let stride = (geom.dsb_window_bytes * geom.dsb_sets) as u64; // 1024 B on Table I
     let mis = match alignment {
         Alignment::Aligned => 0,
-        Alignment::Misaligned => geom.dsb_window_bytes as u64 / 2, // 16 B
+        Alignment::Misaligned => geom.dsb_window_bytes as u64 / 2, // 16 B on Table I
     };
     (0..count as u64)
         .map(|i| Block::mix(start.offset(i * stride + mis)))

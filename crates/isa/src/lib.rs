@@ -38,7 +38,7 @@ pub mod region;
 
 pub use addr::{Addr, DsbSet};
 pub use block::{Block, BlockKind, LineSlot, WindowFootprint};
-pub use chain::{same_set_chain, Alignment, BlockChain};
+pub use chain::{same_set_chain, same_set_chain_with, Alignment, BlockChain};
 pub use geom::FrontendGeometry;
 pub use instr::{Instruction, LcpPattern, Opcode, PortMask};
 pub use region::CodeRegion;

@@ -7,7 +7,7 @@
 
 use crate::addr::{Addr, DsbSet};
 use crate::block::Block;
-use crate::chain::{same_set_chain, Alignment, BlockChain};
+use crate::chain::{same_set_chain_with, Alignment, BlockChain};
 use crate::geom::FrontendGeometry;
 
 /// A bump allocator over a private virtual-address range for placing attack
@@ -50,14 +50,15 @@ impl CodeRegion {
     }
 
     /// Allocates a chain of `count` mix blocks all mapping to `set`
-    /// (paper Fig. 3 layout), advancing the region cursor past it.
+    /// (paper Fig. 3 layout) under the region's geometry, advancing the
+    /// region cursor past it.
     pub fn same_set_chain(
         &mut self,
         set: DsbSet,
         count: usize,
         alignment: Alignment,
     ) -> BlockChain {
-        let chain = same_set_chain(self.cursor, set, count, alignment);
+        let chain = same_set_chain_with(self.cursor, set, count, alignment, &self.geom);
         let end = chain
             .blocks()
             .iter()

@@ -1,0 +1,44 @@
+//! Microarchitecture profiles for the `leaky-frontends` reproduction.
+//!
+//! The paper's frontend channels are parameterized by two things: the
+//! Table I structure geometry ([`leaky_isa::FrontendGeometry`]) and the
+//! fitted cycle-cost calibration ([`CostModel`]). This crate bundles the
+//! pair — plus the derived frontend feature switches — into a
+//! [`UarchProfile`] under a stable string key, so every layer (frontend
+//! engine, channels, cores, experiment sweeps) can be pointed at a
+//! microarchitecture by name instead of hardcoding `skylake()`.
+//!
+//! Three profiles are registered:
+//!
+//! * [`UarchProfile::skylake`] — the Skylake-family machine shared by all
+//!   four Table I CPUs; bit-identical to the historical hardcoded
+//!   defaults.
+//! * [`UarchProfile::icelake`] — an Ice-Lake-class ablation: larger DSB
+//!   lines (8 µops), wider decode, bigger L1I, and the LSD fused off (the
+//!   post-Skylake erratum mitigations ship with loop streaming disabled).
+//! * [`UarchProfile::constant_time`] — the §XII defense: Skylake geometry
+//!   with every delivery path equalized ([`CostModel::constant_time`]).
+//!
+//! # Examples
+//!
+//! ```
+//! use leaky_uarch::UarchProfile;
+//!
+//! let sky = UarchProfile::skylake();
+//! assert_eq!(sky.key, "skylake");
+//! assert!(UarchProfile::by_key("icelake").is_some());
+//! // Fingerprints are content hashes: a perturbed geometry cannot alias
+//! // the canonical profile's cached state.
+//! let mut perturbed = sky;
+//! perturbed.geometry.dsb_line_uops = 4;
+//! assert_ne!(perturbed.fingerprint(), sky.fingerprint());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod costs;
+pub mod profile;
+
+pub use costs::CostModel;
+pub use profile::{config_fingerprint, Fnv1a, UarchProfile};

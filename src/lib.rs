@@ -4,6 +4,7 @@
 //! one coherent namespace. See the individual crates for full documentation:
 //!
 //! * [`isa`] — x86-like instruction & code-layout model
+//! * [`uarch`] — microarchitecture profiles (geometry + cost model registry)
 //! * [`frontend`] — MITE / DSB / LSD frontend simulator
 //! * [`backend`] — execution-engine model (ports, IPC)
 //! * [`cache`] — L1I / L1D cache models and attack helpers
@@ -28,4 +29,5 @@ pub use leaky_power as power;
 pub use leaky_sgx as sgx;
 pub use leaky_spectre as spectre;
 pub use leaky_stats as stats;
+pub use leaky_uarch as uarch;
 pub use leaky_workloads as workloads;

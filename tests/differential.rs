@@ -11,7 +11,7 @@ use leaky_frontends_repro::frontend::{
     Frontend, FrontendConfig, NaiveFrontend, SmtDsbPolicy, ThreadId,
 };
 use leaky_frontends_repro::isa::{
-    same_set_chain, Addr, Alignment, Block, BlockChain, DsbSet, LcpPattern,
+    same_set_chain, Addr, Alignment, Block, BlockChain, DsbSet, FrontendGeometry, LcpPattern,
 };
 use proptest::prelude::*;
 
@@ -60,6 +60,27 @@ fn config_from(policy: u8, lsd_enabled: bool, flush_on_partition: bool) -> Front
         // pending lock transitions at every threshold.
         lsd_warmup_iterations: (policy / 3 % 6) as u32 + 1,
         ..FrontendConfig::default()
+    }
+}
+
+/// Decodes one byte into a perturbed frontend geometry. Covers the
+/// profile registry's spread and beyond: non-canonical DSB line
+/// capacities (the PR-2 fast path precomputed 6-µop splits — these must
+/// never leak), halved set counts, narrow ways, larger/smaller LSDs and
+/// window-tracking capacities, and a perturbed L1I. The code layouts
+/// stay Table I-placed (layout generation is part of the *attack*, not
+/// the machine), so every geometry interprets the same addresses.
+fn geometry_from(g: (u8, u8, u8)) -> FrontendGeometry {
+    let (a, b, c) = g;
+    FrontendGeometry {
+        dsb_line_uops: [1, 2, 3, 4, 6, 8][a as usize % 6],
+        dsb_sets: [16, 32][b as usize % 2],
+        dsb_ways: [4, 8][(b / 2) as usize % 2],
+        lsd_uops: [32, 64, 96][c as usize % 3],
+        lsd_windows: [4, 8, 12][(c / 3) as usize % 3],
+        l1i_sets: [32, 64][(c / 9) as usize % 2],
+        l1i_ways: [8, 12][(a / 6) as usize % 2],
+        ..FrontendGeometry::skylake()
     }
 }
 
@@ -122,6 +143,117 @@ proptest! {
         }
     }
 
+    /// Geometry-randomized differential property: under perturbed
+    /// frontend geometries (non-default `dsb_line_uops`, `dsb_sets`,
+    /// `dsb_ways`, `lsd_uops`, `lsd_windows`, L1I shape) — including
+    /// mid-schedule `reconfigure` switches between geometries — the
+    /// optimized engine must remain bit-identical to the naive
+    /// reference. This is the regression net for the PR-2 fast path's
+    /// precomputed 6-µop line splits and for the (chain, profile-key)
+    /// plan-cache keying: reusing a stale split or plan diverges the
+    /// line/chunk walk and fails on the first report.
+    #[test]
+    fn optimized_frontend_matches_naive_under_random_geometry(
+        chain_specs in proptest::collection::vec((any::<u8>(), any::<u8>(), any::<u8>()), 1..4),
+        geom_specs in proptest::collection::vec((any::<u8>(), any::<u8>(), any::<u8>()), 2..4),
+        schedule in proptest::collection::vec((any::<u8>(), any::<u8>(), any::<u8>()), 1..60),
+        policy in any::<u8>(),
+        lsd_enabled in any::<bool>(),
+        flush_on_partition in any::<bool>(),
+    ) {
+        let chains: Vec<BlockChain> = chain_specs.into_iter().map(chain_from).collect();
+        let geometries: Vec<FrontendGeometry> = geom_specs.into_iter().map(geometry_from).collect();
+        let config = FrontendConfig {
+            geometry: geometries[0],
+            ..config_from(policy, lsd_enabled, flush_on_partition)
+        };
+        let mut fast = Frontend::new(config);
+        let mut naive = NaiveFrontend::new(config);
+        for (op, tsel, csel) in schedule {
+            let tid = if tsel % 2 == 0 { ThreadId::T0 } else { ThreadId::T1 };
+            match op % 10 {
+                // Iterations dominate (7/10); activity transitions,
+                // flushes and reconfigures share the rest.
+                0 => {
+                    let active = csel % 2 == 0;
+                    fast.set_active(tid, active);
+                    naive.set_active(tid, active);
+                }
+                1 => {
+                    fast.flush_thread_state(tid);
+                    naive.flush_thread_state(tid);
+                }
+                2 => {
+                    // Reconfigure onto another random geometry (and
+                    // policy/warm-up): the optimized engine keeps its plan
+                    // cache across this — stale plans must be unreachable.
+                    let next = FrontendConfig {
+                        geometry: geometries[csel as usize % geometries.len()],
+                        ..config_from(csel, tsel % 2 == 0, op % 2 == 0)
+                    };
+                    fast.reconfigure(next);
+                    naive.reconfigure(next);
+                }
+                _ => {
+                    let chain = &chains[csel as usize % chains.len()];
+                    let fast_report = fast.run_iteration(tid, chain);
+                    let naive_report = naive.run_iteration(tid, chain);
+                    prop_assert_eq!(fast_report, naive_report, "iteration reports diverged");
+                    prop_assert_eq!(
+                        fast.lsd_locked(tid, chain),
+                        naive.lsd_locked(tid, chain),
+                        "lock state diverged"
+                    );
+                }
+            }
+            for t in 0..2u8 {
+                prop_assert_eq!(
+                    fast.dsb().occupancy(t),
+                    naive.dsb_occupancy(t),
+                    "DSB occupancy diverged"
+                );
+            }
+        }
+        for tid in [ThreadId::T0, ThreadId::T1] {
+            prop_assert_eq!(fast.counters(tid), naive.counters(tid), "cumulative counters diverged");
+        }
+    }
+
+    /// `run_iterations`' steady-state collapse also holds under perturbed
+    /// geometries: counts exact, cycles up to f64 summation order.
+    #[test]
+    fn run_iterations_matches_naive_loop_under_random_geometry(
+        spec in (any::<u8>(), any::<u8>(), any::<u8>()),
+        geom in (any::<u8>(), any::<u8>(), any::<u8>()),
+        n in 1u64..300,
+        policy in any::<u8>(),
+        lsd_enabled in any::<bool>(),
+    ) {
+        let chain = chain_from(spec);
+        let config = FrontendConfig {
+            geometry: geometry_from(geom),
+            lsd_warmup_iterations: FrontendConfig::default().lsd_warmup_iterations,
+            ..config_from(policy, lsd_enabled, true)
+        };
+        let mut fast = Frontend::new(config);
+        let mut naive = NaiveFrontend::new(config);
+        let total_fast = fast.run_iterations(ThreadId::T0, &chain, n);
+        let total_naive = naive.run_iterations(ThreadId::T0, &chain, n);
+        prop_assert_eq!(total_fast.total_uops(), total_naive.total_uops());
+        prop_assert_eq!(total_fast.lsd_uops, total_naive.lsd_uops);
+        prop_assert_eq!(total_fast.dsb_uops, total_naive.dsb_uops);
+        prop_assert_eq!(total_fast.mite_uops, total_naive.mite_uops);
+        prop_assert_eq!(total_fast.dsb_evictions, total_naive.dsb_evictions);
+        prop_assert_eq!(total_fast.lsd_flushes, total_naive.lsd_flushes);
+        let scale = total_naive.cycles.abs().max(1.0);
+        prop_assert!(
+            (total_fast.cycles - total_naive.cycles).abs() <= 1e-9 * scale,
+            "cycles diverged: {} vs {}",
+            total_fast.cycles,
+            total_naive.cycles
+        );
+    }
+
     /// `run_iterations`' period-k steady-state collapse is semantically
     /// the plain loop: counts match exactly, cycles up to f64 summation
     /// order.
@@ -181,5 +313,36 @@ proptest! {
     ) {
         use leaky_frontends_repro::stats::{edit_distance, edit_distance_bits};
         prop_assert_eq!(edit_distance_bits(&a, &b), edit_distance(&a, &b));
+    }
+
+    /// Message framing round-trip: bytes → bits is lossless and MSB-first;
+    /// bits → bytes keeps every full byte and drops exactly the documented
+    /// trailing partial byte (`len % 8` bits), so appending up to 7 junk
+    /// bits to a received stream never corrupts the decoded payload.
+    #[test]
+    fn byte_bit_framing_roundtrips_with_trailing_truncation(
+        bytes in proptest::collection::vec(any::<u8>(), 0..64),
+        trailing in proptest::collection::vec(any::<bool>(), 0..8),
+    ) {
+        use leaky_frontends_repro::attacks::params::{bits_to_bytes, bytes_to_bits};
+        let bits = bytes_to_bits(&bytes);
+        prop_assert_eq!(bits.len(), bytes.len() * 8);
+        // MSB-first framing: bit 0 of the stream is bit 7 of byte 0.
+        if let Some(&first) = bytes.first() {
+            prop_assert_eq!(bits[0], first & 0x80 != 0);
+            prop_assert_eq!(bits[7], first & 0x01 != 0);
+        }
+        prop_assert_eq!(bits_to_bytes(&bits), bytes.clone());
+        // Trailing bits that do not fill a byte are dropped — and only
+        // they are.
+        let mut padded = bits.clone();
+        padded.extend_from_slice(&trailing);
+        prop_assert_eq!(bits_to_bytes(&padded), bytes.clone());
+        // The truncation boundary is exact: a *full* extra byte survives.
+        let mut extended = bits;
+        extended.extend(std::iter::repeat_n(true, 8));
+        let mut expect = bytes;
+        expect.push(0xff);
+        prop_assert_eq!(bits_to_bytes(&extended), expect);
     }
 }
