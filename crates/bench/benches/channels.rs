@@ -1,50 +1,38 @@
 //! Criterion benchmarks of covert-channel bit transmission: how much
-//! simulation work one transmitted bit costs per channel family.
+//! simulation work one transmitted bit costs per channel family. The
+//! channels are built from the registry and driven through the
+//! `CovertChannel` debug hooks.
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use leaky_cpu::ProcessorModel;
-use leaky_frontends::channels::mt::{MtChannel, MtKind};
-use leaky_frontends::channels::non_mt::{NonMtChannel, NonMtKind};
-use leaky_frontends::channels::slow_switch::SlowSwitchChannel;
-use leaky_frontends::params::{ChannelParams, EncodeMode};
+use leaky_frontends::channels::ChannelSpec;
 use std::hint::black_box;
 
 fn bench_non_mt_bits(c: &mut Criterion) {
     let mut group = c.benchmark_group("bit_measurement");
-    group.bench_function("non_mt_eviction", |b| {
-        let mut ch = NonMtChannel::new(
-            ProcessorModel::xeon_e2288g(),
-            NonMtKind::Eviction,
-            EncodeMode::Fast,
-            ChannelParams::eviction_defaults(),
-            1,
-        );
-        let mut bit = false;
-        b.iter(|| {
-            bit = !bit;
-            black_box(ch.debug_measure(bit))
+    for (name, channel) in [
+        ("non_mt_eviction", "non-mt-fast-eviction"),
+        ("non_mt_misalignment", "non-mt-fast-misalignment"),
+    ] {
+        group.bench_function(name, |b| {
+            let mut ch = ChannelSpec::new(channel)
+                .model(ProcessorModel::xeon_e2288g())
+                .seed(1)
+                .build()
+                .expect("registered non-MT channel");
+            let mut bit = false;
+            b.iter(|| {
+                bit = !bit;
+                black_box(ch.debug_measure(bit))
+            });
         });
-    });
-    group.bench_function("non_mt_misalignment", |b| {
-        let mut ch = NonMtChannel::new(
-            ProcessorModel::xeon_e2288g(),
-            NonMtKind::Misalignment,
-            EncodeMode::Fast,
-            ChannelParams::misalignment_defaults(),
-            1,
-        );
-        let mut bit = false;
-        b.iter(|| {
-            bit = !bit;
-            black_box(ch.debug_measure(bit))
-        });
-    });
+    }
     group.bench_function("slow_switch", |b| {
-        let mut ch = SlowSwitchChannel::new(
-            ProcessorModel::xeon_e2288g(),
-            ChannelParams::slow_switch_defaults(),
-            1,
-        );
+        let mut ch = ChannelSpec::new("slow-switch")
+            .model(ProcessorModel::xeon_e2288g())
+            .seed(1)
+            .build()
+            .expect("registered channel");
         let msg = [false, true];
         b.iter(|| black_box(ch.transmit(&msg)));
     });
@@ -55,13 +43,11 @@ fn bench_mt_bits(c: &mut Criterion) {
     let mut group = c.benchmark_group("bit_measurement_mt");
     group.sample_size(20);
     group.bench_function("mt_eviction", |b| {
-        let mut ch = MtChannel::new(
-            ProcessorModel::gold_6226(),
-            MtKind::Eviction,
-            ChannelParams::mt_defaults(),
-            1,
-        )
-        .expect("SMT");
+        let mut ch = ChannelSpec::new("mt-eviction")
+            .model(ProcessorModel::gold_6226())
+            .seed(1)
+            .build()
+            .expect("SMT");
         let mut bit = false;
         b.iter(|| {
             bit = !bit;

@@ -11,32 +11,23 @@
 use leaky_bench::table::fmt;
 use leaky_cpu::ProcessorModel;
 use leaky_frontend::{CostModel, FrontendConfig, SmtDsbPolicy};
-use leaky_frontends::channels::mt::{MtChannel, MtKind};
-use leaky_frontends::channels::non_mt::{NonMtChannel, NonMtKind};
-use leaky_frontends::params::{ChannelParams, EncodeMode, MessagePattern};
+use leaky_frontends::channels::non_mt::NonMtKind;
+use leaky_frontends::channels::ChannelSpec;
+use leaky_frontends::params::{EncodeMode, MessagePattern};
 
 const BITS: usize = 64;
 
-fn mt_with(config: FrontendConfig) -> (f64, f64) {
-    let mut ch = MtChannel::new(
-        ProcessorModel::gold_6226(),
-        MtKind::Eviction,
-        ChannelParams::mt_defaults(),
-        4,
-    )
-    .expect("SMT");
-    ch.set_frontend_config(config);
-    let run = ch.transmit(&MessagePattern::Alternating.generate(BITS, 0));
-    (run.rate_kbps(), run.error_rate())
-}
-
-fn non_mt_with(kind: NonMtKind, mode: EncodeMode, config: FrontendConfig) -> (f64, f64) {
-    let params = match kind {
-        NonMtKind::Eviction => ChannelParams::eviction_defaults(),
-        NonMtKind::Misalignment => ChannelParams::misalignment_defaults(),
-    };
-    let mut ch = NonMtChannel::new(ProcessorModel::xeon_e2288g(), kind, mode, params, 4)
-        .with_frontend_config(config, 4);
+/// Builds a registered timing channel with its frontend replaced by
+/// `config` (the ChannelSpec ablation hook) and transmits the standard
+/// message; a channel whose calibration finds no class separation
+/// reports `(0, 0.5)` — dead.
+fn with_config(channel: &str, model: ProcessorModel, config: FrontendConfig) -> (f64, f64) {
+    let mut ch = ChannelSpec::new(channel)
+        .model(model)
+        .seed(4)
+        .frontend_config(config, 4)
+        .build()
+        .expect("registered timing channel");
     match ch.try_calibrate() {
         Ok(()) => {
             let run = ch.transmit(&MessagePattern::Alternating.generate(BITS, 0));
@@ -44,6 +35,18 @@ fn non_mt_with(kind: NonMtKind, mode: EncodeMode, config: FrontendConfig) -> (f6
         }
         Err(_) => (0.0, 0.5), // uncalibratable: channel dead
     }
+}
+
+fn mt_with(config: FrontendConfig) -> (f64, f64) {
+    with_config("mt-eviction", ProcessorModel::gold_6226(), config)
+}
+
+fn non_mt_with(kind: NonMtKind, mode: EncodeMode, config: FrontendConfig) -> (f64, f64) {
+    with_config(
+        &format!("non-mt-{mode}-{kind}"),
+        ProcessorModel::xeon_e2288g(),
+        config,
+    )
 }
 
 fn main() {

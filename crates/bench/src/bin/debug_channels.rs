@@ -1,57 +1,22 @@
-//! Diagnostic: print raw per-bit measurements for the channels.
+//! Diagnostic: print raw per-bit measurements for the channels, built
+//! through the channel registry and dumped via the shared
+//! [`leaky_bench::debug`] helper.
+use leaky_bench::debug::dump_channel;
 use leaky_cpu::ProcessorModel;
-use leaky_frontends::channels::mt::{MtChannel, MtKind};
-use leaky_frontends::channels::non_mt::{NonMtChannel, NonMtKind};
-use leaky_frontends::params::{ChannelParams, EncodeMode};
+use leaky_frontends::channels::ChannelSpec;
 
 fn main() {
-    let mut ch = NonMtChannel::new(
-        ProcessorModel::xeon_e2288g(),
-        NonMtKind::Misalignment,
-        EncodeMode::Fast,
-        ChannelParams::misalignment_defaults(),
-        42,
-    );
-    let dec = ch.debug_decoder();
-    println!(
-        "non-MT fast misalign 2288G decoder: zero={:.1} one={:.1} thr={:.1}",
-        dec.zero_mean(),
-        dec.one_mean(),
-        dec.threshold()
-    );
-    for i in 0..12 {
-        let bit = i % 2 == 1;
-        let m = ch.debug_measure(bit);
-        println!(
-            "  bit={} meas={:.1} -> {}",
-            bit as u8,
-            m,
-            dec.decode(m) as u8
-        );
-    }
+    let mut ch = ChannelSpec::new("non-mt-fast-misalignment")
+        .model(ProcessorModel::xeon_e2288g())
+        .seed(42)
+        .build()
+        .expect("non-MT channel builds on any machine");
+    dump_channel("non-MT fast misalign (E-2288G)", ch.as_mut(), 12);
 
-    let mut ch = MtChannel::new(
-        ProcessorModel::gold_6226(),
-        MtKind::Misalignment,
-        ChannelParams::mt_misalignment_defaults(),
-        13,
-    )
-    .unwrap();
-    let dec = ch.debug_decoder();
-    println!(
-        "MT misalign 6226 decoder: zero={:.2} one={:.2} thr={:.2}",
-        dec.zero_mean(),
-        dec.one_mean(),
-        dec.threshold()
-    );
-    for i in 0..12 {
-        let bit = i % 2 == 1;
-        let m = ch.debug_measure(bit);
-        println!(
-            "  bit={} meas={:.2} -> {}",
-            bit as u8,
-            m,
-            dec.decode(m) as u8
-        );
-    }
+    let mut ch = ChannelSpec::new("mt-misalignment")
+        .model(ProcessorModel::gold_6226())
+        .seed(13)
+        .build()
+        .expect("Gold 6226 has SMT");
+    dump_channel("MT misalign (Gold 6226)", ch.as_mut(), 12);
 }

@@ -1,26 +1,17 @@
+//! Diagnostic: the MT eviction channel at its weakest operating point
+//! (d = 1, the smallest receiver footprint of Fig. 8), dumped via the
+//! shared [`leaky_bench::debug`] helper.
+use leaky_bench::debug::dump_channel;
 use leaky_cpu::ProcessorModel;
-use leaky_frontends::channels::mt::{MtChannel, MtKind};
+use leaky_frontends::channels::ChannelSpec;
 use leaky_frontends::params::ChannelParams;
 
 fn main() {
-    let mut ch = MtChannel::new(
-        ProcessorModel::gold_6226(),
-        MtKind::Eviction,
-        ChannelParams::mt_defaults().with_d(1),
-        99,
-    )
-    .unwrap();
-    let dec = ch.debug_decoder();
-    println!(
-        "d=1 decoder: zero={:.2} one={:.2} thr={:.2} sep={:.2}",
-        dec.zero_mean(),
-        dec.one_mean(),
-        dec.threshold(),
-        dec.separation()
-    );
-    for i in 0..14 {
-        let bit = i % 2 == 1;
-        let m = ch.debug_measure(bit);
-        println!("bit={} meas={:.2} -> {}", bit as u8, m, dec.decode(m) as u8);
-    }
+    let mut ch = ChannelSpec::new("mt-eviction")
+        .model(ProcessorModel::gold_6226())
+        .params(ChannelParams::mt_defaults().with_d(1))
+        .seed(99)
+        .build()
+        .expect("Gold 6226 has SMT");
+    dump_channel("MT eviction d=1 (Gold 6226)", ch.as_mut(), 14);
 }

@@ -1,6 +1,10 @@
-//! Diagnostic: MT misalignment interaction at the core level.
+//! Diagnostic: MT misalignment interaction, bottom-up — first the raw
+//! core-level batches (is the cross-thread collision visible at all?),
+//! then the full channel through the shared [`leaky_bench::debug`] dump.
+use leaky_bench::debug::dump_channel;
 use leaky_cpu::{Core, ProcessorModel, ThreadWork};
 use leaky_frontend::ThreadId;
+use leaky_frontends::channels::ChannelSpec;
 use leaky_isa::{same_set_chain, Alignment, DsbSet};
 
 fn main() {
@@ -42,4 +46,13 @@ fn main() {
         r0.cycles / 100.0,
         r0.report
     );
+
+    // The same interaction, end to end through the channel protocol.
+    println!();
+    let mut ch = ChannelSpec::new("mt-misalignment")
+        .model(ProcessorModel::gold_6226())
+        .seed(13)
+        .build()
+        .expect("Gold 6226 has SMT");
+    dump_channel("MT misalign channel (Gold 6226)", ch.as_mut(), 12);
 }

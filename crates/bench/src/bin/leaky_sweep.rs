@@ -8,6 +8,7 @@
 //! leaky_sweep                          # run every registered sweep, table format
 //! leaky_sweep fig8_d_sweep tab5_power_channels
 //! leaky_sweep --list                   # registered names, grid sizes, titles
+//! leaky_sweep --channels               # the covert-channel registry
 //! leaky_sweep --quick --jobs 4         # CI smoke grids on 4 workers
 //! leaky_sweep --format json            # leaky-frontends/sweep/v1 document
 //! leaky_sweep --format legacy tab3_all_channels   # pre-migration stdout
@@ -19,6 +20,7 @@ use leaky_bench::sweep::{
     default_jobs, has_legacy_rendering, render_json_document, render_legacy, render_table,
 };
 use leaky_exp::{run_experiment, standard_registry};
+use leaky_frontends::channels::REGISTRY;
 
 enum Format {
     Table,
@@ -27,7 +29,7 @@ enum Format {
 }
 
 fn usage() -> &'static str {
-    "usage: leaky_sweep [EXPERIMENT...] [--list] [--quick] [--jobs N] [--format table|json|legacy]"
+    "usage: leaky_sweep [EXPERIMENT...] [--list] [--channels] [--quick] [--jobs N] [--format table|json|legacy]"
 }
 
 fn main() -> ExitCode {
@@ -37,6 +39,7 @@ fn main() -> ExitCode {
     let mut names: Vec<String> = Vec::new();
     let mut quick = false;
     let mut list = false;
+    let mut channels = false;
     let mut jobs = default_jobs();
     let mut format = Format::Table;
 
@@ -45,6 +48,7 @@ fn main() -> ExitCode {
         match arg.as_str() {
             "--quick" => quick = true,
             "--list" => list = true,
+            "--channels" => channels = true,
             "--help" | "-h" => {
                 println!("{}", usage());
                 return ExitCode::SUCCESS;
@@ -87,6 +91,18 @@ fn main() -> ExitCode {
                 exp.grid(false).len(),
                 exp.grid(true).len(),
                 exp.title()
+            );
+        }
+        return ExitCode::SUCCESS;
+    }
+    if channels {
+        for info in &REGISTRY {
+            println!(
+                "{:<30} §{:<4} {:<7} {}",
+                info.name,
+                info.section,
+                if info.requires_smt { "smt" } else { "any" },
+                info.description
             );
         }
         return ExitCode::SUCCESS;

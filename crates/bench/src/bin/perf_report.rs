@@ -21,8 +21,7 @@ use std::process::ExitCode;
 use leaky_bench::perf::{parse_json, render_report, report_metrics, time_ns_per_op, Metric};
 use leaky_cpu::ProcessorModel;
 use leaky_frontend::{Dsb, Frontend, FrontendConfig, LineId, SmtDsbPolicy, ThreadId};
-use leaky_frontends::channels::non_mt::{NonMtChannel, NonMtKind};
-use leaky_frontends::params::{ChannelParams, EncodeMode};
+use leaky_frontends::channels::ChannelSpec;
 use leaky_isa::{same_set_chain, Alignment, Block, BlockChain, DsbSet, FrontendGeometry};
 use leaky_stats::error_rate;
 use std::hint::black_box;
@@ -209,34 +208,24 @@ fn measure(budget: &Budget) -> Vec<Metric> {
     push("core_run_once_lsd", ns, budget.iter_ops);
 
     // Per-bit covert-channel costs (the quantity that bounds how many
-    // Table II-VI scenarios a sweep can afford).
-    let mut ch = NonMtChannel::new(
-        ProcessorModel::xeon_e2288g(),
-        NonMtKind::Eviction,
-        EncodeMode::Fast,
-        ChannelParams::eviction_defaults(),
-        1,
-    );
-    let mut bit = false;
-    let ns = time_ns_per_op(budget.bit_ops / 4, budget.samples, budget.bit_ops, || {
-        bit = !bit;
-        black_box(ch.debug_measure(bit));
-    });
-    push("bit_non_mt_eviction", ns, budget.bit_ops);
-
-    let mut ch = NonMtChannel::new(
-        ProcessorModel::xeon_e2288g(),
-        NonMtKind::Misalignment,
-        EncodeMode::Fast,
-        ChannelParams::misalignment_defaults(),
-        1,
-    );
-    let mut bit = false;
-    let ns = time_ns_per_op(budget.bit_ops / 4, budget.samples, budget.bit_ops, || {
-        bit = !bit;
-        black_box(ch.debug_measure(bit));
-    });
-    push("bit_non_mt_misalignment", ns, budget.bit_ops);
+    // Table II-VI scenarios a sweep can afford); channels come from the
+    // registry and are measured through the CovertChannel debug hook.
+    for (metric, channel) in [
+        ("bit_non_mt_eviction", "non-mt-fast-eviction"),
+        ("bit_non_mt_misalignment", "non-mt-fast-misalignment"),
+    ] {
+        let mut ch = ChannelSpec::new(channel)
+            .model(ProcessorModel::xeon_e2288g())
+            .seed(1)
+            .build()
+            .expect("registered non-MT channel");
+        let mut bit = false;
+        let ns = time_ns_per_op(budget.bit_ops / 4, budget.samples, budget.bit_ops, || {
+            bit = !bit;
+            black_box(ch.debug_measure(bit));
+        });
+        push(metric, ns, budget.bit_ops);
+    }
 
     // Bit-string scoring: 4096-bit sent/received pair (§VI error rates).
     let sent: Vec<bool> = (0..4096u32)

@@ -8,7 +8,7 @@
 
 use leaky_bench::table::fmt;
 use leaky_cpu::ProcessorModel;
-use leaky_frontends::channels::mt::{MtChannel, MtKind};
+use leaky_frontends::channels::ChannelSpec;
 use leaky_frontends::params::{ChannelParams, MessagePattern};
 
 const BITS: usize = 96;
@@ -29,7 +29,12 @@ fn main() {
     for pattern in MessagePattern::all() {
         print!("{:<14}", pattern.to_string());
         for &model in &machines {
-            let mut ch = MtChannel::new(model, MtKind::Eviction, params, 99).expect("SMT machine");
+            let mut ch = ChannelSpec::new("mt-eviction")
+                .model(model)
+                .params(params)
+                .seed(99)
+                .build()
+                .expect("SMT machine");
             let run = ch.transmit(&pattern.generate(BITS, 7));
             print!(
                 " {:>9} {:>8}",

@@ -5,8 +5,8 @@
 
 use leaky_bench::table::fmt;
 use leaky_cpu::ProcessorModel;
-use leaky_frontends::channels::slow_switch::SlowSwitchChannel;
-use leaky_frontends::params::{ChannelParams, MessagePattern};
+use leaky_frontends::channels::ChannelSpec;
+use leaky_frontends::params::MessagePattern;
 
 const BITS: usize = 256;
 
@@ -15,7 +15,11 @@ fn main() {
     println!("{:<16} {:>12} {:>10}", "machine", "rate Kbps", "error");
     println!("{:-<40}", "");
     for model in [ProcessorModel::gold_6226(), ProcessorModel::xeon_e2288g()] {
-        let mut ch = SlowSwitchChannel::new(model, ChannelParams::slow_switch_defaults(), 77);
+        let mut ch = ChannelSpec::new("slow-switch")
+            .model(model)
+            .seed(77)
+            .build()
+            .expect("slow-switch builds on any machine");
         let run = ch.transmit(&MessagePattern::Alternating.generate(BITS, 0));
         println!(
             "{:<16} {:>12} {:>9}%",

@@ -1,0 +1,39 @@
+//! Shared channel diagnostics over the [`CovertChannel`] debug hooks.
+//!
+//! The debug binaries (`debug_channels`, `debug_d1`, `debug_mt`) all
+//! want the same dump — the calibrated decoder's class means and
+//! threshold, then a short run of raw per-bit measurements with their
+//! decoded values — so it lives here once, expressed against the trait
+//! instead of per concrete channel type.
+
+use leaky_frontends::channels::CovertChannel;
+
+/// Prints a channel's calibrated decoder followed by `bits` alternating
+/// raw measurements and their decoded bits. Reports a dead channel (and
+/// takes no measurements) when calibration finds indistinguishable
+/// classes.
+pub fn dump_channel(label: &str, ch: &mut dyn CovertChannel, bits: usize) {
+    let identity = format!("{} on {}", ch.name(), ch.profile_key());
+    match ch.debug_decoder() {
+        None => println!("{label} [{identity}]: calibration failed (dead channel)"),
+        Some(dec) => {
+            println!(
+                "{label} [{identity}] decoder: zero={:.2} one={:.2} thr={:.2} sep={:.2}",
+                dec.zero_mean(),
+                dec.one_mean(),
+                dec.threshold(),
+                dec.separation()
+            );
+            for i in 0..bits {
+                let bit = i % 2 == 1;
+                let m = ch.debug_measure(bit);
+                println!(
+                    "  bit={} meas={:.2} -> {}",
+                    bit as u8,
+                    m,
+                    dec.decode(m) as u8
+                );
+            }
+        }
+    }
+}

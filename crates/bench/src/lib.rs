@@ -14,6 +14,7 @@
 
 #![forbid(unsafe_code)]
 
+pub mod debug;
 pub mod perf;
 pub mod sweep;
 pub mod table;

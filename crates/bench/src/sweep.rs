@@ -351,6 +351,15 @@ pub fn render_json(run: &SweepRun) -> String {
             json_escape(&result.cell.key),
             result.cell.seed
         );
+        if let Some(p) = &result.provenance {
+            let _ = write!(
+                out,
+                "\"provenance\": {{ \"channel\": \"{}\", \"profile\": \"{}\", \"params\": \"{}\" }}, ",
+                json_escape(p.channel),
+                json_escape(p.profile),
+                json_escape(&p.params.to_string())
+            );
+        }
         match &result.metrics {
             None => {
                 let _ = write!(out, "\"supported\": false");

@@ -8,12 +8,62 @@
 pub mod mt;
 pub mod non_mt;
 pub mod power;
+pub mod registry;
 pub mod slow_switch;
 
 use leaky_isa::{Alignment, BlockChain, CodeRegion, DsbSet, FrontendGeometry};
+use leaky_stats::threshold::CalibrationError;
 use leaky_stats::{ThresholdDecoder, ThresholdDecoderBuilder};
 
 use crate::params::ChannelParams;
+use crate::run::ChannelRun;
+
+pub use registry::{channel_info, channel_names, BuildError, ChannelInfo, ChannelSpec, REGISTRY};
+
+/// The uniform surface every §V/§VII covert channel presents: the
+/// Init/Encode/Decode protocol behind one object-safe trait, so sweeps,
+/// CLIs and tests can hold a `Box<dyn CovertChannel>` built from a
+/// [`ChannelSpec`] instead of matching on concrete types.
+///
+/// Implemented by [`non_mt::NonMtChannel`], [`mt::MtChannel`],
+/// [`power::PowerChannel`] and [`slow_switch::SlowSwitchChannel`]; the
+/// concrete constructors remain available as thin shims.
+pub trait CovertChannel: std::fmt::Debug {
+    /// The channel's stable registry name (e.g. `"mt-eviction"`; see
+    /// [`registry::REGISTRY`]).
+    fn name(&self) -> &'static str;
+
+    /// Registry key of the microarchitecture profile the channel was
+    /// built under (`"custom"` after a frontend-config override).
+    fn profile_key(&self) -> &'static str;
+
+    /// The §V parameters the channel was built with.
+    fn params(&self) -> ChannelParams;
+
+    /// Attempts threshold calibration, reporting failure instead of
+    /// panicking: a hardened frontend may present no timing difference
+    /// between the bit classes, which is the §XII defense succeeding
+    /// rather than a harness error. Idempotent once calibrated.
+    fn try_calibrate(&mut self) -> Result<(), CalibrationError>;
+
+    /// Transmits a message, calibrating first if necessary (calibration
+    /// is excluded from the reported rate, matching §VI methodology).
+    ///
+    /// # Panics
+    ///
+    /// Panics if calibration finds indistinguishable bit classes; use
+    /// [`CovertChannel::try_calibrate`] first to observe that outcome.
+    fn transmit(&mut self, message: &[bool]) -> ChannelRun;
+
+    /// Debug hook: one raw per-bit measurement (cycles or watts,
+    /// whatever the channel's receiver observes), exposed for
+    /// diagnostics and ablation benches.
+    fn debug_measure(&mut self, bit: bool) -> f64;
+
+    /// Debug hook: the calibrated threshold decoder, calibrating first;
+    /// `None` when calibration fails (dead channel).
+    fn debug_decoder(&mut self) -> Option<ThresholdDecoder>;
+}
 
 /// Virtual-address region bases for the two parties (arbitrary, disjoint;
 /// receiver base mirrors the paper's Fig. 3 example addresses).

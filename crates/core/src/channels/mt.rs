@@ -19,9 +19,9 @@ use leaky_stats::ThresholdDecoder;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
-use crate::channels::{eviction_layout, misalignment_layout};
+use crate::channels::{eviction_layout, misalignment_layout, CovertChannel};
 use crate::params::ChannelParams;
-use crate::run::ChannelRun;
+use crate::run::{ChannelRun, Provenance};
 
 /// Which frontend primitive the MT channel modulates.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -100,10 +100,19 @@ pub struct MtChannel {
     kind: MtKind,
     params: ChannelParams,
     noise: MtNoise,
+    profile_key: &'static str,
     recv: BlockChain,
     send_one: BlockChain,
     decoder: Option<ThresholdDecoder>,
     rng: StdRng,
+}
+
+/// The registry name of an MT variant (see [`crate::channels::registry`]).
+const fn mt_name(kind: MtKind) -> &'static str {
+    match kind {
+        MtKind::Eviction => "mt-eviction",
+        MtKind::Misalignment => "mt-misalignment",
+    }
 }
 
 impl MtChannel {
@@ -157,6 +166,7 @@ impl MtChannel {
             kind,
             params,
             noise: MtNoise::default(),
+            profile_key: profile.key,
             recv,
             send_one,
             decoder: None,
@@ -176,24 +186,12 @@ impl MtChannel {
         self.core =
             Core::with_frontend_config(*self.core.model(), self.core.microcode(), config, 0xab1a7e);
         self.decoder = None;
+        self.profile_key = "custom";
     }
 
     /// The channel variant.
     pub fn kind(&self) -> MtKind {
         self.kind
-    }
-
-    /// Raw per-bit measurement, exposed for diagnostics.
-    #[doc(hidden)]
-    pub fn debug_measure(&mut self, m: bool) -> f64 {
-        self.measure_bit(m, None, false)
-    }
-
-    /// The calibrated decoder.
-    #[doc(hidden)]
-    pub fn debug_decoder(&mut self) -> leaky_stats::ThresholdDecoder {
-        self.ensure_calibrated();
-        self.decoder.expect("calibrated")
     }
 
     /// Measures one bit: mean receiver per-iteration cycles across up to
@@ -377,6 +375,42 @@ impl MtChannel {
             end - start,
             self.core.model().freq_hz(),
         )
+        .with_provenance(Provenance {
+            channel: mt_name(self.kind),
+            profile: self.profile_key,
+            params: self.params,
+        })
+    }
+}
+
+impl CovertChannel for MtChannel {
+    fn name(&self) -> &'static str {
+        mt_name(self.kind)
+    }
+
+    fn profile_key(&self) -> &'static str {
+        self.profile_key
+    }
+
+    fn params(&self) -> ChannelParams {
+        self.params
+    }
+
+    fn try_calibrate(&mut self) -> Result<(), leaky_stats::threshold::CalibrationError> {
+        MtChannel::try_calibrate(self)
+    }
+
+    fn transmit(&mut self, message: &[bool]) -> ChannelRun {
+        MtChannel::transmit(self, message)
+    }
+
+    fn debug_measure(&mut self, bit: bool) -> f64 {
+        self.measure_bit(bit, None, false)
+    }
+
+    fn debug_decoder(&mut self) -> Option<ThresholdDecoder> {
+        MtChannel::try_calibrate(self).ok()?;
+        self.decoder
     }
 }
 

@@ -11,9 +11,9 @@ use leaky_frontend::{ThreadId, UarchProfile};
 use leaky_isa::BlockChain;
 use leaky_stats::ThresholdDecoder;
 
-use crate::channels::{eviction_layout, misalignment_layout};
+use crate::channels::{eviction_layout, misalignment_layout, CovertChannel};
 use crate::params::{ChannelParams, EncodeMode};
-use crate::run::ChannelRun;
+use crate::run::{ChannelRun, Provenance};
 
 /// Which frontend primitive the channel modulates.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -61,10 +61,22 @@ pub struct NonMtChannel {
     kind: NonMtKind,
     mode: EncodeMode,
     params: ChannelParams,
+    profile_key: &'static str,
     recv: BlockChain,
     send_one: BlockChain,
     send_zero: Option<BlockChain>,
     decoder: Option<ThresholdDecoder>,
+}
+
+/// The registry name of a non-MT variant (see
+/// [`crate::channels::registry`]).
+const fn non_mt_name(kind: NonMtKind, mode: EncodeMode) -> &'static str {
+    match (kind, mode) {
+        (NonMtKind::Eviction, EncodeMode::Stealthy) => "non-mt-stealthy-eviction",
+        (NonMtKind::Eviction, EncodeMode::Fast) => "non-mt-fast-eviction",
+        (NonMtKind::Misalignment, EncodeMode::Stealthy) => "non-mt-stealthy-misalignment",
+        (NonMtKind::Misalignment, EncodeMode::Fast) => "non-mt-fast-misalignment",
+    }
 }
 
 impl NonMtChannel {
@@ -124,6 +136,7 @@ impl NonMtChannel {
             kind,
             mode,
             params,
+            profile_key: profile.key,
             recv,
             send_one,
             send_zero,
@@ -142,6 +155,7 @@ impl NonMtChannel {
         self.core =
             Core::with_frontend_config(*self.core.model(), self.core.microcode(), config, seed);
         self.decoder = None;
+        self.profile_key = "custom";
         self
     }
 
@@ -170,20 +184,6 @@ impl NonMtChannel {
     /// The zero-encoding mode.
     pub fn mode(&self) -> EncodeMode {
         self.mode
-    }
-
-    /// Raw per-bit measurement, exposed for diagnostics and ablation
-    /// benches.
-    #[doc(hidden)]
-    pub fn debug_measure(&mut self, m: bool) -> f64 {
-        self.measure_bit(m)
-    }
-
-    /// The calibrated decoder, if calibration has run.
-    #[doc(hidden)]
-    pub fn debug_decoder(&mut self) -> leaky_stats::ThresholdDecoder {
-        self.ensure_calibrated();
-        self.decoder.expect("calibrated")
     }
 
     /// One complete Init-Encode-Decode measurement for a bit (§V-C): the
@@ -242,6 +242,42 @@ impl NonMtChannel {
             cycles,
             self.core.model().freq_hz(),
         )
+        .with_provenance(Provenance {
+            channel: non_mt_name(self.kind, self.mode),
+            profile: self.profile_key,
+            params: self.params,
+        })
+    }
+}
+
+impl CovertChannel for NonMtChannel {
+    fn name(&self) -> &'static str {
+        non_mt_name(self.kind, self.mode)
+    }
+
+    fn profile_key(&self) -> &'static str {
+        self.profile_key
+    }
+
+    fn params(&self) -> ChannelParams {
+        self.params
+    }
+
+    fn try_calibrate(&mut self) -> Result<(), leaky_stats::threshold::CalibrationError> {
+        NonMtChannel::try_calibrate(self)
+    }
+
+    fn transmit(&mut self, message: &[bool]) -> ChannelRun {
+        NonMtChannel::transmit(self, message)
+    }
+
+    fn debug_measure(&mut self, bit: bool) -> f64 {
+        self.measure_bit(bit)
+    }
+
+    fn debug_decoder(&mut self) -> Option<ThresholdDecoder> {
+        NonMtChannel::try_calibrate(self).ok()?;
+        self.decoder
     }
 }
 

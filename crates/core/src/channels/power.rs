@@ -18,9 +18,9 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
 use crate::channels::non_mt::NonMtKind;
-use crate::channels::{calibrate_decoder, eviction_layout, misalignment_layout};
+use crate::channels::{eviction_layout, misalignment_layout, CovertChannel};
 use crate::params::ChannelParams;
-use crate::run::ChannelRun;
+use crate::run::{ChannelRun, Provenance};
 
 /// Rounds simulated exactly before fast-forwarding the remainder.
 const WARM_ROUNDS: u64 = 24;
@@ -57,11 +57,21 @@ pub struct PowerChannel {
     core: Core,
     kind: NonMtKind,
     params: ChannelParams,
+    profile_key: &'static str,
     recv: BlockChain,
     send_one: BlockChain,
     send_zero: BlockChain,
     decoder: Option<ThresholdDecoder>,
     rng: StdRng,
+}
+
+/// The registry name of a power variant (see
+/// [`crate::channels::registry`]).
+const fn power_name(kind: NonMtKind) -> &'static str {
+    match kind {
+        NonMtKind::Eviction => "power-eviction",
+        NonMtKind::Misalignment => "power-misalignment",
+    }
 }
 
 impl PowerChannel {
@@ -96,6 +106,7 @@ impl PowerChannel {
             core: Core::with_profile(model, MicrocodePatch::Patch1, profile, seed),
             kind,
             params,
+            profile_key: profile.key,
             recv,
             send_one,
             send_zero,
@@ -152,9 +163,14 @@ impl PowerChannel {
         joules / dt + noise // watts
     }
 
-    fn ensure_calibrated(&mut self) {
+    /// Attempts calibration, reporting failure instead of panicking (a
+    /// cost-equalized frontend may show no per-bit power difference).
+    /// The watts samples are collected up front and fed to the shared
+    /// `try_calibrate_decoder` routine, the single home of the decoder
+    /// settings.
+    pub fn try_calibrate(&mut self) -> Result<(), leaky_stats::threshold::CalibrationError> {
         if self.decoder.is_some() {
-            return;
+            return Ok(());
         }
         for i in 0..4 {
             let _ = self.measure_bit(i % 2 == 1); // cold-start warmup
@@ -165,10 +181,16 @@ impl PowerChannel {
             samples.push(self.measure_bit(bit));
         }
         let mut iter = samples.into_iter();
-        self.decoder = Some(calibrate_decoder(
+        self.decoder = Some(crate::channels::try_calibrate_decoder(
             move |_| iter.next().expect("calibration sample"),
             CALIBRATION_BITS,
-        ));
+        )?);
+        Ok(())
+    }
+
+    fn ensure_calibrated(&mut self) {
+        self.try_calibrate()
+            .expect("calibration produced indistinguishable classes");
     }
 
     /// Transmits a message over the power channel.
@@ -188,6 +210,42 @@ impl PowerChannel {
             cycles,
             self.core.model().freq_hz(),
         )
+        .with_provenance(Provenance {
+            channel: power_name(self.kind),
+            profile: self.profile_key,
+            params: self.params,
+        })
+    }
+}
+
+impl CovertChannel for PowerChannel {
+    fn name(&self) -> &'static str {
+        power_name(self.kind)
+    }
+
+    fn profile_key(&self) -> &'static str {
+        self.profile_key
+    }
+
+    fn params(&self) -> ChannelParams {
+        self.params
+    }
+
+    fn try_calibrate(&mut self) -> Result<(), leaky_stats::threshold::CalibrationError> {
+        PowerChannel::try_calibrate(self)
+    }
+
+    fn transmit(&mut self, message: &[bool]) -> ChannelRun {
+        PowerChannel::transmit(self, message)
+    }
+
+    fn debug_measure(&mut self, bit: bool) -> f64 {
+        self.measure_bit(bit)
+    }
+
+    fn debug_decoder(&mut self) -> Option<ThresholdDecoder> {
+        PowerChannel::try_calibrate(self).ok()?;
+        self.decoder
     }
 }
 

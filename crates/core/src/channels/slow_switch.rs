@@ -8,14 +8,14 @@
 //! instruction-count monitoring — only the *interleaving* differs (§IV-H,
 //! Fig. 4).
 
-use leaky_cpu::{Core, ProcessorModel};
-use leaky_frontend::ThreadId;
+use leaky_cpu::{Core, MicrocodePatch, ProcessorModel};
+use leaky_frontend::{ThreadId, UarchProfile};
 use leaky_isa::{BlockChain, CodeRegion, LcpPattern};
 use leaky_stats::ThresholdDecoder;
 
-use crate::channels::calibrate_decoder;
+use crate::channels::CovertChannel;
 use crate::params::ChannelParams;
-use crate::run::ChannelRun;
+use crate::run::{ChannelRun, Provenance};
 
 /// Per-bit protocol overhead (cycles), calibrated alongside the non-MT
 /// channels.
@@ -46,22 +46,40 @@ const MAX_RESAMPLE: u32 = 3;
 pub struct SlowSwitchChannel {
     core: Core,
     params: ChannelParams,
+    profile_key: &'static str,
     mixed: BlockChain,
     ordered: BlockChain,
     decoder: Option<ThresholdDecoder>,
 }
 
 impl SlowSwitchChannel {
-    /// Builds the channel: two loop bodies of `2r` adds each (mixed and
-    /// ordered interleavings) in disjoint code regions.
+    /// Builds the channel under the default (`skylake`) profile: two loop
+    /// bodies of `2r` adds each (mixed and ordered interleavings) in
+    /// disjoint code regions.
     pub fn new(model: ProcessorModel, params: ChannelParams, seed: u64) -> Self {
+        Self::with_profile(model, params, &UarchProfile::skylake(), seed)
+    }
+
+    /// Builds the channel under an explicit microarchitecture profile:
+    /// the loop bodies live in a geometry-aware code region and the core
+    /// runs the profile's cost model — the LCP stall and path-switch
+    /// penalties the channel rides on come from the profile (§V-E works,
+    /// or dies, per microarchitecture).
+    pub fn with_profile(
+        model: ProcessorModel,
+        params: ChannelParams,
+        profile: &UarchProfile,
+        seed: u64,
+    ) -> Self {
         assert!(params.r > 0, "r must be positive");
-        let mut region = CodeRegion::new(crate::channels::SENDER_REGION);
+        let mut region =
+            CodeRegion::with_geometry(crate::channels::SENDER_REGION, profile.geometry);
         let mixed = BlockChain::new(vec![region.lcp_block(LcpPattern::Mixed, params.r)]);
         let ordered = BlockChain::new(vec![region.lcp_block(LcpPattern::Ordered, params.r)]);
         SlowSwitchChannel {
-            core: Core::new(model, seed),
+            core: Core::with_profile(model, MicrocodePatch::Patch1, profile, seed),
             params,
+            profile_key: profile.key,
             mixed,
             ordered,
             decoder: None,
@@ -83,9 +101,15 @@ impl SlowSwitchChannel {
         t1 - t0
     }
 
-    fn ensure_calibrated(&mut self) {
+    /// Attempts calibration, reporting failure instead of panicking: on a
+    /// cost model without LCP/path-switch asymmetry (e.g. the §XII
+    /// constant-time profile) the mixed and ordered loop bodies time
+    /// identically, which is a dead channel rather than a harness error.
+    /// The samples route through the shared `try_calibrate_decoder`, the
+    /// single home of the decoder settings.
+    pub fn try_calibrate(&mut self) -> Result<(), leaky_stats::threshold::CalibrationError> {
         if self.decoder.is_some() {
-            return;
+            return Ok(());
         }
         let mut samples = Vec::with_capacity(CALIBRATION_BITS);
         for i in 0..CALIBRATION_BITS {
@@ -93,10 +117,16 @@ impl SlowSwitchChannel {
             samples.push(self.measure_bit(bit));
         }
         let mut iter = samples.into_iter();
-        self.decoder = Some(calibrate_decoder(
+        self.decoder = Some(crate::channels::try_calibrate_decoder(
             move |_| iter.next().expect("calibration sample"),
             CALIBRATION_BITS,
-        ));
+        )?);
+        Ok(())
+    }
+
+    fn ensure_calibrated(&mut self) {
+        self.try_calibrate()
+            .expect("calibration produced indistinguishable classes");
     }
 
     /// Transmits a message (calibration excluded from the reported rate).
@@ -121,6 +151,42 @@ impl SlowSwitchChannel {
             cycles,
             self.core.model().freq_hz(),
         )
+        .with_provenance(Provenance {
+            channel: "slow-switch",
+            profile: self.profile_key,
+            params: self.params,
+        })
+    }
+}
+
+impl CovertChannel for SlowSwitchChannel {
+    fn name(&self) -> &'static str {
+        "slow-switch"
+    }
+
+    fn profile_key(&self) -> &'static str {
+        self.profile_key
+    }
+
+    fn params(&self) -> ChannelParams {
+        self.params
+    }
+
+    fn try_calibrate(&mut self) -> Result<(), leaky_stats::threshold::CalibrationError> {
+        SlowSwitchChannel::try_calibrate(self)
+    }
+
+    fn transmit(&mut self, message: &[bool]) -> ChannelRun {
+        SlowSwitchChannel::transmit(self, message)
+    }
+
+    fn debug_measure(&mut self, bit: bool) -> f64 {
+        self.measure_bit(bit)
+    }
+
+    fn debug_decoder(&mut self) -> Option<ThresholdDecoder> {
+        SlowSwitchChannel::try_calibrate(self).ok()?;
+        self.decoder
     }
 }
 

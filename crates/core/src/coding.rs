@@ -19,6 +19,33 @@ pub trait Code {
     fn decode(&self, channel: &[bool]) -> Vec<bool>;
     /// Code rate (data bits per channel bit).
     fn rate(&self) -> f64;
+    /// Human-readable label (session provenance, sweep JSON).
+    fn label(&self) -> String {
+        "custom".to_string()
+    }
+}
+
+/// The identity code: channel bits are data bits (rate 1). The uncoded
+/// baseline a [`crate::session::Session`] compares coded runs against.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Uncoded;
+
+impl Code for Uncoded {
+    fn encode(&self, data: &[bool]) -> Vec<bool> {
+        data.to_vec()
+    }
+
+    fn decode(&self, channel: &[bool]) -> Vec<bool> {
+        channel.to_vec()
+    }
+
+    fn rate(&self) -> f64 {
+        1.0
+    }
+
+    fn label(&self) -> String {
+        "uncoded".to_string()
+    }
 }
 
 /// Repetition code: every data bit is transmitted `k` times and decoded by
@@ -72,6 +99,10 @@ impl Code for Repetition {
 
     fn rate(&self) -> f64 {
         1.0 / self.k as f64
+    }
+
+    fn label(&self) -> String {
+        format!("repetition-{}", self.k)
     }
 }
 
@@ -135,6 +166,10 @@ impl Code for Hamming74 {
 
     fn rate(&self) -> f64 {
         4.0 / 7.0
+    }
+
+    fn label(&self) -> String {
+        "hamming-7-4".to_string()
     }
 }
 

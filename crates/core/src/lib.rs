@@ -26,25 +26,46 @@
 //! and is evaluated by transmission rate and Wagner-Fischer error rate
 //! exactly as in §VI.
 //!
+//! All covert channels present one surface: the [`CovertChannel`] trait,
+//! built from the string-keyed [`channels::registry`] via [`ChannelSpec`]
+//! (enumerate with [`channel_names`]). Channel codes
+//! ([`coding::Repetition`], [`coding::Hamming74`]) wire into the transmit
+//! path through [`session::Session`]. See DESIGN.md §9.
+//!
 //! # Examples
 //!
-//! ```
-//! use leaky_cpu::ProcessorModel;
-//! use leaky_frontends::channels::non_mt::{NonMtChannel, NonMtKind};
-//! use leaky_frontends::params::{ChannelParams, EncodeMode, MessagePattern};
+//! Build a registered channel and transmit (the concrete constructors
+//! remain available as shims):
 //!
-//! let params = ChannelParams::eviction_defaults();
-//! let mut ch = NonMtChannel::new(
-//!     ProcessorModel::xeon_e2288g(),
-//!     NonMtKind::Eviction,
-//!     EncodeMode::Fast,
-//!     params,
-//!     7,
-//! );
+//! ```
+//! use leaky_frontends::channels::ChannelSpec;
+//! use leaky_frontends::params::MessagePattern;
+//!
+//! let mut ch = ChannelSpec::new("non-mt-fast-eviction")
+//!     .model(leaky_cpu::ProcessorModel::xeon_e2288g())
+//!     .seed(7)
+//!     .build()
+//!     .expect("registered, SMT-independent channel");
 //! let message = MessagePattern::Alternating.generate(32, 1);
 //! let run = ch.transmit(&message);
 //! assert!(run.error_rate() < 0.1);
 //! assert!(run.rate_kbps() > 100.0);
+//! ```
+//!
+//! Send bytes through a channel code (§VI-B extension):
+//!
+//! ```
+//! use leaky_frontends::channels::ChannelSpec;
+//! use leaky_frontends::coding::Repetition;
+//! use leaky_frontends::session::Session;
+//!
+//! let mut ch = ChannelSpec::new("non-mt-fast-eviction")
+//!     .model(leaky_cpu::ProcessorModel::xeon_e2288g())
+//!     .seed(7)
+//!     .build()
+//!     .unwrap();
+//! let run = Session::new(ch.as_mut(), Repetition::new(3)).send_bytes(b"hi");
+//! assert_eq!(run.payload(), Some(&b"hi"[..]));
 //! ```
 
 #![forbid(unsafe_code)]
@@ -55,7 +76,12 @@ pub mod coding;
 pub mod fingerprint;
 pub mod params;
 pub mod run;
+pub mod session;
 pub mod sgx;
 
+pub use channels::{
+    channel_info, channel_names, BuildError, ChannelInfo, ChannelSpec, CovertChannel, REGISTRY,
+};
 pub use params::{ChannelParams, EncodeMode, MessagePattern};
-pub use run::{ChannelRun, Evaluation};
+pub use run::{ChannelRun, Evaluation, Provenance};
+pub use session::{Session, SessionRun};

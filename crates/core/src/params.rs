@@ -157,6 +157,16 @@ impl ChannelParams {
     }
 }
 
+impl fmt::Display for ChannelParams {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "d={} M={} p={} q={} r={}",
+            self.d, self.m_total, self.p, self.q, self.r
+        )
+    }
+}
+
 /// Whether the sender's 0-encoding is silent (fast) or does matched dummy
 /// work on an unrelated DSB set (stealthy) — §V-C.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]

@@ -1,7 +1,29 @@
 //! Channel transmission results and evaluation metrics (paper §VI).
 
+use crate::params::ChannelParams;
 use leaky_stats::error_rate;
 use std::fmt;
+
+/// Provenance metadata attached to a [`ChannelRun`] by the channel that
+/// produced it: which registered channel transmitted, under which
+/// microarchitecture profile, with which §V parameters. Sweeps surface
+/// this in their JSON output so a result row is self-describing.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Provenance {
+    /// Registry name of the channel (see [`crate::channels::registry`]).
+    pub channel: &'static str,
+    /// Registry key of the microarchitecture profile the channel was
+    /// built under (`"custom"` after a frontend-config override).
+    pub profile: &'static str,
+    /// The §V parameters the channel ran with.
+    pub params: ChannelParams,
+}
+
+impl fmt::Display for Provenance {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} on {} ({})", self.channel, self.profile, self.params)
+    }
+}
 
 /// The outcome of transmitting one message over a covert channel.
 #[derive(Debug, Clone, PartialEq)]
@@ -10,6 +32,7 @@ pub struct ChannelRun {
     received: Vec<bool>,
     cycles: f64,
     freq_hz: f64,
+    provenance: Option<Provenance>,
 }
 
 impl ChannelRun {
@@ -26,7 +49,20 @@ impl ChannelRun {
             received,
             cycles,
             freq_hz,
+            provenance: None,
         }
+    }
+
+    /// Attaches provenance metadata (builder style; channels call this in
+    /// their `transmit` so every run is self-describing).
+    pub fn with_provenance(mut self, provenance: Provenance) -> Self {
+        self.provenance = Some(provenance);
+        self
+    }
+
+    /// Provenance metadata, if the producing channel attached any.
+    pub fn provenance(&self) -> Option<&Provenance> {
+        self.provenance.as_ref()
     }
 
     /// The bits the sender transmitted.
@@ -48,6 +84,11 @@ impl ChannelRun {
     /// Wall-clock seconds of the transmission.
     pub fn seconds(&self) -> f64 {
         self.cycles / self.freq_hz
+    }
+
+    /// The clock frequency the cycle count is measured against (Hz).
+    pub fn freq_hz(&self) -> f64 {
+        self.freq_hz
     }
 
     /// Raw transmission rate in Kbps (paper Tables II-VI).

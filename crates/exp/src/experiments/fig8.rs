@@ -1,10 +1,11 @@
 //! Figure 8: MT eviction channel vs receiver way number `d` (spec
-//! behind the `fig8_d_sweep` binary).
+//! behind the `fig8_d_sweep` binary). Channels come from the registry
+//! with a per-cell `d` parameter override.
 
 use super::{machine, profile};
 use crate::grid::{JobCell, ParamGrid};
-use crate::runner::{Experiment, Metric};
-use leaky_frontends::channels::mt::{MtChannel, MtKind};
+use crate::runner::{CellMeasurement, Experiment, Metric};
+use leaky_frontends::channels::ChannelSpec;
 use leaky_frontends::params::{ChannelParams, MessagePattern};
 
 /// The three SMT machines the legacy binary sweeps, in its order.
@@ -32,29 +33,30 @@ impl Experiment for Fig8DSweep {
             .axis_ints("d", D_RANGE)
     }
 
-    fn run_cell(&self, cell: &JobCell) -> Option<Vec<Metric>> {
+    fn run_cell(&self, cell: &JobCell) -> Option<CellMeasurement> {
         let bits = if cell.str("profile") == "quick" {
             16
         } else {
             96
         };
         let d = cell.int("d") as usize;
-        let params = ChannelParams::mt_defaults().with_d(d);
         // Legacy seed schedule (1000 + d), pinned by the pre-migration
         // binary; all three machines are SMT-capable, so `expect` holds.
-        let mut ch = MtChannel::new(
-            machine(cell.str("machine")),
-            MtKind::Eviction,
-            params,
-            1000 + d as u64,
-        )
-        .expect("SMT machine");
+        let mut ch = ChannelSpec::new("mt-eviction")
+            .model(machine(cell.str("machine")))
+            .params(ChannelParams::mt_defaults().with_d(d))
+            .seed(1000 + d as u64)
+            .build()
+            .expect("SMT machine");
         let run = ch.transmit(&MessagePattern::Alternating.generate(bits, 0));
-        Some(vec![
-            Metric::new("rate_kbps", run.rate_kbps()),
-            Metric::new("error_rate", run.error_rate()),
-            Metric::new("effective_kbps", run.effective_rate_kbps()),
-            Metric::new("capacity_kbps", run.capacity_kbps()),
-        ])
+        Some(CellMeasurement::with_provenance(
+            vec![
+                Metric::new("rate_kbps", run.rate_kbps()),
+                Metric::new("error_rate", run.error_rate()),
+                Metric::new("effective_kbps", run.effective_rate_kbps()),
+                Metric::new("capacity_kbps", run.capacity_kbps()),
+            ],
+            run.provenance().cloned(),
+        ))
     }
 }

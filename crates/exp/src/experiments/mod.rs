@@ -19,8 +19,10 @@ pub use tab3_uarch::Tab3Uarch;
 pub use tab5::Tab5PowerChannels;
 pub use tab7::Tab7SpectreMissRates;
 
-use crate::runner::Registry;
+use crate::runner::{CellMeasurement, Metric, Registry};
 use leaky_cpu::ProcessorModel;
+use leaky_frontends::channels::{BuildError, ChannelSpec};
+use leaky_frontends::run::Provenance;
 use leaky_uarch::UarchProfile;
 
 /// The registry every frontend (CLI, wrappers, perf harness) shares.
@@ -68,6 +70,52 @@ pub(crate) fn profile(quick: bool) -> &'static str {
 /// [`UarchProfile::keys`], so this is a spec bug.
 pub(crate) fn uarch(key: &str) -> UarchProfile {
     UarchProfile::by_key(key).unwrap_or_else(|| panic!("unknown uarch profile {key:?}"))
+}
+
+/// Runs one covert-channel cell: builds the spec's channel from the
+/// registry, transmits `message`, and reports the standard rate /
+/// error / capacity metrics with the run's provenance attached.
+///
+/// Structural gaps and defended frontends map to the sweep vocabulary:
+/// an SMT channel on an SMT-less machine is `None` (the paper's missing
+/// MT columns), and a channel whose calibration finds no class
+/// separation is a *dead channel* row — rate 0, error 0.5, capacity 0,
+/// the §XII defense's success metric.
+///
+/// # Panics
+///
+/// Panics on spec errors that indicate a grid bug (unknown channel
+/// name, unsupported override) rather than a structural gap.
+pub(crate) fn channel_cell(spec: &ChannelSpec, message: &[bool]) -> Option<CellMeasurement> {
+    let mut ch = match spec.build() {
+        Ok(ch) => ch,
+        Err(BuildError::SmtUnavailable(_)) => return None,
+        Err(e) => panic!("channel spec invalid: {e}"),
+    };
+    let provenance = Provenance {
+        channel: ch.name(),
+        profile: ch.profile_key(),
+        params: ch.params(),
+    };
+    if ch.try_calibrate().is_err() {
+        return Some(CellMeasurement::with_provenance(
+            vec![
+                Metric::new("rate_kbps", 0.0),
+                Metric::new("error_rate", 0.5),
+                Metric::new("capacity_kbps", 0.0),
+            ],
+            Some(provenance),
+        ));
+    }
+    let run = ch.transmit(message);
+    Some(CellMeasurement::with_provenance(
+        vec![
+            Metric::new("rate_kbps", run.rate_kbps()),
+            Metric::new("error_rate", run.error_rate()),
+            Metric::new("capacity_kbps", run.capacity_kbps()),
+        ],
+        run.provenance().cloned(),
+    ))
 }
 
 #[cfg(test)]

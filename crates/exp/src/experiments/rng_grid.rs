@@ -9,7 +9,7 @@
 
 use super::profile;
 use crate::grid::{JobCell, ParamGrid};
-use crate::runner::{Experiment, Metric};
+use crate::runner::{CellMeasurement, Experiment, Metric};
 use crate::seed::cell_rng;
 use leaky_stats::OnlineStats;
 use rand::Rng as _;
@@ -32,7 +32,7 @@ impl Experiment for RngStreamGrid {
             .axis_ints("stream", 0..8)
     }
 
-    fn run_cell(&self, cell: &JobCell) -> Option<Vec<Metric>> {
+    fn run_cell(&self, cell: &JobCell) -> Option<CellMeasurement> {
         let samples = if cell.str("profile") == "quick" {
             512
         } else {
@@ -40,10 +40,13 @@ impl Experiment for RngStreamGrid {
         };
         let mut rng = cell_rng(cell);
         let stats: OnlineStats = (0..samples).map(|_| rng.gen_range(0.0..1.0)).collect();
-        Some(vec![
-            Metric::new("seed_lo32", (cell.seed & 0xffff_ffff) as f64),
-            Metric::new("mean", stats.mean()),
-            Metric::new("std_dev", stats.std_dev()),
-        ])
+        Some(
+            vec![
+                Metric::new("seed_lo32", (cell.seed & 0xffff_ffff) as f64),
+                Metric::new("mean", stats.mean()),
+                Metric::new("std_dev", stats.std_dev()),
+            ]
+            .into(),
+        )
     }
 }

@@ -5,14 +5,17 @@
 //! wider-decode core; `constant_time` shows the §XII defense killing
 //! them (a channel that fails threshold calibration reports rate 0 and
 //! error 0.5 — a dead channel, which is the defense's success metric).
+//!
+//! Both sweep axes are registry keys — `uarch` indexes the profile
+//! registry, `channel` the channel registry — so the whole grid is one
+//! [`channel_cell`](super::channel_cell) call per cell, no type
+//! matching.
 
-use super::{machine, profile, uarch};
+use super::{channel_cell, machine, profile, uarch};
 use crate::grid::{JobCell, ParamGrid};
-use crate::runner::{Experiment, Metric};
-use leaky_frontends::channels::mt::{MtChannel, MtKind};
-use leaky_frontends::channels::non_mt::{NonMtChannel, NonMtKind};
-use leaky_frontends::params::{ChannelParams, EncodeMode, MessagePattern};
-use leaky_frontends::run::ChannelRun;
+use crate::runner::{CellMeasurement, Experiment};
+use leaky_frontends::channels::{channel_info, ChannelSpec};
+use leaky_frontends::params::MessagePattern;
 use leaky_uarch::UarchProfile;
 
 /// The machine the cross-profile sweep runs on: the paper's primary
@@ -52,122 +55,25 @@ impl Experiment for Tab3Uarch {
             .axis_strs("machine", [MACHINE])
     }
 
-    fn run_cell(&self, cell: &JobCell) -> Option<Vec<Metric>> {
+    fn run_cell(&self, cell: &JobCell) -> Option<CellMeasurement> {
         let quick = cell.str("profile") == "quick";
         let (bits, mt_bits) = Self::bits(quick);
-        let model = machine(cell.str("machine"));
-        let uarch_profile = uarch(cell.str("uarch"));
+        let channel = cell.str("channel");
+        // MT bit slots are ~100x more expensive; the registry's SMT
+        // requirement is the single source for which channels those are.
+        let bits = if channel_info(channel).is_some_and(|i| i.requires_smt) {
+            mt_bits
+        } else {
+            bits
+        };
         // Derived per-cell seed (this sweep postdates the legacy binaries,
         // so its streams are content-addressed rather than pinned).
-        let seed = cell.seed;
-        let message = |n| MessagePattern::Alternating.generate(n, 0);
-        let run = match cell.str("channel") {
-            "non-mt-stealthy-eviction" => non_mt(
-                model,
-                NonMtKind::Eviction,
-                EncodeMode::Stealthy,
-                &uarch_profile,
-                seed,
-                &message(bits),
-            ),
-            "non-mt-stealthy-misalignment" => non_mt(
-                model,
-                NonMtKind::Misalignment,
-                EncodeMode::Stealthy,
-                &uarch_profile,
-                seed,
-                &message(bits),
-            ),
-            "non-mt-fast-eviction" => non_mt(
-                model,
-                NonMtKind::Eviction,
-                EncodeMode::Fast,
-                &uarch_profile,
-                seed,
-                &message(bits),
-            ),
-            "non-mt-fast-misalignment" => non_mt(
-                model,
-                NonMtKind::Misalignment,
-                EncodeMode::Fast,
-                &uarch_profile,
-                seed,
-                &message(bits),
-            ),
-            "mt-eviction" => mt(
-                model,
-                MtKind::Eviction,
-                &uarch_profile,
-                seed,
-                &message(mt_bits),
-            )?,
-            "mt-misalignment" => mt(
-                model,
-                MtKind::Misalignment,
-                &uarch_profile,
-                seed,
-                &message(mt_bits),
-            )?,
-            other => panic!("unknown channel {other:?}"),
-        };
-        Some(run)
+        let spec = ChannelSpec::new(channel)
+            .model(machine(cell.str("machine")))
+            .profile(uarch(cell.str("uarch")))
+            .seed(cell.seed);
+        channel_cell(&spec, &MessagePattern::Alternating.generate(bits, 0))
     }
-}
-
-fn metrics_of(run: &ChannelRun) -> Vec<Metric> {
-    vec![
-        Metric::new("rate_kbps", run.rate_kbps()),
-        Metric::new("error_rate", run.error_rate()),
-        Metric::new("capacity_kbps", run.capacity_kbps()),
-    ]
-}
-
-/// The dead-channel row: calibration found no timing separation between
-/// the bit classes (the §XII defense succeeding), so nothing transmits.
-fn dead_channel() -> Vec<Metric> {
-    vec![
-        Metric::new("rate_kbps", 0.0),
-        Metric::new("error_rate", 0.5),
-        Metric::new("capacity_kbps", 0.0),
-    ]
-}
-
-fn non_mt(
-    model: leaky_cpu::ProcessorModel,
-    kind: NonMtKind,
-    mode: EncodeMode,
-    uarch_profile: &UarchProfile,
-    seed: u64,
-    message: &[bool],
-) -> Vec<Metric> {
-    let params = match kind {
-        NonMtKind::Eviction => ChannelParams::eviction_defaults(),
-        NonMtKind::Misalignment => ChannelParams::misalignment_defaults(),
-    };
-    let mut ch = NonMtChannel::with_profile(model, kind, mode, params, uarch_profile, seed);
-    if ch.try_calibrate().is_err() {
-        return dead_channel();
-    }
-    metrics_of(&ch.transmit(message))
-}
-
-/// `None` on machines with SMT disabled (structurally unsupported cell).
-fn mt(
-    model: leaky_cpu::ProcessorModel,
-    kind: MtKind,
-    uarch_profile: &UarchProfile,
-    seed: u64,
-    message: &[bool],
-) -> Option<Vec<Metric>> {
-    let params = match kind {
-        MtKind::Eviction => ChannelParams::mt_defaults(),
-        MtKind::Misalignment => ChannelParams::mt_misalignment_defaults(),
-    };
-    let mut ch = MtChannel::with_profile(model, kind, params, uarch_profile, seed).ok()?;
-    if ch.try_calibrate().is_err() {
-        return Some(dead_channel());
-    }
-    Some(metrics_of(&ch.transmit(message)))
 }
 
 #[cfg(test)]
@@ -211,6 +117,25 @@ mod tests {
             let err = cell.metric("error_rate").expect("supported");
             assert!(err < 0.10, "{}: error {err:.3}", cell.cell.key);
             assert!(cell.metric("rate_kbps").expect("supported") > 100.0);
+        }
+    }
+
+    #[test]
+    fn cells_carry_channel_provenance() {
+        // Every supported cell's provenance names the channel and the
+        // uarch profile it actually ran under — the sweep JSON surfaces
+        // this, so it must match the cell's own coordinates.
+        let run = run_experiment(&Tab3Uarch, true, 2);
+        for cell in &run.cells {
+            if cell.metrics.is_none() {
+                continue;
+            }
+            let prov = cell
+                .provenance
+                .as_ref()
+                .expect("channel cells attach provenance");
+            assert_eq!(prov.channel, cell.cell.str("channel"), "{}", cell.cell.key);
+            assert_eq!(prov.profile, cell.cell.str("uarch"), "{}", cell.cell.key);
         }
     }
 }

@@ -1,12 +1,12 @@
 //! Table V: non-MT power-based covert channels on the Gold 6226 (spec
-//! behind the `tab5_power_channels` binary).
+//! behind the `tab5_power_channels` binary). The `kind` axis maps onto
+//! the registry's `power-*` channel family.
 
-use super::{machine, profile};
+use super::{channel_cell, machine, profile};
 use crate::grid::{JobCell, ParamGrid};
-use crate::runner::{Experiment, Metric};
-use leaky_frontends::channels::non_mt::NonMtKind;
-use leaky_frontends::channels::power::PowerChannel;
-use leaky_frontends::params::{ChannelParams, MessagePattern};
+use crate::runner::{CellMeasurement, Experiment};
+use leaky_frontends::channels::ChannelSpec;
+use leaky_frontends::params::MessagePattern;
 
 /// Legacy seed pinned by the pre-migration binary.
 const SEED: u64 = 55;
@@ -29,29 +29,17 @@ impl Experiment for Tab5PowerChannels {
             .axis_strs("kind", ["eviction", "misalignment"])
     }
 
-    fn run_cell(&self, cell: &JobCell) -> Option<Vec<Metric>> {
+    fn run_cell(&self, cell: &JobCell) -> Option<CellMeasurement> {
         let bits = if cell.str("profile") == "quick" {
             16
         } else {
             64
         };
-        let (kind, params) = match cell.str("kind") {
-            "eviction" => (NonMtKind::Eviction, ChannelParams::power_defaults()),
-            "misalignment" => (
-                NonMtKind::Misalignment,
-                ChannelParams {
-                    d: 5,
-                    ..ChannelParams::power_defaults()
-                },
-            ),
-            other => panic!("unknown kind {other:?}"),
-        };
-        let mut ch = PowerChannel::new(machine("Gold 6226"), kind, params, SEED);
-        let run = ch.transmit(&MessagePattern::Alternating.generate(bits, 0));
-        Some(vec![
-            Metric::new("rate_kbps", run.rate_kbps()),
-            Metric::new("error_rate", run.error_rate()),
-            Metric::new("capacity_kbps", run.capacity_kbps()),
-        ])
+        // Registry defaults already encode the paper's operating points
+        // (d = 6 eviction / d = 5 misalignment at p = q = 240 000).
+        let spec = ChannelSpec::new(format!("power-{}", cell.str("kind")))
+            .model(machine("Gold 6226"))
+            .seed(SEED);
+        channel_cell(&spec, &MessagePattern::Alternating.generate(bits, 0))
     }
 }

@@ -3,7 +3,7 @@
 
 use super::profile;
 use crate::grid::{JobCell, ParamGrid};
-use crate::runner::{Experiment, Metric};
+use crate::runner::{CellMeasurement, Experiment, Metric};
 use leaky_spectre::{ChannelKind, SpectreV1};
 
 /// Legacy seed pinned by the pre-migration binary.
@@ -35,7 +35,7 @@ impl Experiment for Tab7SpectreMissRates {
             .axis_strs("channel", ChannelKind::all().map(ChannelKind::label))
     }
 
-    fn run_cell(&self, cell: &JobCell) -> Option<Vec<Metric>> {
+    fn run_cell(&self, cell: &JobCell) -> Option<CellMeasurement> {
         let chunks = if cell.str("profile") == "quick" {
             6
         } else {
@@ -47,11 +47,14 @@ impl Experiment for Tab7SpectreMissRates {
             .unwrap_or_else(|| panic!("unknown channel {:?}", cell.str("channel")));
         let mut attack = SpectreV1::new(kind, secret(chunks), SEED);
         let result = attack.leak();
-        Some(vec![
-            Metric::new("l1_miss_rate", result.l1_miss_rate()),
-            Metric::new("accuracy", result.accuracy()),
-            Metric::new("l1i_misses", result.l1i_misses as f64),
-            Metric::new("l1d_misses", result.l1d_misses as f64),
-        ])
+        Some(
+            vec![
+                Metric::new("l1_miss_rate", result.l1_miss_rate()),
+                Metric::new("accuracy", result.accuracy()),
+                Metric::new("l1i_misses", result.l1i_misses as f64),
+                Metric::new("l1d_misses", result.l1d_misses as f64),
+            ]
+            .into(),
+        )
     }
 }

@@ -38,4 +38,6 @@ pub mod seed;
 pub use collect::OrderedCollector;
 pub use experiments::standard_registry;
 pub use grid::{Axis, AxisValue, JobCell, ParamGrid};
-pub use runner::{run_experiment, CellResult, Experiment, Metric, Registry, SweepRun};
+pub use runner::{
+    run_experiment, CellMeasurement, CellResult, Experiment, Metric, Registry, SweepRun,
+};

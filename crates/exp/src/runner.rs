@@ -2,6 +2,7 @@
 
 use crate::grid::{JobCell, ParamGrid};
 use crate::pool::run_ordered;
+use leaky_frontends::run::Provenance;
 use leaky_stats::summary::merge_ordered;
 use leaky_stats::OnlineStats;
 use std::time::Instant;
@@ -19,6 +20,38 @@ impl Metric {
     /// Convenience constructor.
     pub fn new(name: &'static str, value: f64) -> Self {
         Metric { name, value }
+    }
+}
+
+/// Everything one cell measured: metric values plus (for channel sweeps)
+/// the provenance of the transmission that produced them, which the JSON
+/// rendering surfaces so a result row is self-describing.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CellMeasurement {
+    /// Named metric values (table columns / JSON keys).
+    pub metrics: Vec<Metric>,
+    /// Channel provenance, when the cell ran a covert channel.
+    pub provenance: Option<Provenance>,
+}
+
+impl CellMeasurement {
+    /// Bundles metrics with the provenance a [`ChannelRun`] carries.
+    ///
+    /// [`ChannelRun`]: leaky_frontends::run::ChannelRun
+    pub fn with_provenance(metrics: Vec<Metric>, provenance: Option<Provenance>) -> Self {
+        CellMeasurement {
+            metrics,
+            provenance,
+        }
+    }
+}
+
+impl From<Vec<Metric>> for CellMeasurement {
+    fn from(metrics: Vec<Metric>) -> Self {
+        CellMeasurement {
+            metrics,
+            provenance: None,
+        }
     }
 }
 
@@ -42,8 +75,10 @@ pub trait Experiment: Sync {
 
     /// Measures one cell. `None` marks a structurally unsupported cell
     /// (e.g. an SMT channel on a machine with SMT disabled) — it stays in
-    /// the output as a gap but contributes nothing to summaries.
-    fn run_cell(&self, cell: &JobCell) -> Option<Vec<Metric>>;
+    /// the output as a gap but contributes nothing to summaries. Plain
+    /// metric vectors convert via `Into`; channel sweeps attach
+    /// provenance with [`CellMeasurement::with_provenance`].
+    fn run_cell(&self, cell: &JobCell) -> Option<CellMeasurement>;
 }
 
 /// The outcome of one cell: its coordinates plus measurements.
@@ -53,6 +88,8 @@ pub struct CellResult {
     pub cell: JobCell,
     /// Measurements, or `None` for an unsupported cell.
     pub metrics: Option<Vec<Metric>>,
+    /// Channel provenance, when the cell's measurement attached any.
+    pub provenance: Option<Provenance>,
 }
 
 impl CellResult {
@@ -100,7 +137,17 @@ pub fn run_experiment(exp: &dyn Experiment, quick: bool, jobs: usize) -> SweepRu
     let results: Vec<CellResult> = cells
         .into_iter()
         .zip(outputs)
-        .map(|(cell, metrics)| CellResult { cell, metrics })
+        .map(|(cell, measurement)| {
+            let (metrics, provenance) = match measurement {
+                Some(m) => (Some(m.metrics), m.provenance),
+                None => (None, None),
+            };
+            CellResult {
+                cell,
+                metrics,
+                provenance,
+            }
+        })
         .collect();
 
     // Summaries: one single-sample Welford accumulator per (cell, metric),
@@ -207,16 +254,19 @@ mod tests {
                 .axis_strs("mode", ["on", "off"])
                 .axis_ints("i", 0..hi)
         }
-        fn run_cell(&self, cell: &JobCell) -> Option<Vec<Metric>> {
+        fn run_cell(&self, cell: &JobCell) -> Option<CellMeasurement> {
             if cell.str("mode") == "off" && cell.int("i") % 5 == 4 {
                 return None; // exercise unsupported cells
             }
             let mut rng = cell_rng(cell);
             let noise: f64 = rng.gen_range(0.0..1e-3);
-            Some(vec![
-                Metric::new("value", cell.int("i") as f64 + noise),
-                Metric::new("noise", noise),
-            ])
+            Some(
+                vec![
+                    Metric::new("value", cell.int("i") as f64 + noise),
+                    Metric::new("noise", noise),
+                ]
+                .into(),
+            )
         }
     }
 

@@ -3,7 +3,8 @@
 //!
 //! The per-iteration hot path is zero-allocation: chain identity comes
 //! from the precomputed [`BlockChain::key`], delivery walks the flat
-//! slices of a memoized [`DeliveryPlan`](crate::plan), the DSB is one
+//! slices of a memoized `DeliveryPlan` (the private `plan` module), the
+//! DSB is one
 //! contiguous buffer, and LSD lock bookkeeping lives in inline sorted
 //! arrays. The retained [`crate::reference::NaiveFrontend`] oracle plus
 //! the differential property tests prove the reports are bit-identical
@@ -392,9 +393,8 @@ impl Frontend {
     /// iterations stream from the LSD until an inclusive eviction or
     /// partition event flushes the lock.
     ///
-    /// The first call for a given chain memoizes its
-    /// [delivery plan](crate::plan); subsequent iterations are
-    /// allocation-free.
+    /// The first call for a given chain memoizes its delivery plan;
+    /// subsequent iterations are allocation-free.
     pub fn run_iteration(&mut self, tid: ThreadId, chain: &BlockChain) -> IterationReport {
         let plan = self
             .plans
