@@ -13,6 +13,7 @@
 //! module holds its renderers (DESIGN.md §7).
 
 #![forbid(unsafe_code)]
+#![deny(rustdoc::broken_intra_doc_links)]
 
 pub mod debug;
 pub mod perf;

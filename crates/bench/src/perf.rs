@@ -35,6 +35,8 @@ pub fn time_ns_per_op<F: FnMut()>(warmup: u64, samples: usize, ops: u64, mut op:
     }
     let mut per_op: Vec<f64> = (0..samples)
         .map(|_| {
+            // lint: allow(wall-clock) — perf smoke measures real elapsed
+            // time by definition; its output never reaches keys or goldens.
             let start = Instant::now();
             for _ in 0..ops {
                 op();

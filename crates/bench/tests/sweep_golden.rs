@@ -62,6 +62,18 @@ fn tab7_spectre_miss_rates_matches_pre_migration_output() {
 }
 
 #[test]
+fn rng_stream_grid_matches_committed_output() {
+    // Pins the derived per-cell seed streams themselves: if content-key
+    // hashing or the seed derivation ever changes, every value in this
+    // table moves and the diff points straight at the cause.
+    golden_matches_args(
+        env!("CARGO_BIN_EXE_leaky_sweep"),
+        &["rng_stream_grid", "--format", "table"],
+        "rng_stream_grid.txt",
+    );
+}
+
+#[test]
 fn tab3_uarch_matches_committed_output() {
     // The cross-microarchitecture sweep has no legacy binary; its golden
     // pins the full grid through the unified CLI — the skylake rows are

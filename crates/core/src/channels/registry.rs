@@ -303,9 +303,11 @@ impl ChannelSpec {
     pub fn build(&self) -> Result<Box<dyn CovertChannel>, BuildError> {
         let info = channel_info(&self.kind)
             .ok_or_else(|| BuildError::UnknownChannel(self.kind.clone()))?;
-        let params = self
-            .params
-            .unwrap_or_else(|| default_params(info.name).expect("registered name has defaults"));
+        let params = match self.params {
+            Some(params) => params,
+            None => default_params(info.name)
+                .ok_or_else(|| BuildError::UnknownChannel(self.kind.clone()))?,
+        };
         if self.noise.is_some() && !info.supports_noise {
             return Err(BuildError::NoiseUnsupported(info.name));
         }

@@ -125,7 +125,7 @@ pub fn distance_summary(trace_sets: &[Vec<Vec<f64>>]) -> DistanceSummary {
     let mut intra = 0.0;
     let mut intra_n = 0usize;
     for set in trace_sets {
-        intra += mean_pairwise_distance(set, set).expect("equal-length traces");
+        intra += mean_pairwise_distance(set, set).expect("equal-length traces"); // lint: allow(panic) — documented `# Panics` contract
         intra_n += 1;
     }
     let mut inter = 0.0;
@@ -136,7 +136,7 @@ pub fn distance_summary(trace_sets: &[Vec<Vec<f64>>]) -> DistanceSummary {
                 continue;
             }
             inter += mean_pairwise_distance(&trace_sets[i], &trace_sets[j])
-                .expect("equal-length traces");
+                .expect("equal-length traces"); // lint: allow(panic) — documented `# Panics` contract
             inter_n += 1;
         }
     }
@@ -165,11 +165,11 @@ impl FingerprintLibrary {
         self.references
             .iter()
             .map(|(name, set)| {
-                let d = mean_pairwise_distance(&probe, set).expect("equal-length traces");
+                let d = mean_pairwise_distance(&probe, set).expect("equal-length traces"); // lint: allow(panic) — documented `# Panics` contract
                 (name.as_str(), d)
             })
-            .min_by(|a, b| a.1.partial_cmp(&b.1).expect("finite distances"))
-            .expect("non-empty library")
+            .min_by(|a, b| a.1.partial_cmp(&b.1).expect("finite distances")) // lint: allow(panic) — simulated IPC distances are always finite
+            .expect("non-empty library") // lint: allow(panic) — non-emptiness asserted in `new`
             .0
     }
 }

@@ -70,6 +70,7 @@
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+#![deny(rustdoc::broken_intra_doc_links)]
 
 pub mod channels;
 pub mod coding;

@@ -161,7 +161,7 @@ impl SgxNonMtChannel {
         }
         let mut iter = samples.into_iter();
         self.decoder = Some(calibrate_decoder(
-            move |_| iter.next().expect("calibration sample"),
+            move |_| iter.next().expect("calibration sample"), // lint: allow(panic) — closure is called exactly CALIBRATION_BITS times
             CALIBRATION_BITS,
         ));
     }
@@ -169,7 +169,7 @@ impl SgxNonMtChannel {
     /// Transmits a message out of the enclave.
     pub fn transmit(&mut self, message: &[bool]) -> ChannelRun {
         self.ensure_calibrated();
-        let decoder = self.decoder.expect("calibrated above");
+        let decoder = self.decoder.expect("calibrated above"); // lint: allow(panic) — set by ensure_calibrated on the previous line
         let start = self.core.clock(ThreadId::T0);
         let received: Vec<bool> = message
             .iter()
@@ -292,7 +292,7 @@ impl SgxPowerChannel {
         }
         let mut iter = samples.into_iter();
         self.decoder = Some(calibrate_decoder(
-            move |_| iter.next().expect("calibration sample"),
+            move |_| iter.next().expect("calibration sample"), // lint: allow(panic) — closure is called exactly CALIBRATION_BITS times
             CALIBRATION_BITS,
         ));
     }
@@ -300,7 +300,7 @@ impl SgxPowerChannel {
     /// Transmits a message out of the enclave over package power.
     pub fn transmit(&mut self, message: &[bool]) -> ChannelRun {
         self.ensure_calibrated();
-        let decoder = self.decoder.expect("calibrated above");
+        let decoder = self.decoder.expect("calibrated above"); // lint: allow(panic) — set by ensure_calibrated on the previous line
         let start = self.core.clock(ThreadId::T0);
         let received: Vec<bool> = message
             .iter()
@@ -413,7 +413,7 @@ impl SgxMtChannel {
         }
         let mut iter = samples.into_iter();
         self.decoder = Some(calibrate_decoder(
-            move |_| iter.next().expect("calibration sample"),
+            move |_| iter.next().expect("calibration sample"), // lint: allow(panic) — closure is called exactly CALIBRATION_BITS times
             CALIBRATION_BITS,
         ));
     }
@@ -421,7 +421,7 @@ impl SgxMtChannel {
     /// Transmits a message out of the enclave via the sibling thread.
     pub fn transmit(&mut self, message: &[bool]) -> ChannelRun {
         self.ensure_calibrated();
-        let decoder = self.decoder.expect("calibrated above");
+        let decoder = self.decoder.expect("calibrated above"); // lint: allow(panic) — set by ensure_calibrated on the previous line
         let start = self
             .core
             .clock(ThreadId::T0)

@@ -47,7 +47,7 @@ pub(crate) fn machine(name: &str) -> ProcessorModel {
     ProcessorModel::all()
         .into_iter()
         .find(|m| m.name == name)
-        .unwrap_or_else(|| panic!("unknown machine {name:?}"))
+        .unwrap_or_else(|| panic!("unknown machine {name:?}")) // lint: allow(panic) — documented `# Panics` contract
 }
 
 /// The quick/full profile axis: a single-valued axis, so the sweep's
@@ -69,6 +69,7 @@ pub(crate) fn profile(quick: bool) -> &'static str {
 /// Panics on an unknown key — grids only emit keys from
 /// [`UarchProfile::keys`], so this is a spec bug.
 pub(crate) fn uarch(key: &str) -> UarchProfile {
+    // lint: allow(panic) — documented `# Panics` contract
     UarchProfile::by_key(key).unwrap_or_else(|| panic!("unknown uarch profile {key:?}"))
 }
 
@@ -90,7 +91,7 @@ pub(crate) fn channel_cell(spec: &ChannelSpec, message: &[bool]) -> Option<CellM
     let mut ch = match spec.build() {
         Ok(ch) => ch,
         Err(BuildError::SmtUnavailable(_)) => return None,
-        Err(e) => panic!("channel spec invalid: {e}"),
+        Err(e) => panic!("channel spec invalid: {e}"), // lint: allow(panic) — documented `# Panics` contract
     };
     let provenance = Provenance {
         channel: ch.name(),

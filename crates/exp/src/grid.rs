@@ -186,7 +186,7 @@ impl JobCell {
     pub fn int(&self, axis: &str) -> i64 {
         match self.get(axis) {
             Some(AxisValue::Int(v)) => *v,
-            other => panic!("axis {axis:?}: expected Int, got {other:?}"),
+            other => panic!("axis {axis:?}: expected Int, got {other:?}"), // lint: allow(panic) — documented `# Panics` contract
         }
     }
 
@@ -198,7 +198,7 @@ impl JobCell {
     pub fn str(&self, axis: &str) -> &str {
         match self.get(axis) {
             Some(AxisValue::Str(s)) => s,
-            other => panic!("axis {axis:?}: expected Str, got {other:?}"),
+            other => panic!("axis {axis:?}: expected Str, got {other:?}"), // lint: allow(panic) — documented `# Panics` contract
         }
     }
 }

@@ -27,6 +27,7 @@
 //!   registry, and the legacy figure/table binaries are thin wrappers.
 
 #![forbid(unsafe_code)]
+#![deny(rustdoc::broken_intra_doc_links)]
 
 pub mod collect;
 pub mod experiments;

@@ -130,6 +130,8 @@ pub struct SweepRun {
 /// Expands, executes, collects, and summarizes one experiment.
 pub fn run_experiment(exp: &dyn Experiment, quick: bool, jobs: usize) -> SweepRun {
     let cells = exp.grid(quick).expand();
+    // lint: allow(wall-clock) — elapsed_ns is operator telemetry only;
+    // renderers and content keys never consume it.
     let start = Instant::now();
     let outputs = run_ordered(jobs, cells.len(), |i| exp.run_cell(&cells[i]));
     let elapsed_ns = start.elapsed().as_nanos();

@@ -64,9 +64,9 @@ impl CodeRegion {
             .iter()
             .map(|b| b.end().value())
             .max()
-            .expect("chain is non-empty");
-        // Round up to the next full set period so a following chain cannot
-        // share any window with this one.
+            .expect("chain is non-empty"); // lint: allow(panic) — same_set_chain_with always emits ≥1 block
+                                           // Round up to the next full set period so a following chain cannot
+                                           // share any window with this one.
         let period = (self.geom.dsb_window_bytes * self.geom.dsb_sets) as u64;
         self.cursor = end.div_ceil(period) * period;
         chain

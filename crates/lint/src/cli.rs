@@ -1,0 +1,113 @@
+//! The `leaky_lint` command-line interface.
+//!
+//! * `leaky_lint check [--root <path>]` — run every rule; exit 0 when
+//!   clean, 1 with one diagnostic per line when not, 2 on usage or I/O
+//!   errors.
+//! * `leaky_lint rules` — print the rule catalogue.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use crate::config::LintConfig;
+use crate::rules::RULES;
+use crate::workspace::{find_root, Workspace};
+
+/// Runs the CLI with pre-split arguments (program name excluded) and
+/// returns the process exit code.
+pub fn run(args: &[String]) -> ExitCode {
+    match args.first().map(String::as_str) {
+        Some("check") => check(&args[1..]),
+        Some("rules") => {
+            print_rules();
+            ExitCode::SUCCESS
+        }
+        Some(other) => {
+            eprintln!("leaky_lint: unknown command {other:?}");
+            usage();
+            ExitCode::from(2)
+        }
+        None => {
+            usage();
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn usage() {
+    eprintln!("usage: leaky_lint <check [--root <path>] | rules>");
+}
+
+fn check(args: &[String]) -> ExitCode {
+    let mut root: Option<PathBuf> = None;
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "--root" => match iter.next() {
+                Some(path) => root = Some(PathBuf::from(path)),
+                None => {
+                    eprintln!("leaky_lint: --root needs a path");
+                    return ExitCode::from(2);
+                }
+            },
+            other => {
+                eprintln!("leaky_lint: unknown check argument {other:?}");
+                return ExitCode::from(2);
+            }
+        }
+    }
+    let root = match root {
+        Some(root) => root,
+        None => {
+            let cwd = match std::env::current_dir() {
+                Ok(cwd) => cwd,
+                Err(e) => {
+                    eprintln!("leaky_lint: cannot determine current directory: {e}");
+                    return ExitCode::from(2);
+                }
+            };
+            match find_root(&cwd) {
+                Ok(root) => root,
+                Err(e) => {
+                    eprintln!("leaky_lint: {e}");
+                    return ExitCode::from(2);
+                }
+            }
+        }
+    };
+    let ws = match Workspace::load(&root) {
+        Ok(ws) => ws,
+        Err(e) => {
+            eprintln!("leaky_lint: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let diags = crate::rules::run_all(&ws, &LintConfig::default());
+    if diags.is_empty() {
+        println!(
+            "leaky_lint: clean — {} files, {} rules, 0 violations",
+            ws.files.len(),
+            RULES.len()
+        );
+        return ExitCode::SUCCESS;
+    }
+    for d in &diags {
+        println!("{d}");
+    }
+    println!(
+        "leaky_lint: {} violation(s); escape intentional exceptions with \
+         `// lint: allow(<rule>)` on the flagged line",
+        diags.len()
+    );
+    ExitCode::FAILURE
+}
+
+fn print_rules() {
+    let mut family = "";
+    for rule in RULES {
+        if rule.family != family {
+            family = rule.family;
+            println!("[{family}]");
+        }
+        println!("  {:<22} {}", rule.name, rule.description);
+    }
+}

@@ -1,0 +1,39 @@
+//! Diagnostics: what a rule reports and how it renders.
+
+use std::fmt;
+
+/// One rule violation, anchored to a file and line so a
+/// `// lint: allow(<rule>)` escape on that line can suppress it.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub struct Diagnostic {
+    /// Workspace-relative path the violation anchors to.
+    pub file: String,
+    /// 1-based anchor line.
+    pub line: u32,
+    /// Stable rule name (see [`crate::rules::RULES`]).
+    pub rule: &'static str,
+    /// Human-readable description of the violation.
+    pub message: String,
+}
+
+impl Diagnostic {
+    /// Builds a diagnostic.
+    pub fn new(file: impl Into<String>, line: u32, rule: &'static str, message: String) -> Self {
+        Diagnostic {
+            file: file.into(),
+            line,
+            rule,
+            message,
+        }
+    }
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}:{}: [{}] {}",
+            self.file, self.line, self.rule, self.message
+        )
+    }
+}

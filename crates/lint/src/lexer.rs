@@ -1,0 +1,418 @@
+//! A minimal hand-rolled Rust lexer, aware of comments, strings, raw
+//! strings, byte strings, char literals and lifetimes.
+//!
+//! The rules in this crate only need a faithful *token stream with line
+//! numbers*: identifiers, punctuation, literals and comments. Anything
+//! inside a string or comment must never be mistaken for code (a doc
+//! example calling `.unwrap()` is not a violation), and `// lint:
+//! allow(...)` escapes live in comments — so the lexer keeps comments as
+//! tokens and lets [`crate::source`] interpret them.
+//!
+//! This is deliberately not a full Rust lexer (no float/exponent
+//! refinement, no token trees); it only guarantees that token
+//! *boundaries* and *classes* are right, which is all the rule engine
+//! consumes.
+
+/// The class of a lexed token.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokenKind {
+    /// An identifier or keyword (including raw identifiers, without the
+    /// `r#` prefix).
+    Ident,
+    /// A string / raw-string / byte-string / char / numeric literal.
+    /// For string-like literals [`Token::text`] holds the *contents*
+    /// (unquoted); for numbers it holds the raw digits.
+    Literal,
+    /// A single punctuation character.
+    Punct(char),
+    /// A `//` line comment or `/* */` block comment (text excludes the
+    /// delimiters). Rules skip these; the escape scanner reads them.
+    Comment,
+}
+
+/// One token with its 1-based source line (the line it *starts* on).
+#[derive(Debug, Clone)]
+pub struct Token {
+    /// Token class.
+    pub kind: TokenKind,
+    /// Token text; see [`TokenKind`] for what is stored per class.
+    pub text: String,
+    /// 1-based line the token starts on.
+    pub line: u32,
+}
+
+impl Token {
+    /// Whether this token is the identifier `s`.
+    pub fn is_ident(&self, s: &str) -> bool {
+        self.kind == TokenKind::Ident && self.text == s
+    }
+
+    /// Whether this token is the punctuation character `c`.
+    pub fn is_punct(&self, c: char) -> bool {
+        self.kind == TokenKind::Punct(c)
+    }
+}
+
+fn is_ident_start(b: u8) -> bool {
+    b.is_ascii_alphabetic() || b == b'_'
+}
+
+fn is_ident_continue(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b == b'_'
+}
+
+/// Lexes `src` into a token stream. Unterminated strings/comments are
+/// tolerated (the remainder of the file becomes one token): the linter
+/// must degrade gracefully on malformed input rather than panic, and
+/// `cargo build` will report the real error.
+pub fn lex(src: &str) -> Vec<Token> {
+    Lexer {
+        b: src.as_bytes(),
+        i: 0,
+        line: 1,
+        out: Vec::new(),
+    }
+    .run()
+}
+
+struct Lexer<'a> {
+    b: &'a [u8],
+    i: usize,
+    line: u32,
+    out: Vec<Token>,
+}
+
+impl Lexer<'_> {
+    fn run(mut self) -> Vec<Token> {
+        while self.i < self.b.len() {
+            let c = self.b[self.i];
+            match c {
+                b'\n' => {
+                    self.line += 1;
+                    self.i += 1;
+                }
+                _ if c.is_ascii_whitespace() => self.i += 1,
+                b'/' if self.peek(1) == Some(b'/') => self.line_comment(),
+                b'/' if self.peek(1) == Some(b'*') => self.block_comment(),
+                b'"' => self.cooked_string(),
+                b'\'' => self.char_or_lifetime(),
+                _ if is_ident_start(c) => self.ident_or_prefixed(),
+                _ if c.is_ascii_digit() => self.number(),
+                _ => {
+                    self.push(TokenKind::Punct(c as char), String::new());
+                    self.i += 1;
+                }
+            }
+        }
+        self.out
+    }
+
+    fn peek(&self, ahead: usize) -> Option<u8> {
+        self.b.get(self.i + ahead).copied()
+    }
+
+    fn push(&mut self, kind: TokenKind, text: String) {
+        self.out.push(Token {
+            kind,
+            text,
+            line: self.line,
+        });
+    }
+
+    fn line_comment(&mut self) {
+        let start = self.i + 2;
+        let mut j = start;
+        while j < self.b.len() && self.b[j] != b'\n' {
+            j += 1;
+        }
+        let text = String::from_utf8_lossy(&self.b[start..j]).into_owned();
+        self.push(TokenKind::Comment, text);
+        self.i = j;
+    }
+
+    fn block_comment(&mut self) {
+        let start_line = self.line;
+        let start = self.i + 2;
+        let mut j = start;
+        let mut depth = 1usize;
+        while j < self.b.len() && depth > 0 {
+            match (self.b[j], self.b.get(j + 1).copied()) {
+                (b'/', Some(b'*')) => {
+                    depth += 1;
+                    j += 2;
+                }
+                (b'*', Some(b'/')) => {
+                    depth -= 1;
+                    j += 2;
+                }
+                (b'\n', _) => {
+                    self.line += 1;
+                    j += 1;
+                }
+                _ => j += 1,
+            }
+        }
+        let end = j.saturating_sub(2).max(start);
+        let text = String::from_utf8_lossy(&self.b[start..end]).into_owned();
+        self.out.push(Token {
+            kind: TokenKind::Comment,
+            text,
+            line: start_line,
+        });
+        self.i = j;
+    }
+
+    /// A `"..."` string with escapes (also used for `b"..."` bodies).
+    fn cooked_string(&mut self) {
+        let start_line = self.line;
+        let start = self.i + 1;
+        let mut j = start;
+        while j < self.b.len() {
+            match self.b[j] {
+                b'\\' => j += 2,
+                b'"' => break,
+                b'\n' => {
+                    self.line += 1;
+                    j += 1;
+                }
+                _ => j += 1,
+            }
+        }
+        let text = String::from_utf8_lossy(&self.b[start..j.min(self.b.len())]).into_owned();
+        self.out.push(Token {
+            kind: TokenKind::Literal,
+            text,
+            line: start_line,
+        });
+        self.i = (j + 1).min(self.b.len());
+    }
+
+    /// A `r"..."` / `r#"..."#` raw string body starting at the first `#`
+    /// or `"` (the `r`/`br` prefix has already been consumed).
+    fn raw_string(&mut self) {
+        let start_line = self.line;
+        let mut hashes = 0usize;
+        while self.peek(hashes) == Some(b'#') {
+            hashes += 1;
+        }
+        // Caller guaranteed a `"` follows the hashes.
+        let start = self.i + hashes + 1;
+        let mut j = start;
+        'scan: while j < self.b.len() {
+            if self.b[j] == b'\n' {
+                self.line += 1;
+            } else if self.b[j] == b'"' {
+                for k in 0..hashes {
+                    if self.b.get(j + 1 + k) != Some(&b'#') {
+                        j += 1;
+                        continue 'scan;
+                    }
+                }
+                break;
+            }
+            j += 1;
+        }
+        let text = String::from_utf8_lossy(&self.b[start..j.min(self.b.len())]).into_owned();
+        self.out.push(Token {
+            kind: TokenKind::Literal,
+            text,
+            line: start_line,
+        });
+        self.i = (j + 1 + hashes).min(self.b.len());
+    }
+
+    /// Either a lifetime (`'a`, emitted as nothing — no rule reads
+    /// lifetimes) or a char literal (`'x'`, `'\n'`, `b'?'` bodies).
+    fn char_or_lifetime(&mut self) {
+        // Lifetime: identifier start after the quote and the character
+        // after *that* is not a closing quote ('a' is a char, 'a is a
+        // lifetime).
+        if let Some(c1) = self.peek(1) {
+            if is_ident_start(c1) && self.peek(2) != Some(b'\'') {
+                let mut j = self.i + 1;
+                while j < self.b.len() && is_ident_continue(self.b[j]) {
+                    j += 1;
+                }
+                self.i = j;
+                return;
+            }
+        }
+        // Char literal: scan to the closing quote, honouring escapes.
+        let start = self.i + 1;
+        let mut j = start;
+        while j < self.b.len() {
+            match self.b[j] {
+                b'\\' => j += 2,
+                b'\'' => break,
+                _ => j += 1,
+            }
+        }
+        let text = String::from_utf8_lossy(&self.b[start..j.min(self.b.len())]).into_owned();
+        self.push(TokenKind::Literal, text);
+        self.i = (j + 1).min(self.b.len());
+    }
+
+    /// An identifier, or a string-prefix identifier (`r`, `b`, `br`)
+    /// that actually introduces a raw/byte string or raw identifier.
+    fn ident_or_prefixed(&mut self) {
+        let start = self.i;
+        let mut j = start;
+        while j < self.b.len() && is_ident_continue(self.b[j]) {
+            j += 1;
+        }
+        let ident = &self.b[start..j];
+        let next = self.b.get(j).copied();
+        match (ident, next) {
+            (b"r" | b"br", Some(b'"')) => {
+                self.i = j;
+                self.raw_string();
+            }
+            (b"r" | b"br", Some(b'#')) => {
+                // Raw string (`r#"`) or raw identifier (`r#ident`).
+                let mut hashes = 0usize;
+                while self.b.get(j + hashes) == Some(&b'#') {
+                    hashes += 1;
+                }
+                if self.b.get(j + hashes) == Some(&b'"') {
+                    self.i = j;
+                    self.raw_string();
+                } else {
+                    // Raw identifier: emit the bare name.
+                    let id_start = j + 1;
+                    let mut k = id_start;
+                    while k < self.b.len() && is_ident_continue(self.b[k]) {
+                        k += 1;
+                    }
+                    let text = String::from_utf8_lossy(&self.b[id_start..k]).into_owned();
+                    self.push(TokenKind::Ident, text);
+                    self.i = k;
+                }
+            }
+            (b"b", Some(b'"')) => {
+                self.i = j;
+                self.cooked_string();
+            }
+            (b"b", Some(b'\'')) => {
+                self.i = j;
+                self.char_or_lifetime();
+            }
+            _ => {
+                let text = String::from_utf8_lossy(ident).into_owned();
+                self.push(TokenKind::Ident, text);
+                self.i = j;
+            }
+        }
+    }
+
+    fn number(&mut self) {
+        let start = self.i;
+        let mut j = start;
+        while j < self.b.len() {
+            let c = self.b[j];
+            if is_ident_continue(c) {
+                j += 1;
+            } else if c == b'.' && self.b.get(j + 1).is_some_and(|d| d.is_ascii_digit()) {
+                // Decimal point — but never eat `..` range punctuation.
+                j += 1;
+            } else {
+                break;
+            }
+        }
+        let text = String::from_utf8_lossy(&self.b[start..j]).into_owned();
+        self.push(TokenKind::Literal, text);
+        self.i = j;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(src: &str) -> Vec<String> {
+        lex(src)
+            .into_iter()
+            .filter(|t| t.kind == TokenKind::Ident)
+            .map(|t| t.text)
+            .collect()
+    }
+
+    #[test]
+    fn strings_and_comments_hide_code_words() {
+        let src = r##"
+            // unwrap() in a comment
+            /* HashMap in /* a nested */ block */
+            let s = "Instant::now() inside a string";
+            let r = r#"thread_rng " quote"#;
+            let b = b"SystemTime";
+            real_ident();
+        "##;
+        let ids = idents(src);
+        assert_eq!(ids, ["let", "s", "let", "r", "let", "b", "real_ident"]);
+    }
+
+    #[test]
+    fn lifetimes_are_not_char_literals() {
+        let src = "fn f<'a>(x: &'a str) -> char { 'x' }";
+        let toks = lex(src);
+        assert!(toks.iter().any(|t| t.is_ident("str")));
+        // The char literal body survives as a literal, the lifetime
+        // names vanish.
+        assert!(toks
+            .iter()
+            .any(|t| t.kind == TokenKind::Literal && t.text == "x"));
+        assert!(!toks.iter().any(|t| t.is_ident("a")));
+    }
+
+    #[test]
+    fn escaped_quotes_do_not_end_strings() {
+        let toks = lex(r#"let x = "a \" unwrap() \" b"; after"#);
+        assert!(toks.iter().any(|t| t.is_ident("after")));
+        assert!(!toks.iter().any(|t| t.is_ident("unwrap")));
+    }
+
+    #[test]
+    fn raw_strings_respect_hash_count() {
+        let toks = lex(r###"let x = r#"end " not yet"# ; tail"###);
+        assert!(toks.iter().any(|t| t.is_ident("tail")));
+        let lit = toks
+            .iter()
+            .find(|t| t.kind == TokenKind::Literal)
+            .expect("raw string lexed");
+        assert_eq!(lit.text, "end \" not yet");
+    }
+
+    #[test]
+    fn lines_are_tracked_through_multiline_tokens() {
+        let src = "a\n/* two\nlines */\nb\n\"str\nacross\"\nc";
+        let toks = lex(src);
+        let line_of = |name: &str| {
+            toks.iter()
+                .find(|t| t.is_ident(name))
+                .map(|t| t.line)
+                .expect("ident present")
+        };
+        assert_eq!(line_of("a"), 1);
+        assert_eq!(line_of("b"), 4);
+        assert_eq!(line_of("c"), 7);
+    }
+
+    #[test]
+    fn numbers_do_not_eat_ranges_or_methods() {
+        let toks = lex("0..=n 1.0e3 2.max(3)");
+        assert!(toks.iter().any(|t| t.is_ident("max")));
+        let lits: Vec<_> = toks
+            .iter()
+            .filter(|t| t.kind == TokenKind::Literal)
+            .map(|t| t.text.as_str())
+            .collect();
+        assert!(lits.contains(&"0"));
+        assert!(lits.contains(&"1.0e3"));
+        assert!(lits.contains(&"2"));
+    }
+
+    #[test]
+    fn raw_identifiers_lose_their_prefix() {
+        let toks = lex("let r#type = 1;");
+        assert!(toks.iter().any(|t| t.is_ident("type")));
+    }
+}

@@ -1,0 +1,68 @@
+//! `leaky_lint`: the workspace's custom static-analysis pass.
+//!
+//! Every guarantee this reproduction makes — sweeps byte-identical at
+//! any `--jobs N`, scheduling-independent per-cell seeds, (chain key,
+//! profile key)-safe memo caches, committed goldens that pin every
+//! spec — is a *determinism invariant*. This crate machine-checks those
+//! invariants over the workspace source instead of trusting convention:
+//!
+//! * **determinism** — `wall-clock`, `ambient-rng`,
+//!   `unordered-collections` in the crates that feed content keys,
+//!   sweep output or goldens (`exp`, `bench`, `stats`, `core`);
+//! * **panic-freedom** — `panic`: library code surfaces failures as
+//!   values;
+//! * **cache-keys** — `key-completeness`: configuration structs and
+//!   their key/provenance functions stay field-complete;
+//! * **cross-artifact** — `registry-docs`, `spec-goldens`,
+//!   `bin-sources`: code, docs, goldens and manifests name the same
+//!   things.
+//!
+//! The tool is self-contained (hand-rolled comment/string/raw-string
+//! aware lexer, no dependencies) and runs as
+//! `cargo run -p leaky_lint -- check`. Intentional exceptions are
+//! escaped per line with `// lint: allow(<rule>)` (Rust) or
+//! `# lint: allow(<rule>)` (TOML); see DESIGN.md §10 for the invariant
+//! catalogue.
+//!
+//! # Examples
+//!
+//! ```no_run
+//! use leaky_lint::{check_workspace, LintConfig};
+//!
+//! let diags = check_workspace(std::path::Path::new("."), &LintConfig::default())?;
+//! for d in &diags {
+//!     eprintln!("{d}");
+//! }
+//! assert!(diags.is_empty(), "workspace must be lint-clean");
+//! # Ok::<(), leaky_lint::LintError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![deny(rustdoc::broken_intra_doc_links)]
+
+pub mod cli;
+pub mod config;
+pub mod diag;
+pub mod lexer;
+pub mod rules;
+pub mod source;
+pub mod workspace;
+
+pub use config::{KeyPair, LintConfig};
+pub use diag::Diagnostic;
+pub use rules::{RuleInfo, RULES};
+pub use workspace::{find_root, LintError, Workspace};
+
+use std::path::Path;
+
+/// Loads the workspace at `root` and runs every rule, returning the
+/// surviving (non-escaped) diagnostics sorted by file and line.
+///
+/// # Errors
+///
+/// [`LintError`] when the workspace cannot be read.
+pub fn check_workspace(root: &Path, cfg: &LintConfig) -> Result<Vec<Diagnostic>, LintError> {
+    let ws = Workspace::load(root)?;
+    Ok(rules::run_all(&ws, cfg))
+}

@@ -1,0 +1,8 @@
+//! Binary entry point: `cargo run -p leaky_lint -- check`.
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    leaky_lint::cli::run(&args)
+}

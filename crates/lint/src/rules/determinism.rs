@@ -1,0 +1,106 @@
+//! Determinism rules: the crates that feed content keys, sweep output
+//! or goldens (`exp`, `bench`, `stats`, `core`) must not read wall
+//! clocks, ambient randomness, or iterate unordered collections.
+//!
+//! One stray `Instant::now()` in a metric, one `HashMap` iteration in a
+//! table renderer, and "byte-identical at any `--jobs N`" silently
+//! stops being true — these rules make the convention machine-checked.
+
+use crate::config::LintConfig;
+use crate::diag::Diagnostic;
+use crate::source::SourceFile;
+use crate::workspace::Workspace;
+
+/// Runs the three determinism rules over every file of the
+/// determinism-critical crates (binaries and test code included: bins
+/// render goldens, and a nondeterministic test is a flaky test).
+pub fn check(ws: &Workspace, cfg: &LintConfig, diags: &mut Vec<Diagnostic>) {
+    for file in ws.files.values() {
+        let in_scope = file
+            .crate_dir
+            .as_deref()
+            .is_some_and(|c| cfg.determinism_crates.contains(&c));
+        if !in_scope {
+            continue;
+        }
+        check_file(file, diags);
+    }
+}
+
+fn check_file(file: &SourceFile, diags: &mut Vec<Diagnostic>) {
+    let code = &file.code;
+    for (i, tok) in code.iter().enumerate() {
+        // wall-clock: `Instant::now()` and any use of `SystemTime`.
+        if tok.is_ident("Instant")
+            && code.get(i + 1).is_some_and(|t| t.is_punct(':'))
+            && code.get(i + 2).is_some_and(|t| t.is_punct(':'))
+            && code.get(i + 3).is_some_and(|t| t.is_ident("now"))
+        {
+            diags.push(Diagnostic::new(
+                &file.rel_path,
+                tok.line,
+                "wall-clock",
+                "`Instant::now()` in a determinism-critical crate: wall time must never \
+                 reach content keys, sweep output or goldens"
+                    .into(),
+            ));
+        }
+        if tok.is_ident("SystemTime") {
+            diags.push(Diagnostic::new(
+                &file.rel_path,
+                tok.line,
+                "wall-clock",
+                "`SystemTime` in a determinism-critical crate: wall time must never \
+                 reach content keys, sweep output or goldens"
+                    .into(),
+            ));
+        }
+
+        // ambient-rng: unseeded randomness.
+        if tok.is_ident("thread_rng") || tok.is_ident("RandomState") {
+            diags.push(Diagnostic::new(
+                &file.rel_path,
+                tok.line,
+                "ambient-rng",
+                format!(
+                    "`{}` in a determinism-critical crate: all randomness must flow from \
+                     per-cell derived seeds (`leaky_exp::seed`)",
+                    tok.text
+                ),
+            ));
+        }
+        if tok.is_ident("rand")
+            && code.get(i + 1).is_some_and(|t| t.is_punct(':'))
+            && code.get(i + 2).is_some_and(|t| t.is_punct(':'))
+            && code.get(i + 3).is_some_and(|t| t.is_ident("random"))
+        {
+            diags.push(Diagnostic::new(
+                &file.rel_path,
+                tok.line,
+                "ambient-rng",
+                "`rand::random` in a determinism-critical crate: all randomness must flow \
+                 from per-cell derived seeds (`leaky_exp::seed`)"
+                    .into(),
+            ));
+        }
+
+        // unordered-collections: HashMap/HashSet iteration order is
+        // scheduling- and seed-dependent; `BTreeMap`/`BTreeSet` (or
+        // explicit sorting) is the sanctioned alternative. Any mention
+        // is flagged — proving a map is never iterated is harder than
+        // using an ordered one.
+        if tok.is_ident("HashMap") || tok.is_ident("HashSet") {
+            diags.push(Diagnostic::new(
+                &file.rel_path,
+                tok.line,
+                "unordered-collections",
+                format!(
+                    "`{}` in a determinism-critical crate: iteration order is unstable; \
+                     use `BTree{}` or sort explicitly",
+                    tok.text,
+                    tok.text.trim_start_matches("Hash")
+                ),
+            ));
+        }
+    }
+}

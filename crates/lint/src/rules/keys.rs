@@ -1,0 +1,253 @@
+//! Cache-key completeness rule: every field of a configuration struct
+//! must be consumed by the function that derives its cache key (or
+//! serializes its identity into sweep provenance).
+//!
+//! This is a structural check over the token streams: the struct's
+//! field names are extracted from its declaration, and each must appear
+//! as an identifier inside the key function's body. A field the key
+//! function never mentions is exactly the stale-memo hazard PR 4 fixed
+//! — caches keyed on an incomplete fingerprint serve results computed
+//! under a different configuration.
+//!
+//! A missing struct or function is itself a violation (config drift):
+//! renaming `profile_key` must not silently disable the check.
+
+use crate::config::{KeyPair, LintConfig};
+use crate::diag::Diagnostic;
+use crate::lexer::{Token, TokenKind};
+use crate::source::matching;
+use crate::workspace::Workspace;
+
+/// Runs every configured [`KeyPair`] obligation.
+pub fn check(ws: &Workspace, cfg: &LintConfig, diags: &mut Vec<Diagnostic>) {
+    for pair in &cfg.key_pairs {
+        check_pair(ws, pair, diags);
+    }
+}
+
+fn check_pair(ws: &Workspace, pair: &KeyPair, diags: &mut Vec<Diagnostic>) {
+    let Some(struct_file) = ws.files.get(pair.struct_file) else {
+        diags.push(Diagnostic::new(
+            pair.struct_file,
+            1,
+            "key-completeness",
+            format!(
+                "configured struct file missing: cannot check `{}` (config drift?)",
+                pair.struct_name
+            ),
+        ));
+        return;
+    };
+    let Some(fields) = struct_fields(&struct_file.code, pair.struct_name) else {
+        diags.push(Diagnostic::new(
+            pair.struct_file,
+            1,
+            "key-completeness",
+            format!(
+                "struct `{}` not found in {} (config drift?)",
+                pair.struct_name, pair.struct_file
+            ),
+        ));
+        return;
+    };
+    let Some(fn_file) = ws.files.get(pair.fn_file) else {
+        diags.push(Diagnostic::new(
+            pair.fn_file,
+            1,
+            "key-completeness",
+            format!(
+                "configured key-function file missing: cannot check `{}` (config drift?)",
+                pair.fn_name
+            ),
+        ));
+        return;
+    };
+    let Some((fn_line, body)) = fn_body(&fn_file.code, pair.fn_name, pair.impl_for) else {
+        diags.push(Diagnostic::new(
+            pair.fn_file,
+            1,
+            "key-completeness",
+            format!(
+                "key function `{}` not found in {} (config drift?)",
+                pair.fn_name, pair.fn_file
+            ),
+        ));
+        return;
+    };
+    for (field, _line) in fields {
+        let consumed = body
+            .iter()
+            .any(|t| t.kind == TokenKind::Ident && t.text == field);
+        if !consumed {
+            diags.push(Diagnostic::new(
+                pair.fn_file,
+                fn_line,
+                "key-completeness",
+                format!(
+                    "`{}::{}` is not consumed by `{}` ({}): a cache keyed on this \
+                     function cannot distinguish configurations differing in `{field}`",
+                    pair.struct_name, field, pair.fn_name, pair.role
+                ),
+            ));
+        }
+    }
+}
+
+/// Field names (with declaration lines) of `struct name { ... }`.
+/// Returns `None` when the struct is absent or not brace-style.
+fn struct_fields(code: &[Token], name: &str) -> Option<Vec<(String, u32)>> {
+    let mut i = 0;
+    while i + 1 < code.len() {
+        if code[i].is_ident("struct") && code[i + 1].is_ident(name) {
+            // Find the opening brace (skipping generics — none of the
+            // checked structs have any, but `<...>` would pass through
+            // here harmlessly).
+            let mut j = i + 2;
+            while j < code.len() && !code[j].is_punct('{') {
+                if code[j].is_punct(';') || code[j].is_punct('(') {
+                    return None; // unit or tuple struct: unsupported
+                }
+                j += 1;
+            }
+            let close = matching(code, j, '{', '}')?;
+            return Some(fields_in(&code[j..=close]));
+        }
+        i += 1;
+    }
+    None
+}
+
+/// Field idents at brace depth 1 of a struct body (attributes skipped).
+fn fields_in(body: &[Token]) -> Vec<(String, u32)> {
+    let mut out = Vec::new();
+    let mut depth = 0i32;
+    let mut i = 0;
+    while i < body.len() {
+        let tok = &body[i];
+        if tok.is_punct('{') {
+            depth += 1;
+        } else if tok.is_punct('}') {
+            depth -= 1;
+        } else if tok.is_punct('#') && body.get(i + 1).is_some_and(|t| t.is_punct('[')) {
+            if let Some(close) = matching(body, i + 1, '[', ']') {
+                i = close + 1;
+                continue;
+            }
+        } else if depth == 1
+            && tok.kind == TokenKind::Ident
+            && body.get(i + 1).is_some_and(|t| t.is_punct(':'))
+            && !body.get(i + 2).is_some_and(|t| t.is_punct(':'))
+            && (i == 0 || !body[i - 1].is_punct(':'))
+        {
+            out.push((tok.text.clone(), tok.line));
+        }
+        i += 1;
+    }
+    out
+}
+
+/// Locates `fn name` (optionally inside the `impl` block whose header
+/// mentions `impl_for`) and returns its declaration line plus body
+/// tokens.
+fn fn_body<'a>(
+    code: &'a [Token],
+    name: &str,
+    impl_for: Option<&str>,
+) -> Option<(u32, &'a [Token])> {
+    match impl_for {
+        None => fn_body_in(code, name),
+        Some(ty) => {
+            let mut i = 0;
+            while i < code.len() {
+                if code[i].is_ident("impl") {
+                    // Header runs to the block's opening brace.
+                    let mut j = i + 1;
+                    while j < code.len() && !code[j].is_punct('{') {
+                        j += 1;
+                    }
+                    let header_hits = code[i + 1..j]
+                        .iter()
+                        .any(|t| t.kind == TokenKind::Ident && t.text == ty);
+                    if header_hits {
+                        if let Some(close) = matching(code, j, '{', '}') {
+                            if let Some(found) = fn_body_in(&code[j..=close], name) {
+                                return Some(found);
+                            }
+                            i = close + 1;
+                            continue;
+                        }
+                    }
+                    i = j;
+                    continue;
+                }
+                i += 1;
+            }
+            None
+        }
+    }
+}
+
+/// First `fn name { ... }` in `code`; body = tokens between its braces.
+fn fn_body_in<'a>(code: &'a [Token], name: &str) -> Option<(u32, &'a [Token])> {
+    let mut i = 0;
+    while i + 1 < code.len() {
+        if code[i].is_ident("fn") && code[i + 1].is_ident(name) {
+            // Body starts at the first `{` at paren depth 0 after the
+            // signature (parameter lists and return types carry parens,
+            // never braces, in this workspace's style).
+            let mut j = i + 2;
+            let mut paren = 0i32;
+            while j < code.len() {
+                if code[j].is_punct('(') {
+                    paren += 1;
+                } else if code[j].is_punct(')') {
+                    paren -= 1;
+                } else if code[j].is_punct('{') && paren == 0 {
+                    let close = matching(code, j, '{', '}')?;
+                    return Some((code[i].line, &code[j..=close]));
+                }
+                j += 1;
+            }
+            return None;
+        }
+        i += 1;
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    #[test]
+    fn fields_are_extracted_with_attributes_skipped() {
+        let code =
+            lex("pub struct G { pub a: usize, #[doc = \"x: y\"] pub b: Vec<(u8, u8)>, c: T }");
+        let fields = struct_fields(&code, "G").expect("struct found");
+        let names: Vec<_> = fields.iter().map(|(n, _)| n.as_str()).collect();
+        assert_eq!(names, ["a", "b", "c"]);
+    }
+
+    #[test]
+    fn fn_resolution_disambiguates_by_impl_block() {
+        let src = "
+impl A { pub fn key(&self) -> u64 { self.x } }
+impl B { pub fn key(&self) -> u64 { self.y } }
+";
+        let code = lex(src);
+        let (_, body_a) = fn_body(&code, "key", Some("A")).expect("A::key");
+        assert!(body_a.iter().any(|t| t.is_ident("x")));
+        let (_, body_b) = fn_body(&code, "key", Some("B")).expect("B::key");
+        assert!(body_b.iter().any(|t| t.is_ident("y")));
+    }
+
+    #[test]
+    fn nested_field_braces_do_not_leak_fields() {
+        // Methods in an impl block are not fields; only depth-1 `x:` hits.
+        let code = lex("struct S { a: fmt::Formatter<'static>, b: u8 }");
+        let fields = struct_fields(&code, "S").expect("struct found");
+        let names: Vec<_> = fields.iter().map(|(n, _)| n.as_str()).collect();
+        assert_eq!(names, ["a", "b"]);
+    }
+}

@@ -1,0 +1,92 @@
+//! The rule families and the catalogue the CLI prints.
+
+pub mod determinism;
+pub mod keys;
+pub mod panics;
+pub mod sync;
+
+use crate::config::LintConfig;
+use crate::diag::Diagnostic;
+use crate::workspace::Workspace;
+
+/// One catalogue row: rule name plus what it protects.
+#[derive(Debug, Clone, Copy)]
+pub struct RuleInfo {
+    /// Stable rule name (the `lint: allow(<name>)` vocabulary).
+    pub name: &'static str,
+    /// Rule family, as in DESIGN.md §10.
+    pub family: &'static str,
+    /// One-line description of the protected invariant.
+    pub description: &'static str,
+}
+
+/// Every rule, in family order. `leaky_lint rules` prints this table;
+/// DESIGN.md §10 documents the rationale per row.
+pub const RULES: [RuleInfo; 8] = [
+    RuleInfo {
+        name: "wall-clock",
+        family: "determinism",
+        description: "no Instant::now()/SystemTime in crates feeding content keys, sweep output or goldens",
+    },
+    RuleInfo {
+        name: "ambient-rng",
+        family: "determinism",
+        description: "no thread_rng/RandomState/rand::random — randomness flows from derived per-cell seeds",
+    },
+    RuleInfo {
+        name: "unordered-collections",
+        family: "determinism",
+        description: "no HashMap/HashSet in determinism-critical crates — use BTree collections or sort",
+    },
+    RuleInfo {
+        name: "panic",
+        family: "panic-freedom",
+        description: "no unwrap/expect/panic!/todo!/unimplemented! in library code outside #[cfg(test)]",
+    },
+    RuleInfo {
+        name: "key-completeness",
+        family: "cache-keys",
+        description: "every field of FrontendGeometry/CostModel/FrontendConfig/ChannelParams reaches its key/provenance function",
+    },
+    RuleInfo {
+        name: "registry-docs",
+        family: "cross-artifact",
+        description: "every channels::REGISTRY entry is documented in EXPERIMENTS.md",
+    },
+    RuleInfo {
+        name: "spec-goldens",
+        family: "cross-artifact",
+        description: "every Experiment spec has a committed golden under crates/bench/tests/golden/",
+    },
+    RuleInfo {
+        name: "bin-sources",
+        family: "cross-artifact",
+        description: "every [[bin]] has a source file and every src/bin/*.rs is declared",
+    },
+];
+
+/// Runs every rule over the loaded workspace and returns the surviving
+/// (non-escaped) diagnostics, sorted by file, line and rule.
+pub fn run_all(ws: &Workspace, cfg: &LintConfig) -> Vec<Diagnostic> {
+    let mut diags = Vec::new();
+    determinism::check(ws, cfg, &mut diags);
+    panics::check(ws, &mut diags);
+    keys::check(ws, cfg, &mut diags);
+    sync::check(ws, cfg, &mut diags);
+    diags.retain(|d| !is_escaped(ws, d));
+    diags.sort();
+    diags.dedup();
+    diags
+}
+
+/// Whether a `lint: allow(<rule>)` escape suppresses `d` — in the
+/// source file or manifest the diagnostic anchors to.
+fn is_escaped(ws: &Workspace, d: &Diagnostic) -> bool {
+    if let Some(file) = ws.files.get(&d.file) {
+        return file.is_allowed(d.rule, d.line);
+    }
+    if let Some(manifest) = ws.manifests.get(&d.file) {
+        return manifest.is_allowed(d.rule, d.line);
+    }
+    false
+}

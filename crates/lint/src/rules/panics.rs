@@ -1,0 +1,63 @@
+//! Panic-freedom rule: library code must surface failures as values.
+//!
+//! `unwrap`/`expect` and the `panic!`/`todo!`/`unimplemented!` macros
+//! are forbidden in library code outside `#[cfg(test)]`. Binaries
+//! (`src/bin/**`, `src/main.rs`), benches, tests and doc examples are
+//! exempt; an intentional, *documented* panic contract (a `# Panics`
+//! section) is annotated with `// lint: allow(panic)` at the call site.
+//!
+//! `assert!`-family macros and `unreachable!` are deliberately not
+//! flagged: they assert internal invariants, not fallible inputs.
+
+use crate::diag::Diagnostic;
+use crate::workspace::Workspace;
+
+const PANIC_MACROS: [&str; 3] = ["panic", "todo", "unimplemented"];
+const PANIC_METHODS: [&str; 2] = ["unwrap", "expect"];
+
+/// Flags panicking constructs in non-test library code.
+pub fn check(ws: &Workspace, diags: &mut Vec<Diagnostic>) {
+    for file in ws.files.values() {
+        if !file.is_library {
+            continue;
+        }
+        let code = &file.code;
+        for (i, tok) in code.iter().enumerate() {
+            if file.is_test_line(tok.line) {
+                continue;
+            }
+            // `.unwrap(` / `.expect(` method calls. The leading dot
+            // keeps definitions (`fn unwrap`) and free functions out.
+            let is_method = PANIC_METHODS.iter().any(|m| tok.is_ident(m))
+                && i > 0
+                && code[i - 1].is_punct('.')
+                && code.get(i + 1).is_some_and(|t| t.is_punct('('));
+            if is_method {
+                diags.push(Diagnostic::new(
+                    &file.rel_path,
+                    tok.line,
+                    "panic",
+                    format!(
+                        "`.{}()` in library code: return a `Result`/`Option` (or escape a \
+                         documented `# Panics` contract with `lint: allow(panic)`)",
+                        tok.text
+                    ),
+                ));
+            }
+            let is_macro = PANIC_MACROS.iter().any(|m| tok.is_ident(m))
+                && code.get(i + 1).is_some_and(|t| t.is_punct('!'));
+            if is_macro {
+                diags.push(Diagnostic::new(
+                    &file.rel_path,
+                    tok.line,
+                    "panic",
+                    format!(
+                        "`{}!` in library code: surface the failure as a value (or escape \
+                         a documented `# Panics` contract with `lint: allow(panic)`)",
+                        tok.text
+                    ),
+                ));
+            }
+        }
+    }
+}

@@ -1,0 +1,177 @@
+//! Cross-artifact sync rules: the code, the docs and the committed
+//! goldens must name the same things.
+//!
+//! * `registry-docs` — every `channels::REGISTRY` entry is documented
+//!   in EXPERIMENTS.md (an undocumented channel is invisible to users
+//!   of the sweep CLI).
+//! * `spec-goldens` — every registered `Experiment` spec has a
+//!   committed golden under `crates/bench/tests/golden/` (a spec
+//!   without a golden has no determinism pin).
+//! * `bin-sources` — every `[[bin]]` in a crate manifest points at an
+//!   existing source file, and every `src/bin/*.rs` is declared (this
+//!   workspace declares all binary targets explicitly).
+
+use crate::config::LintConfig;
+use crate::diag::Diagnostic;
+use crate::lexer::TokenKind;
+use crate::workspace::Workspace;
+
+/// Runs all three sync rules.
+pub fn check(ws: &Workspace, cfg: &LintConfig, diags: &mut Vec<Diagnostic>) {
+    registry_docs(ws, cfg, diags);
+    spec_goldens(ws, cfg, diags);
+    bin_sources(ws, diags);
+}
+
+/// `registry-docs`: REGISTRY rows (`name: "..."` in the registry file)
+/// must each appear in the docs file.
+fn registry_docs(ws: &Workspace, cfg: &LintConfig, diags: &mut Vec<Diagnostic>) {
+    let Some(file) = ws.files.get(cfg.registry_file) else {
+        diags.push(Diagnostic::new(
+            cfg.registry_file,
+            1,
+            "registry-docs",
+            "channel registry file missing (config drift?)".into(),
+        ));
+        return;
+    };
+    let docs = ws.read_artifact(cfg.docs_file);
+    let code = &file.code;
+    let mut rows = 0usize;
+    for (i, tok) in code.iter().enumerate() {
+        // A registry row field: `name: "literal"` in non-test code. The
+        // struct *declaration* (`name: &'static str`) follows the colon
+        // with punctuation, so only data rows match.
+        let is_row = tok.is_ident("name")
+            && !file.is_test_line(tok.line)
+            && code.get(i + 1).is_some_and(|t| t.is_punct(':'))
+            && code
+                .get(i + 2)
+                .is_some_and(|t| t.kind == TokenKind::Literal);
+        if !is_row {
+            continue;
+        }
+        rows += 1;
+        let channel = &code[i + 2].text;
+        let documented = docs
+            .as_deref()
+            .is_some_and(|d| d.contains(channel.as_str()));
+        if !documented {
+            diags.push(Diagnostic::new(
+                &file.rel_path,
+                tok.line,
+                "registry-docs",
+                format!(
+                    "channel `{channel}` is registered but never mentioned in {}",
+                    cfg.docs_file
+                ),
+            ));
+        }
+    }
+    if rows == 0 {
+        diags.push(Diagnostic::new(
+            &file.rel_path,
+            1,
+            "registry-docs",
+            "no `name: \"...\"` registry rows found (config drift?)".into(),
+        ));
+    }
+}
+
+/// `spec-goldens`: every `fn name` of an experiment spec returns a
+/// string literal; `<golden_dir>/<that string>.txt` must exist.
+fn spec_goldens(ws: &Workspace, cfg: &LintConfig, diags: &mut Vec<Diagnostic>) {
+    let prefix = format!("{}/", cfg.experiments_dir);
+    let mut specs = 0usize;
+    for (rel, file) in &ws.files {
+        if !rel.starts_with(&prefix) {
+            continue;
+        }
+        let code = &file.code;
+        for (i, tok) in code.iter().enumerate() {
+            let is_name_fn = tok.is_ident("fn")
+                && !file.is_test_line(tok.line)
+                && code.get(i + 1).is_some_and(|t| t.is_ident("name"));
+            if !is_name_fn {
+                continue;
+            }
+            // First string literal after the signature is the spec name
+            // (`fn name(&self) -> &'static str { "tab3_all_channels" }`).
+            let Some(name_tok) = code[i + 2..].iter().take(16).find(|t| {
+                t.kind == TokenKind::Literal && !t.text.chars().all(|c| c.is_ascii_digit())
+            }) else {
+                continue;
+            };
+            specs += 1;
+            let golden = format!("{}/{}.txt", cfg.golden_dir, name_tok.text);
+            if !ws.artifact_exists(&golden) {
+                diags.push(Diagnostic::new(
+                    rel,
+                    tok.line,
+                    "spec-goldens",
+                    format!(
+                        "experiment spec `{}` has no committed golden at {golden}: without \
+                         one, nothing pins its output bytes",
+                        name_tok.text
+                    ),
+                ));
+            }
+        }
+    }
+    if specs == 0 {
+        diags.push(Diagnostic::new(
+            cfg.experiments_dir,
+            1,
+            "spec-goldens",
+            "no experiment specs found (config drift?)".into(),
+        ));
+    }
+}
+
+/// `bin-sources`: manifests and `src/bin/` trees agree.
+fn bin_sources(ws: &Workspace, diags: &mut Vec<Diagnostic>) {
+    for (rel, manifest) in &ws.manifests {
+        let crate_prefix = rel.trim_end_matches("Cargo.toml");
+        for bin in &manifest.bins {
+            let display = bin.name.as_deref().unwrap_or("<unnamed>");
+            let Some(path) = &bin.path else {
+                diags.push(Diagnostic::new(
+                    rel,
+                    bin.line,
+                    "bin-sources",
+                    format!("[[bin]] `{display}` has no explicit `path` (declare it)"),
+                ));
+                continue;
+            };
+            let full = format!("{crate_prefix}{path}");
+            if !ws.artifact_exists(&full) {
+                diags.push(Diagnostic::new(
+                    rel,
+                    bin.line,
+                    "bin-sources",
+                    format!("[[bin]] `{display}` points at missing source {full}"),
+                ));
+            }
+        }
+    }
+    // Reverse direction: every src/bin/*.rs must be declared.
+    for (rel, _) in ws.files.iter() {
+        let Some(idx) = rel.find("/src/bin/") else {
+            continue;
+        };
+        let manifest_rel = format!("{}/Cargo.toml", &rel[..idx]);
+        let bin_path = &rel[idx + 1..]; // "src/bin/foo.rs"
+        let declared = ws
+            .manifests
+            .get(&manifest_rel)
+            .is_some_and(|m| m.bins.iter().any(|b| b.path.as_deref() == Some(bin_path)));
+        if !declared {
+            diags.push(Diagnostic::new(
+                rel,
+                1,
+                "bin-sources",
+                format!("binary source {rel} is not declared as a [[bin]] in {manifest_rel}"),
+            ));
+        }
+    }
+}

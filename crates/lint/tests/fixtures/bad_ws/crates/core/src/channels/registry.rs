@@ -1,0 +1,10 @@
+//! Registry fixture: `beta` is not mentioned in EXPERIMENTS.md.
+
+pub struct ChannelInfo {
+    pub name: &'static str,
+}
+
+pub const REGISTRY: [ChannelInfo; 2] = [
+    ChannelInfo { name: "alpha" },
+    ChannelInfo { name: "beta" },
+];

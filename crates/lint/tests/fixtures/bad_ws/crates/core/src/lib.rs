@@ -1,0 +1,15 @@
+//! Determinism-critical fixture crate: three seeded violations.
+
+pub fn stamp() -> u64 {
+    let t = Instant::now();
+    t.elapsed().as_nanos() as u64
+}
+
+pub fn noise() -> u64 {
+    thread_rng().gen()
+}
+
+pub fn tally() -> usize {
+    let m = HashMap::new();
+    m.len()
+}

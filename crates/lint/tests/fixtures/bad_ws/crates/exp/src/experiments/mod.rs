@@ -1,0 +1,18 @@
+//! Two experiment specs: `pinned_grid` has a committed golden,
+//! `demo_grid` does not (the seeded `spec-goldens` violation).
+
+pub struct PinnedGrid;
+
+impl PinnedGrid {
+    pub fn name(&self) -> &'static str {
+        "pinned_grid"
+    }
+}
+
+pub struct DemoGrid;
+
+impl DemoGrid {
+    pub fn name(&self) -> &'static str {
+        "demo_grid"
+    }
+}

@@ -1,0 +1,10 @@
+//! Geometry key pair struct, plus the seeded `panic` violation.
+
+pub struct FrontendGeometry {
+    pub sets: usize,
+    pub ways: usize,
+}
+
+pub fn first(v: &[u32]) -> u32 {
+    v.first().copied().unwrap()
+}

@@ -1,0 +1,10 @@
+//! Registry fixture: `beta` is undocumented but explicitly escaped.
+
+pub struct ChannelInfo {
+    pub name: &'static str,
+}
+
+pub const REGISTRY: [ChannelInfo; 2] = [
+    ChannelInfo { name: "alpha" },
+    ChannelInfo { name: "beta" }, // lint: allow(registry-docs) — internal-only channel
+];

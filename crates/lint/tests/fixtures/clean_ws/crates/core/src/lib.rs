@@ -1,0 +1,17 @@
+//! Determinism-critical fixture crate: the same three violation sites
+//! as bad_ws, each escaped on its own line.
+
+pub fn stamp() -> u64 {
+    let t = Instant::now(); // lint: allow(wall-clock) — operator telemetry only
+    t.elapsed().as_nanos() as u64
+}
+
+pub fn noise() -> u64 {
+    thread_rng().gen() // lint: allow(ambient-rng) — fixture exception
+}
+
+pub fn tally() -> usize {
+    // lint: allow(unordered-collections) — never iterated
+    let m = HashMap::new();
+    m.len()
+}

@@ -1,0 +1,11 @@
+//! ChannelParams key pair: complete (the Display impl consumes `d`).
+
+pub struct ChannelParams {
+    pub d: usize,
+}
+
+impl fmt::Display for ChannelParams {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "d={}", self.d)
+    }
+}

@@ -1,0 +1,19 @@
+//! Two experiment specs: `pinned_grid` has a committed golden;
+//! `demo_grid` does not, but carries the escape.
+
+pub struct PinnedGrid;
+
+impl PinnedGrid {
+    pub fn name(&self) -> &'static str {
+        "pinned_grid"
+    }
+}
+
+pub struct DemoGrid;
+
+impl DemoGrid {
+    // lint: allow(spec-goldens) — demo spec, output is illustrative only
+    pub fn name(&self) -> &'static str {
+        "demo_grid"
+    }
+}

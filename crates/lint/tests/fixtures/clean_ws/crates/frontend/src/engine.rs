@@ -1,0 +1,11 @@
+//! FrontendConfig key pair: complete (`profile_key` consumes `lsd`).
+
+pub struct FrontendConfig {
+    pub lsd: bool,
+}
+
+impl FrontendConfig {
+    pub fn profile_key(&self) -> u64 {
+        self.lsd as u64
+    }
+}

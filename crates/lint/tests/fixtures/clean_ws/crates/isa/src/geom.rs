@@ -1,0 +1,10 @@
+//! Geometry key pair struct; the unwrap site carries its escape.
+
+pub struct FrontendGeometry {
+    pub sets: usize,
+    pub ways: usize,
+}
+
+pub fn first(v: &[u32]) -> u32 {
+    v.first().copied().unwrap() // lint: allow(panic) — caller guarantees non-empty
+}

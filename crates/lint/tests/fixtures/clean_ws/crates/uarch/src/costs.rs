@@ -1,0 +1,5 @@
+//! Cost-model key pair: complete (`hash_costs` consumes `hit`).
+
+pub struct CostModel {
+    pub hit: u64,
+}

@@ -1,0 +1,70 @@
+//! Fixture-corpus tests: `bad_ws` seeds exactly one violation per rule
+//! and every one must be caught; `clean_ws` is the same workspace with
+//! each violation escaped via `lint: allow(...)` and must pass — so
+//! these tests pin both directions of every rule (detection and
+//! suppression) against real on-disk mini-workspaces.
+
+use std::path::PathBuf;
+
+use leaky_lint::{check_workspace, LintConfig, RULES};
+
+fn fixture(name: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/fixtures")
+        .join(name)
+}
+
+#[test]
+fn bad_fixture_trips_every_rule_exactly_once() {
+    let diags = check_workspace(&fixture("bad_ws"), &LintConfig::default())
+        .expect("fixture workspace loads");
+    for rule in RULES {
+        let hits: Vec<_> = diags.iter().filter(|d| d.rule == rule.name).collect();
+        assert_eq!(
+            hits.len(),
+            1,
+            "rule `{}` should fire exactly once in bad_ws, got: {hits:#?}",
+            rule.name
+        );
+    }
+    assert_eq!(
+        diags.len(),
+        RULES.len(),
+        "no diagnostics beyond the seeded ones: {diags:#?}"
+    );
+}
+
+#[test]
+fn bad_fixture_diagnostics_anchor_to_the_seeded_files() {
+    let diags = check_workspace(&fixture("bad_ws"), &LintConfig::default())
+        .expect("fixture workspace loads");
+    let anchor = |rule: &str| {
+        diags
+            .iter()
+            .find(|d| d.rule == rule)
+            .unwrap_or_else(|| panic!("rule {rule} missing"))
+            .file
+            .clone()
+    };
+    assert_eq!(anchor("wall-clock"), "crates/core/src/lib.rs");
+    assert_eq!(anchor("ambient-rng"), "crates/core/src/lib.rs");
+    assert_eq!(anchor("unordered-collections"), "crates/core/src/lib.rs");
+    assert_eq!(anchor("panic"), "crates/isa/src/geom.rs");
+    assert_eq!(anchor("key-completeness"), "crates/uarch/src/profile.rs");
+    assert_eq!(
+        anchor("registry-docs"),
+        "crates/core/src/channels/registry.rs"
+    );
+    assert_eq!(anchor("spec-goldens"), "crates/exp/src/experiments/mod.rs");
+    assert_eq!(anchor("bin-sources"), "crates/core/Cargo.toml");
+}
+
+#[test]
+fn clean_fixture_escapes_suppress_every_violation() {
+    let diags = check_workspace(&fixture("clean_ws"), &LintConfig::default())
+        .expect("fixture workspace loads");
+    assert!(
+        diags.is_empty(),
+        "clean_ws must be clean — escapes failed for: {diags:#?}"
+    );
+}

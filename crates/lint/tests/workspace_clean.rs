@@ -1,0 +1,48 @@
+//! Self-test: the real workspace must be lint-clean. This is the same
+//! check CI runs via `cargo run -p leaky_lint -- check`, wired into
+//! `cargo test` so a violation fails the ordinary test suite too.
+
+use std::path::PathBuf;
+
+use leaky_lint::{check_workspace, LintConfig, Workspace};
+
+fn workspace_root() -> PathBuf {
+    // crates/lint/../.. == the workspace root.
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .canonicalize()
+        .expect("workspace root resolves")
+}
+
+#[test]
+fn the_workspace_is_lint_clean() {
+    let diags =
+        check_workspace(&workspace_root(), &LintConfig::default()).expect("workspace loads");
+    assert!(
+        diags.is_empty(),
+        "workspace has lint violations:\n{}",
+        diags
+            .iter()
+            .map(|d| format!("  {d}"))
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+}
+
+#[test]
+fn the_scan_actually_covers_the_workspace() {
+    // Guard against a silent no-op: if the walker ever stops finding the
+    // crates (renamed dirs, broken root detection), an "all clean" result
+    // would be meaningless. The workspace has well over 50 source files.
+    let ws = Workspace::load(&workspace_root()).expect("workspace loads");
+    assert!(
+        ws.files.len() > 50,
+        "suspiciously few files scanned: {}",
+        ws.files.len()
+    );
+    assert!(
+        ws.manifests.len() > 10,
+        "suspiciously few manifests scanned: {}",
+        ws.manifests.len()
+    );
+}

@@ -34,6 +34,7 @@
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+#![deny(rustdoc::broken_intra_doc_links)]
 
 use leaky_cpu::Core;
 use leaky_frontend::ThreadId;
@@ -137,7 +138,7 @@ impl Enclave {
         body: impl FnOnce(&mut Core, ThreadId) -> R,
     ) -> R {
         self.try_call(core, tid, body)
-            .unwrap_or_else(|e| panic!("{e}"))
+            .unwrap_or_else(|e| panic!("{e}")) // lint: allow(panic) — documented panicking wrapper over try_call
     }
 }
 

@@ -143,7 +143,7 @@ impl SpectreV1 {
                 .enumerate()
                 .max_by_key(|&(_, v)| v)
                 .map(|(i, _)| i as u8)
-                .expect("non-empty votes");
+                .expect("non-empty votes"); // lint: allow(panic) — votes has a fixed 256 entries
             recovered.push(best);
         }
 

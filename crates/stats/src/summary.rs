@@ -158,6 +158,9 @@ impl FromIterator<f64> for OnlineStats {
 /// Returns the median of a slice (average of the two middle elements for even
 /// lengths), or `None` for an empty slice.
 ///
+/// Samples are ordered with [`f64::total_cmp`], so NaN inputs sort
+/// after `+inf` instead of aborting the sweep mid-render.
+///
 /// # Examples
 ///
 /// ```
@@ -169,7 +172,7 @@ pub fn median(samples: &[f64]) -> Option<f64> {
         return None;
     }
     let mut sorted = samples.to_vec();
-    sorted.sort_by(|a, b| a.partial_cmp(b).expect("median: NaN in samples"));
+    sorted.sort_by(f64::total_cmp);
     let n = sorted.len();
     Some(if n % 2 == 1 {
         sorted[n / 2]
@@ -181,16 +184,19 @@ pub fn median(samples: &[f64]) -> Option<f64> {
 /// Returns the `q`-quantile (0.0..=1.0) of a slice using linear
 /// interpolation, or `None` for an empty slice.
 ///
+/// Samples are ordered with [`f64::total_cmp`], so NaN inputs sort
+/// after `+inf` instead of aborting the sweep mid-render.
+///
 /// # Panics
 ///
-/// Panics if `q` is outside `[0, 1]` or any sample is NaN.
+/// Panics if `q` is outside `[0, 1]`.
 pub fn quantile(samples: &[f64], q: f64) -> Option<f64> {
     assert!((0.0..=1.0).contains(&q), "quantile: q must be in [0, 1]");
     if samples.is_empty() {
         return None;
     }
     let mut sorted = samples.to_vec();
-    sorted.sort_by(|a, b| a.partial_cmp(b).expect("quantile: NaN in samples"));
+    sorted.sort_by(f64::total_cmp);
     let pos = q * (sorted.len() - 1) as f64;
     let lo = pos.floor() as usize;
     let hi = pos.ceil() as usize;

@@ -114,15 +114,15 @@ impl ThresholdDecoderBuilder {
         if self.zeros.is_empty() || self.ones.is_empty() {
             return Err(CalibrationError::EmptyClass);
         }
-        let center = |samples: &[f64]| -> f64 {
+        let center = |samples: &[f64]| -> Result<f64, CalibrationError> {
             if self.robust {
-                crate::summary::median(samples).expect("non-empty class")
+                crate::summary::median(samples).ok_or(CalibrationError::EmptyClass)
             } else {
-                samples.iter().sum::<f64>() / samples.len() as f64
+                Ok(samples.iter().sum::<f64>() / samples.len() as f64)
             }
         };
-        let zero_mean = center(&self.zeros);
-        let one_mean = center(&self.ones);
+        let zero_mean = center(&self.zeros)?;
+        let one_mean = center(&self.ones)?;
         if (one_mean - zero_mean).abs() < f64::EPSILON * zero_mean.abs().max(1.0) {
             return Err(CalibrationError::DegenerateClasses);
         }

@@ -18,6 +18,10 @@
 //! * [`stats`] — histograms, edit distance, threshold calibration
 //! * [`exp`] — deterministic parallel experiment orchestration (sweeps)
 
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![deny(rustdoc::broken_intra_doc_links)]
+
 pub use leaky_backend as backend;
 pub use leaky_cache as cache;
 pub use leaky_cpu as cpu;
