@@ -1,8 +1,11 @@
-//! `leaky_sweep`: the unified experiment-sweep CLI (DESIGN.md §7).
+//! `leaky_sweep`: the unified experiment-sweep CLI (DESIGN.md §7, §11).
 //!
 //! Runs registered `leaky_exp` experiments on the deterministic scoped
 //! worker pool and renders them in one of three formats. Output is
-//! byte-identical at any `--jobs N` (pinned by `tests/sweep_determinism.rs`).
+//! byte-identical at any `--jobs N` (pinned by `tests/sweep_determinism.rs`),
+//! and — with `--store`/`--resume` — byte-identical whether cells were
+//! computed fresh or served from the on-disk result store (pinned by
+//! `tests/sweep_resume.rs`).
 //!
 //! ```text
 //! leaky_sweep                          # run every registered sweep, table format
@@ -12,15 +15,27 @@
 //! leaky_sweep --quick --jobs 4         # CI smoke grids on 4 workers
 //! leaky_sweep --format json            # leaky-frontends/sweep/v1 document
 //! leaky_sweep --format legacy tab3_all_channels   # pre-migration stdout
+//! leaky_sweep --store results/ --resume --quick   # crash-safe resumable sweep
+//! leaky_sweep --retries 2              # re-seeded retries for dying cells
+//! leaky_sweep --faults 'panic:k1;abort:k2'        # deterministic fault drill
 //! ```
+//!
+//! Store traffic is reported on *stderr* (`store[...]: ...` lines);
+//! stdout stays a pure function of the sweep's deterministic state.
+//!
+//! Exit codes: 0 success (even with failed cells — they are rows, not
+//! errors), 2 usage error, 3 sweep aborted by the fault plan, 1 store
+//! I/O failure.
 
 use std::process::ExitCode;
 
 use leaky_bench::sweep::{
     default_jobs, has_legacy_rendering, render_json_document, render_legacy, render_table,
+    suggest_experiments,
 };
-use leaky_exp::{run_experiment, standard_registry};
+use leaky_exp::{run_experiment_with, standard_registry, FaultPlan, RunConfig, SweepError};
 use leaky_frontends::channels::REGISTRY;
+use leaky_store::ResultStore;
 
 enum Format {
     Table,
@@ -29,7 +44,8 @@ enum Format {
 }
 
 fn usage() -> &'static str {
-    "usage: leaky_sweep [EXPERIMENT...] [--list] [--channels] [--quick] [--jobs N] [--format table|json|legacy]"
+    "usage: leaky_sweep [EXPERIMENT...] [--list] [--channels] [--quick] [--jobs N] \
+     [--format table|json|legacy] [--store DIR] [--resume] [--retries K] [--faults SPEC]"
 }
 
 fn main() -> ExitCode {
@@ -42,6 +58,10 @@ fn main() -> ExitCode {
     let mut channels = false;
     let mut jobs = default_jobs();
     let mut format = Format::Table;
+    let mut store_dir: Option<String> = None;
+    let mut resume = false;
+    let mut retries: u32 = 0;
+    let mut faults_spec: Option<String> = None;
 
     let mut it = args.iter();
     while let Some(arg) = it.next() {
@@ -49,6 +69,7 @@ fn main() -> ExitCode {
             "--quick" => quick = true,
             "--list" => list = true,
             "--channels" => channels = true,
+            "--resume" => resume = true,
             "--help" | "-h" => {
                 println!("{}", usage());
                 return ExitCode::SUCCESS;
@@ -63,6 +84,27 @@ fn main() -> ExitCode {
                     return ExitCode::from(2);
                 };
                 jobs = n;
+            }
+            "--retries" => {
+                let Some(n) = it.next().and_then(|v| v.parse::<u32>().ok()) else {
+                    eprintln!("--retries needs a non-negative integer\n{}", usage());
+                    return ExitCode::from(2);
+                };
+                retries = n;
+            }
+            "--store" => {
+                let Some(dir) = it.next() else {
+                    eprintln!("--store needs a directory\n{}", usage());
+                    return ExitCode::from(2);
+                };
+                store_dir = Some(dir.clone());
+            }
+            "--faults" => {
+                let Some(spec) = it.next() else {
+                    eprintln!("--faults needs a spec string\n{}", usage());
+                    return ExitCode::from(2);
+                };
+                faults_spec = Some(spec.clone());
             }
             "--format" => {
                 format = match it.next().map(String::as_str) {
@@ -108,13 +150,27 @@ fn main() -> ExitCode {
         return ExitCode::SUCCESS;
     }
 
+    if resume && store_dir.is_none() {
+        eprintln!(
+            "--resume needs --store DIR (there is nothing to resume from)\n{}",
+            usage()
+        );
+        return ExitCode::from(2);
+    }
+
     // Validate filters before running anything expensive.
     for name in &names {
         if registry.get(name).is_none() {
+            let registered = registry.names();
             eprintln!(
                 "unknown experiment {name:?}; registered: {}",
-                registry.names().join(", ")
+                registered.join(", ")
             );
+            let near = suggest_experiments(name, &registered);
+            if !near.is_empty() {
+                eprintln!("did you mean: {}?", near.join(", "));
+            }
+            eprintln!("(run `leaky_sweep --list` for grid sizes and titles)");
             return ExitCode::from(2);
         }
     }
@@ -132,10 +188,66 @@ fn main() -> ExitCode {
         }
     }
 
-    let runs: Vec<_> = selected
-        .iter()
-        .map(|name| run_experiment(registry.get(name).expect("validated"), quick, jobs))
-        .collect();
+    let faults = match faults_spec {
+        Some(spec) => FaultPlan::parse(&spec),
+        None => FaultPlan::from_env(),
+    };
+    let faults = match faults {
+        Ok(plan) => plan,
+        Err(e) => {
+            eprintln!("bad fault spec: {e}\n{}", usage());
+            return ExitCode::from(2);
+        }
+    };
+
+    let store = match &store_dir {
+        Some(dir) => match ResultStore::open(dir) {
+            Ok(store) => Some(store),
+            Err(e) => {
+                eprintln!("cannot open result store: {e}");
+                return ExitCode::from(1);
+            }
+        },
+        None => None,
+    };
+
+    let mut runs = Vec::with_capacity(selected.len());
+    for name in &selected {
+        let cfg = RunConfig {
+            quick,
+            jobs,
+            retries,
+            resume,
+            store: store.as_ref(),
+            faults: faults.clone(),
+        };
+        let exp = registry.get(name).expect("validated");
+        match run_experiment_with(exp, &cfg) {
+            Ok(run) => {
+                if let Some(stats) = &run.store_stats {
+                    let recomputed = run.cells.len() - stats.hits;
+                    eprintln!(
+                        "store[{name}]: {} cells, {} hits, {recomputed} recomputed, {} stale, {} quarantined, {} writes",
+                        run.cells.len(),
+                        stats.hits,
+                        stats.stale,
+                        stats.quarantined,
+                        stats.writes,
+                    );
+                }
+                runs.push(run);
+            }
+            Err(SweepError::Aborted { key }) => {
+                eprintln!("sweep {name} aborted by fault plan at cell {key:?}");
+                eprintln!("completed cells are persisted; rerun with --resume to continue");
+                return ExitCode::from(3);
+            }
+            Err(SweepError::Store(e)) => {
+                eprintln!("sweep {name}: result store failed: {e}");
+                return ExitCode::from(1);
+            }
+        }
+    }
 
     match format {
         Format::Table => {

@@ -15,7 +15,7 @@
 
 use crate::table::{fmt, TableWriter};
 use leaky_exp::runner::SweepRun;
-use leaky_exp::{run_experiment, standard_registry, Experiment};
+use leaky_exp::{run_experiment, standard_registry, CellOutcome, Experiment};
 use std::fmt::Write as _;
 
 /// Worker threads to use when the caller does not say: the
@@ -270,9 +270,12 @@ pub fn render_table(run: &SweepRun) -> String {
             .map(|a| result.cell.get(a).expect("axis present").to_string()) // lint: allow(panic) — axes come from the run's own grid
             .collect();
         for m in &metrics {
-            row.push(match result.metric(m) {
-                Some(v) => metric_cell(v),
-                None => "--".to_string(),
+            row.push(match (&result.outcome, result.metric(m)) {
+                (_, Some(v)) => metric_cell(v),
+                // `!!` distinguishes a cell that *died* from a structural
+                // `--` gap; the detail line below carries the message.
+                (CellOutcome::Failed { .. }, None) => "!!".to_string(),
+                (_, None) => "--".to_string(),
             });
         }
         rows.push(row);
@@ -294,12 +297,32 @@ pub fn render_table(run: &SweepRun) -> String {
         }
     }
 
-    let unsupported = run.cells.iter().filter(|c| c.metrics.is_none()).count();
+    let unsupported = run
+        .cells
+        .iter()
+        .filter(|c| c.outcome == CellOutcome::Unsupported)
+        .count();
+    let failed = run.failed_cells();
     let _ = write!(out, "cells: {}", run.cells.len());
     if unsupported > 0 {
         let _ = write!(out, " ({unsupported} unsupported)");
     }
+    if failed > 0 {
+        let _ = write!(out, " ({failed} failed)");
+    }
     let _ = writeln!(out);
+    // Failure detail lines appear only when something failed, so a clean
+    // sweep's bytes are untouched by the fault-tolerance machinery.
+    for result in &run.cells {
+        if let Some((message, attempts)) = result.failure() {
+            let _ = writeln!(
+                out,
+                "failed {}: {message} ({attempts} attempt{})",
+                result.cell.key,
+                if attempts == 1 { "" } else { "s" }
+            );
+        }
+    }
     for (name, stats) in &run.summaries {
         let _ = writeln!(
             out,
@@ -351,23 +374,34 @@ pub fn render_json(run: &SweepRun) -> String {
             json_escape(&result.cell.key),
             result.cell.seed
         );
-        if let Some(p) = &result.provenance {
+        if let Some(p) = result.provenance() {
             let _ = write!(
                 out,
                 "\"provenance\": {{ \"channel\": \"{}\", \"profile\": \"{}\", \"params\": \"{}\" }}, ",
-                json_escape(p.channel),
-                json_escape(p.profile),
-                json_escape(&p.params.to_string())
+                json_escape(&p.channel),
+                json_escape(&p.profile),
+                json_escape(&p.params)
             );
         }
-        match &result.metrics {
-            None => {
+        match &result.outcome {
+            CellOutcome::Unsupported => {
                 let _ = write!(out, "\"supported\": false");
             }
-            Some(metrics) => {
+            CellOutcome::Failed { message, attempts } => {
+                let _ = write!(
+                    out,
+                    "\"supported\": false, \"failed\": true, \"error\": \"{}\", \"attempts\": {attempts}",
+                    json_escape(message)
+                );
+            }
+            CellOutcome::Measured(meas) => {
                 let _ = write!(out, "\"supported\": true, \"metrics\": {{ ");
-                for (j, m) in metrics.iter().enumerate() {
-                    let mcomma = if j + 1 < metrics.len() { ", " } else { " " };
+                for (j, m) in meas.metrics.iter().enumerate() {
+                    let mcomma = if j + 1 < meas.metrics.len() {
+                        ", "
+                    } else {
+                        " "
+                    };
                     let _ = write!(out, "\"{}\": {}{mcomma}", m.name, json_num(m.value));
                 }
                 let _ = write!(out, "}}");
@@ -420,6 +454,29 @@ pub fn quick_sweep_throughput(jobs: usize) -> (usize, u128) {
         ns += run.elapsed_ns;
     }
     (cells, ns)
+}
+
+/// Ranks registered experiment names by closeness to an unknown CLI
+/// filter, for the "did you mean" half of the error message. A name is
+/// suggested when it contains the typo as a substring (`fig8` →
+/// `fig8_d_sweep`) or is within an edit distance scaled to the typo's
+/// length; closest first, ties in registry order.
+pub fn suggest_experiments<'a>(unknown: &str, names: &[&'a str]) -> Vec<&'a str> {
+    let typo: Vec<char> = unknown.chars().collect();
+    let budget = (typo.len() / 3).max(2);
+    let mut scored: Vec<(usize, &'a str)> = names
+        .iter()
+        .filter_map(|name| {
+            if name.contains(unknown) || unknown.contains(*name) {
+                return Some((0, *name));
+            }
+            let d =
+                leaky_stats::distance::edit_distance(&typo, &name.chars().collect::<Vec<char>>());
+            (d <= budget).then_some((d, *name))
+        })
+        .collect();
+    scored.sort_by_key(|(d, _)| *d);
+    scored.into_iter().map(|(_, name)| name).collect()
 }
 
 /// Runs one registered experiment by name (panicking on unknown names —

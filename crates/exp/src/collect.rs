@@ -61,6 +61,14 @@ impl<T> OrderedCollector<T> {
             .map(|(i, slot)| slot.unwrap_or_else(|| panic!("cell {i} never reported"))) // lint: allow(panic) — documented `# Panics` contract
             .collect()
     }
+
+    /// Releases whatever arrived, in index order, with `None` holes for
+    /// cells that never reported — the stopped-early counterpart of
+    /// [`into_ordered`](Self::into_ordered), used when a sweep is
+    /// deliberately halted mid-grid.
+    pub fn into_partial(self) -> Vec<Option<T>> {
+        self.slots
+    }
 }
 
 #[cfg(test)]
@@ -98,6 +106,18 @@ mod tests {
     fn out_of_range_index_panics() {
         let mut c = OrderedCollector::new(2);
         c.insert(2, ());
+    }
+
+    #[test]
+    fn partial_release_keeps_holes_in_place() {
+        let mut c = OrderedCollector::new(4);
+        c.insert(2, "c");
+        c.insert(0, "a");
+        assert_eq!(
+            c.into_partial(),
+            vec![Some("a"), None, Some("c"), None],
+            "holes must stay at the indices that never reported"
+        );
     }
 
     #[test]

@@ -127,13 +127,10 @@ mod tests {
         // this, so it must match the cell's own coordinates.
         let run = run_experiment(&Tab3Uarch, true, 2);
         for cell in &run.cells {
-            if cell.metrics.is_none() {
+            if cell.metrics().is_none() {
                 continue;
             }
-            let prov = cell
-                .provenance
-                .as_ref()
-                .expect("channel cells attach provenance");
+            let prov = cell.provenance().expect("channel cells attach provenance");
             assert_eq!(prov.channel, cell.cell.str("channel"), "{}", cell.cell.key);
             assert_eq!(prov.profile, cell.cell.str("uarch"), "{}", cell.cell.key);
         }

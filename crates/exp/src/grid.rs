@@ -148,6 +148,7 @@ impl ParamGrid {
                 key,
                 coords,
                 seed,
+                attempt: 0,
             });
         }
         cells
@@ -166,9 +167,23 @@ pub struct JobCell {
     pub coords: Vec<(String, AxisValue)>,
     /// Deterministic RNG seed, derived from `key` (see [`crate::seed`]).
     pub seed: u64,
+    /// Which execution attempt this is (0 on first execution; the
+    /// runner's bounded retry re-dispatches a panicked cell with the
+    /// attempt bumped, which [`crate::seed::cell_rng`] folds into the
+    /// cell's stream so a retry replays *different* — but still fully
+    /// deterministic — randomness).
+    pub attempt: u32,
 }
 
 impl JobCell {
+    /// A copy of this cell marked as retry attempt `attempt`
+    /// (attempt 0 is the cell itself).
+    pub fn with_attempt(&self, attempt: u32) -> JobCell {
+        JobCell {
+            attempt,
+            ..self.clone()
+        }
+    }
     /// The coordinate of the named axis, if present.
     pub fn get(&self, axis: &str) -> Option<&AxisValue> {
         self.coords

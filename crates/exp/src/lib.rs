@@ -19,7 +19,15 @@
 //! * [`runner`] ties it together: an [`Experiment`] produces named f64
 //!   metrics per cell; summaries fold per-cell Welford accumulators with
 //!   `leaky_stats::summary::merge_ordered`, keeping output bit-identical
-//!   at any `--jobs N`.
+//!   at any `--jobs N`. A panicking cell is caught per-attempt and
+//!   becomes a structured [`CellOutcome::Failed`] row (with bounded,
+//!   deterministically re-seeded retries) instead of killing the sweep,
+//!   and [`RunConfig`] wires in the `leaky_store` result store for
+//!   crash-safe, resumable sweeps.
+//! * [`fault`] is the deterministic fault-injection harness: a
+//!   [`FaultPlan`] keyed by cell content key injects panics, errors,
+//!   mid-grid aborts, and store corruption, so the recovery paths above
+//!   are exercised by tests and CI drills, not just believed in.
 //! * [`experiments`] registers the migrated paper sweeps
 //!   (`tab3_all_channels`, `fig8_d_sweep`, `tab5_power_channels`,
 //!   `tab7_spectre_miss_rates`) plus an RNG-stream demo grid; the
@@ -31,6 +39,7 @@
 
 pub mod collect;
 pub mod experiments;
+pub mod fault;
 pub mod grid;
 pub mod pool;
 pub mod runner;
@@ -38,7 +47,12 @@ pub mod seed;
 
 pub use collect::OrderedCollector;
 pub use experiments::standard_registry;
+pub use fault::{Fault, FaultKind, FaultParseError, FaultPlan};
 pub use grid::{Axis, AxisValue, JobCell, ParamGrid};
+pub use pool::{run_ordered, run_ordered_observed, CellPanic, Flow, PoolRun};
 pub use runner::{
-    run_experiment, CellMeasurement, CellResult, Experiment, Metric, Registry, SweepRun,
+    code_fingerprint, run_experiment, run_experiment_with, CellMeasurement, CellOutcome,
+    CellProvenance, CellResult, DuplicateExperiment, Experiment, Metric, Registry, RunConfig,
+    SweepError, SweepRun,
 };
+pub use seed::{attempt_seed, cell_rng, derive_seed};

@@ -7,38 +7,106 @@
 //! does not depend on the pool at all — cells are pure functions of
 //! their index, and ordering is restored at collection — so any `jobs`
 //! count produces identical output.
+//!
+//! The pool is fault-isolated: a panic inside one cell is caught *in the
+//! worker* and delivered as an `Err(CellPanic)` completion, so a dying
+//! cell can neither kill its worker thread nor leave a hole that
+//! poisons the [`OrderedCollector`]. [`run_ordered_observed`] exposes
+//! the full machinery (streaming observation, early stop, partial
+//! results); [`run_ordered`] keeps the original all-or-nothing contract
+//! on top of it.
 
 use crate::collect::OrderedCollector;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::mpsc;
 use std::thread;
 
-/// Runs `f(0..n)` on `jobs` worker threads and returns the results in
-/// index order.
+/// A panic caught inside one cell, reduced to its message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CellPanic {
+    /// The panic payload, if it was a string (the overwhelmingly common
+    /// case); a placeholder otherwise.
+    pub message: String,
+}
+
+/// Extracts a printable message from a panic payload.
+pub(crate) fn panic_message(payload: Box<dyn std::any::Any + Send>) -> CellPanic {
+    let message = if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    };
+    CellPanic { message }
+}
+
+/// Observer verdict after each completion: keep going, or stop
+/// dispatching and return what finished so far.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Flow {
+    /// Keep running.
+    Continue,
+    /// Stop the sweep: workers wind down, undispatched cells never run.
+    Stop,
+}
+
+/// What [`run_ordered_observed`] returns: per-index slots (in index
+/// order) plus whether the observer stopped the run early. A `None`
+/// slot means the cell never reported (only possible when `stopped`).
+#[derive(Debug)]
+pub struct PoolRun<T> {
+    /// One slot per cell, in index order.
+    pub slots: Vec<Option<Result<T, CellPanic>>>,
+    /// Whether the observer stopped the run before completion.
+    pub stopped: bool,
+}
+
+/// Runs `f(0..n)` on `jobs` worker threads with per-cell panic
+/// isolation, invoking `observe` on the caller thread as each completion
+/// arrives (in *arrival* order — observers must not depend on it for
+/// anything deterministic; the returned slots are in index order).
 ///
 /// `jobs` is clamped to `[1, n]`; `jobs == 1` runs inline on the caller
 /// thread (no pool, no channel), which is also the reference order the
 /// parallel path must reproduce.
-///
-/// # Panics
-///
-/// A panicking cell propagates: the scope joins all workers and re-raises.
-pub fn run_ordered<T, F>(jobs: usize, n: usize, f: F) -> Vec<T>
+pub fn run_ordered_observed<T, F, O>(jobs: usize, n: usize, f: F, mut observe: O) -> PoolRun<T>
 where
     T: Send,
     F: Fn(usize) -> T + Sync,
+    O: FnMut(usize, &Result<T, CellPanic>) -> Flow,
 {
     if n == 0 {
-        return Vec::new();
+        return PoolRun {
+            slots: Vec::new(),
+            stopped: false,
+        };
     }
     let jobs = jobs.clamp(1, n);
     if jobs == 1 {
-        return (0..n).map(f).collect();
+        let mut slots: Vec<Option<Result<T, CellPanic>>> = (0..n).map(|_| None).collect();
+        for i in 0..n {
+            let result = catch_unwind(AssertUnwindSafe(|| f(i))).map_err(panic_message);
+            let flow = observe(i, &result);
+            slots[i] = Some(result);
+            if flow == Flow::Stop {
+                return PoolRun {
+                    slots,
+                    stopped: true,
+                };
+            }
+        }
+        return PoolRun {
+            slots,
+            stopped: false,
+        };
     }
 
     let next = AtomicUsize::new(0);
-    let (tx, rx) = mpsc::channel::<(usize, T)>();
+    let (tx, rx) = mpsc::channel::<(usize, Result<T, CellPanic>)>();
     let mut collector = OrderedCollector::new(n);
+    let mut stopped = false;
     thread::scope(|scope| {
         for _ in 0..jobs {
             let tx = tx.clone();
@@ -49,18 +117,56 @@ where
                 if i >= n {
                     break;
                 }
-                // A closed receiver means the collector bailed; stop early.
-                if tx.send((i, f(i))).is_err() {
+                let result = catch_unwind(AssertUnwindSafe(|| f(i))).map_err(panic_message);
+                // A closed receiver means the collector stopped; wind down.
+                if tx.send((i, result)).is_err() {
                     break;
                 }
             });
         }
         drop(tx);
-        for (i, value) in rx {
-            collector.insert(i, value);
+        while let Ok((i, result)) = rx.recv() {
+            let flow = observe(i, &result);
+            collector.insert(i, result);
+            if flow == Flow::Stop {
+                stopped = true;
+                // Dropping the receiver closes the channel; workers see
+                // the failed send and exit after their in-flight cell.
+                drop(rx);
+                break;
+            }
         }
     });
-    collector.into_ordered()
+    PoolRun {
+        slots: collector.into_partial(),
+        stopped,
+    }
+}
+
+/// Runs `f(0..n)` on `jobs` worker threads and returns the results in
+/// index order.
+///
+/// # Panics
+///
+/// A panicking cell propagates: the pool contains it long enough for
+/// every other cell to finish, then re-raises with the original message.
+pub fn run_ordered<T, F>(jobs: usize, n: usize, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    let run = run_ordered_observed(jobs, n, f, |_, _| Flow::Continue);
+    run.slots
+        .into_iter()
+        .enumerate()
+        .map(|(i, slot)| {
+            // lint: allow(panic) — documented `# Panics` contract
+            match slot.unwrap_or_else(|| panic!("cell {i} never reported")) {
+                Ok(value) => value,
+                Err(p) => panic!("cell {i} panicked: {}", p.message), // lint: allow(panic) — documented `# Panics` contract
+            }
+        })
+        .collect()
 }
 
 #[cfg(test)]
@@ -115,5 +221,86 @@ mod tests {
             })
         });
         assert!(caught.is_err());
+    }
+
+    #[test]
+    fn a_panicking_cell_does_not_poison_the_others() {
+        // The fault-isolated entry point: every other cell completes and
+        // is delivered in order; the dead cell arrives as Err with its
+        // message intact. Identical at any worker count.
+        for jobs in [1, 2, 4] {
+            let run = run_ordered_observed(
+                jobs,
+                16,
+                |i| {
+                    if i == 5 {
+                        panic!("cell 5 exploded");
+                    }
+                    i * 2
+                },
+                |_, _| Flow::Continue,
+            );
+            assert!(!run.stopped);
+            assert_eq!(run.slots.len(), 16);
+            for (i, slot) in run.slots.iter().enumerate() {
+                match slot.as_ref().expect("every cell reports") {
+                    Ok(v) => assert_eq!(*v, i * 2),
+                    Err(p) => {
+                        assert_eq!(i, 5, "only cell 5 panics");
+                        assert_eq!(p.message, "cell 5 exploded");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn observer_stop_halts_dispatch() {
+        for jobs in [1, 3] {
+            let ran: Vec<AtomicUsize> = (0..1000).map(|_| AtomicUsize::new(0)).collect();
+            let run = run_ordered_observed(
+                jobs,
+                1000,
+                |i| {
+                    ran[i].fetch_add(1, Ordering::Relaxed);
+                    // Pace the workers so the observer (which reacts
+                    // immediately) stops the run long before the grid
+                    // could drain on its own.
+                    std::thread::sleep(std::time::Duration::from_micros(100));
+                    i
+                },
+                |i, _| {
+                    if i == 10 {
+                        Flow::Stop
+                    } else {
+                        Flow::Continue
+                    }
+                },
+            );
+            assert!(run.stopped, "jobs = {jobs}");
+            let executed: usize = ran.iter().map(|c| c.load(Ordering::Relaxed)).sum();
+            assert!(
+                executed < 1000,
+                "jobs = {jobs}: stop must leave cells undispatched (ran {executed})"
+            );
+            // Slot 10 itself was observed and recorded.
+            assert!(run.slots[10].is_some());
+        }
+    }
+
+    #[test]
+    fn observed_arrival_feeds_every_completion_exactly_once() {
+        let mut seen = vec![0usize; 32];
+        let run = run_ordered_observed(
+            4,
+            32,
+            |i| i,
+            |i, _| {
+                seen[i] += 1;
+                Flow::Continue
+            },
+        );
+        assert!(seen.iter().all(|&c| c == 1));
+        assert!(run.slots.iter().all(|s| s.is_some()));
     }
 }

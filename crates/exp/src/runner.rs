@@ -1,25 +1,59 @@
-//! Experiment specs, sweep execution, and the registry.
+//! Experiment specs, fault-tolerant sweep execution, and the registry.
 
+use crate::fault::{FaultKind, FaultPlan};
 use crate::grid::{JobCell, ParamGrid};
-use crate::pool::run_ordered;
+use crate::pool::{panic_message, run_ordered_observed, Flow};
 use leaky_frontends::run::Provenance;
 use leaky_stats::summary::merge_ordered;
 use leaky_stats::OnlineStats;
+use leaky_store::{
+    Lookup, ResultStore, StoreError, StoreStats, StoredMetric, StoredOutcome, StoredProvenance,
+};
+use leaky_uarch::Fnv1a;
+use std::fmt;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::time::Instant;
 
 /// One named measurement produced by a cell.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Metric {
-    /// Stable metric name (table column / JSON key).
-    pub name: &'static str,
+    /// Stable metric name (table column / JSON key). Owned, so a cached
+    /// cell loaded from the result store carries it unchanged.
+    pub name: String,
     /// Measured value.
     pub value: f64,
 }
 
 impl Metric {
     /// Convenience constructor.
-    pub fn new(name: &'static str, value: f64) -> Self {
-        Metric { name, value }
+    pub fn new(name: impl Into<String>, value: f64) -> Self {
+        Metric {
+            name: name.into(),
+            value,
+        }
+    }
+}
+
+/// Owned channel provenance, as the sweep layer persists and renders it:
+/// the strings of [`Provenance`], decoupled from the channel registry's
+/// `&'static` lifetimes so store round-trips are exact.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CellProvenance {
+    /// Registry name of the channel that transmitted.
+    pub channel: String,
+    /// Microarchitecture profile key the channel was built under.
+    pub profile: String,
+    /// Rendered §V parameter string.
+    pub params: String,
+}
+
+impl From<&Provenance> for CellProvenance {
+    fn from(p: &Provenance) -> Self {
+        CellProvenance {
+            channel: p.channel.to_string(),
+            profile: p.profile.to_string(),
+            params: p.params.to_string(),
+        }
     }
 }
 
@@ -31,7 +65,7 @@ pub struct CellMeasurement {
     /// Named metric values (table columns / JSON keys).
     pub metrics: Vec<Metric>,
     /// Channel provenance, when the cell ran a covert channel.
-    pub provenance: Option<Provenance>,
+    pub provenance: Option<CellProvenance>,
 }
 
 impl CellMeasurement {
@@ -41,7 +75,7 @@ impl CellMeasurement {
     pub fn with_provenance(metrics: Vec<Metric>, provenance: Option<Provenance>) -> Self {
         CellMeasurement {
             metrics,
-            provenance,
+            provenance: provenance.as_ref().map(CellProvenance::from),
         }
     }
 }
@@ -79,27 +113,94 @@ pub trait Experiment: Sync {
     /// metric vectors convert via `Into`; channel sweeps attach
     /// provenance with [`CellMeasurement::with_provenance`].
     fn run_cell(&self, cell: &JobCell) -> Option<CellMeasurement>;
+
+    /// Version of this spec's *measurement code*. The result store keys
+    /// entries by `(content key, code fingerprint)` and the fingerprint
+    /// folds this in — bump it whenever `run_cell`'s semantics change,
+    /// and every cached cell of this experiment (and only this
+    /// experiment) is invalidated on the next resumed sweep.
+    fn code_version(&self) -> u32 {
+        1
+    }
 }
 
-/// The outcome of one cell: its coordinates plus measurements.
+/// The fingerprint cached results are keyed under: entry-format version,
+/// workspace version, experiment name and the spec's own
+/// [`Experiment::code_version`], condensed through the workspace FNV-1a.
+/// The `LEAKY_STORE_EPOCH` environment variable, when set, is folded in
+/// too — tests and operators use it to force a cold store without
+/// recompiling or deleting anything.
+pub fn code_fingerprint(exp: &dyn Experiment) -> u64 {
+    let mut h = Fnv1a::new();
+    h.write_bytes(leaky_store::FORMAT_VERSION.as_bytes());
+    h.write_bytes(env!("CARGO_PKG_VERSION").as_bytes());
+    h.write_bytes(exp.name().as_bytes());
+    h.write_u64(exp.code_version() as u64);
+    if let Ok(epoch) = std::env::var("LEAKY_STORE_EPOCH") {
+        h.write_bytes(epoch.as_bytes());
+    }
+    h.finish()
+}
+
+/// How one cell ended.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CellOutcome {
+    /// The cell measured successfully.
+    Measured(CellMeasurement),
+    /// The cell is structurally unsupported on this configuration (the
+    /// paper's missing MT columns); a gap, not an error.
+    Unsupported,
+    /// Every attempt of the cell panicked or errored. The sweep keeps
+    /// going; the failure becomes a row (excluded from summaries, like
+    /// unsupported cells) instead of killing the run.
+    Failed {
+        /// The final attempt's panic/error message.
+        message: String,
+        /// How many attempts were made (1 + retries).
+        attempts: u32,
+    },
+}
+
+/// The outcome of one cell: its coordinates plus how it ended.
 #[derive(Debug, Clone, PartialEq)]
 pub struct CellResult {
     /// The cell that was run.
     pub cell: JobCell,
-    /// Measurements, or `None` for an unsupported cell.
-    pub metrics: Option<Vec<Metric>>,
-    /// Channel provenance, when the cell's measurement attached any.
-    pub provenance: Option<Provenance>,
+    /// How it ended.
+    pub outcome: CellOutcome,
 }
 
 impl CellResult {
+    /// The measured metrics, if the cell measured.
+    pub fn metrics(&self) -> Option<&[Metric]> {
+        match &self.outcome {
+            CellOutcome::Measured(m) => Some(&m.metrics),
+            _ => None,
+        }
+    }
+
+    /// Channel provenance, when the cell's measurement attached any.
+    pub fn provenance(&self) -> Option<&CellProvenance> {
+        match &self.outcome {
+            CellOutcome::Measured(m) => m.provenance.as_ref(),
+            _ => None,
+        }
+    }
+
     /// Looks up a metric value by name.
     pub fn metric(&self, name: &str) -> Option<f64> {
-        self.metrics
-            .as_ref()?
+        self.metrics()?
             .iter()
             .find(|m| m.name == name)
             .map(|m| m.value)
+    }
+
+    /// The failure message and attempt count, if the cell failed.
+    pub fn failure(&self) -> Option<(&str, u32)> {
+        match &self.outcome {
+            CellOutcome::Failed { message, attempts } => Some((message.as_str(), *attempts)),
+            _ => None,
+        }
     }
 }
 
@@ -116,39 +217,310 @@ pub struct SweepRun {
     pub jobs: usize,
     /// Cell results, in grid order.
     pub cells: Vec<CellResult>,
-    /// Per-metric Welford summaries over all supported cells, keyed by
+    /// Per-metric Welford summaries over all measured cells, keyed by
     /// metric name in first-appearance order. Built by merging per-cell
     /// accumulators in grid order (`merge_ordered`), so they are
     /// bit-identical at any `jobs`.
     pub summaries: Vec<(String, OnlineStats)>,
+    /// Store traffic of this run, when it ran against a result store.
+    /// Operator telemetry (stderr), never part of deterministic output.
+    pub store_stats: Option<StoreStats>,
     /// Wall-clock nanoseconds of the execution phase. Excluded from all
     /// deterministic renderings; `perf_report`'s sweep-throughput
     /// metrics aggregate it via `leaky_bench::sweep::quick_sweep_throughput`.
     pub elapsed_ns: u128,
 }
 
-/// Expands, executes, collects, and summarizes one experiment.
-pub fn run_experiment(exp: &dyn Experiment, quick: bool, jobs: usize) -> SweepRun {
-    let cells = exp.grid(quick).expand();
+impl SweepRun {
+    /// Number of cells that failed every attempt.
+    pub fn failed_cells(&self) -> usize {
+        self.cells
+            .iter()
+            .filter(|c| matches!(c.outcome, CellOutcome::Failed { .. }))
+            .count()
+    }
+}
+
+/// Everything configurable about one sweep execution. `Default` is the
+/// plain path: full grid, one worker, no retries, no store, no faults.
+#[derive(Debug, Default)]
+pub struct RunConfig<'s> {
+    /// Use the quick (CI smoke) grid.
+    pub quick: bool,
+    /// Worker threads (clamped to at least 1).
+    pub jobs: usize,
+    /// Extra attempts for a panicked/errored cell, each re-seeded by
+    /// folding the attempt index into the cell stream
+    /// ([`crate::seed::attempt_seed`]).
+    pub retries: u32,
+    /// Serve cells from the store when a valid entry exists (otherwise
+    /// the store, if any, is write-through only).
+    pub resume: bool,
+    /// The result store to persist into / resume from.
+    pub store: Option<&'s ResultStore>,
+    /// Deterministic fault injection (tests and drills; empty in
+    /// production).
+    pub faults: FaultPlan,
+}
+
+/// Why a sweep did not complete. Cell failures are *not* errors — they
+/// become [`CellOutcome::Failed`] rows; this type covers the sweep-level
+/// stops.
+#[derive(Debug)]
+pub enum SweepError {
+    /// A planned [`FaultKind::Abort`] stopped the sweep mid-grid (the
+    /// kill-and-resume drill). Cells completed before the stop were
+    /// already persisted if a store was attached.
+    Aborted {
+        /// Content key of the cell whose dispatch stopped the sweep.
+        key: String,
+    },
+    /// The result store failed with a real I/O error.
+    Store(StoreError),
+}
+
+impl fmt::Display for SweepError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SweepError::Aborted { key } => {
+                write!(f, "sweep aborted by fault plan at cell {key:?}")
+            }
+            SweepError::Store(e) => write!(f, "result store: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for SweepError {}
+
+fn to_stored(outcome: &CellOutcome) -> Option<StoredOutcome> {
+    match outcome {
+        CellOutcome::Measured(m) => Some(StoredOutcome::Measured {
+            metrics: m
+                .metrics
+                .iter()
+                .map(|m| StoredMetric {
+                    name: m.name.clone(),
+                    value: m.value,
+                })
+                .collect(),
+            provenance: m.provenance.as_ref().map(|p| StoredProvenance {
+                channel: p.channel.clone(),
+                profile: p.profile.clone(),
+                params: p.params.clone(),
+            }),
+        }),
+        CellOutcome::Unsupported => Some(StoredOutcome::Unsupported),
+        // Failures are never cached: the next run must retry, not
+        // resurrect a dead cell from disk.
+        CellOutcome::Failed { .. } => None,
+    }
+}
+
+fn from_stored(stored: StoredOutcome) -> CellOutcome {
+    match stored {
+        StoredOutcome::Measured {
+            metrics,
+            provenance,
+        } => CellOutcome::Measured(CellMeasurement {
+            metrics: metrics
+                .into_iter()
+                .map(|m| Metric {
+                    name: m.name,
+                    value: m.value,
+                })
+                .collect(),
+            provenance: provenance.map(|p| CellProvenance {
+                channel: p.channel,
+                profile: p.profile,
+                params: p.params,
+            }),
+        }),
+        StoredOutcome::Unsupported => CellOutcome::Unsupported,
+    }
+}
+
+/// What a worker hands back for one cell.
+enum Computed {
+    /// The cell finished with an outcome (`cached` when it was served
+    /// from the store without recomputation).
+    Done { outcome: CellOutcome, cached: bool },
+    /// The cell carries a planned abort: stop the sweep.
+    Abort,
+}
+
+/// Expands, executes, collects, and summarizes one experiment under the
+/// given configuration.
+///
+/// Fault tolerance, in dispatch order per cell: a valid store entry
+/// (under [`code_fingerprint`]) short-circuits the cell entirely;
+/// otherwise up to `1 + retries` attempts run, each wrapped in
+/// `catch_unwind` with the attempt index folded into the cell's RNG
+/// stream, and a cell that exhausts its attempts becomes a
+/// [`CellOutcome::Failed`] row rather than killing the sweep. Freshly
+/// computed outcomes are written through to the store *as they
+/// complete*, so even a sweep that later aborts resumes for free.
+pub fn run_experiment_with(
+    exp: &dyn Experiment,
+    cfg: &RunConfig<'_>,
+) -> Result<SweepRun, SweepError> {
+    let cells = exp.grid(cfg.quick).expand();
+    let fingerprint = code_fingerprint(exp);
+    let mut stats = cfg.store.map(|_| StoreStats::default());
+
+    // Resume phase: consult the store for every cell up front (cheap
+    // reads, deterministic order), so the pool only sees real work.
+    let mut cached_outcomes: Vec<Option<CellOutcome>> = (0..cells.len()).map(|_| None).collect();
+    if let (Some(store), Some(stats), true) = (cfg.store, stats.as_mut(), cfg.resume) {
+        for (cell, slot) in cells.iter().zip(&mut cached_outcomes) {
+            match store
+                .get(&cell.key, fingerprint)
+                .map_err(SweepError::Store)?
+            {
+                Lookup::Hit(stored) => {
+                    stats.hits += 1;
+                    *slot = Some(from_stored(stored));
+                }
+                Lookup::Miss => stats.misses += 1,
+                Lookup::Stale => stats.stale += 1,
+                Lookup::Quarantined => stats.quarantined += 1,
+            }
+        }
+    }
+
     // lint: allow(wall-clock) — elapsed_ns is operator telemetry only;
     // renderers and content keys never consume it.
     let start = Instant::now();
-    let outputs = run_ordered(jobs, cells.len(), |i| exp.run_cell(&cells[i]));
+
+    let worker = |i: usize| -> Computed {
+        if let Some(outcome) = &cached_outcomes[i] {
+            return Computed::Done {
+                outcome: outcome.clone(),
+                cached: true,
+            };
+        }
+        let cell = &cells[i];
+        let fault = cfg.faults.get(&cell.key);
+        if fault.map(|f| f.kind) == Some(FaultKind::Abort) {
+            return Computed::Abort;
+        }
+        let attempts = cfg.retries.saturating_add(1);
+        let mut last_message = String::new();
+        for attempt in 0..attempts {
+            let injected = fault.filter(|f| attempt < f.attempts).map(|f| f.kind);
+            if injected == Some(FaultKind::Error) {
+                last_message = format!("injected error on {} (attempt {attempt})", cell.key);
+                continue;
+            }
+            let attempt_cell = cell.with_attempt(attempt);
+            let ran = catch_unwind(AssertUnwindSafe(|| {
+                if injected == Some(FaultKind::Panic) {
+                    // lint: allow(panic) — deliberate fault injection;
+                    // the surrounding catch_unwind is the system under test.
+                    panic!("injected panic on {} (attempt {attempt})", attempt_cell.key);
+                }
+                exp.run_cell(&attempt_cell)
+            }));
+            match ran {
+                Ok(Some(m)) => {
+                    return Computed::Done {
+                        outcome: CellOutcome::Measured(m),
+                        cached: false,
+                    }
+                }
+                Ok(None) => {
+                    return Computed::Done {
+                        outcome: CellOutcome::Unsupported,
+                        cached: false,
+                    }
+                }
+                Err(payload) => last_message = panic_message(payload).message,
+            }
+        }
+        Computed::Done {
+            outcome: CellOutcome::Failed {
+                message: last_message,
+                attempts,
+            },
+            cached: false,
+        }
+    };
+
+    // Collection: write-through persistence happens here, on the caller
+    // thread, as completions arrive — so a later crash or abort loses
+    // nothing that already finished.
+    let mut store_error: Option<StoreError> = None;
+    let mut aborted: Option<String> = None;
+    let pool_run = run_ordered_observed(cfg.jobs.max(1), cells.len(), worker, |i, result| {
+        let Ok(computed) = result else {
+            return Flow::Continue;
+        };
+        match computed {
+            Computed::Abort => {
+                aborted = Some(cells[i].key.clone());
+                Flow::Stop
+            }
+            Computed::Done { outcome, cached } => {
+                let (Some(store), false) = (cfg.store, *cached) else {
+                    return Flow::Continue;
+                };
+                let Some(stored) = to_stored(outcome) else {
+                    return Flow::Continue;
+                };
+                match store.put(&cells[i].key, fingerprint, &stored) {
+                    Ok(()) => {
+                        if let Some(s) = stats.as_mut() {
+                            s.writes += 1;
+                        }
+                        // A planned corruption damages the entry we just
+                        // wrote, so the *next* resumed run exercises
+                        // quarantine + selective recompute.
+                        if cfg.faults.get(&cells[i].key).map(|f| f.kind) == Some(FaultKind::Corrupt)
+                        {
+                            if let Err(e) = store.corrupt_entry(&cells[i].key) {
+                                store_error = Some(e);
+                                return Flow::Stop;
+                            }
+                        }
+                        Flow::Continue
+                    }
+                    Err(e) => {
+                        store_error = Some(e);
+                        Flow::Stop
+                    }
+                }
+            }
+        }
+    });
     let elapsed_ns = start.elapsed().as_nanos();
+
+    if let Some(e) = store_error {
+        return Err(SweepError::Store(e));
+    }
+    if let Some(key) = aborted {
+        return Err(SweepError::Aborted { key });
+    }
 
     let results: Vec<CellResult> = cells
         .into_iter()
-        .zip(outputs)
-        .map(|(cell, measurement)| {
-            let (metrics, provenance) = match measurement {
-                Some(m) => (Some(m.metrics), m.provenance),
-                None => (None, None),
+        .zip(pool_run.slots)
+        .map(|(cell, slot)| {
+            let outcome = match slot {
+                Some(Ok(Computed::Done { outcome, .. })) => outcome,
+                // A panic that somehow escaped the per-attempt catch
+                // (defensive: the pool's own isolation caught it).
+                Some(Err(p)) => CellOutcome::Failed {
+                    message: p.message,
+                    attempts: cfg.retries.saturating_add(1),
+                },
+                // Only reachable if the pool stopped without an abort or
+                // store error, which the branches above already returned
+                // on — keep the row total anyway.
+                Some(Ok(Computed::Abort)) | None => CellOutcome::Failed {
+                    message: "cell never ran (sweep stopped early)".to_string(),
+                    attempts: 0,
+                },
             };
-            CellResult {
-                cell,
-                metrics,
-                provenance,
-            }
+            CellResult { cell, outcome }
         })
         .collect();
 
@@ -156,11 +528,12 @@ pub fn run_experiment(exp: &dyn Experiment, quick: bool, jobs: usize) -> SweepRu
     // merged strictly in grid order. The grouping of merges is part of the
     // bit-identical contract (f64 addition is not associative), which is
     // why this happens after ordered collection, not inside the workers.
+    // Failed cells contribute nothing, exactly like unsupported ones.
     let mut names: Vec<String> = Vec::new();
     for r in &results {
-        for m in r.metrics.iter().flatten() {
-            if !names.iter().any(|n| n == m.name) {
-                names.push(m.name.to_string());
+        for m in r.metrics().into_iter().flatten() {
+            if !names.contains(&m.name) {
+                names.push(m.name.clone());
             }
         }
     }
@@ -176,16 +549,53 @@ pub fn run_experiment(exp: &dyn Experiment, quick: bool, jobs: usize) -> SweepRu
         })
         .collect();
 
-    SweepRun {
+    Ok(SweepRun {
         name: exp.name(),
         title: exp.title(),
-        quick,
-        jobs,
+        quick: cfg.quick,
+        jobs: cfg.jobs.max(1),
         cells: results,
         summaries,
+        store_stats: stats,
         elapsed_ns,
+    })
+}
+
+/// Expands, executes, collects, and summarizes one experiment on the
+/// plain path: no store, no faults, no retries.
+pub fn run_experiment(exp: &dyn Experiment, quick: bool, jobs: usize) -> SweepRun {
+    let cfg = RunConfig {
+        quick,
+        jobs,
+        ..RunConfig::default()
+    };
+    match run_experiment_with(exp, &cfg) {
+        Ok(run) => run,
+        // With no store and no fault plan, neither sweep-level error
+        // source exists.
+        Err(e) => unreachable!("fault-free sweep failed: {e}"),
     }
 }
+
+/// A registration clash: two experiments answering to one name.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DuplicateExperiment {
+    /// The contested name.
+    pub name: &'static str,
+}
+
+impl fmt::Display for DuplicateExperiment {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "duplicate experiment {:?}: two specs answering to one CLI filter would make \
+             \"which sweep ran?\" ambiguous",
+            self.name
+        )
+    }
+}
+
+impl std::error::Error for DuplicateExperiment {}
 
 /// The set of registered experiments, looked up by name.
 #[derive(Default)]
@@ -199,19 +609,40 @@ impl Registry {
         Registry::default()
     }
 
+    /// Builds a registry from experiments, rejecting duplicates as a
+    /// value — the path for dynamically assembled registries (config
+    /// files, tests, future scenario bundles).
+    pub fn from_experiments(
+        exps: impl IntoIterator<Item = Box<dyn Experiment>>,
+    ) -> Result<Registry, DuplicateExperiment> {
+        let mut reg = Registry::new();
+        for exp in exps {
+            reg.try_register(exp)?;
+        }
+        Ok(reg)
+    }
+
+    /// Adds an experiment, rejecting a duplicate name as a value.
+    pub fn try_register(&mut self, exp: Box<dyn Experiment>) -> Result<(), DuplicateExperiment> {
+        if self.get(exp.name()).is_some() {
+            return Err(DuplicateExperiment { name: exp.name() });
+        }
+        self.entries.push(exp);
+        Ok(())
+    }
+
     /// Adds an experiment.
     ///
     /// # Panics
     ///
-    /// Panics on a duplicate name — two specs answering to one CLI
-    /// filter would make "which sweep ran?" ambiguous.
+    /// Panics on a duplicate name. This is the *static registration*
+    /// variant for compiled-in specs (`standard_registry`), where a
+    /// duplicate is a code bug caught by the first test that builds the
+    /// registry; fallible callers use [`try_register`](Self::try_register).
     pub fn register(&mut self, exp: Box<dyn Experiment>) {
-        assert!(
-            self.get(exp.name()).is_none(),
-            "duplicate experiment {:?}",
-            exp.name()
-        );
-        self.entries.push(exp);
+        // lint: allow(panic) — documented `# Panics` contract: static
+        // registration of compiled-in specs; dynamic paths use try_register.
+        self.try_register(exp).unwrap_or_else(|e| panic!("{e}"));
     }
 
     /// Looks up an experiment by name.
@@ -236,6 +667,7 @@ impl Registry {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::fault::{Fault, FaultKind};
     use crate::seed::cell_rng;
     use rand::Rng as _;
 
@@ -272,10 +704,10 @@ mod tests {
         }
     }
 
-    fn flat(run: &SweepRun) -> Vec<(String, Option<Vec<Metric>>)> {
+    fn flat(run: &SweepRun) -> Vec<(String, CellOutcome)> {
         run.cells
             .iter()
-            .map(|c| (c.cell.key.clone(), c.metrics.clone()))
+            .map(|c| (c.cell.key.clone(), c.outcome.clone()))
             .collect()
     }
 
@@ -297,7 +729,11 @@ mod tests {
     #[test]
     fn summaries_skip_unsupported_cells() {
         let run = run_experiment(&Demo, false, 3);
-        let unsupported = run.cells.iter().filter(|c| c.metrics.is_none()).count();
+        let unsupported = run
+            .cells
+            .iter()
+            .filter(|c| c.outcome == CellOutcome::Unsupported)
+            .count();
         assert!(unsupported > 0, "demo grid must contain gaps");
         let (name, stats) = &run.summaries[0];
         assert_eq!(name, "value");
@@ -320,5 +756,192 @@ mod tests {
             reg.register(Box::new(Demo))
         }));
         assert!(dup.is_err());
+    }
+
+    #[test]
+    fn try_register_reports_duplicates_as_values() {
+        let mut reg = Registry::new();
+        assert!(reg.try_register(Box::new(Demo)).is_ok());
+        assert_eq!(
+            reg.try_register(Box::new(Demo)),
+            Err(DuplicateExperiment { name: "demo" })
+        );
+        assert_eq!(reg.names(), vec!["demo"], "the duplicate was not added");
+
+        let built = Registry::from_experiments([Box::new(Demo) as Box<dyn Experiment>])
+            .expect("unique names build");
+        assert!(built.get("demo").is_some());
+        let clash = Registry::from_experiments([
+            Box::new(Demo) as Box<dyn Experiment>,
+            Box::new(Demo) as Box<dyn Experiment>,
+        ]);
+        assert_eq!(clash.err(), Some(DuplicateExperiment { name: "demo" }));
+    }
+
+    #[test]
+    fn a_panicking_cell_becomes_a_failed_row_not_a_crash() {
+        let faults = FaultPlan::none().with(
+            "demo/mode=on/i=2",
+            Fault {
+                kind: FaultKind::Panic,
+                attempts: 99,
+            },
+        );
+        let reference = run_experiment_with(
+            &Demo,
+            &RunConfig {
+                quick: true,
+                jobs: 1,
+                faults: faults.clone(),
+                ..RunConfig::default()
+            },
+        )
+        .expect("sweep completes despite the dead cell");
+        assert_eq!(reference.failed_cells(), 1);
+        let dead = reference
+            .cells
+            .iter()
+            .find(|c| c.cell.key == "demo/mode=on/i=2")
+            .expect("cell present");
+        let (message, attempts) = dead.failure().expect("failed row");
+        assert!(message.contains("injected panic"), "message: {message}");
+        assert_eq!(attempts, 1, "no retries configured");
+        // Failed cells stay out of summaries, like unsupported ones.
+        let (name, stats) = &reference.summaries[0];
+        assert_eq!(name, "value");
+        let measured = reference
+            .cells
+            .iter()
+            .filter(|c| c.metrics().is_some())
+            .count();
+        assert_eq!(stats.count() as usize, measured);
+        // And the whole run, failure row included, is jobs-invariant.
+        for jobs in [2, 4] {
+            let parallel = run_experiment_with(
+                &Demo,
+                &RunConfig {
+                    quick: true,
+                    jobs,
+                    faults: faults.clone(),
+                    ..RunConfig::default()
+                },
+            )
+            .expect("parallel sweep completes");
+            assert_eq!(flat(&parallel), flat(&reference), "jobs = {jobs}");
+        }
+    }
+
+    #[test]
+    fn bounded_retries_rescue_a_flaky_cell() {
+        // panic@2 sabotages attempts 0 and 1: with --retries 2 the third
+        // attempt (attempt index 2) succeeds; with fewer it fails.
+        let faults = FaultPlan::none().with(
+            "demo/mode=on/i=1",
+            Fault {
+                kind: FaultKind::Panic,
+                attempts: 2,
+            },
+        );
+        let rescued = run_experiment_with(
+            &Demo,
+            &RunConfig {
+                quick: true,
+                jobs: 2,
+                retries: 2,
+                faults: faults.clone(),
+                ..RunConfig::default()
+            },
+        )
+        .expect("sweep completes");
+        assert_eq!(rescued.failed_cells(), 0);
+        let cell = rescued
+            .cells
+            .iter()
+            .find(|c| c.cell.key == "demo/mode=on/i=1")
+            .expect("cell present");
+        // The rescue ran on attempt 2, whose stream is deliberately
+        // different from attempt 0's (attempt_seed fold).
+        let attempt0 = run_experiment(&Demo, true, 1);
+        let plain = attempt0
+            .cells
+            .iter()
+            .find(|c| c.cell.key == "demo/mode=on/i=1")
+            .expect("cell present");
+        assert_ne!(
+            cell.metric("noise"),
+            plain.metric("noise"),
+            "a retried cell must draw from the attempt-folded stream"
+        );
+
+        let exhausted = run_experiment_with(
+            &Demo,
+            &RunConfig {
+                quick: true,
+                jobs: 2,
+                retries: 1,
+                faults,
+                ..RunConfig::default()
+            },
+        )
+        .expect("sweep completes");
+        assert_eq!(exhausted.failed_cells(), 1);
+        let (_, attempts) = exhausted
+            .cells
+            .iter()
+            .find_map(|c| c.failure())
+            .expect("failed row");
+        assert_eq!(attempts, 2, "1 + retries attempts were made");
+    }
+
+    #[test]
+    fn error_faults_take_the_structured_failure_path() {
+        let faults = FaultPlan::none().with(
+            "demo/mode=off/i=0",
+            Fault {
+                kind: FaultKind::Error,
+                attempts: 1,
+            },
+        );
+        let run = run_experiment_with(
+            &Demo,
+            &RunConfig {
+                quick: true,
+                jobs: 1,
+                faults,
+                ..RunConfig::default()
+            },
+        )
+        .expect("sweep completes");
+        let (message, _) = run
+            .cells
+            .iter()
+            .find_map(|c| c.failure())
+            .expect("failed row");
+        assert!(message.contains("injected error"), "message: {message}");
+    }
+
+    #[test]
+    fn abort_faults_stop_the_sweep() {
+        let faults = FaultPlan::none().with(
+            "demo/mode=on/i=3",
+            Fault {
+                kind: FaultKind::Abort,
+                attempts: 1,
+            },
+        );
+        let err = run_experiment_with(
+            &Demo,
+            &RunConfig {
+                quick: true,
+                jobs: 1,
+                faults,
+                ..RunConfig::default()
+            },
+        )
+        .expect_err("abort must surface");
+        match err {
+            SweepError::Aborted { key } => assert_eq!(key, "demo/mode=on/i=3"),
+            other => panic!("expected Aborted, got {other:?}"),
+        }
     }
 }

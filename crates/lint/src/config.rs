@@ -48,7 +48,7 @@ pub struct LintConfig {
 impl Default for LintConfig {
     fn default() -> Self {
         LintConfig {
-            determinism_crates: vec!["exp", "bench", "stats", "core"],
+            determinism_crates: vec!["exp", "bench", "stats", "core", "store"],
             key_pairs: vec![
                 KeyPair {
                     struct_name: "FrontendGeometry",

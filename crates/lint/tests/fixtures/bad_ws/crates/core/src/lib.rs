@@ -1,4 +1,5 @@
-//! Determinism-critical fixture crate: three seeded violations.
+//! Determinism-critical fixture crate: two seeded violations
+//! (the unordered-collections seed lives in the store fixture crate).
 
 pub fn stamp() -> u64 {
     let t = Instant::now();
@@ -7,9 +8,4 @@ pub fn stamp() -> u64 {
 
 pub fn noise() -> u64 {
     thread_rng().gen()
-}
-
-pub fn tally() -> usize {
-    let m = HashMap::new();
-    m.len()
 }

@@ -1,0 +1,8 @@
+//! Result-store fixture crate: one seeded violation. The store's
+//! directory listings feed resume decisions, so it is determinism-lint
+//! territory like the sweep crates.
+
+pub fn index() -> usize {
+    let seen = HashSet::new();
+    seen.len()
+}

@@ -1,4 +1,4 @@
-//! Determinism-critical fixture crate: the same three violation sites
+//! Determinism-critical fixture crate: the same two violation sites
 //! as bad_ws, each escaped on its own line.
 
 pub fn stamp() -> u64 {
@@ -8,10 +8,4 @@ pub fn stamp() -> u64 {
 
 pub fn noise() -> u64 {
     thread_rng().gen() // lint: allow(ambient-rng) — fixture exception
-}
-
-pub fn tally() -> usize {
-    // lint: allow(unordered-collections) — never iterated
-    let m = HashMap::new();
-    m.len()
 }

@@ -1,0 +1,8 @@
+//! Result-store fixture crate: the same violation site as bad_ws,
+//! escaped on its own line.
+
+pub fn index() -> usize {
+    // lint: allow(unordered-collections) — membership only, never iterated
+    let seen = HashSet::new();
+    seen.len()
+}

@@ -48,7 +48,7 @@ fn bad_fixture_diagnostics_anchor_to_the_seeded_files() {
     };
     assert_eq!(anchor("wall-clock"), "crates/core/src/lib.rs");
     assert_eq!(anchor("ambient-rng"), "crates/core/src/lib.rs");
-    assert_eq!(anchor("unordered-collections"), "crates/core/src/lib.rs");
+    assert_eq!(anchor("unordered-collections"), "crates/store/src/lib.rs");
     assert_eq!(anchor("panic"), "crates/isa/src/geom.rs");
     assert_eq!(anchor("key-completeness"), "crates/uarch/src/profile.rs");
     assert_eq!(

@@ -16,6 +16,7 @@
 //! * [`spectre`] — Spectre v1 variants over six covert channels
 //! * [`workloads`] — synthetic victim workloads for fingerprinting
 //! * [`stats`] — histograms, edit distance, threshold calibration
+//! * [`store`] — content-addressed on-disk result store (resumable sweeps)
 //! * [`exp`] — deterministic parallel experiment orchestration (sweeps)
 
 #![forbid(unsafe_code)]
@@ -33,5 +34,6 @@ pub use leaky_power as power;
 pub use leaky_sgx as sgx;
 pub use leaky_spectre as spectre;
 pub use leaky_stats as stats;
+pub use leaky_store as store;
 pub use leaky_uarch as uarch;
 pub use leaky_workloads as workloads;
