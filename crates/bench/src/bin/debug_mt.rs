@@ -1,14 +1,23 @@
 //! Diagnostic: MT misalignment interaction, bottom-up — first the raw
 //! core-level batches (is the cross-thread collision visible at all?),
-//! then the full channel through the shared [`leaky_bench::debug`] dump.
-use leaky_bench::debug::dump_channel;
+//! each followed by its folded `leaky_trace` stall summary, then the
+//! full channel through the shared [`leaky_bench::debug`] dump.
+use leaky_bench::debug::{dump_channel, print_summary};
 use leaky_cpu::{Core, ProcessorModel, ThreadWork};
-use leaky_frontend::ThreadId;
+use leaky_frontend::{ThreadId, TraceHook, TraceMode};
 use leaky_frontends::channels::ChannelSpec;
 use leaky_isa::{same_set_chain, Alignment, DsbSet};
 
+fn summarize(core: &mut Core) {
+    if let Some(s) = core.take_trace().summary() {
+        print_summary(&s);
+    }
+    core.set_trace(TraceHook::new(TraceMode::Summary));
+}
+
 fn main() {
     let mut core = Core::new(ProcessorModel::gold_6226(), 13);
+    core.set_trace(TraceHook::new(TraceMode::Summary));
     let recv = same_set_chain(0x0041_8000, DsbSet::new(3), 5, Alignment::Aligned);
     let send = same_set_chain(0x0082_0000, DsbSet::new(3), 3, Alignment::Misaligned);
     // Warm receiver solo to LSD
@@ -17,6 +26,7 @@ fn main() {
         "solo locked: {}",
         core.frontend().lsd_locked(ThreadId::T0, &recv)
     );
+    summarize(&mut core);
     // m=1 batch
     let (r, s) = core.run_concurrent(
         ThreadWork {
@@ -28,24 +38,17 @@ fn main() {
             iterations: 100,
         },
     );
+    println!("m=1 batch: recv {:.2}c/iter", r.cycles / 100.0);
     println!(
-        "m=1 batch: recv {:.2}c/iter [{}]",
-        r.cycles / 100.0,
-        r.report
-    );
-    println!(
-        "          send {:.2}c/iter iters={} [{}]",
+        "          send {:.2}c/iter iters={}",
         s.cycles / s.iterations as f64,
-        s.iterations,
-        s.report
+        s.iterations
     );
+    summarize(&mut core);
     // m=0 batch
     let r0 = core.run_loop(ThreadId::T0, &recv, 100);
-    println!(
-        "m=0 batch: recv {:.2}c/iter [{}]",
-        r0.cycles / 100.0,
-        r0.report
-    );
+    println!("m=0 batch: recv {:.2}c/iter", r0.cycles / 100.0);
+    summarize(&mut core);
 
     // The same interaction, end to end through the channel protocol.
     println!();

@@ -1,28 +1,38 @@
-//! Diagnostic: per-phase frontend reports for the non-MT misalignment channel.
+//! Diagnostic: per-phase frontend trace events for the non-MT
+//! misalignment channel's round structure, dumped through the
+//! `leaky_trace` event stream instead of hand-formatted reports.
+use leaky_bench::debug::{print_events, print_summary};
 use leaky_cpu::{Core, ProcessorModel};
-use leaky_frontend::ThreadId;
+use leaky_frontend::{ThreadId, TraceHook, TraceMode};
 use leaky_isa::{same_set_chain, Alignment, DsbSet};
+use leaky_trace::StallSummary;
 
 fn main() {
     let mut core = Core::new(ProcessorModel::xeon_e2288g(), 42);
     let recv = same_set_chain(0x0041_8000, DsbSet::new(3), 5, Alignment::Aligned);
     let send = same_set_chain(0x0082_0000, DsbSet::new(3), 3, Alignment::Misaligned);
     let tid = ThreadId::T0;
+    let mut total = StallSummary::default();
     println!("--- m=0 fast rounds (recv, recv) ---");
     for r in 0..4 {
+        core.set_trace(TraceHook::new(TraceMode::Events));
         let a = core.run_once(tid, &recv);
         let b = core.run_once(tid, &recv);
         println!(
-            "round {r}: init {:.2}c [{}] decode {:.2}c [{}] locked={}",
+            "round {r}: init {:.2}c decode {:.2}c locked={}",
             a.cycles,
-            a.report,
             b.cycles,
-            b.report,
             core.frontend().lsd_locked(tid, &recv)
         );
+        let hook = core.take_trace();
+        print_events(hook.events().unwrap_or(&[]));
+        if let Some(s) = hook.summary() {
+            total.merge(&s);
+        }
     }
     println!("--- m=1 rounds (recv, send-mis, recv) ---");
     for r in 0..4 {
+        core.set_trace(TraceHook::new(TraceMode::Events));
         let a = core.run_once(tid, &recv);
         let s = core.run_once(tid, &send);
         let b = core.run_once(tid, &recv);
@@ -33,5 +43,12 @@ fn main() {
             b.cycles,
             core.frontend().lsd_locked(tid, &recv)
         );
+        let hook = core.take_trace();
+        print_events(hook.events().unwrap_or(&[]));
+        if let Some(s) = hook.summary() {
+            total.merge(&s);
+        }
     }
+    println!("--- all rounds folded ---");
+    print_summary(&total);
 }

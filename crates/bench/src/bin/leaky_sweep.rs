@@ -18,6 +18,8 @@
 //! leaky_sweep --store results/ --resume --quick   # crash-safe resumable sweep
 //! leaky_sweep --retries 2              # re-seeded retries for dying cells
 //! leaky_sweep --faults 'panic:k1;abort:k2'        # deterministic fault drill
+//! leaky_sweep --quick --trace --format json       # stall telemetry in the JSON
+//! leaky_sweep --trace=events --trace-dir traces/ tab3_all_channels  # per-cell CSVs
 //! ```
 //!
 //! Store traffic is reported on *stderr* (`store[...]: ...` lines);
@@ -27,15 +29,17 @@
 //! errors), 2 usage error, 3 sweep aborted by the fault plan, 1 store
 //! I/O failure.
 
+use std::path::Path;
 use std::process::ExitCode;
 
 use leaky_bench::sweep::{
     default_jobs, has_legacy_rendering, render_json_document, render_legacy, render_table,
-    suggest_experiments,
+    suggest_experiments, write_trace_files,
 };
 use leaky_exp::{run_experiment_with, standard_registry, FaultPlan, RunConfig, SweepError};
 use leaky_frontends::channels::REGISTRY;
 use leaky_store::ResultStore;
+use leaky_trace::TraceMode;
 
 enum Format {
     Table,
@@ -45,7 +49,8 @@ enum Format {
 
 fn usage() -> &'static str {
     "usage: leaky_sweep [EXPERIMENT...] [--list] [--channels] [--quick] [--jobs N] \
-     [--format table|json|legacy] [--store DIR] [--resume] [--retries K] [--faults SPEC]"
+     [--format table|json|legacy] [--store DIR] [--resume] [--retries K] [--faults SPEC] \
+     [--trace[=summary|events]] [--trace-dir DIR]"
 }
 
 fn main() -> ExitCode {
@@ -62,6 +67,8 @@ fn main() -> ExitCode {
     let mut resume = false;
     let mut retries: u32 = 0;
     let mut faults_spec: Option<String> = None;
+    let mut trace = TraceMode::Off;
+    let mut trace_dir: Option<String> = None;
 
     let mut it = args.iter();
     while let Some(arg) = it.next() {
@@ -70,6 +77,14 @@ fn main() -> ExitCode {
             "--list" => list = true,
             "--channels" => channels = true,
             "--resume" => resume = true,
+            "--trace" => trace = TraceMode::Summary,
+            "--trace-dir" => {
+                let Some(dir) = it.next() else {
+                    eprintln!("--trace-dir needs a directory\n{}", usage());
+                    return ExitCode::from(2);
+                };
+                trace_dir = Some(dir.clone());
+            }
             "--help" | "-h" => {
                 println!("{}", usage());
                 return ExitCode::SUCCESS;
@@ -117,6 +132,15 @@ fn main() -> ExitCode {
                     }
                 };
             }
+            flag if flag.starts_with("--trace=") => {
+                trace = match flag["--trace=".len()..].parse() {
+                    Ok(mode) => mode,
+                    Err(e) => {
+                        eprintln!("{e}\n{}", usage());
+                        return ExitCode::from(2);
+                    }
+                };
+            }
             flag if flag.starts_with('-') => {
                 eprintln!("unknown flag {flag:?}\n{}", usage());
                 return ExitCode::from(2);
@@ -156,6 +180,18 @@ fn main() -> ExitCode {
             usage()
         );
         return ExitCode::from(2);
+    }
+    if trace_dir.is_some() && trace == TraceMode::Off {
+        eprintln!(
+            "--trace-dir needs --trace (there are no trace files to write)\n{}",
+            usage()
+        );
+        return ExitCode::from(2);
+    }
+    if resume && trace != TraceMode::Off {
+        // Known limitation: the result store predates the trace layer,
+        // so cells served from it carry metrics but no telemetry.
+        eprintln!("note: --resume serves cached cells without telemetry; only freshly computed cells are traced");
     }
 
     // Validate filters before running anything expensive.
@@ -220,6 +256,7 @@ fn main() -> ExitCode {
             resume,
             store: store.as_ref(),
             faults: faults.clone(),
+            trace,
         };
         let exp = registry.get(name).expect("validated");
         match run_experiment_with(exp, &cfg) {
@@ -244,6 +281,18 @@ fn main() -> ExitCode {
             }
             Err(SweepError::Store(e)) => {
                 eprintln!("sweep {name}: result store failed: {e}");
+                return ExitCode::from(1);
+            }
+        }
+    }
+
+    if let Some(dir) = &trace_dir {
+        match write_trace_files(&runs, Path::new(dir)) {
+            // Stderr, like the store traffic lines: stdout stays a pure
+            // function of the sweep's deterministic state.
+            Ok(n) => eprintln!("trace[{dir}]: {n} files"),
+            Err(e) => {
+                eprintln!("cannot write trace files: {e}");
                 return ExitCode::from(1);
             }
         }

@@ -20,7 +20,9 @@ use std::process::ExitCode;
 
 use leaky_bench::perf::{parse_json, render_report, report_metrics, time_ns_per_op, Metric};
 use leaky_cpu::ProcessorModel;
-use leaky_frontend::{Dsb, Frontend, FrontendConfig, LineId, SmtDsbPolicy, ThreadId};
+use leaky_frontend::{
+    Dsb, Frontend, FrontendConfig, LineId, SmtDsbPolicy, ThreadId, TraceHook, TraceMode,
+};
 use leaky_frontends::channels::ChannelSpec;
 use leaky_isa::{same_set_chain, Alignment, Block, BlockChain, DsbSet, FrontendGeometry};
 use leaky_stats::error_rate;
@@ -29,6 +31,13 @@ use std::hint::black_box;
 /// Maximum tolerated slowdown of any metric versus the committed
 /// baseline before `--check` fails (generous: CI machines vary).
 const MAX_REGRESSION: f64 = 3.0;
+
+/// Tolerated slowdown of the `trace_off_*` metrics — the zero-cost-
+/// when-off trace contract: a dormant [`TraceHook`] may cost at most 2%
+/// on the hot paths it instruments. Scaled by the same machine factor
+/// as everything else. `--quick`'s few samples are too noisy for a 2%
+/// gate, so quick checks fall back to [`MAX_REGRESSION`].
+const TRACE_OFF_REGRESSION: f64 = 1.02;
 
 struct Budget {
     samples: usize,
@@ -87,6 +96,21 @@ fn measure(budget: &Budget) -> Vec<Metric> {
         },
     );
     push("lsd_iteration", ns, budget.iter_ops);
+
+    // The same warm-LSD iteration with the dormant trace hook
+    // explicitly installed: the zero-cost-when-off contract, gated at
+    // `TRACE_OFF_REGRESSION` (not `MAX_REGRESSION`) by `--check`.
+    let mut fe = warm_frontend(FrontendConfig::default(), &chain8);
+    fe.set_trace(TraceHook::new(TraceMode::Off));
+    let ns = time_ns_per_op(
+        budget.iter_ops / 10,
+        budget.samples,
+        budget.iter_ops,
+        || {
+            black_box(fe.run_iteration(ThreadId::T0, &chain8));
+        },
+    );
+    push("trace_off_lsd_iteration", ns, budget.iter_ops);
 
     // One warm DSB-delivery iteration (LSD disabled).
     let mut fe = warm_frontend(
@@ -225,6 +249,15 @@ fn measure(budget: &Budget) -> Vec<Metric> {
             black_box(ch.debug_measure(bit));
         });
         push(metric, ns, budget.bit_ops);
+
+        // Re-measured with the dormant hook explicitly installed — the
+        // per-bit half of the zero-cost-when-off contract.
+        ch.set_trace(TraceHook::new(TraceMode::Off));
+        let ns = time_ns_per_op(budget.bit_ops / 4, budget.samples, budget.bit_ops, || {
+            bit = !bit;
+            black_box(ch.debug_measure(bit));
+        });
+        push(&format!("trace_off_{metric}"), ns, budget.bit_ops);
     }
 
     // Bit-string scoring: 4096-bit sent/received pair (§VI error rates).
@@ -265,7 +298,7 @@ fn measure(budget: &Budget) -> Vec<Metric> {
     metrics
 }
 
-fn check(metrics: &[Metric], baseline_path: &str) -> Result<(), String> {
+fn check(metrics: &[Metric], baseline_path: &str, quick: bool) -> Result<(), String> {
     let text = std::fs::read_to_string(baseline_path)
         .map_err(|e| format!("cannot read {baseline_path}: {e}"))?;
     let doc = parse_json(&text).map_err(|e| format!("{baseline_path} is malformed: {e}"))?;
@@ -309,22 +342,34 @@ fn check(metrics: &[Metric], baseline_path: &str) -> Result<(), String> {
         sorted[sorted.len() / 2].max(1.0)
     };
     let limit = MAX_REGRESSION * machine_factor;
+    // The zero-cost-when-off metrics get the tight gate in full mode;
+    // quick samples are too noisy for a 2% tolerance.
+    let tight = if quick {
+        limit
+    } else {
+        TRACE_OFF_REGRESSION * machine_factor
+    };
     println!("machine factor (median ratio, floored at 1): {machine_factor:.2}");
     println!(
-        "{:<26} {:>12} {:>12} {:>8}",
+        "{:<34} {:>12} {:>12} {:>8}",
         "metric", "baseline ns", "now ns", "ratio"
     );
     for (name, base, ratio) in &ratios {
         println!(
-            "{:<26} {:>12.1} {:>12.1} {:>7.2}x",
+            "{:<34} {:>12.1} {:>12.1} {:>7.2}x",
             name,
             base,
             base * ratio,
             ratio
         );
-        if *ratio > limit {
+        let metric_limit = if name.starts_with("trace_off_") {
+            tight
+        } else {
+            limit
+        };
+        if *ratio > metric_limit {
             failures.push(format!(
-                "{name}: {:.1} ns vs baseline {base:.1} ns ({ratio:.2}x > {limit:.2}x limit)",
+                "{name}: {:.1} ns vs baseline {base:.1} ns ({ratio:.2}x > {metric_limit:.2}x limit)",
                 base * ratio
             ));
         }
@@ -351,9 +396,16 @@ fn main() -> ExitCode {
     let metrics = measure(&Budget::new(quick));
 
     if let Some(path) = &baseline {
-        return match check(&metrics, path) {
+        return match check(&metrics, path, quick) {
             Ok(()) => {
-                println!("perf check OK (all metrics within {MAX_REGRESSION}x of baseline)");
+                println!(
+                    "perf check OK (metrics within {MAX_REGRESSION}x, trace_off within {}x)",
+                    if quick {
+                        MAX_REGRESSION
+                    } else {
+                        TRACE_OFF_REGRESSION
+                    }
+                );
                 ExitCode::SUCCESS
             }
             Err(e) => {

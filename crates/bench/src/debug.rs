@@ -1,39 +1,57 @@
-//! Shared channel diagnostics over the [`CovertChannel`] debug hooks.
+//! Shared channel diagnostics over the trace layer.
 //!
-//! The debug binaries (`debug_channels`, `debug_d1`, `debug_mt`) all
-//! want the same dump — the calibrated decoder's class means and
-//! threshold, then a short run of raw per-bit measurements with their
-//! decoded values — so it lives here once, expressed against the trait
-//! instead of per concrete channel type.
+//! The debug binaries (`debug_channels`, `debug_d1`, `debug_mt`,
+//! `debug_phases`) all want the same dump — calibration, a short traced
+//! run, the structured event stream, and the folded stall summary — so
+//! it lives here once, rendered through the [`leaky_trace`] sinks
+//! instead of bespoke printf paths.
 
 use leaky_frontends::channels::CovertChannel;
+use leaky_trace::{drain, StallSummary, TextSink, TraceEvent, TraceHook, TraceMode};
 
-/// Prints a channel's calibrated decoder followed by `bits` alternating
-/// raw measurements and their decoded bits. Reports a dead channel (and
-/// takes no measurements) when calibration finds indistinguishable
-/// classes.
-pub fn dump_channel(label: &str, ch: &mut dyn CovertChannel, bits: usize) {
-    let identity = format!("{} on {}", ch.name(), ch.profile_key());
-    match ch.debug_decoder() {
-        None => println!("{label} [{identity}]: calibration failed (dead channel)"),
-        Some(dec) => {
-            println!(
-                "{label} [{identity}] decoder: zero={:.2} one={:.2} thr={:.2} sep={:.2}",
-                dec.zero_mean(),
-                dec.one_mean(),
-                dec.threshold(),
-                dec.separation()
-            );
-            for i in 0..bits {
-                let bit = i % 2 == 1;
-                let m = ch.debug_measure(bit);
-                println!(
-                    "  bit={} meas={:.2} -> {}",
-                    bit as u8,
-                    m,
-                    dec.decode(m) as u8
-                );
-            }
-        }
+/// Prints `events` one per line through a [`TextSink`] on stdout.
+pub fn print_events(events: &[TraceEvent]) {
+    let stdout = std::io::stdout();
+    let mut sink = TextSink::new(stdout.lock());
+    let _ = drain(events, &mut sink);
+}
+
+/// Prints a stall summary's statistic rows (`stat = value`) to stdout.
+pub fn print_summary(summary: &StallSummary) {
+    for line in summary.csv_rows().lines().skip(1) {
+        let (stat, value) = line.split_once(',').unwrap_or((line, ""));
+        println!("summary {stat} = {value}");
     }
+}
+
+/// Runs a channel's calibration and a short alternating transmit under
+/// an events-mode trace hook, then prints the channel-level events
+/// (calibration thresholds, per-bit decode outcomes, session framing)
+/// and the folded stall summary. A dead channel (failed calibration)
+/// prints its `calibration_failed` event and whatever the calibration
+/// attempt cost.
+pub fn dump_channel(label: &str, ch: &mut dyn CovertChannel, bits: usize) {
+    println!("{label} [{} on {}]", ch.name(), ch.profile_key());
+    ch.set_trace(TraceHook::new(TraceMode::Events));
+    if ch.try_calibrate().is_ok() {
+        let message: Vec<bool> = (0..bits).map(|i| i % 2 == 1).collect();
+        let _ = ch.transmit(&message);
+    }
+    let hook = ch.take_trace();
+    let Some(summary) = hook.summary() else {
+        println!("  (channel exposes no trace events)");
+        return;
+    };
+    // Channel-level events only (no thread column): the per-iteration
+    // frontend events are delivery-path noise at this zoom level — the
+    // summary below folds them.
+    let channel_events: Vec<TraceEvent> = hook
+        .events()
+        .unwrap_or(&[])
+        .iter()
+        .filter(|e| e.thread().is_none())
+        .cloned()
+        .collect();
+    print_events(&channel_events);
+    print_summary(&summary);
 }

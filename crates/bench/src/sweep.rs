@@ -15,8 +15,12 @@
 
 use crate::table::{fmt, TableWriter};
 use leaky_exp::runner::SweepRun;
-use leaky_exp::{run_experiment, standard_registry, CellOutcome, Experiment};
+use leaky_exp::{
+    run_experiment, run_experiment_with, standard_registry, CellOutcome, Experiment, RunConfig,
+};
+use leaky_trace::TraceMode;
 use std::fmt::Write as _;
+use std::path::Path;
 
 /// Worker threads to use when the caller does not say: the
 /// `LEAKY_SWEEP_JOBS` environment variable, else all available cores.
@@ -383,6 +387,12 @@ pub fn render_json(run: &SweepRun) -> String {
                 json_escape(&p.params)
             );
         }
+        // Telemetry (schema leaky-frontends/trace/v1) appears only on
+        // traced runs, so untraced documents are byte-identical to the
+        // pre-trace format.
+        if let Some(t) = result.telemetry() {
+            let _ = write!(out, "\"telemetry\": {}, ", t.to_json_inline());
+        }
         match &result.outcome {
             CellOutcome::Unsupported => {
                 let _ = write!(out, "\"supported\": false");
@@ -482,11 +492,72 @@ pub fn suggest_experiments<'a>(unknown: &str, names: &[&'a str]) -> Vec<&'a str>
 /// Runs one registered experiment by name (panicking on unknown names —
 /// CLI-level validation happens in `leaky_sweep`).
 pub fn run_by_name(name: &str, quick: bool, jobs: usize) -> SweepRun {
+    run_by_name_traced(name, quick, jobs, TraceMode::Off)
+}
+
+/// [`run_by_name`] with a trace level. Metrics and renderings (other
+/// than the JSON `telemetry` field) are bit-identical to the untraced
+/// run at any `jobs`; the trace layer observes, it never steers.
+///
+/// # Panics
+///
+/// Panics on unknown names — CLI-level validation happens in
+/// `leaky_sweep`.
+pub fn run_by_name_traced(name: &str, quick: bool, jobs: usize, trace: TraceMode) -> SweepRun {
     let registry = standard_registry();
     let exp: &dyn Experiment = registry
         .get(name)
         .unwrap_or_else(|| panic!("unregistered experiment {name:?}")); // lint: allow(panic) — documented `# Panics` contract
-    run_experiment(exp, quick, jobs)
+    let cfg = RunConfig {
+        quick,
+        jobs,
+        trace,
+        ..RunConfig::default()
+    };
+    // lint: allow(panic) — storeless runs cannot fail
+    run_experiment_with(exp, &cfg).expect("no store attached, so no store errors")
+}
+
+/// Maps a cell's content key onto a trace filename: every byte outside
+/// `[A-Za-z0-9._=-]` becomes `_`, so axis separators (`/`) and spaces in
+/// machine names flatten into one filesystem-safe token. Keys are
+/// unique per sweep and the mapping is injective enough in practice
+/// (axis names never differ only by punctuation).
+pub fn trace_file_name(key: &str) -> String {
+    let mut name: String = key
+        .chars()
+        .map(|c| {
+            if c.is_ascii_alphanumeric() || matches!(c, '.' | '_' | '=' | '-') {
+                c
+            } else {
+                '_'
+            }
+        })
+        .collect();
+    name.push_str(".csv");
+    name
+}
+
+/// Writes one trace file per traced cell (cells without telemetry —
+/// untraced channels, unsupported/failed/cached cells — are skipped)
+/// under `dir`, creating it if needed. Files are written in grid order
+/// with deterministic contents, so two runs at different `--jobs` agree
+/// byte-for-byte. Returns the number of files written.
+pub fn write_trace_files(runs: &[SweepRun], dir: &Path) -> std::io::Result<usize> {
+    std::fs::create_dir_all(dir)?;
+    let mut written = 0;
+    for run in runs {
+        for cell in &run.cells {
+            if let Some(telemetry) = cell.telemetry() {
+                std::fs::write(
+                    dir.join(trace_file_name(&cell.cell.key)),
+                    telemetry.trace_file_contents(),
+                )?;
+                written += 1;
+            }
+        }
+    }
+    Ok(written)
 }
 
 #[cfg(test)]
@@ -528,6 +599,50 @@ mod tests {
             .expect("summary.mean.mean");
         // 8 cells of 512 uniform draws: the grand mean is near 0.5.
         assert!((mean - 0.5).abs() < 0.1, "grand mean {mean} implausible");
+    }
+
+    #[test]
+    fn traced_json_and_trace_files_are_jobs_invariant() {
+        let a = run_by_name_traced("tab3_all_channels", true, 1, TraceMode::Summary);
+        let b = run_by_name_traced("tab3_all_channels", true, 3, TraceMode::Summary);
+        let json = render_json(&a);
+        assert_eq!(json, render_json(&b));
+        assert!(json.contains("\"telemetry\""), "telemetry missing:\n{json}");
+        assert!(json.contains("\"schema\": \"leaky-frontends/trace/v1\""));
+
+        let dir = std::env::temp_dir().join(format!("leaky_trace_ji_{}", std::process::id()));
+        let dir_a = dir.join("a");
+        let dir_b = dir.join("b");
+        let na = write_trace_files(std::slice::from_ref(&a), &dir_a).expect("write");
+        let nb = write_trace_files(std::slice::from_ref(&b), &dir_b).expect("write");
+        assert_eq!(na, nb);
+        // Every supported cell in quick tab3 is a traced channel cell.
+        let supported = a
+            .cells
+            .iter()
+            .filter(|c| matches!(c.outcome, CellOutcome::Measured(_)))
+            .count();
+        assert_eq!(na, supported);
+        for cell in &a.cells {
+            if cell.telemetry().is_some() {
+                let name = trace_file_name(&cell.cell.key);
+                let fa = std::fs::read(dir_a.join(&name)).expect("file written");
+                let fb = std::fs::read(dir_b.join(&name)).expect("file written");
+                assert_eq!(fa, fb, "{name} differs across jobs");
+                assert!(fa.starts_with(b"stat,value\n"), "{name} not a summary CSV");
+            }
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn trace_file_names_are_sanitized() {
+        assert_eq!(
+            trace_file_name(
+                "tab3_all_channels/profile=quick/channel=mt-eviction/machine=Gold 6226"
+            ),
+            "tab3_all_channels_profile=quick_channel=mt-eviction_machine=Gold_6226.csv"
+        );
     }
 
     #[test]

@@ -85,3 +85,39 @@ fn tab3_uarch_matches_committed_output() {
         "tab3_uarch.txt",
     );
 }
+
+#[test]
+fn traced_sweep_emits_the_committed_golden_trace() {
+    // One tab3 cell's full event stream, byte-for-byte: pins the event
+    // vocabulary, the CSV rendering, the per-cell trace filenames AND
+    // (at LEAKY_SWEEP_JOBS=3) that the event stream is independent of
+    // worker scheduling. Regenerate with:
+    //   leaky_sweep --quick tab3_all_channels --trace=events --trace-dir DIR
+    let name =
+        "tab3_all_channels_profile=quick_channel=non-mt-fast-eviction_machine=Xeon_E-2288G.csv";
+    let dir = std::env::temp_dir().join(format!("leaky_trace_golden_{}", std::process::id()));
+    let out = Command::new(env!("CARGO_BIN_EXE_leaky_sweep"))
+        .args([
+            "--quick",
+            "tab3_all_channels",
+            "--trace=events",
+            "--trace-dir",
+        ])
+        .arg(&dir)
+        .env("LEAKY_SWEEP_JOBS", "3")
+        .output()
+        .expect("binary runs");
+    assert!(out.status.success(), "leaky_sweep must exit 0");
+    let produced = std::fs::read_to_string(dir.join(name)).expect("trace file written");
+    let golden = std::fs::read_to_string(
+        std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+            .join("tests/golden")
+            .join(name),
+    )
+    .expect("committed golden trace");
+    assert_eq!(
+        produced, golden,
+        "{name}: trace diverged from committed golden"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}

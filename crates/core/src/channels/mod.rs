@@ -63,6 +63,22 @@ pub trait CovertChannel: std::fmt::Debug {
     /// Debug hook: the calibrated threshold decoder, calibrating first;
     /// `None` when calibration fails (dead channel).
     fn debug_decoder(&mut self) -> Option<ThresholdDecoder>;
+
+    /// Installs a trace hook (DESIGN.md §12); behavior-free. Channels
+    /// that carry a simulated core thread the hook down to its
+    /// `Frontend` and add their own calibration / per-bit decode events;
+    /// the default ignores it, so sinks simply see no events from
+    /// channels that predate the trace layer.
+    fn set_trace(&mut self, hook: leaky_trace::TraceHook) {
+        let _ = hook;
+    }
+
+    /// Detaches the trace hook installed by
+    /// [`CovertChannel::set_trace`], leaving tracing off. The default
+    /// (for untraced channels) reports tracing off.
+    fn take_trace(&mut self) -> leaky_trace::TraceHook {
+        leaky_trace::TraceHook::Off
+    }
 }
 
 /// Virtual-address region bases for the two parties (arbitrary, disjoint;

@@ -16,6 +16,7 @@ use leaky_cpu::{Core, MicrocodePatch, ProcessorModel, ThreadWork};
 use leaky_frontend::{ThreadId, UarchProfile};
 use leaky_isa::BlockChain;
 use leaky_stats::ThresholdDecoder;
+use leaky_trace::{TraceEvent, TraceHook};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -322,7 +323,11 @@ impl MtChannel {
         self.core.idle(ThreadId::T0, PER_BIT_SYNC_CYCLES);
         // Per-iteration average; timer noise and bursts are folded into the
         // rdtscp bracket, and calibration absorbs fixed offsets.
-        (t1 - t0).max(1.0) / iters as f64
+        let value = (t1 - t0).max(1.0) / iters as f64;
+        self.core
+            .trace_mut()
+            .emit(|| TraceEvent::ChannelMeasure { sent: m, value });
+        value
     }
 
     /// Attempts calibration, reporting failure instead of panicking: a
@@ -336,11 +341,25 @@ impl MtChannel {
         for i in 0..8 {
             let _ = self.measure_bit(i % 2 == 1, None, false); // warmup
         }
-        self.decoder = Some(crate::channels::try_calibrate_decoder(
+        match crate::channels::try_calibrate_decoder(
             |bit| self.measure_bit(bit, None, false),
             CALIBRATION_BITS,
-        )?);
-        Ok(())
+        ) {
+            Ok(decoder) => {
+                self.core.trace_mut().emit(|| TraceEvent::Calibration {
+                    zero_mean: decoder.zero_mean(),
+                    one_mean: decoder.one_mean(),
+                    threshold: decoder.threshold(),
+                    separation: decoder.separation(),
+                });
+                self.decoder = Some(decoder);
+                Ok(())
+            }
+            Err(err) => {
+                self.core.trace_mut().emit(|| TraceEvent::CalibrationFailed);
+                Err(err)
+            }
+        }
     }
 
     fn ensure_calibrated(&mut self) {
@@ -357,14 +376,31 @@ impl MtChannel {
             .core
             .clock(ThreadId::T0)
             .max(self.core.clock(ThreadId::T1));
+        self.core.trace_mut().emit(|| TraceEvent::SessionStart {
+            bits: message.len() as u64,
+        });
         let mut received = Vec::with_capacity(message.len());
+        let mut errors = 0u64;
         let mut prev: Option<bool> = None;
-        for &bit in message {
+        for (index, &bit) in message.iter().enumerate() {
             let transition = prev.is_some_and(|p| p != bit);
             let meas = self.measure_bit(bit, Some(&decoder), transition);
-            received.push(decoder.decode(meas));
+            let out = decoder.decode(meas);
+            errors += u64::from(out != bit);
+            self.core.trace_mut().emit(|| TraceEvent::BitDecoded {
+                index: index as u64,
+                sent: bit,
+                received: out,
+                value: meas,
+                resamples: 0,
+            });
+            received.push(out);
             prev = Some(bit);
         }
+        self.core.trace_mut().emit(|| TraceEvent::SessionEnd {
+            bits: message.len() as u64,
+            errors,
+        });
         let end = self
             .core
             .clock(ThreadId::T0)
@@ -411,6 +447,14 @@ impl CovertChannel for MtChannel {
     fn debug_decoder(&mut self) -> Option<ThresholdDecoder> {
         MtChannel::try_calibrate(self).ok()?;
         self.decoder
+    }
+
+    fn set_trace(&mut self, hook: TraceHook) {
+        self.core.set_trace(hook);
+    }
+
+    fn take_trace(&mut self) -> TraceHook {
+        self.core.take_trace()
     }
 }
 

@@ -10,6 +10,7 @@ use leaky_cpu::{Core, MicrocodePatch, ProcessorModel};
 use leaky_frontend::{ThreadId, UarchProfile};
 use leaky_isa::BlockChain;
 use leaky_stats::ThresholdDecoder;
+use leaky_trace::{TraceEvent, TraceHook};
 
 use crate::channels::{eviction_layout, misalignment_layout, CovertChannel};
 use crate::params::{ChannelParams, EncodeMode};
@@ -169,11 +170,23 @@ impl NonMtChannel {
         for i in 0..WARMUP_BITS {
             let _ = self.measure_bit(i % 2 == 1);
         }
-        self.decoder = Some(crate::channels::try_calibrate_decoder(
-            |bit| self.measure_bit(bit),
-            CALIBRATION_BITS,
-        )?);
-        Ok(())
+        match crate::channels::try_calibrate_decoder(|bit| self.measure_bit(bit), CALIBRATION_BITS)
+        {
+            Ok(decoder) => {
+                self.core.trace_mut().emit(|| TraceEvent::Calibration {
+                    zero_mean: decoder.zero_mean(),
+                    one_mean: decoder.one_mean(),
+                    threshold: decoder.threshold(),
+                    separation: decoder.separation(),
+                });
+                self.decoder = Some(decoder);
+                Ok(())
+            }
+            Err(err) => {
+                self.core.trace_mut().emit(|| TraceEvent::CalibrationFailed);
+                Err(err)
+            }
+        }
     }
 
     /// The channel variant.
@@ -210,7 +223,11 @@ impl NonMtChannel {
             EncodeMode::Stealthy => STEALTHY_OVERHEAD_CYCLES,
         };
         self.core.idle(tid, overhead);
-        t1 - t0
+        let value = t1 - t0;
+        self.core
+            .trace_mut()
+            .emit(|| TraceEvent::ChannelMeasure { sent: m, value });
+        value
     }
 
     fn ensure_calibrated(&mut self) {
@@ -225,16 +242,35 @@ impl NonMtChannel {
         self.ensure_calibrated();
         let decoder = self.decoder.expect("calibrated above"); // lint: allow(panic) — set by ensure_calibrated on the previous line
         let start = self.core.clock(ThreadId::T0);
+        self.core.trace_mut().emit(|| TraceEvent::SessionStart {
+            bits: message.len() as u64,
+        });
         let mut received = Vec::with_capacity(message.len());
-        for &bit in message {
-            let mut decoded = decoder.decode_checked(self.measure_bit(bit));
+        let mut errors = 0u64;
+        for (index, &bit) in message.iter().enumerate() {
+            let mut value = self.measure_bit(bit);
+            let mut decoded = decoder.decode_checked(value);
             let mut tries = 0;
             while decoded.is_ambiguous() && tries < MAX_RESAMPLE {
-                decoded = decoder.decode_checked(self.measure_bit(bit));
+                value = self.measure_bit(bit);
+                decoded = decoder.decode_checked(value);
                 tries += 1;
             }
-            received.push(decoded.bit());
+            let out = decoded.bit();
+            errors += u64::from(out != bit);
+            self.core.trace_mut().emit(|| TraceEvent::BitDecoded {
+                index: index as u64,
+                sent: bit,
+                received: out,
+                value,
+                resamples: tries,
+            });
+            received.push(out);
         }
+        self.core.trace_mut().emit(|| TraceEvent::SessionEnd {
+            bits: message.len() as u64,
+            errors,
+        });
         let cycles = self.core.clock(ThreadId::T0) - start;
         ChannelRun::new(
             message.to_vec(),
@@ -278,6 +314,14 @@ impl CovertChannel for NonMtChannel {
     fn debug_decoder(&mut self) -> Option<ThresholdDecoder> {
         NonMtChannel::try_calibrate(self).ok()?;
         self.decoder
+    }
+
+    fn set_trace(&mut self, hook: TraceHook) {
+        self.core.set_trace(hook);
+    }
+
+    fn take_trace(&mut self) -> TraceHook {
+        self.core.take_trace()
     }
 }
 
@@ -457,6 +501,35 @@ mod tests {
         let rb = b.transmit(&msg);
         assert_eq!(ra.received(), rb.received());
         assert_eq!(ra.rate_kbps(), rb.rate_kbps());
+    }
+
+    #[test]
+    fn trace_captures_channel_events_without_changing_the_run() {
+        use leaky_trace::{TraceHook, TraceMode};
+        let msg = MessagePattern::Alternating.generate(16, 0);
+        let mut plain = channel(
+            ProcessorModel::xeon_e2288g(),
+            NonMtKind::Eviction,
+            EncodeMode::Fast,
+        );
+        let mut traced = channel(
+            ProcessorModel::xeon_e2288g(),
+            NonMtKind::Eviction,
+            EncodeMode::Fast,
+        );
+        traced.set_trace(TraceHook::new(TraceMode::Summary));
+        let rp = plain.transmit(&msg);
+        let rt = traced.transmit(&msg);
+        assert_eq!(rp.received(), rt.received());
+        assert_eq!(rp.rate_kbps(), rt.rate_kbps());
+        let summary = traced.take_trace().summary().expect("hook was on");
+        assert_eq!(summary.calibrations, 1);
+        assert_eq!(summary.bits, 16);
+        assert_eq!(summary.error_rate(), rt.error_rate());
+        // Warm-up + calibration + per-bit decodes all measure.
+        assert!(summary.channel_measures as usize >= WARMUP_BITS + CALIBRATION_BITS + 16);
+        assert!(summary.iterations > 0, "frontend events flow through too");
+        assert!(summary.last_calibration.is_some());
     }
 
     #[test]

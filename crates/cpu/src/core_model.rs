@@ -168,6 +168,23 @@ impl Core {
         &mut self.frontend
     }
 
+    /// Installs a trace hook on the frontend (see
+    /// [`Frontend::set_trace`]); behavior-free observability.
+    pub fn set_trace(&mut self, hook: leaky_frontend::TraceHook) {
+        self.frontend.set_trace(hook);
+    }
+
+    /// Mutable access to the frontend's trace hook, for emitting
+    /// channel-level events from drivers above the core.
+    pub fn trace_mut(&mut self) -> &mut leaky_frontend::TraceHook {
+        self.frontend.trace_mut()
+    }
+
+    /// Detaches the frontend's trace hook, leaving tracing off.
+    pub fn take_trace(&mut self) -> leaky_frontend::TraceHook {
+        self.frontend.take_trace()
+    }
+
     /// Swaps the frontend onto a new configuration in place (microcode
     /// update / machine change semantics — see
     /// [`Frontend::reconfigure`]), keeping clocks, RAPL state and RNG

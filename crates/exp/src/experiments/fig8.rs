@@ -7,6 +7,7 @@ use crate::grid::{JobCell, ParamGrid};
 use crate::runner::{CellMeasurement, Experiment, Metric};
 use leaky_frontends::channels::ChannelSpec;
 use leaky_frontends::params::{ChannelParams, MessagePattern};
+use leaky_trace::{TraceHook, TraceMode};
 
 /// The three SMT machines the legacy binary sweeps, in its order.
 pub const MACHINES: [&str; 3] = ["Gold 6226", "Xeon E-2174G", "Xeon E-2286G"];
@@ -34,6 +35,10 @@ impl Experiment for Fig8DSweep {
     }
 
     fn run_cell(&self, cell: &JobCell) -> Option<CellMeasurement> {
+        self.run_cell_traced(cell, TraceMode::Off)
+    }
+
+    fn run_cell_traced(&self, cell: &JobCell, trace: TraceMode) -> Option<CellMeasurement> {
         let bits = if cell.str("profile") == "quick" {
             16
         } else {
@@ -48,15 +53,19 @@ impl Experiment for Fig8DSweep {
             .seed(1000 + d as u64)
             .build()
             .expect("SMT machine"); // lint: allow(panic) — all fig8 machines are SMT-capable (comment above)
+        ch.set_trace(TraceHook::new(trace));
         let run = ch.transmit(&MessagePattern::Alternating.generate(bits, 0));
-        Some(CellMeasurement::with_provenance(
-            vec![
-                Metric::new("rate_kbps", run.rate_kbps()),
-                Metric::new("error_rate", run.error_rate()),
-                Metric::new("effective_kbps", run.effective_rate_kbps()),
-                Metric::new("capacity_kbps", run.capacity_kbps()),
-            ],
-            run.provenance().cloned(),
-        ))
+        Some(
+            CellMeasurement::with_provenance(
+                vec![
+                    Metric::new("rate_kbps", run.rate_kbps()),
+                    Metric::new("error_rate", run.error_rate()),
+                    Metric::new("effective_kbps", run.effective_rate_kbps()),
+                    Metric::new("capacity_kbps", run.capacity_kbps()),
+                ],
+                run.provenance().cloned(),
+            )
+            .with_telemetry(ch.take_trace().into_telemetry()),
+        )
     }
 }

@@ -83,46 +83,65 @@ pub(crate) fn uarch(key: &str) -> UarchProfile {
 /// separation is a *dead channel* row — rate 0, error 0.5, capacity 0,
 /// the §XII defense's success metric.
 ///
+/// The trace hook is installed before calibration, so the telemetry
+/// covers the whole cell — including dead-channel rows, whose stall
+/// summary is exactly what explains the death (the trace layer's
+/// reason for existing). The metrics are bit-identical to the untraced
+/// path ([`TraceMode::Off`](leaky_trace::TraceMode::Off)): the hook
+/// observes, it never steers.
+///
 /// # Panics
 ///
 /// Panics on spec errors that indicate a grid bug (unknown channel
 /// name, unsupported override) rather than a structural gap.
-pub(crate) fn channel_cell(spec: &ChannelSpec, message: &[bool]) -> Option<CellMeasurement> {
+pub(crate) fn channel_cell_traced(
+    spec: &ChannelSpec,
+    message: &[bool],
+    trace: leaky_trace::TraceMode,
+) -> Option<CellMeasurement> {
     let mut ch = match spec.build() {
         Ok(ch) => ch,
         Err(BuildError::SmtUnavailable(_)) => return None,
         Err(e) => panic!("channel spec invalid: {e}"), // lint: allow(panic) — documented `# Panics` contract
     };
+    ch.set_trace(leaky_trace::TraceHook::new(trace));
     let provenance = Provenance {
         channel: ch.name(),
         profile: ch.profile_key(),
         params: ch.params(),
     };
     if ch.try_calibrate().is_err() {
-        return Some(CellMeasurement::with_provenance(
-            vec![
-                Metric::new("rate_kbps", 0.0),
-                Metric::new("error_rate", 0.5),
-                Metric::new("capacity_kbps", 0.0),
-            ],
-            Some(provenance),
-        ));
+        return Some(
+            CellMeasurement::with_provenance(
+                vec![
+                    Metric::new("rate_kbps", 0.0),
+                    Metric::new("error_rate", 0.5),
+                    Metric::new("capacity_kbps", 0.0),
+                ],
+                Some(provenance),
+            )
+            .with_telemetry(ch.take_trace().into_telemetry()),
+        );
     }
     let run = ch.transmit(message);
-    Some(CellMeasurement::with_provenance(
-        vec![
-            Metric::new("rate_kbps", run.rate_kbps()),
-            Metric::new("error_rate", run.error_rate()),
-            Metric::new("capacity_kbps", run.capacity_kbps()),
-        ],
-        run.provenance().cloned(),
-    ))
+    Some(
+        CellMeasurement::with_provenance(
+            vec![
+                Metric::new("rate_kbps", run.rate_kbps()),
+                Metric::new("error_rate", run.error_rate()),
+                Metric::new("capacity_kbps", run.capacity_kbps()),
+            ],
+            run.provenance().cloned(),
+        )
+        .with_telemetry(ch.take_trace().into_telemetry()),
+    )
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::runner::run_experiment;
+    use crate::runner::{run_experiment, run_experiment_with, RunConfig};
+    use leaky_trace::TraceMode;
 
     #[test]
     fn registry_contains_the_migrated_sweeps() {
@@ -151,6 +170,33 @@ mod tests {
     #[should_panic(expected = "unknown machine")]
     fn unknown_machine_panics() {
         let _ = machine("Pentium II");
+    }
+
+    #[test]
+    fn traced_sweeps_keep_metrics_and_attach_telemetry() {
+        // Summary tracing must never steer the simulation: the traced
+        // sweep's metrics are bit-identical to the untraced run, every
+        // supported channel cell carries telemetry, and the telemetry
+        // itself is invariant under the worker count.
+        let cfg = |jobs| RunConfig {
+            quick: true,
+            jobs,
+            trace: TraceMode::Summary,
+            ..RunConfig::default()
+        };
+        let plain = run_experiment(&Tab3AllChannels, true, 1);
+        let traced = run_experiment_with(&Tab3AllChannels, &cfg(1)).expect("no store attached");
+        let traced4 = run_experiment_with(&Tab3AllChannels, &cfg(4)).expect("no store attached");
+        assert_eq!(plain.cells.len(), traced.cells.len());
+        for ((p, t), t4) in plain.cells.iter().zip(&traced.cells).zip(&traced4.cells) {
+            assert_eq!(p.metrics(), t.metrics(), "{}", p.cell.key);
+            assert_eq!(t.telemetry(), t4.telemetry(), "{}", p.cell.key);
+            if t.metrics().is_some() {
+                let tel = t.telemetry().expect("channel cells attach telemetry");
+                assert_eq!(tel.mode, TraceMode::Summary, "{}", p.cell.key);
+                assert!(tel.summary.iterations > 0, "{}", p.cell.key);
+            }
+        }
     }
 
     #[test]

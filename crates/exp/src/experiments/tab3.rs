@@ -6,12 +6,13 @@
 //! concrete types, and the committed output stays bit-identical because
 //! the registry build is a relabeling of the legacy constructors.
 
-use super::{channel_cell, machine, profile};
+use super::{channel_cell_traced, machine, profile};
 use crate::grid::{JobCell, ParamGrid};
 use crate::runner::{CellMeasurement, Experiment};
 use leaky_cpu::ProcessorModel;
 use leaky_frontends::channels::{channel_info, ChannelSpec};
 use leaky_frontends::params::MessagePattern;
+use leaky_trace::TraceMode;
 
 /// Legacy seed pinned by the pre-migration binary; keeps the committed
 /// Table III numbers bit-identical.
@@ -59,6 +60,10 @@ impl Experiment for Tab3AllChannels {
     }
 
     fn run_cell(&self, cell: &JobCell) -> Option<CellMeasurement> {
+        self.run_cell_traced(cell, TraceMode::Off)
+    }
+
+    fn run_cell_traced(&self, cell: &JobCell, trace: TraceMode) -> Option<CellMeasurement> {
         let quick = cell.str("profile") == "quick";
         let (bits, mt_bits) = Self::bits(quick);
         let channel = cell.str("channel");
@@ -73,6 +78,6 @@ impl Experiment for Tab3AllChannels {
         let spec = ChannelSpec::new(channel)
             .model(machine(cell.str("machine")))
             .seed(SEED);
-        channel_cell(&spec, &MessagePattern::Alternating.generate(bits, 0))
+        channel_cell_traced(&spec, &MessagePattern::Alternating.generate(bits, 0), trace)
     }
 }

@@ -8,14 +8,15 @@
 //!
 //! Both sweep axes are registry keys — `uarch` indexes the profile
 //! registry, `channel` the channel registry — so the whole grid is one
-//! [`channel_cell`](super::channel_cell) call per cell, no type
-//! matching.
+//! [`channel_cell_traced`](super::channel_cell_traced) call per cell,
+//! no type matching.
 
-use super::{channel_cell, machine, profile, uarch};
+use super::{channel_cell_traced, machine, profile, uarch};
 use crate::grid::{JobCell, ParamGrid};
 use crate::runner::{CellMeasurement, Experiment};
 use leaky_frontends::channels::{channel_info, ChannelSpec};
 use leaky_frontends::params::MessagePattern;
+use leaky_trace::TraceMode;
 use leaky_uarch::UarchProfile;
 
 /// The machine the cross-profile sweep runs on: the paper's primary
@@ -56,6 +57,10 @@ impl Experiment for Tab3Uarch {
     }
 
     fn run_cell(&self, cell: &JobCell) -> Option<CellMeasurement> {
+        self.run_cell_traced(cell, TraceMode::Off)
+    }
+
+    fn run_cell_traced(&self, cell: &JobCell, trace: TraceMode) -> Option<CellMeasurement> {
         let quick = cell.str("profile") == "quick";
         let (bits, mt_bits) = Self::bits(quick);
         let channel = cell.str("channel");
@@ -72,7 +77,7 @@ impl Experiment for Tab3Uarch {
             .model(machine(cell.str("machine")))
             .profile(uarch(cell.str("uarch")))
             .seed(cell.seed);
-        channel_cell(&spec, &MessagePattern::Alternating.generate(bits, 0))
+        channel_cell_traced(&spec, &MessagePattern::Alternating.generate(bits, 0), trace)
     }
 }
 

@@ -2,11 +2,12 @@
 //! behind the `tab5_power_channels` binary). The `kind` axis maps onto
 //! the registry's `power-*` channel family.
 
-use super::{channel_cell, machine, profile};
+use super::{channel_cell_traced, machine, profile};
 use crate::grid::{JobCell, ParamGrid};
 use crate::runner::{CellMeasurement, Experiment};
 use leaky_frontends::channels::ChannelSpec;
 use leaky_frontends::params::MessagePattern;
+use leaky_trace::TraceMode;
 
 /// Legacy seed pinned by the pre-migration binary.
 const SEED: u64 = 55;
@@ -30,6 +31,10 @@ impl Experiment for Tab5PowerChannels {
     }
 
     fn run_cell(&self, cell: &JobCell) -> Option<CellMeasurement> {
+        self.run_cell_traced(cell, TraceMode::Off)
+    }
+
+    fn run_cell_traced(&self, cell: &JobCell, trace: TraceMode) -> Option<CellMeasurement> {
         let bits = if cell.str("profile") == "quick" {
             16
         } else {
@@ -40,6 +45,6 @@ impl Experiment for Tab5PowerChannels {
         let spec = ChannelSpec::new(format!("power-{}", cell.str("kind")))
             .model(machine("Gold 6226"))
             .seed(SEED);
-        channel_cell(&spec, &MessagePattern::Alternating.generate(bits, 0))
+        channel_cell_traced(&spec, &MessagePattern::Alternating.generate(bits, 0), trace)
     }
 }

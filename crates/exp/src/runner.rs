@@ -9,6 +9,7 @@ use leaky_stats::OnlineStats;
 use leaky_store::{
     Lookup, ResultStore, StoreError, StoreStats, StoredMetric, StoredOutcome, StoredProvenance,
 };
+use leaky_trace::{Telemetry, TraceMode};
 use leaky_uarch::Fnv1a;
 use std::fmt;
 use std::panic::{catch_unwind, AssertUnwindSafe};
@@ -66,6 +67,11 @@ pub struct CellMeasurement {
     pub metrics: Vec<Metric>,
     /// Channel provenance, when the cell ran a covert channel.
     pub provenance: Option<CellProvenance>,
+    /// Trace telemetry, when the sweep ran with tracing on and the spec
+    /// implements [`Experiment::run_cell_traced`]. A pure function of
+    /// the cell's content, like the metrics — never of scheduling.
+    /// Boxed so the common untraced measurement stays small.
+    pub telemetry: Option<Box<Telemetry>>,
 }
 
 impl CellMeasurement {
@@ -76,7 +82,14 @@ impl CellMeasurement {
         CellMeasurement {
             metrics,
             provenance: provenance.as_ref().map(CellProvenance::from),
+            telemetry: None,
         }
+    }
+
+    /// Attaches trace telemetry (builder style).
+    pub fn with_telemetry(mut self, telemetry: Option<Telemetry>) -> Self {
+        self.telemetry = telemetry.map(Box::new);
+        self
     }
 }
 
@@ -85,6 +98,7 @@ impl From<Vec<Metric>> for CellMeasurement {
         CellMeasurement {
             metrics,
             provenance: None,
+            telemetry: None,
         }
     }
 }
@@ -113,6 +127,18 @@ pub trait Experiment: Sync {
     /// metric vectors convert via `Into`; channel sweeps attach
     /// provenance with [`CellMeasurement::with_provenance`].
     fn run_cell(&self, cell: &JobCell) -> Option<CellMeasurement>;
+
+    /// Measures one cell with tracing. The default ignores the mode and
+    /// delegates to [`Experiment::run_cell`], so untraced specs work
+    /// unchanged under `--trace` (their cells simply carry no
+    /// telemetry). Implementations must keep the metrics bit-identical
+    /// to the untraced path — tracing is observability, never behavior —
+    /// and attach the hook's telemetry via
+    /// [`CellMeasurement::with_telemetry`].
+    fn run_cell_traced(&self, cell: &JobCell, trace: TraceMode) -> Option<CellMeasurement> {
+        let _ = trace;
+        self.run_cell(cell)
+    }
 
     /// Version of this spec's *measurement code*. The result store keys
     /// entries by `(content key, code fingerprint)` and the fingerprint
@@ -183,6 +209,14 @@ impl CellResult {
     pub fn provenance(&self) -> Option<&CellProvenance> {
         match &self.outcome {
             CellOutcome::Measured(m) => m.provenance.as_ref(),
+            _ => None,
+        }
+    }
+
+    /// Trace telemetry, when the cell ran traced.
+    pub fn telemetry(&self) -> Option<&Telemetry> {
+        match &self.outcome {
+            CellOutcome::Measured(m) => m.telemetry.as_deref(),
             _ => None,
         }
     }
@@ -261,6 +295,9 @@ pub struct RunConfig<'s> {
     /// Deterministic fault injection (tests and drills; empty in
     /// production).
     pub faults: FaultPlan,
+    /// Trace level passed to [`Experiment::run_cell_traced`]
+    /// (`TraceMode::Off`, the default, uses the plain `run_cell` path).
+    pub trace: TraceMode,
 }
 
 /// Why a sweep did not complete. Cell failures are *not* errors — they
@@ -334,6 +371,11 @@ fn from_stored(stored: StoredOutcome) -> CellOutcome {
                 profile: p.profile,
                 params: p.params,
             }),
+            // Known limitation: telemetry is not persisted (the store
+            // entry format predates the trace layer), so cells served
+            // from a resumed store carry none. Trace runs that need full
+            // telemetry should not combine `--trace` with `--resume`.
+            telemetry: None,
         }),
         StoredOutcome::Unsupported => CellOutcome::Unsupported,
     }
@@ -418,7 +460,11 @@ pub fn run_experiment_with(
                     // the surrounding catch_unwind is the system under test.
                     panic!("injected panic on {} (attempt {attempt})", attempt_cell.key);
                 }
-                exp.run_cell(&attempt_cell)
+                if cfg.trace == TraceMode::Off {
+                    exp.run_cell(&attempt_cell)
+                } else {
+                    exp.run_cell_traced(&attempt_cell, cfg.trace)
+                }
             }));
             match ran {
                 Ok(Some(m)) => {

@@ -12,6 +12,7 @@
 
 use leaky_cache::{CacheConfig, SetAssocCache};
 use leaky_isa::{BlockChain, FrontendGeometry};
+use leaky_trace::{Source, TraceEvent, TraceHook, UnlockReason};
 use leaky_uarch::UarchProfile;
 
 use crate::costs::CostModel;
@@ -229,6 +230,20 @@ pub struct Frontend {
     /// Cached [`FrontendConfig::profile_key`] of the active configuration
     /// (hashing per iteration would put FNV on the hot path).
     config_key: u64,
+    /// Observability hook (DESIGN.md §12). Deliberately *not* part of
+    /// [`FrontendConfig`]: tracing must never reach the profile key, the
+    /// plan cache, or any other behavior-bearing state.
+    trace: TraceHook,
+}
+
+/// [`UopSource`] → trace [`Source`] (the trace crate sits below this one
+/// in the dependency graph, so it mirrors the enum rather than using it).
+const fn trace_source(source: UopSource) -> Source {
+    match source {
+        UopSource::Lsd => Source::Lsd,
+        UopSource::Dsb => Source::Dsb,
+        UopSource::Mite => Source::Mite,
+    }
 }
 
 impl Frontend {
@@ -246,6 +261,7 @@ impl Frontend {
             cumulative: [IterationReport::default(), IterationReport::default()],
             plans: PlanCache::default(),
             config_key: config.profile_key(),
+            trace: TraceHook::Off,
             config,
         }
     }
@@ -284,6 +300,30 @@ impl Frontend {
         self.lock_streak = [(0, 0), (0, 0)];
         self.config_key = config.profile_key();
         self.config = config;
+    }
+
+    /// Installs a trace hook. [`TraceHook::Off`] (the construction
+    /// default) makes every emission site a single dead branch; the
+    /// reports are bit-identical either way (pinned by the
+    /// `trace_differential` property test).
+    pub fn set_trace(&mut self, hook: TraceHook) {
+        self.trace = hook;
+    }
+
+    /// The installed trace hook.
+    pub fn trace(&self) -> &TraceHook {
+        &self.trace
+    }
+
+    /// Mutable access to the trace hook (for emitting events from layers
+    /// above, e.g. the covert channels' calibration/decode events).
+    pub fn trace_mut(&mut self) -> &mut TraceHook {
+        &mut self.trace
+    }
+
+    /// Detaches the trace hook, leaving tracing off.
+    pub fn take_trace(&mut self) -> TraceHook {
+        std::mem::take(&mut self.trace)
     }
 
     /// The DSB state (for probing/assertions).
@@ -354,6 +394,10 @@ impl Frontend {
                     self.locks[t] = None;
                     self.pending_lsd_flush[t] = true;
                     self.lock_streak[t].1 = 0;
+                    self.trace.emit(|| TraceEvent::LsdUnlock {
+                        thread: t as u8,
+                        reason: UnlockReason::Partition,
+                    });
                 }
             }
         }
@@ -411,6 +455,10 @@ impl Frontend {
             report.cycles += self.config.costs.lsd_flush;
             report.lsd_flushes += 1;
             self.last_source[t] = UopSource::Dsb;
+            self.trace.emit(|| TraceEvent::LsdFlushPenalty {
+                thread: t as u8,
+                cycles: self.config.costs.lsd_flush,
+            });
         }
 
         let key = plan.key;
@@ -436,11 +484,16 @@ impl Frontend {
                         self.note_sibling_crossing(tid, window);
                     }
                 }
+                self.emit_iteration(t, &report, 1);
                 self.cumulative[t] += report;
                 return report;
             }
             // Different loop: the old lock dies (loop exit).
             self.locks[t] = None;
+            self.trace.emit(|| TraceEvent::LsdUnlock {
+                thread: t as u8,
+                reason: UnlockReason::LoopExit,
+            });
         }
 
         for &blk in &plan.blocks {
@@ -457,8 +510,30 @@ impl Frontend {
         report.cycles += self.config.costs.loop_overhead;
 
         self.maybe_lock_lsd(tid, plan, key);
+        self.emit_iteration(t, &report, 1);
         self.cumulative[t] += report;
         report
+    }
+
+    /// Emits the per-iteration event; `weight > 1` stands for that many
+    /// identical iterations (the steady-state collapse).
+    #[inline]
+    fn emit_iteration(&mut self, t: usize, report: &IterationReport, weight: u64) {
+        self.trace.emit(|| TraceEvent::Iteration {
+            thread: t as u8,
+            source: trace_source(report.dominant_source()),
+            weight,
+            cycles: report.cycles,
+            lsd_uops: report.lsd_uops,
+            dsb_uops: report.dsb_uops,
+            mite_uops: report.mite_uops,
+            lcp_stall_cycles: report.lcp_stall_cycles,
+            switch_penalty_cycles: report.switch_penalty_cycles,
+            dsb_to_mite_switches: report.dsb_to_mite_switches,
+            dsb_evictions: report.dsb_evictions,
+            lsd_flushes: report.lsd_flushes,
+            l1i_misses: report.l1i_misses,
+        });
     }
 
     /// Runs `n` iterations, detecting steady state to avoid simulating every
@@ -503,6 +578,9 @@ impl Frontend {
                             let s = rep.scaled(full_cycles);
                             total += s;
                             self.cumulative[tid.index()] += s;
+                            // One weighted event per cycle member keeps
+                            // traced totals equal to the plain loop.
+                            self.emit_iteration(tid.index(), rep, full_cycles);
                         }
                         done += full_cycles * k as u64;
                     }
@@ -546,15 +624,27 @@ impl Frontend {
                 report.cycles += penalty;
                 report.switch_penalty_cycles += penalty;
                 report.dsb_to_mite_switches += 1;
+                self.emit_switch(t, old, new_source, penalty);
             }
             (UopSource::Mite, _) => {
                 let penalty = self.config.costs.mite_to_dsb_switch;
                 report.cycles += penalty;
                 report.switch_penalty_cycles += penalty;
+                self.emit_switch(t, old, new_source, penalty);
             }
             _ => {}
         }
         self.last_source[t] = new_source;
+    }
+
+    #[inline]
+    fn emit_switch(&mut self, t: usize, from: UopSource, to: UopSource, penalty: f64) {
+        self.trace.emit(|| TraceEvent::SourceSwitch {
+            thread: t as u8,
+            from: trace_source(from),
+            to: trace_source(to),
+            penalty_cycles: penalty,
+        });
     }
 
     fn deliver_block(
@@ -624,6 +714,10 @@ impl Frontend {
             self.pending_lsd_flush[other] = true;
             // Loop-stream detection must re-warm from scratch.
             self.lock_streak[other].1 = 0;
+            self.trace.emit(|| TraceEvent::LsdUnlock {
+                thread: other as u8,
+                reason: UnlockReason::SiblingCollapse,
+            });
         }
     }
 
@@ -668,6 +762,7 @@ impl Frontend {
             };
         let mut last = self.last_source[t];
         let mut prev_lcp = false;
+        let stall_before = report.lcp_stall_cycles;
         for instr in &plan.instrs[blk.instr_start as usize..blk.instr_end as usize] {
             if instr.has_lcp {
                 charge_lcp_switch(&mut last, UopSource::Mite, report);
@@ -705,6 +800,16 @@ impl Frontend {
             }
         }
         self.last_source[t] = last;
+        // One event per stalled block; the per-instruction switch charges
+        // stay inside the iteration counters (emitting per instruction
+        // would dwarf every other event class).
+        let block_stall = report.lcp_stall_cycles - stall_before;
+        if block_stall > 0.0 {
+            self.trace.emit(|| TraceEvent::LcpStall {
+                thread: t as u8,
+                stall_cycles: block_stall,
+            });
+        }
     }
 
     fn maybe_lock_lsd(&mut self, tid: ThreadId, plan: &DeliveryPlan, key: u64) {
@@ -756,6 +861,11 @@ impl Frontend {
             crossings: [0; MAX_LOCK_CROSSINGS],
             n_crossings: 0,
         });
+        self.trace.emit(|| TraceEvent::LsdLock {
+            thread: t as u8,
+            uops: plan.total_uops,
+            lines: plan.lock_lines.len() as u8,
+        });
     }
 
     fn invalidate_lock_if_member(&mut self, evicted: LineId) {
@@ -768,6 +878,10 @@ impl Frontend {
             self.locks[t] = None;
             self.pending_lsd_flush[t] = true;
             self.lock_streak[t].1 = 0;
+            self.trace.emit(|| TraceEvent::LsdUnlock {
+                thread: t as u8,
+                reason: UnlockReason::Eviction,
+            });
         }
     }
 }
@@ -1324,5 +1438,71 @@ mod tests {
         b.run_iteration(ThreadId::T0, &lsd_chain);
         let wb = b.run_iteration(ThreadId::T0, &lsd_chain);
         assert_eq!(wa.cycles, wb.cycles);
+    }
+
+    #[test]
+    fn tracing_never_changes_reports_or_profile_key() {
+        use leaky_trace::TraceMode;
+        let chain = aligned(RECV_BASE, 0, 8);
+        let mut off = frontend();
+        let mut traced = frontend();
+        traced.set_trace(TraceHook::new(TraceMode::Events));
+        assert_eq!(off.profile_key(), traced.profile_key());
+        for _ in 0..6 {
+            let a = off.run_iteration(ThreadId::T0, &chain);
+            let b = traced.run_iteration(ThreadId::T0, &chain);
+            assert_eq!(a, b);
+        }
+        assert_eq!(
+            off.counters(ThreadId::T0),
+            traced.counters(ThreadId::T0),
+            "trace hook must be behavior-free"
+        );
+        assert_eq!(off.profile_key(), traced.profile_key());
+        let events = traced.take_trace().events().map(<[_]>::len);
+        assert!(
+            events.is_some_and(|n| n >= 6),
+            "events recorded: {events:?}"
+        );
+        assert!(traced.trace().is_off(), "take_trace leaves tracing off");
+    }
+
+    #[test]
+    fn traced_run_iterations_weights_match_plain_counts() {
+        use leaky_trace::{TraceHook, TraceMode};
+        let chain = aligned(RECV_BASE, 2, 4);
+        let n = 10_000u64;
+        let mut fe = frontend();
+        fe.set_trace(TraceHook::new(TraceMode::Summary));
+        let total = fe.run_iterations(ThreadId::T0, &chain, n);
+        let summary = fe.take_trace().summary().expect("hook was on");
+        // The steady-state collapse stands behind weighted events, so the
+        // folded iteration count still matches the requested n ...
+        assert_eq!(summary.iterations, n);
+        // ... and the weighted per-source uop totals match the report.
+        let lsd = summary.per_source[leaky_trace::Source::Lsd.index()].uops;
+        let mite = summary.per_source[leaky_trace::Source::Mite.index()].uops;
+        assert_eq!(lsd, total.lsd_uops);
+        assert_eq!(mite, total.mite_uops);
+        assert!(summary.lsd_locks >= 1);
+    }
+
+    #[test]
+    fn unlock_reasons_are_attributed() {
+        use leaky_trace::{TraceHook, TraceMode, UnlockReason};
+        // Loop-exit unlock: lock loop A, then run a different loop.
+        let a = aligned(RECV_BASE, 0, 4);
+        let b = aligned(SEND_BASE, 1, 4);
+        let mut fe = frontend();
+        fe.set_trace(TraceHook::new(TraceMode::Summary));
+        for _ in 0..4 {
+            fe.run_iteration(ThreadId::T0, &a);
+        }
+        assert!(fe.lsd_locked(ThreadId::T0, &a));
+        fe.run_iteration(ThreadId::T0, &b);
+        assert!(!fe.lsd_locked(ThreadId::T0, &a));
+        let summary = fe.take_trace().summary().expect("hook was on");
+        assert_eq!(summary.lsd_unlocks[UnlockReason::LoopExit.index()], 1);
+        assert!(summary.lsd_locks >= 1);
     }
 }

@@ -60,6 +60,9 @@ pub use costs::CostModel;
 pub use counters::{detect_report_period, IterationReport, UopSource};
 pub use dsb::{Dsb, LineId, SmtDsbPolicy};
 pub use engine::{Frontend, FrontendConfig, ThreadId};
+// Re-exported so frontend consumers can install hooks without naming
+// `leaky_trace` themselves (the hook rides on `Frontend`, not the config).
+pub use leaky_trace::{TraceHook, TraceMode};
 pub use leaky_uarch::UarchProfile;
 pub use lsd::{lsd_qualifies, LsdVerdict};
 pub use reference::NaiveFrontend;

@@ -48,7 +48,7 @@ pub struct LintConfig {
 impl Default for LintConfig {
     fn default() -> Self {
         LintConfig {
-            determinism_crates: vec!["exp", "bench", "stats", "core", "store"],
+            determinism_crates: vec!["exp", "bench", "stats", "core", "store", "trace"],
             key_pairs: vec![
                 KeyPair {
                     struct_name: "FrontendGeometry",

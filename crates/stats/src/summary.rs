@@ -5,6 +5,11 @@
 /// Numerically stable for the long measurement streams produced by the
 /// covert-channel experiments (hundreds of thousands of timing samples).
 ///
+/// The dependency-free trace layer carries its own operation-for-
+/// operation mirror of this accumulator (`leaky_trace::Welford`); a
+/// parity test over there pins the two to identical arithmetic, so
+/// keep any numerical change to `push`/`merge` in sync.
+///
 /// # Examples
 ///
 /// ```

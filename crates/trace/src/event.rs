@@ -1,0 +1,383 @@
+//! The structured event taxonomy (DESIGN.md §12).
+//!
+//! Events are plain scalar records: this crate sits *below*
+//! `leaky_frontend` in the dependency graph, so it mirrors the delivery
+//! paths in its own [`Source`] enum instead of referencing `UopSource`.
+//! Emitters convert at the boundary; the two enums are kept in the same
+//! order so the conversion is a trivial match.
+
+/// µop delivery path, mirroring `leaky_frontend::UopSource`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Source {
+    /// Loop Stream Detector.
+    Lsd,
+    /// Decoded Stream Buffer (µop cache).
+    Dsb,
+    /// Legacy decode pipeline.
+    Mite,
+}
+
+impl Source {
+    /// All sources, in the fixed index order used by
+    /// [`crate::StallSummary::per_source`].
+    pub const ALL: [Source; 3] = [Source::Lsd, Source::Dsb, Source::Mite];
+
+    /// Stable array index of this source.
+    pub const fn index(self) -> usize {
+        match self {
+            Source::Lsd => 0,
+            Source::Dsb => 1,
+            Source::Mite => 2,
+        }
+    }
+
+    /// Stable lowercase label (CSV / JSON token).
+    pub const fn label(self) -> &'static str {
+        match self {
+            Source::Lsd => "lsd",
+            Source::Dsb => "dsb",
+            Source::Mite => "mite",
+        }
+    }
+}
+
+/// Why an LSD lock was torn down.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum UnlockReason {
+    /// An inclusive DSB eviction hit a member line.
+    Eviction,
+    /// Sibling window-crossing pressure collapsed the lock without any
+    /// eviction (§IV-G, Fig. 6).
+    SiblingCollapse,
+    /// An SMT partition transition halved the LSD capacity below the
+    /// locked loop's µop count.
+    Partition,
+    /// The thread moved on to a different loop.
+    LoopExit,
+}
+
+impl UnlockReason {
+    /// All reasons, in the fixed index order used by
+    /// [`crate::StallSummary::lsd_unlocks`].
+    pub const ALL: [UnlockReason; 4] = [
+        UnlockReason::Eviction,
+        UnlockReason::SiblingCollapse,
+        UnlockReason::Partition,
+        UnlockReason::LoopExit,
+    ];
+
+    /// Stable array index of this reason.
+    pub const fn index(self) -> usize {
+        match self {
+            UnlockReason::Eviction => 0,
+            UnlockReason::SiblingCollapse => 1,
+            UnlockReason::Partition => 2,
+            UnlockReason::LoopExit => 3,
+        }
+    }
+
+    /// Stable lowercase label (CSV / JSON token).
+    pub const fn label(self) -> &'static str {
+        match self {
+            UnlockReason::Eviction => "eviction",
+            UnlockReason::SiblingCollapse => "sibling-collapse",
+            UnlockReason::Partition => "partition",
+            UnlockReason::LoopExit => "loop-exit",
+        }
+    }
+}
+
+/// One structured trace event.
+///
+/// Frontend events carry the hardware-thread index; channel events
+/// (calibration, per-bit decode, session framing) are emitted above the
+/// SMT layer and carry none. `Iteration` is the workhorse: one per
+/// `Frontend::run_iteration`, carrying the whole delivery-path verdict,
+/// with `weight > 1` standing for that many identical iterations when
+/// the steady-state collapse extrapolates a report cycle.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TraceEvent {
+    /// One frontend iteration (or `weight` identical extrapolated ones).
+    Iteration {
+        /// Hardware thread.
+        thread: u8,
+        /// Dominant delivery path of the iteration.
+        source: Source,
+        /// How many identical iterations this event stands for.
+        weight: u64,
+        /// Cycles of one such iteration.
+        cycles: f64,
+        /// µops streamed from the LSD.
+        lsd_uops: u64,
+        /// µops delivered from the DSB.
+        dsb_uops: u64,
+        /// µops decoded by the MITE.
+        mite_uops: u64,
+        /// LCP pre-decode stall cycles.
+        lcp_stall_cycles: f64,
+        /// Path-switch penalty cycles.
+        switch_penalty_cycles: f64,
+        /// DSB/LSD → MITE switches.
+        dsb_to_mite_switches: u64,
+        /// Inclusive DSB evictions caused.
+        dsb_evictions: u64,
+        /// LSD flush penalties charged.
+        lsd_flushes: u64,
+        /// L1I misses.
+        l1i_misses: u64,
+    },
+    /// A delivery-path switch on the block-granular path, with its
+    /// penalty (LCP blocks account switches inside their `Iteration`
+    /// counters instead — see DESIGN.md §12).
+    SourceSwitch {
+        /// Hardware thread.
+        thread: u8,
+        /// Path delivering before the switch.
+        from: Source,
+        /// Path delivering after the switch.
+        to: Source,
+        /// Cycles charged for the switch.
+        penalty_cycles: f64,
+    },
+    /// The LSD locked a qualifying loop.
+    LsdLock {
+        /// Hardware thread.
+        thread: u8,
+        /// µops of the locked loop.
+        uops: u32,
+        /// DSB lines backing the lock.
+        lines: u8,
+    },
+    /// An LSD lock was torn down.
+    LsdUnlock {
+        /// Hardware thread.
+        thread: u8,
+        /// Why the lock died.
+        reason: UnlockReason,
+    },
+    /// The deferred LSD-flush penalty was charged.
+    LsdFlushPenalty {
+        /// Hardware thread.
+        thread: u8,
+        /// Cycles charged.
+        cycles: f64,
+    },
+    /// Total LCP pre-decode stall of one block's delivery.
+    LcpStall {
+        /// Hardware thread.
+        thread: u8,
+        /// Stall cycles (SMT-scaled, as accounted in the report).
+        stall_cycles: f64,
+    },
+    /// Threshold calibration succeeded.
+    Calibration {
+        /// Mean measurement of the 0-class.
+        zero_mean: f64,
+        /// Mean measurement of the 1-class.
+        one_mean: f64,
+        /// Decision threshold.
+        threshold: f64,
+        /// Class separation.
+        separation: f64,
+    },
+    /// Threshold calibration found indistinguishable classes (a dead
+    /// channel — the §XII defense success signal).
+    CalibrationFailed,
+    /// One raw channel measurement (warm-up, calibration or decode).
+    ChannelMeasure {
+        /// Bit the sender encoded.
+        sent: bool,
+        /// The receiver's raw observation (cycles or watts).
+        value: f64,
+    },
+    /// One transmitted bit's decode outcome.
+    BitDecoded {
+        /// Bit index in the message.
+        index: u64,
+        /// Bit the sender encoded.
+        sent: bool,
+        /// Bit the decoder produced.
+        received: bool,
+        /// The raw measurement the final decode used.
+        value: f64,
+        /// Ambiguity-band re-measurements taken.
+        resamples: u32,
+    },
+    /// A transmission session began.
+    SessionStart {
+        /// Message length in bits.
+        bits: u64,
+    },
+    /// A transmission session ended.
+    SessionEnd {
+        /// Message length in bits.
+        bits: u64,
+        /// Bits received wrongly.
+        errors: u64,
+    },
+}
+
+/// Header line of the event CSV rendering (see [`TraceEvent::csv_row`]).
+pub const CSV_HEADER: &str = "event,thread,cycles,detail";
+
+fn opt_thread(thread: Option<u8>) -> String {
+    match thread {
+        Some(t) => t.to_string(),
+        None => String::new(),
+    }
+}
+
+impl TraceEvent {
+    /// Stable lowercase event-kind token.
+    pub const fn kind(&self) -> &'static str {
+        match self {
+            TraceEvent::Iteration { .. } => "iteration",
+            TraceEvent::SourceSwitch { .. } => "source_switch",
+            TraceEvent::LsdLock { .. } => "lsd_lock",
+            TraceEvent::LsdUnlock { .. } => "lsd_unlock",
+            TraceEvent::LsdFlushPenalty { .. } => "lsd_flush_penalty",
+            TraceEvent::LcpStall { .. } => "lcp_stall",
+            TraceEvent::Calibration { .. } => "calibration",
+            TraceEvent::CalibrationFailed => "calibration_failed",
+            TraceEvent::ChannelMeasure { .. } => "channel_measure",
+            TraceEvent::BitDecoded { .. } => "bit_decoded",
+            TraceEvent::SessionStart { .. } => "session_start",
+            TraceEvent::SessionEnd { .. } => "session_end",
+        }
+    }
+
+    /// The hardware thread the event belongs to, when it has one.
+    pub const fn thread(&self) -> Option<u8> {
+        match self {
+            TraceEvent::Iteration { thread, .. }
+            | TraceEvent::SourceSwitch { thread, .. }
+            | TraceEvent::LsdLock { thread, .. }
+            | TraceEvent::LsdUnlock { thread, .. }
+            | TraceEvent::LsdFlushPenalty { thread, .. }
+            | TraceEvent::LcpStall { thread, .. } => Some(*thread),
+            _ => None,
+        }
+    }
+
+    /// Renders the event as one CSV row under [`CSV_HEADER`]: the fixed
+    /// `event,thread,cycles` columns plus a `;`-separated `key=value`
+    /// detail field. All numbers use Rust's shortest-round-trip `f64`
+    /// formatting, so the rendering is a pure function of the event.
+    pub fn csv_row(&self) -> String {
+        let thread = opt_thread(self.thread());
+        match self {
+            TraceEvent::Iteration {
+                source,
+                weight,
+                cycles,
+                lsd_uops,
+                dsb_uops,
+                mite_uops,
+                lcp_stall_cycles,
+                switch_penalty_cycles,
+                dsb_to_mite_switches,
+                dsb_evictions,
+                lsd_flushes,
+                l1i_misses,
+                ..
+            } => format!(
+                "iteration,{thread},{cycles},source={};weight={weight};lsd_uops={lsd_uops};\
+                 dsb_uops={dsb_uops};mite_uops={mite_uops};lcp_stall={lcp_stall_cycles};\
+                 switch={switch_penalty_cycles};switches={dsb_to_mite_switches};\
+                 evictions={dsb_evictions};flushes={lsd_flushes};l1i_misses={l1i_misses}",
+                source.label()
+            ),
+            TraceEvent::SourceSwitch {
+                from,
+                to,
+                penalty_cycles,
+                ..
+            } => format!(
+                "source_switch,{thread},{penalty_cycles},from={};to={}",
+                from.label(),
+                to.label()
+            ),
+            TraceEvent::LsdLock { uops, lines, .. } => {
+                format!("lsd_lock,{thread},,uops={uops};lines={lines}")
+            }
+            TraceEvent::LsdUnlock { reason, .. } => {
+                format!("lsd_unlock,{thread},,reason={}", reason.label())
+            }
+            TraceEvent::LsdFlushPenalty { cycles, .. } => {
+                format!("lsd_flush_penalty,{thread},{cycles},")
+            }
+            TraceEvent::LcpStall { stall_cycles, .. } => {
+                format!("lcp_stall,{thread},{stall_cycles},")
+            }
+            TraceEvent::Calibration {
+                zero_mean,
+                one_mean,
+                threshold,
+                separation,
+            } => format!(
+                "calibration,,,zero_mean={zero_mean};one_mean={one_mean};\
+                 threshold={threshold};separation={separation}"
+            ),
+            TraceEvent::CalibrationFailed => "calibration_failed,,,".to_string(),
+            TraceEvent::ChannelMeasure { sent, value } => {
+                format!("channel_measure,,{value},sent={}", u8::from(*sent))
+            }
+            TraceEvent::BitDecoded {
+                index,
+                sent,
+                received,
+                value,
+                resamples,
+            } => format!(
+                "bit_decoded,,{value},index={index};sent={};received={};resamples={resamples}",
+                u8::from(*sent),
+                u8::from(*received)
+            ),
+            TraceEvent::SessionStart { bits } => format!("session_start,,,bits={bits}"),
+            TraceEvent::SessionEnd { bits, errors } => {
+                format!("session_end,,,bits={bits};errors={errors}")
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn labels_and_indices_are_stable() {
+        for (i, s) in Source::ALL.iter().enumerate() {
+            assert_eq!(s.index(), i);
+        }
+        for (i, r) in UnlockReason::ALL.iter().enumerate() {
+            assert_eq!(r.index(), i);
+        }
+        assert_eq!(Source::Mite.label(), "mite");
+        assert_eq!(UnlockReason::SiblingCollapse.label(), "sibling-collapse");
+    }
+
+    #[test]
+    fn csv_rows_are_stable() {
+        let e = TraceEvent::SourceSwitch {
+            thread: 1,
+            from: Source::Dsb,
+            to: Source::Mite,
+            penalty_cycles: 46.0,
+        };
+        assert_eq!(e.csv_row(), "source_switch,1,46,from=dsb;to=mite");
+        let b = TraceEvent::BitDecoded {
+            index: 3,
+            sent: true,
+            received: false,
+            value: 2897.25,
+            resamples: 2,
+        };
+        assert_eq!(
+            b.csv_row(),
+            "bit_decoded,,2897.25,index=3;sent=1;received=0;resamples=2"
+        );
+        assert_eq!(b.thread(), None);
+        assert_eq!(b.kind(), "bit_decoded");
+    }
+}

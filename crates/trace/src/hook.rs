@@ -1,0 +1,230 @@
+//! The zero-cost-when-off trace hook.
+//!
+//! [`TraceHook`] is the handle every instrumented component carries.
+//! Emission sites call [`TraceHook::emit`] with a *closure* that builds
+//! the event, so when the hook is [`TraceHook::Off`] the whole call
+//! reduces to one discriminant branch — no event is constructed, no
+//! fields are read, and the optimizer is free to delete the dead loads.
+//! `perf_report`'s `trace_off_*` metrics pin this (≤1.02× the untraced
+//! seed medians).
+
+use crate::event::TraceEvent;
+use crate::summary::StallSummary;
+use crate::telemetry::Telemetry;
+
+/// Which trace level a run wants, as selected by
+/// `leaky_sweep --trace[=summary|events]`.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash)]
+pub enum TraceMode {
+    /// No tracing: the hot path pays one branch per emission site.
+    #[default]
+    Off,
+    /// Fold events into a [`StallSummary`] as they are emitted.
+    Summary,
+    /// Buffer every event (implies the summary, derivable on demand).
+    Events,
+}
+
+impl TraceMode {
+    /// Stable lowercase token (CLI / JSON).
+    pub const fn label(self) -> &'static str {
+        match self {
+            TraceMode::Off => "off",
+            TraceMode::Summary => "summary",
+            TraceMode::Events => "events",
+        }
+    }
+}
+
+impl std::str::FromStr for TraceMode {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "off" => Ok(TraceMode::Off),
+            "summary" => Ok(TraceMode::Summary),
+            "events" => Ok(TraceMode::Events),
+            other => Err(format!(
+                "unknown trace mode '{other}' (expected off, summary or events)"
+            )),
+        }
+    }
+}
+
+/// An in-order buffer of every emitted event.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct EventBuffer {
+    /// The events, in emission order.
+    pub events: Vec<TraceEvent>,
+}
+
+impl EventBuffer {
+    /// Creates an empty buffer.
+    pub fn new() -> Self {
+        EventBuffer::default()
+    }
+
+    /// Folds the whole buffer into a fresh [`StallSummary`].
+    ///
+    /// Because [`TraceHook::Summary`] folds the identical event stream
+    /// in the identical order, `to_summary()` of an events-mode run is
+    /// bit-identical to the summary-mode run of the same cell — the
+    /// differential tests rely on this.
+    pub fn to_summary(&self) -> StallSummary {
+        let mut s = StallSummary::new();
+        for e in &self.events {
+            s.fold(e);
+        }
+        s
+    }
+}
+
+/// The trace handle carried by `Frontend`, `Core` and the channels.
+///
+/// The active variants box their state so the handle stays one word of
+/// discriminant plus one pointer — cheap to embed in the (cloneable)
+/// simulation structs and free to match on.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub enum TraceHook {
+    /// Tracing disabled; [`TraceHook::emit`] is a no-op branch.
+    #[default]
+    Off,
+    /// Fold each event into the boxed summary immediately.
+    Summary(Box<StallSummary>),
+    /// Buffer each event verbatim.
+    Events(Box<EventBuffer>),
+}
+
+impl TraceHook {
+    /// Creates a hook for the given mode.
+    pub fn new(mode: TraceMode) -> Self {
+        match mode {
+            TraceMode::Off => TraceHook::Off,
+            TraceMode::Summary => TraceHook::Summary(Box::default()),
+            TraceMode::Events => TraceHook::Events(Box::default()),
+        }
+    }
+
+    /// The mode this hook implements.
+    pub fn mode(&self) -> TraceMode {
+        match self {
+            TraceHook::Off => TraceMode::Off,
+            TraceHook::Summary(_) => TraceMode::Summary,
+            TraceHook::Events(_) => TraceMode::Events,
+        }
+    }
+
+    /// True when tracing is disabled.
+    #[inline]
+    pub fn is_off(&self) -> bool {
+        matches!(self, TraceHook::Off)
+    }
+
+    /// Emits one event. `build` runs only when the hook is on; keep all
+    /// event-field computation inside the closure so the off path stays
+    /// a single branch.
+    #[inline]
+    pub fn emit(&mut self, build: impl FnOnce() -> TraceEvent) {
+        match self {
+            TraceHook::Off => {}
+            TraceHook::Summary(summary) => summary.fold(&build()),
+            TraceHook::Events(buffer) => buffer.events.push(build()),
+        }
+    }
+
+    /// The accumulated summary: direct for [`TraceHook::Summary`],
+    /// derived by folding for [`TraceHook::Events`], `None` when off.
+    pub fn summary(&self) -> Option<StallSummary> {
+        match self {
+            TraceHook::Off => None,
+            TraceHook::Summary(s) => Some(s.as_ref().clone()),
+            TraceHook::Events(b) => Some(b.to_summary()),
+        }
+    }
+
+    /// The buffered events, when the hook is in events mode.
+    pub fn events(&self) -> Option<&[TraceEvent]> {
+        match self {
+            TraceHook::Events(b) => Some(&b.events),
+            _ => None,
+        }
+    }
+
+    /// Consumes the hook into a [`Telemetry`] record for attachment to a
+    /// `CellMeasurement`, or `None` when off.
+    pub fn into_telemetry(self) -> Option<Telemetry> {
+        match self {
+            TraceHook::Off => None,
+            TraceHook::Summary(summary) => Some(Telemetry {
+                mode: TraceMode::Summary,
+                summary: *summary,
+                events: Vec::new(),
+            }),
+            TraceHook::Events(buffer) => {
+                let summary = buffer.to_summary();
+                Some(Telemetry {
+                    mode: TraceMode::Events,
+                    summary,
+                    events: buffer.events,
+                })
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lock(uops: u32) -> TraceEvent {
+        TraceEvent::LsdLock {
+            thread: 0,
+            uops,
+            lines: 2,
+        }
+    }
+
+    #[test]
+    fn off_hook_never_builds() {
+        let mut hook = TraceHook::Off;
+        hook.emit(|| unreachable!("closure must not run when off"));
+        assert!(hook.is_off());
+        assert_eq!(hook.mode(), TraceMode::Off);
+        assert!(hook.summary().is_none());
+        assert!(hook.into_telemetry().is_none());
+    }
+
+    #[test]
+    fn summary_and_events_fold_identically() {
+        let mut sum = TraceHook::new(TraceMode::Summary);
+        let mut evt = TraceHook::new(TraceMode::Events);
+        for hook in [&mut sum, &mut evt] {
+            hook.emit(|| lock(40));
+            hook.emit(|| TraceEvent::LcpStall {
+                thread: 1,
+                stall_cycles: 6.0,
+            });
+        }
+        assert_eq!(sum.summary(), evt.summary());
+        assert_eq!(evt.events().map(<[TraceEvent]>::len), Some(2));
+        assert_eq!(sum.events(), None);
+        let t = evt.into_telemetry();
+        assert_eq!(t.as_ref().map(|t| t.events.len()), Some(2));
+        assert_eq!(
+            t.map(|t| t.summary),
+            sum.into_telemetry().map(|t| t.summary)
+        );
+    }
+
+    #[test]
+    fn mode_round_trips_through_fromstr() {
+        for mode in [TraceMode::Off, TraceMode::Summary, TraceMode::Events] {
+            assert_eq!(mode.label().parse::<TraceMode>(), Ok(mode));
+        }
+        assert!("verbose".parse::<TraceMode>().is_err());
+        assert_eq!(
+            TraceHook::new("events".parse().unwrap()).mode(),
+            TraceMode::Events
+        );
+    }
+}

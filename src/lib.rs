@@ -18,6 +18,7 @@
 //! * [`stats`] — histograms, edit distance, threshold calibration
 //! * [`store`] — content-addressed on-disk result store (resumable sweeps)
 //! * [`exp`] — deterministic parallel experiment orchestration (sweeps)
+//! * [`trace`] — zero-cost-when-off structured trace & telemetry layer
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -35,5 +36,6 @@ pub use leaky_sgx as sgx;
 pub use leaky_spectre as spectre;
 pub use leaky_stats as stats;
 pub use leaky_store as store;
+pub use leaky_trace as trace;
 pub use leaky_uarch as uarch;
 pub use leaky_workloads as workloads;
