@@ -30,6 +30,11 @@ pub fn print_summary(summary: &StallSummary) {
 /// and the folded stall summary. A dead channel (failed calibration)
 /// prints its `calibration_failed` event and whatever the calibration
 /// attempt cost.
+///
+/// # Panics
+///
+/// Panics if calibration found indistinguishable bit classes
+/// (`CovertChannel::transmit`).
 pub fn dump_channel(label: &str, ch: &mut dyn CovertChannel, bits: usize) {
     println!("{label} [{} on {}]", ch.name(), ch.profile_key());
     ch.set_trace(TraceHook::new(TraceMode::Events));

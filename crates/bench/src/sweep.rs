@@ -22,6 +22,10 @@ use leaky_trace::TraceMode;
 use std::fmt::Write as _;
 use std::path::Path;
 
+/// Schema tag of the [`render_json_document`] output. One shared
+/// constant so the writer, the readers and the docs cannot drift.
+pub const SWEEP_SCHEMA: &str = "leaky-frontends/sweep/v1";
+
 /// Worker threads to use when the caller does not say: the
 /// `LEAKY_SWEEP_JOBS` environment variable, else all available cores.
 pub fn default_jobs() -> usize {
@@ -46,11 +50,11 @@ pub fn run_legacy(name: &str) {
     let registry = standard_registry();
     let exp = registry
         .get(name)
-        .unwrap_or_else(|| panic!("unregistered experiment {name:?}")); // lint: allow(panic) — documented `# Panics` contract
+        .unwrap_or_else(|| panic!("unregistered experiment {name:?}"));
     let run = run_experiment(exp, false, default_jobs());
     print!(
         "{}",
-        render_legacy(&run).unwrap_or_else(|| panic!("no legacy rendering for {name:?}")) // lint: allow(panic) — documented `# Panics` contract
+        render_legacy(&run).unwrap_or_else(|| panic!("no legacy rendering for {name:?}"))
     );
 }
 
@@ -151,9 +155,9 @@ fn legacy_fig8(run: &SweepRun) -> String {
             let _ = writeln!(
                 out,
                 "{d:>3} {:>12} {:>9}% {:>14}",
-                fmt(result.metric("rate_kbps").expect("supported"), 2), // lint: allow(panic) — metric set fixed by this run's own spec
-                fmt(result.metric("error_rate").expect("supported") * 100.0, 2), // lint: allow(panic) — metric set fixed by this run's own spec
-                fmt(result.metric("effective_kbps").expect("supported"), 2) // lint: allow(panic) — metric set fixed by this run's own spec
+                fmt(result.metric("rate_kbps").expect("supported"), 2), // lint: allow(panic-path) — metric set fixed by this run's own spec
+                fmt(result.metric("error_rate").expect("supported") * 100.0, 2), // lint: allow(panic-path) — metric set fixed by this run's own spec
+                fmt(result.metric("effective_kbps").expect("supported"), 2) // lint: allow(panic-path) — metric set fixed by this run's own spec
             );
         }
         let _ = writeln!(out);
@@ -191,8 +195,8 @@ fn legacy_tab5(run: &SweepRun) -> String {
             out,
             "{:<22} {:>12} {:>9}%",
             format!("{}-based", result.cell.str("kind")),
-            fmt(result.metric("rate_kbps").expect("supported"), 2), // lint: allow(panic) — metric set fixed by this run's own spec
-            fmt(result.metric("error_rate").expect("supported") * 100.0, 2) // lint: allow(panic) — metric set fixed by this run's own spec
+            fmt(result.metric("rate_kbps").expect("supported"), 2), // lint: allow(panic-path) — metric set fixed by this run's own spec
+            fmt(result.metric("error_rate").expect("supported") * 100.0, 2) // lint: allow(panic-path) — metric set fixed by this run's own spec
         );
     }
     let _ = writeln!(
@@ -223,10 +227,10 @@ fn legacy_tab7(run: &SweepRun) -> String {
             out,
             "{:<10} {:>11}% {:>9}% {:>12} {:>12}",
             result.cell.str("channel"),
-            fmt(result.metric("l1_miss_rate").expect("supported") * 100.0, 2), // lint: allow(panic) — metric set fixed by this run's own spec
-            fmt(result.metric("accuracy").expect("supported") * 100.0, 0), // lint: allow(panic) — metric set fixed by this run's own spec
-            result.metric("l1i_misses").expect("supported"), // lint: allow(panic) — metric set fixed by this run's own spec
-            result.metric("l1d_misses").expect("supported"), // lint: allow(panic) — metric set fixed by this run's own spec
+            fmt(result.metric("l1_miss_rate").expect("supported") * 100.0, 2), // lint: allow(panic-path) — metric set fixed by this run's own spec
+            fmt(result.metric("accuracy").expect("supported") * 100.0, 0), // lint: allow(panic-path) — metric set fixed by this run's own spec
+            result.metric("l1i_misses").expect("supported"), // lint: allow(panic-path) — metric set fixed by this run's own spec
+            result.metric("l1d_misses").expect("supported"), // lint: allow(panic-path) — metric set fixed by this run's own spec
         );
     }
     let _ = writeln!(out, "\npaper:   MEM F+R 2.81%  L1D F+R 4.79%  L1D LRU 4.48%  L1I F+R 0.45%  L1I P+P 0.48%  Frontend 0.21%");
@@ -271,7 +275,7 @@ pub fn render_table(run: &SweepRun) -> String {
     for result in &run.cells {
         let mut row: Vec<String> = axes
             .iter()
-            .map(|a| result.cell.get(a).expect("axis present").to_string()) // lint: allow(panic) — axes come from the run's own grid
+            .map(|a| result.cell.get(a).expect("axis present").to_string()) // lint: allow(panic-path) — axes come from the run's own grid
             .collect();
         for m in &metrics {
             row.push(match (&result.outcome, result.metric(m)) {
@@ -442,7 +446,9 @@ pub fn render_json(run: &SweepRun) -> String {
 /// Wraps rendered sweeps into the full JSON document.
 pub fn render_json_document(sweeps: &[SweepRun]) -> String {
     let mut out = String::new();
-    out.push_str("{\n  \"schema\": \"leaky-frontends/sweep/v1\",\n  \"sweeps\": [\n");
+    out.push_str("{\n  \"schema\": \"");
+    out.push_str(SWEEP_SCHEMA);
+    out.push_str("\",\n  \"sweeps\": [\n");
     for (i, run) in sweeps.iter().enumerate() {
         out.push_str(&render_json(run));
         out.push_str(if i + 1 < sweeps.len() { ",\n" } else { "\n" });
@@ -454,6 +460,11 @@ pub fn render_json_document(sweeps: &[SweepRun]) -> String {
 /// Times one quick sweep of every registered experiment at the given
 /// worker count, returning total cells and wall nanoseconds (the
 /// `perf_report` sweep-throughput metric).
+///
+/// # Panics
+///
+/// Panics if two compiled-in experiments share a name
+/// (`Registry::register`).
 pub fn quick_sweep_throughput(jobs: usize) -> (usize, u128) {
     let registry = standard_registry();
     let mut cells = 0usize;
@@ -491,6 +502,10 @@ pub fn suggest_experiments<'a>(unknown: &str, names: &[&'a str]) -> Vec<&'a str>
 
 /// Runs one registered experiment by name (panicking on unknown names —
 /// CLI-level validation happens in `leaky_sweep`).
+///
+/// # Panics
+///
+/// Panics for a name absent from `standard_registry`.
 pub fn run_by_name(name: &str, quick: bool, jobs: usize) -> SweepRun {
     run_by_name_traced(name, quick, jobs, TraceMode::Off)
 }
@@ -507,14 +522,14 @@ pub fn run_by_name_traced(name: &str, quick: bool, jobs: usize, trace: TraceMode
     let registry = standard_registry();
     let exp: &dyn Experiment = registry
         .get(name)
-        .unwrap_or_else(|| panic!("unregistered experiment {name:?}")); // lint: allow(panic) — documented `# Panics` contract
+        .unwrap_or_else(|| panic!("unregistered experiment {name:?}"));
     let cfg = RunConfig {
         quick,
         jobs,
         trace,
         ..RunConfig::default()
     };
-    // lint: allow(panic) — storeless runs cannot fail
+    // lint: allow(panic-path) — storeless runs cannot fail
     run_experiment_with(exp, &cfg).expect("no store attached, so no store errors")
 }
 

@@ -63,11 +63,19 @@ pub struct CacheHierarchy {
 
 impl CacheHierarchy {
     /// Creates a hierarchy with default Skylake latencies.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a degenerate cache geometry (`SetAssocCache::new`).
     pub fn new(config: CacheConfig) -> Self {
         Self::with_latency(config, LatencyModel::skylake())
     }
 
     /// Creates a hierarchy with an explicit latency model.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a degenerate cache geometry (`SetAssocCache::new`).
     pub fn with_latency(config: CacheConfig, latency: LatencyModel) -> Self {
         CacheHierarchy {
             l1: SetAssocCache::new(config),

@@ -165,7 +165,7 @@ pub(crate) fn calibrate_decoder(
     calibration_bits: usize,
 ) -> ThresholdDecoder {
     try_calibrate_decoder(measure, calibration_bits)
-        .expect("calibration produced indistinguishable classes") // lint: allow(panic) — documented panicking wrapper; callers opt in
+        .expect("calibration produced indistinguishable classes")
 }
 
 #[cfg(test)]

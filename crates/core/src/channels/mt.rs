@@ -123,6 +123,11 @@ impl MtChannel {
     ///
     /// Returns [`MtUnsupported`] if the processor model has hyper-threading
     /// disabled (the Azure E-2288G — Table III's missing MT column).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the channel parameters violate the §V constraints
+    /// (`ChannelParams::validate`).
     pub fn new(
         model: ProcessorModel,
         kind: MtKind,
@@ -140,6 +145,11 @@ impl MtChannel {
     ///
     /// Returns [`MtUnsupported`] if the processor model has hyper-threading
     /// disabled.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the channel parameters violate the §V constraints
+    /// (`ChannelParams::validate`).
     pub fn with_profile(
         model: ProcessorModel,
         kind: MtKind,
@@ -183,6 +193,10 @@ impl MtChannel {
 
     /// Rebuilds the channel's core with an explicit frontend configuration
     /// (defense evaluation and DSB-policy ablations). Resets calibration.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a degenerate cache geometry (`SetAssocCache::new`).
     pub fn set_frontend_config(&mut self, config: leaky_frontend::FrontendConfig) {
         self.core =
             Core::with_frontend_config(*self.core.model(), self.core.microcode(), config, 0xab1a7e);
@@ -334,6 +348,12 @@ impl MtChannel {
     /// hardened (e.g. constant-time-profile) frontend may present no
     /// timing difference between the bit classes, which is the §XII
     /// defense succeeding rather than a harness error.
+    ///
+    /// # Panics
+    ///
+    /// Panics if rebuilding the channel spec for calibration fails
+    /// validation (`ChannelSpec::build`); parameters accepted at
+    /// construction never do.
     pub fn try_calibrate(&mut self) -> Result<(), leaky_stats::threshold::CalibrationError> {
         if self.decoder.is_some() {
             return Ok(());
@@ -364,14 +384,19 @@ impl MtChannel {
 
     fn ensure_calibrated(&mut self) {
         self.try_calibrate()
-            .expect("calibration produced indistinguishable classes"); // lint: allow(panic) — undefended layouts always separate classes
+            .expect("calibration produced indistinguishable classes"); // lint: allow(panic-path) — undefended layouts always separate classes
     }
 
     /// Transmits a message; calibration happens first and is excluded from
     /// the reported rate.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the transmission spans no cycles (`ChannelRun::new`);
+    /// a calibrated channel never produces one.
     pub fn transmit(&mut self, message: &[bool]) -> ChannelRun {
         self.ensure_calibrated();
-        let decoder = self.decoder.expect("calibrated above"); // lint: allow(panic) — set by ensure_calibrated on the previous line
+        let decoder = self.decoder.expect("calibrated above"); // lint: allow(panic-path) — set by ensure_calibrated on the previous line
         let start = self
             .core
             .clock(ThreadId::T0)

@@ -148,6 +148,10 @@ impl NonMtChannel {
     /// Replaces the channel's core with one built from an explicit frontend
     /// configuration — used by the §XII defense evaluation to attack a
     /// hardened (e.g. constant-time) frontend.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a degenerate cache geometry (`SetAssocCache::new`).
     pub fn with_frontend_config(
         mut self,
         config: leaky_frontend::FrontendConfig,
@@ -163,6 +167,12 @@ impl NonMtChannel {
     /// Attempts calibration, reporting failure instead of panicking — a
     /// defended frontend may be *uncalibratable* (no timing difference
     /// between the bit classes), which is itself the §XII success metric.
+    ///
+    /// # Panics
+    ///
+    /// Panics if rebuilding the channel spec for calibration fails
+    /// validation (`ChannelSpec::build`); parameters accepted at
+    /// construction never do.
     pub fn try_calibrate(&mut self) -> Result<(), leaky_stats::threshold::CalibrationError> {
         if self.decoder.is_some() {
             return Ok(());
@@ -232,15 +242,20 @@ impl NonMtChannel {
 
     fn ensure_calibrated(&mut self) {
         self.try_calibrate()
-            .expect("calibration produced indistinguishable classes"); // lint: allow(panic) — undefended layouts always separate classes
+            .expect("calibration produced indistinguishable classes"); // lint: allow(panic-path) — undefended layouts always separate classes
     }
 
     /// Transmits a message, returning sent/received bits and timing.
     /// Calibration (if not yet done) happens first and is excluded from the
     /// reported transmission time, matching the paper's methodology.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the transmission spans no cycles (`ChannelRun::new`);
+    /// a calibrated channel never produces one.
     pub fn transmit(&mut self, message: &[bool]) -> ChannelRun {
         self.ensure_calibrated();
-        let decoder = self.decoder.expect("calibrated above"); // lint: allow(panic) — set by ensure_calibrated on the previous line
+        let decoder = self.decoder.expect("calibrated above"); // lint: allow(panic-path) — set by ensure_calibrated on the previous line
         let start = self.core.clock(ThreadId::T0);
         self.core.trace_mut().emit(|| TraceEvent::SessionStart {
             bits: message.len() as u64,

@@ -77,12 +77,22 @@ const fn power_name(kind: NonMtKind) -> &'static str {
 impl PowerChannel {
     /// Builds the channel (stealthy zero-encoding, as in the paper's power
     /// evaluation) under the default (`skylake`) profile.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the channel parameters violate the §V constraints
+    /// (`ChannelParams::validate`).
     pub fn new(model: ProcessorModel, kind: NonMtKind, params: ChannelParams, seed: u64) -> Self {
         Self::with_profile(model, kind, params, &UarchProfile::skylake(), seed)
     }
 
     /// Builds the channel under an explicit microarchitecture profile
     /// (layout geometry and cost model from the profile).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the channel parameters violate the §V constraints
+    /// (`ChannelParams::validate`).
     pub fn with_profile(
         model: ProcessorModel,
         kind: NonMtKind,
@@ -168,6 +178,12 @@ impl PowerChannel {
     /// The watts samples are collected up front and fed to the shared
     /// `try_calibrate_decoder` routine, the single home of the decoder
     /// settings.
+    ///
+    /// # Panics
+    ///
+    /// Panics if rebuilding the channel spec for calibration fails
+    /// validation (`ChannelSpec::build`); parameters accepted at
+    /// construction never do.
     pub fn try_calibrate(&mut self) -> Result<(), leaky_stats::threshold::CalibrationError> {
         if self.decoder.is_some() {
             return Ok(());
@@ -182,7 +198,7 @@ impl PowerChannel {
         }
         let mut iter = samples.into_iter();
         self.decoder = Some(crate::channels::try_calibrate_decoder(
-            move |_| iter.next().expect("calibration sample"), // lint: allow(panic) — closure is called exactly CALIBRATION_BITS times
+            move |_| iter.next().expect("calibration sample"), // lint: allow(panic-path) — closure is called exactly CALIBRATION_BITS times
             CALIBRATION_BITS,
         )?);
         Ok(())
@@ -190,13 +206,18 @@ impl PowerChannel {
 
     fn ensure_calibrated(&mut self) {
         self.try_calibrate()
-            .expect("calibration produced indistinguishable classes"); // lint: allow(panic) — undefended layouts always separate classes
+            .expect("calibration produced indistinguishable classes"); // lint: allow(panic-path) — undefended layouts always separate classes
     }
 
     /// Transmits a message over the power channel.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the transmission spans no cycles (`ChannelRun::new`);
+    /// a calibrated channel never produces one.
     pub fn transmit(&mut self, message: &[bool]) -> ChannelRun {
         self.ensure_calibrated();
-        let decoder = self.decoder.expect("calibrated above"); // lint: allow(panic) — set by ensure_calibrated on the previous line
+        let decoder = self.decoder.expect("calibrated above"); // lint: allow(panic-path) — set by ensure_calibrated on the previous line
         let start = self.core.clock(ThreadId::T0);
         let mut received = Vec::with_capacity(message.len());
         for &bit in message {

@@ -56,6 +56,10 @@ impl SlowSwitchChannel {
     /// Builds the channel under the default (`skylake`) profile: two loop
     /// bodies of `2r` adds each (mixed and ordered interleavings) in
     /// disjoint code regions.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the derived block chain is empty (`BlockChain::new`).
     pub fn new(model: ProcessorModel, params: ChannelParams, seed: u64) -> Self {
         Self::with_profile(model, params, &UarchProfile::skylake(), seed)
     }
@@ -65,6 +69,10 @@ impl SlowSwitchChannel {
     /// runs the profile's cost model — the LCP stall and path-switch
     /// penalties the channel rides on come from the profile (§V-E works,
     /// or dies, per microarchitecture).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the derived block chain is empty (`BlockChain::new`).
     pub fn with_profile(
         model: ProcessorModel,
         params: ChannelParams,
@@ -107,6 +115,12 @@ impl SlowSwitchChannel {
     /// identically, which is a dead channel rather than a harness error.
     /// The samples route through the shared `try_calibrate_decoder`, the
     /// single home of the decoder settings.
+    ///
+    /// # Panics
+    ///
+    /// Panics if rebuilding the channel spec for calibration fails
+    /// validation (`ChannelSpec::build`); parameters accepted at
+    /// construction never do.
     pub fn try_calibrate(&mut self) -> Result<(), leaky_stats::threshold::CalibrationError> {
         if self.decoder.is_some() {
             return Ok(());
@@ -118,7 +132,7 @@ impl SlowSwitchChannel {
         }
         let mut iter = samples.into_iter();
         self.decoder = Some(crate::channels::try_calibrate_decoder(
-            move |_| iter.next().expect("calibration sample"), // lint: allow(panic) — closure is called exactly CALIBRATION_BITS times
+            move |_| iter.next().expect("calibration sample"), // lint: allow(panic-path) — closure is called exactly CALIBRATION_BITS times
             CALIBRATION_BITS,
         )?);
         Ok(())
@@ -126,13 +140,18 @@ impl SlowSwitchChannel {
 
     fn ensure_calibrated(&mut self) {
         self.try_calibrate()
-            .expect("calibration produced indistinguishable classes"); // lint: allow(panic) — undefended layouts always separate classes
+            .expect("calibration produced indistinguishable classes"); // lint: allow(panic-path) — undefended layouts always separate classes
     }
 
     /// Transmits a message (calibration excluded from the reported rate).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the transmission spans no cycles (`ChannelRun::new`);
+    /// a calibrated channel never produces one.
     pub fn transmit(&mut self, message: &[bool]) -> ChannelRun {
         self.ensure_calibrated();
-        let decoder = self.decoder.expect("calibrated above"); // lint: allow(panic) — set by ensure_calibrated on the previous line
+        let decoder = self.decoder.expect("calibrated above"); // lint: allow(panic-path) — set by ensure_calibrated on the previous line
         let start = self.core.clock(ThreadId::T0);
         let mut received = Vec::with_capacity(message.len());
         for &bit in message {

@@ -42,11 +42,19 @@ impl Default for IpcSampler {
 
 impl IpcSampler {
     /// The attacker's probe loop: 100 nops + loop branch.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the sampler's probe length is zero (`Block::nops`).
     pub fn probe_chain() -> BlockChain {
         BlockChain::new(vec![Block::nops(Addr::new(0x0010_0000), PROBE_NOPS)])
     }
 
     /// Measures the attacker's *solo* baseline IPC (paper: 3.58).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the sampler's probe length is zero (`Block::nops`).
     pub fn baseline_ipc(&self, model: ProcessorModel, seed: u64) -> f64 {
         let mut core = Core::new(model, seed);
         let chain = Self::probe_chain();
@@ -59,6 +67,10 @@ impl IpcSampler {
     /// Records the attacker's IPC trace while `victim` runs on the sibling
     /// thread. Each 100 ms window applies the victim's demand level for
     /// that window and samples the attacker's IPC.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the sampler's probe length is zero (`Block::nops`).
     pub fn trace(&self, model: ProcessorModel, victim: &Workload, seed: u64) -> Vec<f64> {
         let mut core = Core::new(model, seed);
         let mut rng = StdRng::seed_from_u64(seed ^ 0xf1f0_57a7);
@@ -80,6 +92,10 @@ impl IpcSampler {
 
     /// Collects `trials` traces per workload (different seeds — different
     /// runs of the attack).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the sampler's probe length is zero (`Block::nops`).
     pub fn trace_set(
         &self,
         model: ProcessorModel,
@@ -125,7 +141,7 @@ pub fn distance_summary(trace_sets: &[Vec<Vec<f64>>]) -> DistanceSummary {
     let mut intra = 0.0;
     let mut intra_n = 0usize;
     for set in trace_sets {
-        intra += mean_pairwise_distance(set, set).expect("equal-length traces"); // lint: allow(panic) — documented `# Panics` contract
+        intra += mean_pairwise_distance(set, set).expect("equal-length traces");
         intra_n += 1;
     }
     let mut inter = 0.0;
@@ -136,7 +152,7 @@ pub fn distance_summary(trace_sets: &[Vec<Vec<f64>>]) -> DistanceSummary {
                 continue;
             }
             inter += mean_pairwise_distance(&trace_sets[i], &trace_sets[j])
-                .expect("equal-length traces"); // lint: allow(panic) — documented `# Panics` contract
+                .expect("equal-length traces");
             inter_n += 1;
         }
     }
@@ -160,16 +176,21 @@ impl FingerprintLibrary {
     }
 
     /// Classifies a trace by minimum mean distance to each reference set.
+    ///
+    /// # Panics
+    ///
+    /// Panics if probe and reference traces have inconsistent lengths
+    /// (`mean_pairwise_distance`).
     pub fn classify(&self, trace: &[f64]) -> &str {
         let probe = vec![trace.to_vec()];
         self.references
             .iter()
             .map(|(name, set)| {
-                let d = mean_pairwise_distance(&probe, set).expect("equal-length traces"); // lint: allow(panic) — documented `# Panics` contract
+                let d = mean_pairwise_distance(&probe, set).expect("equal-length traces");
                 (name.as_str(), d)
             })
-            .min_by(|a, b| a.1.partial_cmp(&b.1).expect("finite distances")) // lint: allow(panic) — simulated IPC distances are always finite
-            .expect("non-empty library") // lint: allow(panic) — non-emptiness asserted in `new`
+            .min_by(|a, b| a.1.partial_cmp(&b.1).expect("finite distances")) // lint: allow(panic-path) — simulated IPC distances are always finite
+            .expect("non-empty library") // lint: allow(panic-path) — non-emptiness asserted in `new`
             .0
     }
 }

@@ -61,6 +61,10 @@ impl MicrocodeFingerprint {
     }
 
     /// Collects the Fig. 10 observation from a core.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a DSB set index ≥ 32 (`DsbSet::new`).
     pub fn observe(&self, core: &mut Core) -> MicrocodeObservation {
         let tid = ThreadId::T0;
         let small = Self::small_chain();
@@ -104,6 +108,11 @@ impl MicrocodeFingerprint {
     }
 
     /// End-to-end fingerprint of an (unknown-patch) core.
+    ///
+    /// # Panics
+    ///
+    /// Panics if probe and reference traces have inconsistent lengths
+    /// (`mean_pairwise_distance`).
     pub fn fingerprint(&self, core: &mut Core) -> MicrocodePatch {
         let obs = self.observe(core);
         self.classify(&obs)
@@ -111,6 +120,11 @@ impl MicrocodeFingerprint {
 
     /// Accuracy over `trials` independent cores per patch — the §X claim
     /// is that the patches are "clearly" distinguishable.
+    ///
+    /// # Panics
+    ///
+    /// Panics if probe and reference traces have inconsistent lengths
+    /// (`mean_pairwise_distance`).
     pub fn accuracy(&self, model: ProcessorModel, trials: u64) -> f64 {
         let mut correct = 0u64;
         for t in 0..trials {

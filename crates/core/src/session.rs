@@ -47,6 +47,11 @@ impl<'a, C: Code> Session<'a, C> {
     /// Transmits raw data bits through the code, without framing: the
     /// receiver is assumed to know the data length. The decoded stream
     /// is truncated to the sent length (block codes may pad).
+    ///
+    /// # Panics
+    ///
+    /// Panics if calibration found indistinguishable bit classes
+    /// (`CovertChannel::transmit`).
     pub fn send_bits(&mut self, data: &[bool]) -> SessionRun {
         self.run(data, None)
     }

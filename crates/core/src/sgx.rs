@@ -71,6 +71,11 @@ impl SgxNonMtChannel {
     /// # Errors
     ///
     /// Returns [`SgxAttackError::NoSgx`] for non-SGX processors.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the channel parameters violate the §V constraints
+    /// (`ChannelParams::validate`).
     pub fn new(
         model: ProcessorModel,
         kind: NonMtKind,
@@ -161,15 +166,20 @@ impl SgxNonMtChannel {
         }
         let mut iter = samples.into_iter();
         self.decoder = Some(calibrate_decoder(
-            move |_| iter.next().expect("calibration sample"), // lint: allow(panic) — closure is called exactly CALIBRATION_BITS times
+            move |_| iter.next().expect("calibration sample"), // lint: allow(panic-path) — closure is called exactly CALIBRATION_BITS times
             CALIBRATION_BITS,
         ));
     }
 
     /// Transmits a message out of the enclave.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the transmission spans no cycles (`ChannelRun::new`);
+    /// a calibrated channel never produces one.
     pub fn transmit(&mut self, message: &[bool]) -> ChannelRun {
         self.ensure_calibrated();
-        let decoder = self.decoder.expect("calibrated above"); // lint: allow(panic) — set by ensure_calibrated on the previous line
+        let decoder = self.decoder.expect("calibrated above"); // lint: allow(panic-path) — set by ensure_calibrated on the previous line
         let start = self.core.clock(ThreadId::T0);
         let received: Vec<bool> = message
             .iter()
@@ -208,6 +218,11 @@ impl SgxPowerChannel {
     /// # Errors
     ///
     /// Returns [`SgxAttackError::NoSgx`] for non-SGX processors.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the channel parameters violate the §V constraints
+    /// (`ChannelParams::validate`).
     pub fn new(
         model: ProcessorModel,
         kind: NonMtKind,
@@ -292,15 +307,20 @@ impl SgxPowerChannel {
         }
         let mut iter = samples.into_iter();
         self.decoder = Some(calibrate_decoder(
-            move |_| iter.next().expect("calibration sample"), // lint: allow(panic) — closure is called exactly CALIBRATION_BITS times
+            move |_| iter.next().expect("calibration sample"), // lint: allow(panic-path) — closure is called exactly CALIBRATION_BITS times
             CALIBRATION_BITS,
         ));
     }
 
     /// Transmits a message out of the enclave over package power.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the transmission spans no cycles (`ChannelRun::new`);
+    /// a calibrated channel never produces one.
     pub fn transmit(&mut self, message: &[bool]) -> ChannelRun {
         self.ensure_calibrated();
-        let decoder = self.decoder.expect("calibrated above"); // lint: allow(panic) — set by ensure_calibrated on the previous line
+        let decoder = self.decoder.expect("calibrated above"); // lint: allow(panic-path) — set by ensure_calibrated on the previous line
         let start = self.core.clock(ThreadId::T0);
         let received: Vec<bool> = message
             .iter()
@@ -335,6 +355,11 @@ impl SgxMtChannel {
     ///
     /// Returns [`SgxAttackError::NoSgx`] or [`SgxAttackError::NoSmt`] when
     /// the processor cannot host the attack.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the channel parameters violate the §V constraints
+    /// (`ChannelParams::validate`).
     pub fn new(
         model: ProcessorModel,
         kind: NonMtKind,
@@ -413,15 +438,20 @@ impl SgxMtChannel {
         }
         let mut iter = samples.into_iter();
         self.decoder = Some(calibrate_decoder(
-            move |_| iter.next().expect("calibration sample"), // lint: allow(panic) — closure is called exactly CALIBRATION_BITS times
+            move |_| iter.next().expect("calibration sample"), // lint: allow(panic-path) — closure is called exactly CALIBRATION_BITS times
             CALIBRATION_BITS,
         ));
     }
 
     /// Transmits a message out of the enclave via the sibling thread.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the transmission spans no cycles (`ChannelRun::new`);
+    /// a calibrated channel never produces one.
     pub fn transmit(&mut self, message: &[bool]) -> ChannelRun {
         self.ensure_calibrated();
-        let decoder = self.decoder.expect("calibrated above"); // lint: allow(panic) — set by ensure_calibrated on the previous line
+        let decoder = self.decoder.expect("calibrated above"); // lint: allow(panic-path) — set by ensure_calibrated on the previous line
         let start = self
             .core
             .clock(ThreadId::T0)

@@ -87,12 +87,20 @@ pub struct Core {
 impl Core {
     /// Creates a core for a processor model under the default (LSD-enabled)
     /// microcode, with a deterministic seed.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a degenerate cache geometry (`SetAssocCache::new`).
     pub fn new(model: ProcessorModel, seed: u64) -> Self {
         Self::with_microcode(model, MicrocodePatch::Patch1, seed)
     }
 
     /// Creates a core under an explicit microcode patch (§X: switching
     /// patches requires a restart, hence a fresh core).
+    ///
+    /// # Panics
+    ///
+    /// Panics on a degenerate cache geometry (`SetAssocCache::new`).
     pub fn with_microcode(model: ProcessorModel, patch: MicrocodePatch, seed: u64) -> Self {
         let config = FrontendConfig {
             lsd_enabled: model.lsd_enabled_under(patch),
@@ -108,6 +116,10 @@ impl Core {
     /// (a patch can disable loop streaming, never enable it on a profile
     /// that lacks it). The `skylake` profile reproduces
     /// [`Core::with_microcode`] bit-for-bit.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a degenerate cache geometry (`SetAssocCache::new`).
     pub fn with_profile(
         model: ProcessorModel,
         patch: MicrocodePatch,
@@ -124,6 +136,10 @@ impl Core {
     /// Creates a core with a fully explicit frontend configuration — the
     /// hook used by defense evaluations (§XII: constant-time frontends) and
     /// policy ablations.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a degenerate cache geometry (`SetAssocCache::new`).
     pub fn with_frontend_config(
         model: ProcessorModel,
         patch: MicrocodePatch,
@@ -191,6 +207,10 @@ impl Core {
     /// streams. The backend-throughput memo needs no flush: its entries
     /// are keyed by (chain, profile key), so values memoised under the
     /// old configuration simply stop matching.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a degenerate cache geometry (`SetAssocCache::new`).
     pub fn reconfigure_frontend(&mut self, config: FrontendConfig) {
         self.frontend.reconfigure(config);
     }
@@ -234,12 +254,22 @@ impl Core {
     }
 
     /// A low-precision (10 Hz) timer reading for the §XI side channel.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configured timer resolution is not positive
+    /// (`Timer::read_low_res`).
     pub fn low_res_time(&mut self, tid: ThreadId) -> f64 {
         let resolution = self.model.freq_hz() / 10.0;
         self.timer.read_low_res(self.clock[tid.index()], resolution)
     }
 
     /// Advances a thread's clock without doing frontend work (spin/sleep).
+    ///
+    /// # Panics
+    ///
+    /// Panics if a negative energy deposit reaches the RAPL model
+    /// (`Rapl::deposit`); simulated costs are non-negative.
     pub fn idle(&mut self, tid: ThreadId, cycles: f64) {
         assert!(cycles >= 0.0, "cannot idle negative cycles");
         self.clock[tid.index()] += cycles;
@@ -251,6 +281,11 @@ impl Core {
 
     /// Runs `iterations` of a loop on one thread, advancing its clock and
     /// depositing energy. Total time is the frontend/backend bottleneck.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a negative energy deposit reaches the RAPL model
+    /// (`Rapl::deposit`); simulated costs are non-negative.
     pub fn run_loop(&mut self, tid: ThreadId, chain: &BlockChain, iterations: u64) -> LoopRun {
         let report = self.frontend.run_iterations(tid, chain, iterations);
         self.finish_run(tid, chain, iterations, report)
@@ -258,6 +293,11 @@ impl Core {
 
     /// Runs a single loop iteration (fine-grained driver for channel
     /// protocols).
+    ///
+    /// # Panics
+    ///
+    /// Panics if a negative energy deposit reaches the RAPL model
+    /// (`Rapl::deposit`); simulated costs are non-negative.
     pub fn run_once(&mut self, tid: ThreadId, chain: &BlockChain) -> LoopRun {
         let report = self.frontend.run_iteration(tid, chain);
         self.finish_run(tid, chain, 1, report)
@@ -267,6 +307,11 @@ impl Core {
     /// simulated wall time with scheduling jitter. Threads are activated on
     /// entry; each is deactivated when its work completes (which triggers
     /// the DSB partition transitions of §IV-B).
+    ///
+    /// # Panics
+    ///
+    /// Panics if a negative energy deposit reaches the RAPL model
+    /// (`Rapl::deposit`); simulated costs are non-negative.
     pub fn run_concurrent(
         &mut self,
         work0: ThreadWork<'_>,
@@ -324,6 +369,11 @@ impl Core {
 
     /// Runs a loop repeatedly until roughly `cycle_budget` cycles elapse on
     /// the thread; returns the run. Used by the §XI IPC sampler.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a negative energy deposit reaches the RAPL model
+    /// (`Rapl::deposit`); simulated costs are non-negative.
     pub fn run_for_cycles(
         &mut self,
         tid: ThreadId,
@@ -359,6 +409,11 @@ impl Core {
     /// energy exactly as if the work had been simulated, without re-running
     /// the frontend. Used by the power channels, whose p = q = 240 000
     /// iterations per bit (§VII) would otherwise dominate simulation time.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a negative energy deposit reaches the RAPL model
+    /// (`Rapl::deposit`); simulated costs are non-negative.
     pub fn replay(&mut self, tid: ThreadId, round: &LoopRun, times: u64) {
         if times == 0 {
             return;

@@ -58,7 +58,7 @@ impl<T> OrderedCollector<T> {
         self.slots
             .into_iter()
             .enumerate()
-            .map(|(i, slot)| slot.unwrap_or_else(|| panic!("cell {i} never reported"))) // lint: allow(panic) — documented `# Panics` contract
+            .map(|(i, slot)| slot.unwrap_or_else(|| panic!("cell {i} never reported")))
             .collect()
     }
 

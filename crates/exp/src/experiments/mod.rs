@@ -26,6 +26,11 @@ use leaky_frontends::run::Provenance;
 use leaky_uarch::UarchProfile;
 
 /// The registry every frontend (CLI, wrappers, perf harness) shares.
+///
+/// # Panics
+///
+/// Panics if two compiled-in experiments share a name
+/// (`Registry::register`).
 pub fn standard_registry() -> Registry {
     let mut reg = Registry::new();
     reg.register(Box::new(Tab3AllChannels));
@@ -47,7 +52,7 @@ pub(crate) fn machine(name: &str) -> ProcessorModel {
     ProcessorModel::all()
         .into_iter()
         .find(|m| m.name == name)
-        .unwrap_or_else(|| panic!("unknown machine {name:?}")) // lint: allow(panic) — documented `# Panics` contract
+        .unwrap_or_else(|| panic!("unknown machine {name:?}"))
 }
 
 /// The quick/full profile axis: a single-valued axis, so the sweep's
@@ -69,7 +74,6 @@ pub(crate) fn profile(quick: bool) -> &'static str {
 /// Panics on an unknown key — grids only emit keys from
 /// [`UarchProfile::keys`], so this is a spec bug.
 pub(crate) fn uarch(key: &str) -> UarchProfile {
-    // lint: allow(panic) — documented `# Panics` contract
     UarchProfile::by_key(key).unwrap_or_else(|| panic!("unknown uarch profile {key:?}"))
 }
 
@@ -102,7 +106,7 @@ pub(crate) fn channel_cell_traced(
     let mut ch = match spec.build() {
         Ok(ch) => ch,
         Err(BuildError::SmtUnavailable(_)) => return None,
-        Err(e) => panic!("channel spec invalid: {e}"), // lint: allow(panic) — documented `# Panics` contract
+        Err(e) => panic!("channel spec invalid: {e}"),
     };
     ch.set_trace(leaky_trace::TraceHook::new(trace));
     let provenance = Provenance {

@@ -201,7 +201,7 @@ impl JobCell {
     pub fn int(&self, axis: &str) -> i64 {
         match self.get(axis) {
             Some(AxisValue::Int(v)) => *v,
-            other => panic!("axis {axis:?}: expected Int, got {other:?}"), // lint: allow(panic) — documented `# Panics` contract
+            other => panic!("axis {axis:?}: expected Int, got {other:?}"),
         }
     }
 
@@ -213,7 +213,7 @@ impl JobCell {
     pub fn str(&self, axis: &str) -> &str {
         match self.get(axis) {
             Some(AxisValue::Str(s)) => s,
-            other => panic!("axis {axis:?}: expected Str, got {other:?}"), // lint: allow(panic) — documented `# Panics` contract
+            other => panic!("axis {axis:?}: expected Str, got {other:?}"),
         }
     }
 }

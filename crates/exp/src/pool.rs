@@ -71,6 +71,11 @@ pub struct PoolRun<T> {
 /// `jobs` is clamped to `[1, n]`; `jobs == 1` runs inline on the caller
 /// thread (no pool, no channel), which is also the reference order the
 /// parallel path must reproduce.
+///
+/// # Panics
+///
+/// Panics on an out-of-range or duplicate cell delivery
+/// (`OrderedCollector::insert`) — either indicates a pool bug.
 pub fn run_ordered_observed<T, F, O>(jobs: usize, n: usize, f: F, mut observe: O) -> PoolRun<T>
 where
     T: Send,
@@ -159,13 +164,12 @@ where
     run.slots
         .into_iter()
         .enumerate()
-        .map(|(i, slot)| {
-            // lint: allow(panic) — documented `# Panics` contract
-            match slot.unwrap_or_else(|| panic!("cell {i} never reported")) {
+        .map(
+            |(i, slot)| match slot.unwrap_or_else(|| panic!("cell {i} never reported")) {
                 Ok(value) => value,
-                Err(p) => panic!("cell {i} panicked: {}", p.message), // lint: allow(panic) — documented `# Panics` contract
-            }
-        })
+                Err(p) => panic!("cell {i} panicked: {}", p.message),
+            },
+        )
         .collect()
 }
 

@@ -401,6 +401,11 @@ enum Computed {
 /// [`CellOutcome::Failed`] row rather than killing the sweep. Freshly
 /// computed outcomes are written through to the store *as they
 /// complete*, so even a sweep that later aborts resumes for free.
+///
+/// # Panics
+///
+/// Panics if a cell's channel spec violates the §V constraints
+/// (`ChannelSpec::build`).
 pub fn run_experiment_with(
     exp: &dyn Experiment,
     cfg: &RunConfig<'_>,
@@ -456,7 +461,7 @@ pub fn run_experiment_with(
             let attempt_cell = cell.with_attempt(attempt);
             let ran = catch_unwind(AssertUnwindSafe(|| {
                 if injected == Some(FaultKind::Panic) {
-                    // lint: allow(panic) — deliberate fault injection;
+                    // lint: allow(panic-path) — deliberate fault injection;
                     // the surrounding catch_unwind is the system under test.
                     panic!("injected panic on {} (attempt {attempt})", attempt_cell.key);
                 }
@@ -609,6 +614,11 @@ pub fn run_experiment_with(
 
 /// Expands, executes, collects, and summarizes one experiment on the
 /// plain path: no store, no faults, no retries.
+///
+/// # Panics
+///
+/// Panics if a cell's channel spec violates the §V constraints
+/// (`ChannelSpec::build`).
 pub fn run_experiment(exp: &dyn Experiment, quick: bool, jobs: usize) -> SweepRun {
     let cfg = RunConfig {
         quick,
@@ -686,8 +696,8 @@ impl Registry {
     /// duplicate is a code bug caught by the first test that builds the
     /// registry; fallible callers use [`try_register`](Self::try_register).
     pub fn register(&mut self, exp: Box<dyn Experiment>) {
-        // lint: allow(panic) — documented `# Panics` contract: static
-        // registration of compiled-in specs; dynamic paths use try_register.
+        // Static registration of compiled-in specs; dynamic paths use
+        // try_register.
         self.try_register(exp).unwrap_or_else(|e| panic!("{e}"));
     }
 

@@ -248,6 +248,10 @@ const fn trace_source(source: UopSource) -> Source {
 
 impl Frontend {
     /// Creates an idle frontend.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a degenerate cache geometry (`SetAssocCache::new`).
     pub fn new(config: FrontendConfig) -> Self {
         Frontend {
             dsb: Dsb::new(config.geometry, config.dsb_policy),
@@ -268,6 +272,10 @@ impl Frontend {
 
     /// Creates an idle frontend for a microarchitecture profile (see
     /// [`FrontendConfig::from_profile`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics on a degenerate cache geometry (`SetAssocCache::new`).
     pub fn with_profile(profile: &UarchProfile) -> Self {
         Self::new(FrontendConfig::from_profile(profile))
     }
@@ -291,6 +299,10 @@ impl Frontend {
     /// plan cache — its (chain, profile-key) entries make stale plans
     /// unreachable rather than requiring a flush, and switching *back*
     /// to a previous configuration rehits its plans.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a degenerate cache geometry (`SetAssocCache::new`).
     pub fn reconfigure(&mut self, config: FrontendConfig) {
         self.dsb = Dsb::new(config.geometry, config.dsb_policy);
         self.l1i = SetAssocCache::new(config.l1i_config());
@@ -439,6 +451,11 @@ impl Frontend {
     ///
     /// The first call for a given chain memoizes its delivery plan;
     /// subsequent iterations are allocation-free.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the geometry's µops-per-line is zero
+    /// (`Block::line_slots_for`).
     pub fn run_iteration(&mut self, tid: ThreadId, chain: &BlockChain) -> IterationReport {
         let plan = self
             .plans
@@ -554,6 +571,11 @@ impl Frontend {
     /// repetition and the collapse is faithful; longer warm-ups can pin a
     /// qualifying loop to the DSB path (see
     /// `steady_state_collapse_can_freeze_lsd_warmup` and DESIGN.md §6).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the geometry's µops-per-line is zero
+    /// (`Block::line_slots_for`).
     pub fn run_iterations(&mut self, tid: ThreadId, chain: &BlockChain, n: u64) -> IterationReport {
         let plan = self
             .plans

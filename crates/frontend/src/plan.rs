@@ -107,6 +107,11 @@ pub(crate) fn pack_lock_member(window: u64, chunk: u8) -> u64 {
 impl DeliveryPlan {
     /// Precomputes the delivery recipe for `chain` under `geom`,
     /// stamping it with the owning configuration's `config_key`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the geometry's µops-per-line is zero
+    /// (`Block::line_slots_for`).
     pub fn build(chain: &BlockChain, geom: &FrontendGeometry, config_key: u64) -> DeliveryPlan {
         let line_uops = geom.dsb_line_uops as u32;
         let sets = geom.dsb_sets as u64;
@@ -203,6 +208,11 @@ const PLAN_CACHE_CAPACITY: usize = 32;
 impl PlanCache {
     /// Returns the plan for `chain` under the configuration identified by
     /// `config_key`, building and caching it on first use.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the geometry's µops-per-line is zero
+    /// (`Block::line_slots_for`).
     pub fn get_or_build(
         &mut self,
         chain: &BlockChain,

@@ -155,6 +155,10 @@ pub struct NaiveFrontend {
 
 impl NaiveFrontend {
     /// Creates an idle naive frontend.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a degenerate cache geometry (`SetAssocCache::new`).
     pub fn new(config: FrontendConfig) -> Self {
         NaiveFrontend {
             dsb: NaiveDsb::new(
@@ -178,6 +182,10 @@ impl NaiveFrontend {
     /// [`crate::Frontend::reconfigure`]): DSB and L1I rebuilt empty for
     /// the new geometry, locks/streaks/pending penalties dropped,
     /// cumulative counters kept.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a degenerate cache geometry (`SetAssocCache::new`).
     pub fn reconfigure(&mut self, config: FrontendConfig) {
         self.dsb = NaiveDsb::new(
             config.geometry.dsb_sets,
@@ -325,6 +333,11 @@ impl NaiveFrontend {
     /// Runs `n` iterations by simulating every single one (no steady-state
     /// detection) — the semantic baseline for
     /// [`crate::Frontend::run_iterations`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the geometry's µops-per-line is zero
+    /// (`Block::line_slots_for`).
     pub fn run_iterations(&mut self, tid: ThreadId, chain: &BlockChain, n: u64) -> IterationReport {
         let mut total = IterationReport::new();
         for _ in 0..n {

@@ -115,6 +115,11 @@ impl Block {
 
     /// The paper's instruction mix block: 4 `mov r32, imm32` + 1 `jmp`
     /// (25 bytes, 5 µops, §IV-D).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the geometry's µops-per-line is zero
+    /// (`Block::line_slots_for`).
     pub fn mix(base: Addr) -> Self {
         let mut instrs = vec![Instruction::new(Opcode::MovImm); 4];
         instrs.push(Instruction::new(Opcode::Jmp));
@@ -198,6 +203,11 @@ impl Block {
 
     /// Returns the block relocated to a new base address. Useful for turning
     /// an aligned block into its misaligned twin (§IV-G).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the geometry's µops-per-line is zero
+    /// (`Block::line_slots_for`).
     pub fn rebased(&self, base: Addr) -> Block {
         Block::build(base, self.instrs.clone(), self.kind)
     }

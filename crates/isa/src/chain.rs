@@ -204,6 +204,11 @@ impl<'a> IntoIterator for &'a BlockChain {
 /// assert_eq!(c.misaligned_count(), 8);
 /// assert_eq!(c.window_count(), 16);
 /// ```
+///
+/// # Panics
+///
+/// Panics if the block count is zero or the set indexes beyond the
+/// geometry's DSB sets (`same_set_chain_with`).
 pub fn same_set_chain(
     region_base: u64,
     set: DsbSet,

@@ -52,6 +52,11 @@ impl CodeRegion {
     /// Allocates a chain of `count` mix blocks all mapping to `set`
     /// (paper Fig. 3 layout) under the region's geometry, advancing the
     /// region cursor past it.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the block count is zero or the set indexes beyond the
+    /// geometry's DSB sets (`same_set_chain_with`).
     pub fn same_set_chain(
         &mut self,
         set: DsbSet,
@@ -64,7 +69,7 @@ impl CodeRegion {
             .iter()
             .map(|b| b.end().value())
             .max()
-            .expect("chain is non-empty"); // lint: allow(panic) — same_set_chain_with always emits ≥1 block
+            .expect("chain is non-empty"); // lint: allow(panic-path) — same_set_chain_with always emits ≥1 block
                                            // Round up to the next full set period so a following chain cannot
                                            // share any window with this one.
         let period = (self.geom.dsb_window_bytes * self.geom.dsb_sets) as u64;
@@ -73,6 +78,10 @@ impl CodeRegion {
     }
 
     /// Allocates a nop block of `n` nops (§XI receiver), window aligned.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the requested nop count is zero (`Block::nops`).
     pub fn nop_block(&mut self, n: usize) -> Block {
         let base = self.aligned_cursor();
         let block = Block::nops(base, n);
@@ -81,6 +90,10 @@ impl CodeRegion {
     }
 
     /// Allocates an LCP `add` loop body (§IV-H), window aligned.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the repeat count is zero (`Block::lcp_adds`).
     pub fn lcp_block(&mut self, pattern: crate::instr::LcpPattern, r: usize) -> Block {
         let base = self.aligned_cursor();
         let block = Block::lcp_adds(base, pattern, r);
@@ -89,6 +102,11 @@ impl CodeRegion {
     }
 
     /// Allocates a single mix block mapping to `set`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the block count is zero or the set indexes beyond the
+    /// geometry's DSB sets (`same_set_chain_with`).
     pub fn mix_block(&mut self, set: DsbSet, alignment: Alignment) -> Block {
         let chain = self.same_set_chain(set, 1, alignment);
         chain.blocks()[0].clone()

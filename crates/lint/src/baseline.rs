@@ -1,0 +1,209 @@
+//! The baseline ratchet: a committed pin of accepted findings.
+//!
+//! `lint-baseline.json` lets a new rule land *strict on new code* while
+//! pre-existing, individually-reviewed findings stay pinned. Entries
+//! match on `(file, rule, message)` and deliberately **not** on line:
+//! unrelated edits move lines constantly, and the rendered messages are
+//! themselves line-free, so a pin survives reformatting but dies the
+//! moment the finding's substance changes.
+//!
+//! The format is hand-rolled line-oriented JSON, like every other
+//! artifact in this workspace (no dependencies, byte-stable output, one
+//! finding per line so diffs review well).
+
+use std::collections::BTreeSet;
+
+use crate::diag::{json_escape, Diagnostic};
+
+/// Schema tag of the baseline document.
+pub const BASELINE_SCHEMA: &str = "leaky-frontends/lint-baseline/v1";
+
+/// Conventional baseline file name at the workspace root.
+pub const BASELINE_FILE: &str = "lint-baseline.json";
+
+/// A parsed baseline: the set of pinned `(file, rule, message)` keys.
+#[derive(Debug, Default)]
+pub struct Baseline {
+    entries: BTreeSet<(String, String, String)>,
+}
+
+impl Baseline {
+    /// The empty baseline (nothing pinned).
+    pub fn empty() -> Baseline {
+        Baseline::default()
+    }
+
+    /// Number of pinned findings.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether nothing is pinned.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Whether `d` is pinned by this baseline.
+    pub fn contains(&self, d: &Diagnostic) -> bool {
+        self.entries
+            .contains(&(d.file.clone(), d.rule.to_string(), d.message.clone()))
+    }
+
+    /// Pinned entries matching none of `diags` — pins the ratchet
+    /// should shed, reported so the baseline cannot rot silently.
+    pub fn stale(&self, diags: &[Diagnostic]) -> Vec<&(String, String, String)> {
+        self.entries
+            .iter()
+            .filter(|(file, rule, message)| {
+                !diags
+                    .iter()
+                    .any(|d| d.file == *file && d.rule == *rule && d.message == *message)
+            })
+            .collect()
+    }
+
+    /// Parses a baseline document.
+    ///
+    /// # Errors
+    ///
+    /// A description of the first malformed construct: wrong or missing
+    /// schema tag, or an entry line missing one of the three keys.
+    pub fn parse(text: &str) -> Result<Baseline, String> {
+        let schema_ok = text
+            .lines()
+            .any(|l| read_string_value(l, "schema").as_deref() == Some(BASELINE_SCHEMA));
+        if !schema_ok {
+            return Err(format!(
+                "baseline has no \"schema\": \"{BASELINE_SCHEMA}\" tag (wrong or outdated file?)"
+            ));
+        }
+        let mut entries = BTreeSet::new();
+        for (idx, line) in text.lines().enumerate() {
+            if !line.contains("\"file\"") {
+                continue;
+            }
+            let entry = (
+                read_string_value(line, "file"),
+                read_string_value(line, "rule"),
+                read_string_value(line, "message"),
+            );
+            match entry {
+                (Some(file), Some(rule), Some(message)) => {
+                    entries.insert((file, rule, message));
+                }
+                _ => {
+                    return Err(format!(
+                        "baseline line {}: expected \"file\", \"rule\" and \"message\" keys",
+                        idx + 1
+                    ));
+                }
+            }
+        }
+        Ok(Baseline { entries })
+    }
+
+    /// Renders `diags` as a baseline document: sorted by (file, rule,
+    /// message), deduplicated, line-free, byte-stable.
+    pub fn render(diags: &[Diagnostic]) -> String {
+        let entries: BTreeSet<(&str, &str, &str)> = diags
+            .iter()
+            .map(|d| (d.file.as_str(), d.rule, d.message.as_str()))
+            .collect();
+        let mut out = String::new();
+        out.push_str(&format!("{{\n  \"schema\": \"{BASELINE_SCHEMA}\",\n"));
+        out.push_str("  \"findings\": [\n");
+        let rows: Vec<String> = entries
+            .iter()
+            .map(|(file, rule, message)| {
+                format!(
+                    "    {{\"file\": \"{}\", \"rule\": \"{}\", \"message\": \"{}\"}}",
+                    json_escape(file),
+                    json_escape(rule),
+                    json_escape(message)
+                )
+            })
+            .collect();
+        out.push_str(&rows.join(",\n"));
+        if !rows.is_empty() {
+            out.push('\n');
+        }
+        out.push_str("  ]\n}\n");
+        out
+    }
+}
+
+/// Reads the JSON string value of `"key"` on `line`, unescaping the
+/// standard escapes. Returns `None` when the key or a well-formed quoted
+/// value is absent.
+fn read_string_value(line: &str, key: &str) -> Option<String> {
+    let needle = format!("\"{key}\"");
+    let at = line.find(&needle)? + needle.len();
+    let rest = line[at..].trim_start();
+    let rest = rest.strip_prefix(':')?.trim_start();
+    let rest = rest.strip_prefix('"')?;
+    let mut out = String::new();
+    let mut chars = rest.chars();
+    while let Some(c) = chars.next() {
+        match c {
+            '"' => return Some(out),
+            '\\' => match chars.next()? {
+                '"' => out.push('"'),
+                '\\' => out.push('\\'),
+                'n' => out.push('\n'),
+                't' => out.push('\t'),
+                'r' => out.push('\r'),
+                'u' => {
+                    let hex: String = chars.by_ref().take(4).collect();
+                    let code = u32::from_str_radix(&hex, 16).ok()?;
+                    out.push(char::from_u32(code)?);
+                }
+                _ => return None,
+            },
+            c => out.push(c),
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn diag(file: &str, rule: &'static str, message: &str) -> Diagnostic {
+        Diagnostic::new(file, 10, rule, message.to_string())
+    }
+
+    #[test]
+    fn render_parse_round_trips_and_ignores_lines() {
+        let diags = vec![
+            diag("crates/a/src/lib.rs", "panic-path", "path \"x\" → y"),
+            diag("crates/b/src/lib.rs", "schema-sync", "raw literal"),
+        ];
+        let text = Baseline::render(&diags);
+        let parsed = Baseline::parse(&text).expect("round trip");
+        assert_eq!(parsed.len(), 2);
+        // Same finding on a different line still matches.
+        let moved = Diagnostic::new(
+            "crates/a/src/lib.rs",
+            99,
+            "panic-path",
+            "path \"x\" → y".into(),
+        );
+        assert!(parsed.contains(&moved));
+        assert!(!parsed.contains(&diag("crates/a/src/lib.rs", "panic-path", "other")));
+        assert!(parsed.stale(&diags).is_empty());
+        assert_eq!(parsed.stale(&diags[..1]).len(), 1);
+        // Byte-stable render.
+        assert_eq!(text, Baseline::render(&diags));
+    }
+
+    #[test]
+    fn schema_tag_is_mandatory() {
+        assert!(Baseline::parse("{}").is_err());
+        let wrong =
+            "{\n  \"schema\": \"leaky-frontends/lint-baseline/v9\",\n  \"findings\": [\n  ]\n}\n";
+        assert!(Baseline::parse(wrong).is_err());
+        let empty = Baseline::render(&[]);
+        assert!(Baseline::parse(&empty).expect("empty ok").is_empty());
+    }
+}

@@ -1,14 +1,23 @@
 //! The `leaky_lint` command-line interface.
 //!
-//! * `leaky_lint check [--root <path>]` — run every rule; exit 0 when
-//!   clean, 1 with one diagnostic per line when not, 2 on usage or I/O
-//!   errors.
+//! * `leaky_lint check [--root <path>] [--format text|json]
+//!   [--baseline <file> | --no-baseline] [--write-baseline]` — run every
+//!   rule; exit 0 when no *new* (non-baselined) finding survives, 1
+//!   otherwise, 2 on usage or I/O errors. When the workspace root holds
+//!   a `lint-baseline.json` it is loaded automatically; `--baseline`
+//!   points elsewhere and `--no-baseline` disables the ratchet.
 //! * `leaky_lint rules` — print the rule catalogue.
+//!
+//! `--format json` emits the `leaky-frontends/lint/v1` document: sorted,
+//! hand-rolled, byte-identical across runs — CI diffs two consecutive
+//! runs to pin exactly that.
 
 use std::path::PathBuf;
 use std::process::ExitCode;
 
+use crate::baseline::{Baseline, BASELINE_FILE};
 use crate::config::LintConfig;
+use crate::diag::render_json;
 use crate::rules::RULES;
 use crate::workspace::{find_root, Workspace};
 
@@ -34,28 +43,62 @@ pub fn run(args: &[String]) -> ExitCode {
 }
 
 fn usage() {
-    eprintln!("usage: leaky_lint <check [--root <path>] | rules>");
+    eprintln!(
+        "usage: leaky_lint <check [--root <path>] [--format text|json] \
+         [--baseline <file> | --no-baseline] [--write-baseline] | rules>"
+    );
 }
 
-fn check(args: &[String]) -> ExitCode {
-    let mut root: Option<PathBuf> = None;
+#[derive(Default)]
+struct CheckArgs {
+    root: Option<PathBuf>,
+    json: bool,
+    baseline: Option<PathBuf>,
+    no_baseline: bool,
+    write_baseline: bool,
+}
+
+fn parse_check_args(args: &[String]) -> Result<CheckArgs, String> {
+    let mut out = CheckArgs::default();
     let mut iter = args.iter();
     while let Some(arg) = iter.next() {
         match arg.as_str() {
             "--root" => match iter.next() {
-                Some(path) => root = Some(PathBuf::from(path)),
-                None => {
-                    eprintln!("leaky_lint: --root needs a path");
-                    return ExitCode::from(2);
-                }
+                Some(path) => out.root = Some(PathBuf::from(path)),
+                None => return Err("--root needs a path".into()),
             },
-            other => {
-                eprintln!("leaky_lint: unknown check argument {other:?}");
-                return ExitCode::from(2);
-            }
+            "--format" => match iter.next().map(String::as_str) {
+                Some("text") => out.json = false,
+                Some("json") => out.json = true,
+                Some(other) => {
+                    return Err(format!("unknown format {other:?} (expected text or json)"))
+                }
+                None => return Err("--format needs text or json".into()),
+            },
+            "--baseline" => match iter.next() {
+                Some(path) => out.baseline = Some(PathBuf::from(path)),
+                None => return Err("--baseline needs a file".into()),
+            },
+            "--no-baseline" => out.no_baseline = true,
+            "--write-baseline" => out.write_baseline = true,
+            other => return Err(format!("unknown check argument {other:?}")),
         }
     }
-    let root = match root {
+    if out.no_baseline && out.baseline.is_some() {
+        return Err("--baseline and --no-baseline are mutually exclusive".into());
+    }
+    Ok(out)
+}
+
+fn check(args: &[String]) -> ExitCode {
+    let args = match parse_check_args(args) {
+        Ok(args) => args,
+        Err(e) => {
+            eprintln!("leaky_lint: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let root = match args.root.clone() {
         Some(root) => root,
         None => {
             let cwd = match std::env::current_dir() {
@@ -82,21 +125,90 @@ fn check(args: &[String]) -> ExitCode {
         }
     };
     let diags = crate::rules::run_all(&ws, &LintConfig::default());
-    if diags.is_empty() {
+
+    // Resolve the ratchet: explicit flag > committed root file > none.
+    let baseline_path = if args.no_baseline {
+        None
+    } else {
+        match args.baseline.clone() {
+            Some(path) => Some(path),
+            None => {
+                let committed = root.join(BASELINE_FILE);
+                committed.is_file().then_some(committed)
+            }
+        }
+    };
+    if args.write_baseline {
+        let path = baseline_path.unwrap_or_else(|| root.join(BASELINE_FILE));
+        let text = Baseline::render(&diags);
+        if let Err(e) = std::fs::write(&path, &text) {
+            eprintln!("leaky_lint: cannot write {}: {e}", path.display());
+            return ExitCode::from(2);
+        }
         println!(
-            "leaky_lint: clean — {} files, {} rules, 0 violations",
+            "leaky_lint: wrote {} finding(s) to {}",
+            diags.len(),
+            path.display()
+        );
+        return ExitCode::SUCCESS;
+    }
+    let baseline = match &baseline_path {
+        None => Baseline::empty(),
+        Some(path) => {
+            let text = match std::fs::read_to_string(path) {
+                Ok(text) => text,
+                Err(e) => {
+                    eprintln!("leaky_lint: cannot read {}: {e}", path.display());
+                    return ExitCode::from(2);
+                }
+            };
+            match Baseline::parse(&text) {
+                Ok(baseline) => baseline,
+                Err(e) => {
+                    eprintln!("leaky_lint: {}: {e}", path.display());
+                    return ExitCode::from(2);
+                }
+            }
+        }
+    };
+
+    // Stale pins go to stderr (never into the JSON document): they don't
+    // fail the run, but workspace_clean.rs pins that the committed
+    // baseline carries none.
+    for (file, rule, message) in baseline.stale(&diags) {
+        eprintln!("leaky_lint: stale baseline entry: {file}: [{rule}] {message}");
+    }
+
+    let new: Vec<_> = diags.iter().filter(|d| !baseline.contains(d)).collect();
+    if args.json {
+        print!("{}", render_json(&diags, |d| baseline.contains(d)));
+        return if new.is_empty() {
+            ExitCode::SUCCESS
+        } else {
+            ExitCode::FAILURE
+        };
+    }
+    if new.is_empty() {
+        let suffix = if baseline.is_empty() {
+            String::new()
+        } else {
+            format!(" ({} baselined)", diags.len())
+        };
+        println!(
+            "leaky_lint: clean — {} files, {} rules, 0 new violations{suffix}",
             ws.files.len(),
             RULES.len()
         );
         return ExitCode::SUCCESS;
     }
-    for d in &diags {
+    for d in &new {
         println!("{d}");
     }
     println!(
-        "leaky_lint: {} violation(s); escape intentional exceptions with \
-         `// lint: allow(<rule>)` on the flagged line",
-        diags.len()
+        "leaky_lint: {} new violation(s); escape intentional exceptions with \
+         `// lint: allow(<rule>)` on the flagged line or pin reviewed findings \
+         with --write-baseline",
+        new.len()
     );
     ExitCode::FAILURE
 }

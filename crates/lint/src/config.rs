@@ -43,12 +43,15 @@ pub struct LintConfig {
     pub experiments_dir: &'static str,
     /// Directory that must hold `<spec>.txt` for every registered spec.
     pub golden_dir: &'static str,
+    /// Documentation files whose `leaky-frontends/...` schema mentions
+    /// must match a defined constant (the schema-sync docs leg).
+    pub schema_docs: Vec<&'static str>,
 }
 
 impl Default for LintConfig {
     fn default() -> Self {
         LintConfig {
-            determinism_crates: vec!["exp", "bench", "stats", "core", "store", "trace"],
+            determinism_crates: vec!["exp", "bench", "stats", "core", "store", "trace", "lint"],
             key_pairs: vec![
                 KeyPair {
                     struct_name: "FrontendGeometry",
@@ -87,6 +90,7 @@ impl Default for LintConfig {
             docs_file: "EXPERIMENTS.md",
             experiments_dir: "crates/exp/src/experiments",
             golden_dir: "crates/bench/tests/golden",
+            schema_docs: vec!["README.md", "DESIGN.md", "EXPERIMENTS.md"],
         }
     }
 }

@@ -1,6 +1,10 @@
-//! Diagnostics: what a rule reports and how it renders.
+//! Diagnostics: what a rule reports and how it renders — human text and
+//! the stable machine-readable JSON document.
 
 use std::fmt;
+
+/// Schema tag of the `--format json` diagnostics document.
+pub const LINT_SCHEMA: &str = "leaky-frontends/lint/v1";
 
 /// One rule violation, anchored to a file and line so a
 /// `// lint: allow(<rule>)` escape on that line can suppress it.
@@ -35,5 +39,82 @@ impl fmt::Display for Diagnostic {
             "{}:{}: [{}] {}",
             self.file, self.line, self.rule, self.message
         )
+    }
+}
+
+/// Escapes `s` as a JSON string body (no surrounding quotes): the hand-
+/// rolled mirror of the workspace's dependency-free JSON writers.
+pub fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Renders the full diagnostics document for `--format json`: sorted
+/// input in, byte-identical output out. `baselined(d)` marks findings
+/// pinned by the baseline ratchet (they don't fail the run).
+pub fn render_json(diags: &[Diagnostic], baselined: impl Fn(&Diagnostic) -> bool) -> String {
+    let mut new_count = 0usize;
+    let mut rows = Vec::with_capacity(diags.len());
+    for d in diags {
+        let pinned = baselined(d);
+        if !pinned {
+            new_count += 1;
+        }
+        rows.push(format!(
+            "    {{\"file\": \"{}\", \"line\": {}, \"rule\": \"{}\", \"message\": \"{}\", \
+             \"baselined\": {}}}",
+            json_escape(&d.file),
+            d.line,
+            json_escape(d.rule),
+            json_escape(&d.message),
+            pinned
+        ));
+    }
+    let mut out = String::new();
+    out.push_str(&format!("{{\n  \"schema\": \"{LINT_SCHEMA}\",\n"));
+    out.push_str(&format!(
+        "  \"total\": {}, \"new\": {}, \"baselined\": {},\n",
+        diags.len(),
+        new_count,
+        diags.len() - new_count
+    ));
+    out.push_str("  \"diagnostics\": [\n");
+    out.push_str(&rows.join(",\n"));
+    if !rows.is_empty() {
+        out.push('\n');
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_document_is_stable_and_escaped() {
+        let diags = vec![
+            Diagnostic::new("a.rs", 3, "panic-path", "path \"quoted\" → deep".into()),
+            Diagnostic::new("b.rs", 7, "stale-allow", "nothing".into()),
+        ];
+        let json = render_json(&diags, |d| d.rule == "stale-allow");
+        assert!(json.starts_with("{\n  \"schema\": \"leaky-frontends/lint/v1\",\n"));
+        assert!(json.contains("\"total\": 2, \"new\": 1, \"baselined\": 1"));
+        assert!(json.contains("path \\\"quoted\\\" → deep"));
+        assert!(json.contains("\"baselined\": true"));
+        assert_eq!(json, render_json(&diags, |d| d.rule == "stale-allow"));
+        let empty = render_json(&[], |_| false);
+        assert!(empty.contains("\"diagnostics\": [\n  ]\n"));
     }
 }

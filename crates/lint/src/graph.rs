@@ -1,0 +1,356 @@
+//! The over-approximate workspace call graph.
+//!
+//! Nodes are the library functions parsed by [`crate::parse`]; edges are
+//! resolved purely by *name*, never by type inference:
+//!
+//! * `recv.method(..)`   → every workspace method named `method` whose
+//!   self type is *visible* from the calling file: declared in the same
+//!   crate, or named by one of the file's `use` declarations. Trait
+//!   methods resolve through the imported trait, so cross-crate dynamic
+//!   dispatch still forms an edge; a same-named method on a type the
+//!   file could not even see does not;
+//! * `Type::assoc(..)`   → the methods of `Type` named `assoc` (an
+//!   unknown CamelCase qualifier — `Vec`, `Box` — resolves to nothing);
+//! * `Self::assoc(..)`   → `Self` rewritten to the caller's impl type;
+//! * `module::free(..)`  → every free function named `free`;
+//! * `free(..)`          → free functions named `free`, same-crate
+//!   matches preferred.
+//!
+//! This over-approximates reachability by design: a rule built on it
+//! (panic-reachability) may report a path that type-level dispatch would
+//! rule out, but it can only *miss* a path through function pointers or
+//! macros — acceptable for a ratcheted lint, fatal for a verifier, which
+//! this is not. Node order and neighbor lists are sorted by (file,
+//! line), so every traversal — and therefore every rendered call path —
+//! is deterministic.
+
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+
+use crate::lexer::TokenKind;
+use crate::source::SourceFile;
+
+/// One call-graph node: a function item in a library file.
+#[derive(Debug)]
+pub struct FnNode {
+    /// Index of the owning file in the slice passed to
+    /// [`CallGraph::build`].
+    pub file: usize,
+    /// Bare name.
+    pub name: String,
+    /// Qualified name (`Type::name` for methods, else `name`).
+    pub qual: String,
+    /// 1-based line of the `fn` keyword.
+    pub line: u32,
+    /// Declared with a bare `pub`.
+    pub is_pub: bool,
+    /// Doc block declares a `# Panics` contract.
+    pub has_panics_doc: bool,
+    /// Body token range in the owning file's `code`, when present.
+    pub body: Option<(usize, usize)>,
+}
+
+impl FnNode {
+    /// Whether the node is a method (lives in an `impl`/`trait` block).
+    pub fn is_method(&self) -> bool {
+        self.qual.contains("::")
+    }
+}
+
+/// The workspace call graph. Built once per lint run and shared by the
+/// semantic rules.
+#[derive(Debug)]
+pub struct CallGraph {
+    /// All nodes, ordered by (file walk order, source line) — the file
+    /// walk itself is sorted, so this order is deterministic.
+    pub nodes: Vec<FnNode>,
+    /// Adjacency lists, ascending node indices (deduplicated).
+    edges: Vec<Vec<usize>>,
+}
+
+impl CallGraph {
+    /// Builds the graph over `files` (the workspace's library + binary
+    /// sources, in sorted walk order). Only library functions outside
+    /// `#[cfg(test)]` become nodes.
+    pub fn build(files: &[&SourceFile]) -> CallGraph {
+        let mut nodes = Vec::new();
+        for (fi, f) in files.iter().enumerate() {
+            if !f.is_library {
+                continue;
+            }
+            for item in &f.items.fns {
+                if f.is_test_line(item.line) {
+                    continue;
+                }
+                nodes.push(FnNode {
+                    file: fi,
+                    name: item.name.clone(),
+                    qual: item.qual.clone(),
+                    line: item.line,
+                    is_pub: item.is_pub,
+                    has_panics_doc: item.has_panics_doc,
+                    body: item.body,
+                });
+            }
+        }
+
+        // Name-resolution tables.
+        let mut by_qual: BTreeMap<&str, Vec<usize>> = BTreeMap::new();
+        let mut free_by_name: BTreeMap<&str, Vec<usize>> = BTreeMap::new();
+        let mut methods_by_name: BTreeMap<&str, Vec<usize>> = BTreeMap::new();
+        for (n, node) in nodes.iter().enumerate() {
+            by_qual.entry(&node.qual).or_default().push(n);
+            if node.is_method() {
+                methods_by_name.entry(&node.name).or_default().push(n);
+            } else {
+                free_by_name.entry(&node.name).or_default().push(n);
+            }
+        }
+
+        let mut edges = vec![Vec::new(); nodes.len()];
+        for (n, node) in nodes.iter().enumerate() {
+            let Some((open, close)) = node.body else {
+                continue;
+            };
+            let code = &files[node.file].code;
+            let self_ty = node.qual.split_once("::").map(|(ty, _)| ty);
+            let crate_dir = files[node.file].crate_dir.as_deref();
+            let mut out: BTreeSet<usize> = BTreeSet::new();
+
+            for i in open + 1..close {
+                if code[i].kind != TokenKind::Ident
+                    || !code.get(i + 1).is_some_and(|t| t.is_punct('('))
+                {
+                    continue;
+                }
+                // `fn name(` is a definition, not a call.
+                if i > 0 && code[i - 1].is_ident("fn") {
+                    continue;
+                }
+                let name = code[i].text.as_str();
+                if i > 0 && code[i - 1].is_punct('.') {
+                    // Method call: workspace methods of that name whose
+                    // self type is visible from this file.
+                    if let Some(ms) = methods_by_name.get(name) {
+                        let caller_file = files[node.file];
+                        out.extend(ms.iter().copied().filter(|&m| {
+                            let target = &nodes[m];
+                            if files[target.file].crate_dir.as_deref() == crate_dir {
+                                return true;
+                            }
+                            target.qual.split_once("::").is_some_and(|(ty, _)| {
+                                caller_file.items.uses.iter().any(|u| u == ty)
+                            })
+                        }));
+                    }
+                    continue;
+                }
+                let qualifier = (i >= 3
+                    && code[i - 1].is_punct(':')
+                    && code[i - 2].is_punct(':')
+                    && code[i - 3].kind == TokenKind::Ident)
+                    .then(|| code[i - 3].text.as_str());
+                match qualifier {
+                    Some("Self") => {
+                        if let Some(ty) = self_ty {
+                            if let Some(ns) = by_qual.get(format!("{ty}::{name}").as_str()) {
+                                out.extend(ns.iter().copied());
+                            }
+                        }
+                    }
+                    Some(q) if q.starts_with(char::is_uppercase) => {
+                        // `Type::assoc(` — resolves only if the type is
+                        // ours; `Vec::new(` etc. fall through to nothing.
+                        if let Some(ns) = by_qual.get(format!("{q}::{name}").as_str()) {
+                            out.extend(ns.iter().copied());
+                        }
+                    }
+                    Some(_) => {
+                        // `module::free(` — the qualifier is a path
+                        // segment, not a type; match free fns by name.
+                        if let Some(ns) = free_by_name.get(name) {
+                            out.extend(ns.iter().copied());
+                        }
+                    }
+                    None => {
+                        // Plain `free(` — prefer same-crate free fns,
+                        // fall back to any (the name may be imported).
+                        if let Some(ns) = free_by_name.get(name) {
+                            let same: Vec<usize> = ns
+                                .iter()
+                                .copied()
+                                .filter(|&m| files[nodes[m].file].crate_dir.as_deref() == crate_dir)
+                                .collect();
+                            out.extend(if same.is_empty() { ns.clone() } else { same });
+                        }
+                    }
+                }
+            }
+            edges[n] = out.into_iter().collect();
+        }
+        CallGraph { nodes, edges }
+    }
+
+    /// The callees of node `n`, ascending node index.
+    pub fn callees(&self, n: usize) -> &[usize] {
+        &self.edges[n]
+    }
+
+    /// Breadth-first shortest path from `from` to the nearest node
+    /// satisfying `is_target` (which may be `from` itself), as the full
+    /// node-index path. Ties break on ascending node index, so the path
+    /// is deterministic.
+    pub fn shortest_path(
+        &self,
+        from: usize,
+        is_target: impl Fn(usize) -> bool,
+    ) -> Option<Vec<usize>> {
+        if is_target(from) {
+            return Some(vec![from]);
+        }
+        let mut parent: BTreeMap<usize, usize> = BTreeMap::new();
+        let mut queue = VecDeque::from([from]);
+        while let Some(n) = queue.pop_front() {
+            for &m in self.callees(n) {
+                if m == from || parent.contains_key(&m) {
+                    continue;
+                }
+                parent.insert(m, n);
+                if is_target(m) {
+                    let mut path = vec![m];
+                    let mut cur = m;
+                    while cur != from {
+                        cur = parent[&cur];
+                        path.push(cur);
+                    }
+                    path.reverse();
+                    return Some(path);
+                }
+                queue.push_back(m);
+            }
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lib(path: &str, src: &str) -> SourceFile {
+        SourceFile::new(path.into(), src)
+    }
+
+    fn graph(srcs: &[(&str, &str)]) -> (CallGraph, Vec<SourceFile>) {
+        let files: Vec<SourceFile> = srcs.iter().map(|(p, s)| lib(p, s)).collect();
+        let refs: Vec<&SourceFile> = files.iter().collect();
+        let g = CallGraph::build(&refs);
+        (g, files)
+    }
+
+    fn idx(g: &CallGraph, qual: &str) -> usize {
+        g.nodes
+            .iter()
+            .position(|n| n.qual == qual)
+            .unwrap_or_else(|| panic!("node {qual} missing"))
+    }
+
+    #[test]
+    fn free_calls_prefer_the_same_crate() {
+        let (g, _) = graph(&[
+            (
+                "crates/a/src/lib.rs",
+                "pub fn caller() { helper(); }\nfn helper() {}\n",
+            ),
+            ("crates/b/src/lib.rs", "pub fn helper() {}\n"),
+        ]);
+        let caller = idx(&g, "caller");
+        let local = idx(&g, "helper");
+        assert_eq!(g.callees(caller), &[local]);
+        assert!(g.nodes[local].file == 0, "same-crate helper wins");
+    }
+
+    #[test]
+    fn qualified_and_method_calls_resolve() {
+        let (g, _) = graph(&[(
+            "crates/a/src/lib.rs",
+            "pub struct Decoder;\n\
+             impl Decoder {\n\
+                 pub fn fit(&self) {}\n\
+                 pub fn make() -> Decoder { Self::helper(); Decoder }\n\
+                 fn helper() {}\n\
+             }\n\
+             pub fn drive(d: &Decoder) { d.fit(); Decoder::make(); Vec::new(); }\n",
+        )]);
+        let drive = idx(&g, "drive");
+        assert_eq!(
+            g.callees(drive),
+            &[idx(&g, "Decoder::fit"), idx(&g, "Decoder::make")],
+            "method + qualified resolve; Vec::new resolves to nothing"
+        );
+        let make = idx(&g, "Decoder::make");
+        assert_eq!(g.callees(make), &[idx(&g, "Decoder::helper")]);
+    }
+
+    #[test]
+    fn test_code_is_not_in_the_graph() {
+        let (g, _) = graph(&[(
+            "crates/a/src/lib.rs",
+            "pub fn live() {}\n#[cfg(test)]\nmod tests {\n    fn helper() {}\n}\n",
+        )]);
+        assert_eq!(g.nodes.len(), 1);
+        assert_eq!(g.nodes[0].qual, "live");
+    }
+
+    #[test]
+    fn shortest_path_is_deterministic_and_minimal() {
+        let (g, _) = graph(&[(
+            "crates/a/src/lib.rs",
+            "pub fn entry() { mid(); deep(); }\n\
+             fn mid() { deep(); }\n\
+             fn deep() { sink(); }\n\
+             fn sink() {}\n",
+        )]);
+        let entry = idx(&g, "entry");
+        let sink = idx(&g, "sink");
+        let path = g.shortest_path(entry, |n| n == sink).expect("reachable");
+        // entry → deep → sink (2 hops), not via mid (3 hops).
+        assert_eq!(path, vec![entry, idx(&g, "deep"), sink]);
+        assert_eq!(g.shortest_path(sink, |n| n == entry), None);
+        assert_eq!(g.shortest_path(entry, |n| n == entry), Some(vec![entry]));
+    }
+
+    #[test]
+    fn cross_crate_methods_need_an_import_to_resolve() {
+        let collector = "pub struct Collector;\nimpl Collector { pub fn insert(&self) {} }\n";
+        let (g, _) = graph(&[
+            ("crates/a/src/lib.rs", collector),
+            (
+                "crates/b/src/lib.rs",
+                "use leaky_a::Collector;\npub fn wired(c: &Collector) { c.insert(); }\n",
+            ),
+            (
+                "crates/c/src/lib.rs",
+                "pub fn unwired(m: &mut std::collections::BTreeMap<u32, u32>) { m.insert(1, 2); }\n",
+            ),
+        ]);
+        let insert = idx(&g, "Collector::insert");
+        assert_eq!(g.callees(idx(&g, "wired")), &[insert]);
+        assert_eq!(
+            g.callees(idx(&g, "unwired")),
+            &[] as &[usize],
+            "a same-named method on an un-imported foreign type is invisible"
+        );
+    }
+
+    #[test]
+    fn module_path_calls_fall_back_to_free_fns() {
+        let (g, _) = graph(&[
+            (
+                "crates/a/src/lib.rs",
+                "pub fn caller() { geom::first(); }\n",
+            ),
+            ("crates/b/src/geom.rs", "pub fn first() {}\n"),
+        ]);
+        assert_eq!(g.callees(idx(&g, "caller")), &[idx(&g, "first")]);
+    }
+}

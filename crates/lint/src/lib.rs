@@ -8,21 +8,29 @@
 //!
 //! * **determinism** — `wall-clock`, `ambient-rng`,
 //!   `unordered-collections` in the crates that feed content keys,
-//!   sweep output or goldens (`exp`, `bench`, `stats`, `core`);
-//! * **panic-freedom** — `panic`: library code surfaces failures as
-//!   values;
+//!   sweep output or goldens (`exp`, `bench`, `stats`, `core`, ...);
+//! * **panic-freedom** — `panic-path`: no `pub` library function
+//!   reaches a panicking construct, transitively through the
+//!   [`graph`] call graph, without a `# Panics` contract on the entry
+//!   point;
+//! * **zero-cost-tracing** — `trace-zero-cost`: `TraceHook::emit`
+//!   stays closure-form so the off-mode hot path builds nothing;
 //! * **cache-keys** — `key-completeness`: configuration structs and
 //!   their key/provenance functions stay field-complete;
 //! * **cross-artifact** — `registry-docs`, `spec-goldens`,
-//!   `bin-sources`: code, docs, goldens and manifests name the same
-//!   things.
+//!   `bin-sources`, `schema-sync`: code, docs, goldens, manifests and
+//!   schema version strings name the same things;
+//! * **hygiene** — `stale-allow`: every escape suppresses something.
 //!
 //! The tool is self-contained (hand-rolled comment/string/raw-string
-//! aware lexer, no dependencies) and runs as
-//! `cargo run -p leaky_lint -- check`. Intentional exceptions are
-//! escaped per line with `// lint: allow(<rule>)` (Rust) or
-//! `# lint: allow(<rule>)` (TOML); see DESIGN.md §10 for the invariant
-//! catalogue.
+//! aware lexer, item parser and name-resolution call graph, no
+//! dependencies) and runs as `cargo run -p leaky_lint -- check`.
+//! Intentional exceptions are escaped per line with
+//! `// lint: allow(<rule>)` (Rust) or `# lint: allow(<rule>)` (TOML);
+//! reviewed findings can instead be pinned in the committed
+//! `lint-baseline.json` ratchet (see [`baseline`]). `--format json`
+//! emits a stable machine-readable document. See DESIGN.md §10 for the
+//! invariant catalogue.
 //!
 //! # Examples
 //!
@@ -41,10 +49,13 @@
 #![warn(missing_docs)]
 #![deny(rustdoc::broken_intra_doc_links)]
 
+pub mod baseline;
 pub mod cli;
 pub mod config;
 pub mod diag;
+pub mod graph;
 pub mod lexer;
+pub mod parse;
 pub mod rules;
 pub mod source;
 pub mod workspace;

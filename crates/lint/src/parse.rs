@@ -1,0 +1,364 @@
+//! Item-level parsing on top of the lexer: functions (with their
+//! `impl`/`trait` qualification, visibility, body extent and `# Panics`
+//! doc contracts), struct/enum names and `use` declarations.
+//!
+//! This is the layer that turns the flat token stream into the
+//! *workspace symbol table* the call graph ([`crate::graph`]) resolves
+//! against. Like the lexer it is deliberately approximate: it only
+//! guarantees the properties the semantic rules consume — which `fn`
+//! tokens start items, which `impl`/`trait` block encloses them, whether
+//! the doc block above them declares a `# Panics` contract — and
+//! degrades gracefully on anything it does not model.
+
+use crate::lexer::{Token, TokenKind};
+use crate::source::matching;
+
+/// One parsed function item.
+#[derive(Debug, Clone)]
+pub struct FnItem {
+    /// Bare function name.
+    pub name: String,
+    /// Qualified name: `Type::name` inside an `impl`/`trait` block,
+    /// otherwise the bare name.
+    pub qual: String,
+    /// Declared with a bare `pub` (not `pub(crate)`/`pub(super)`) —
+    /// the panic-reachability entry-point criterion.
+    pub is_pub: bool,
+    /// 1-based line of the `fn` keyword.
+    pub line: u32,
+    /// Token index range `(open_brace, close_brace)` of the body in the
+    /// comment-stripped code stream; `None` for bodiless declarations
+    /// (trait method signatures).
+    pub body: Option<(usize, usize)>,
+    /// Whether the doc block above the item contains a `# Panics`
+    /// section — a *documented* panic contract.
+    pub has_panics_doc: bool,
+}
+
+/// The items of one file: the symbol-table contribution plus the
+/// comment-stripped code stream the item ranges index into.
+#[derive(Debug, Default)]
+pub struct FileItems {
+    /// Every `fn` item, in source order.
+    pub fns: Vec<FnItem>,
+    /// Declared `struct`/`enum`/`trait` type names (used to classify
+    /// `Type::fn` call qualifiers as workspace types).
+    pub types: Vec<String>,
+    /// Leaf identifiers of `use` declarations (imported names).
+    pub uses: Vec<String>,
+}
+
+/// A (range, self-type) pair for an `impl`/`trait` block.
+struct Block {
+    open: usize,
+    close: usize,
+    self_ty: String,
+}
+
+/// Parses `tokens` (raw, comments included) into the comment-stripped
+/// code stream plus the file's items. The code stream is exactly what
+/// the token-level rules already consume; the items index into it.
+pub fn parse_items(tokens: &[Token]) -> (Vec<Token>, FileItems) {
+    // Doc contracts must be read off the raw stream (comments carry
+    // them); map them to the line of the next `fn` keyword.
+    let panics_doc_fn_lines = collect_panics_doc_lines(tokens);
+
+    let code: Vec<Token> = tokens
+        .iter()
+        .filter(|t| t.kind != TokenKind::Comment)
+        .cloned()
+        .collect();
+
+    let blocks = collect_blocks(&code);
+    let mut items = FileItems::default();
+
+    let mut i = 0;
+    while i < code.len() {
+        let tok = &code[i];
+        if (tok.is_ident("struct") || tok.is_ident("enum") || tok.is_ident("trait"))
+            && code.get(i + 1).is_some_and(|t| t.kind == TokenKind::Ident)
+        {
+            items.types.push(code[i + 1].text.clone());
+            i += 2;
+            continue;
+        }
+        if tok.is_ident("use") {
+            let mut j = i + 1;
+            while j < code.len() && !code[j].is_punct(';') {
+                if code[j].kind == TokenKind::Ident {
+                    // A leaf name is one not followed by `::` (path
+                    // segment) or another ident (`x as y` renames).
+                    let leaf = code
+                        .get(j + 1)
+                        .is_none_or(|t| !t.is_punct(':') && t.kind != TokenKind::Ident);
+                    if leaf {
+                        items.uses.push(code[j].text.clone());
+                    }
+                }
+                j += 1;
+            }
+            i = j + 1;
+            continue;
+        }
+        if tok.is_ident("fn") && code.get(i + 1).is_some_and(|t| t.kind == TokenKind::Ident) {
+            let name = code[i + 1].text.clone();
+            let is_pub = leading_pub(&code, i);
+            let body = fn_body_range(&code, i);
+            let self_ty = blocks
+                .iter()
+                .find(|b| b.open < i && i < b.close)
+                .map(|b| b.self_ty.clone());
+            let qual = match &self_ty {
+                Some(ty) => format!("{ty}::{name}"),
+                None => name.clone(),
+            };
+            items.fns.push(FnItem {
+                name,
+                qual,
+                is_pub,
+                line: tok.line,
+                body,
+                has_panics_doc: panics_doc_fn_lines.contains(&tok.line),
+            });
+            // Continue scanning *inside* the body too (nested fns are
+            // callable); the linear walk handles that naturally.
+            i += 2;
+            continue;
+        }
+        i += 1;
+    }
+    (code, items)
+}
+
+/// Lines of `fn` keywords whose preceding doc block contains
+/// `# Panics`. A doc block is a run of `///` comments, attributes and
+/// item-prelude keywords; any statement terminator resets it.
+fn collect_panics_doc_lines(tokens: &[Token]) -> Vec<u32> {
+    let mut out = Vec::new();
+    let mut pending = false;
+    for (i, tok) in tokens.iter().enumerate() {
+        match tok.kind {
+            TokenKind::Comment => {
+                // `/// ...` lexes to a Comment whose text starts with `/`.
+                // The whole line must BE the section header: docs that
+                // merely mention "# Panics" in prose declare nothing.
+                if let Some(body) = tok.text.strip_prefix('/') {
+                    if body.trim() == "# Panics" {
+                        pending = true;
+                    }
+                }
+            }
+            TokenKind::Ident if tok.text == "fn" => {
+                if pending
+                    && tokens
+                        .get(i + 1)
+                        .is_some_and(|t| t.kind == TokenKind::Ident)
+                {
+                    out.push(tok.line);
+                }
+                pending = false;
+            }
+            // Terminators of the previous item clear any stray pending
+            // doc; attributes (`#[...]`) and visibility keywords between
+            // the doc block and `fn` pass through.
+            TokenKind::Punct(';') | TokenKind::Punct('{') | TokenKind::Punct('}') => {
+                pending = false;
+            }
+            _ => {}
+        }
+    }
+    out
+}
+
+/// Whether the `fn` at `fn_idx` is declared with a bare `pub`, looking
+/// back over the modifier keywords (`const`, `unsafe`, `async`,
+/// `extern "C"`).
+fn leading_pub(code: &[Token], fn_idx: usize) -> bool {
+    let mut j = fn_idx;
+    while j > 0 {
+        j -= 1;
+        let t = &code[j];
+        let modifier = t.is_ident("const")
+            || t.is_ident("unsafe")
+            || t.is_ident("async")
+            || t.is_ident("extern")
+            || t.kind == TokenKind::Literal;
+        if modifier {
+            continue;
+        }
+        return t.is_ident("pub");
+    }
+    false
+}
+
+/// Body token range of the `fn` starting at `fn_idx`: the first `{` at
+/// paren/bracket depth 0 after the signature, or `None` when a `;`
+/// arrives first (trait method declaration).
+fn fn_body_range(code: &[Token], fn_idx: usize) -> Option<(usize, usize)> {
+    let mut j = fn_idx + 2;
+    let mut paren = 0i32;
+    while j < code.len() {
+        let t = &code[j];
+        if t.is_punct('(') || t.is_punct('[') {
+            paren += 1;
+        } else if t.is_punct(')') || t.is_punct(']') {
+            paren -= 1;
+        } else if paren == 0 && t.is_punct(';') {
+            return None;
+        } else if paren == 0 && t.is_punct('{') {
+            let close = matching(code, j, '{', '}')?;
+            return Some((j, close));
+        }
+        j += 1;
+    }
+    None
+}
+
+/// Collects `impl`/`trait` block ranges with their self types.
+///
+/// `impl Foo { .. }` and `impl Trait for Foo { .. }` both resolve to
+/// `Foo`; `trait Bar { .. }` resolves to `Bar` (its method signatures
+/// carry the trait's documented contracts).
+fn collect_blocks(code: &[Token]) -> Vec<Block> {
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i < code.len() {
+        let is_impl = code[i].is_ident("impl");
+        let is_trait = code[i].is_ident("trait")
+            && code.get(i + 1).is_some_and(|t| t.kind == TokenKind::Ident);
+        if !is_impl && !is_trait {
+            i += 1;
+            continue;
+        }
+        // Header runs to the block's `{` (or a `;` for `impl Trait for
+        // Type;`-style marker impls, which have no body).
+        let mut j = i + 1;
+        while j < code.len() && !code[j].is_punct('{') && !code[j].is_punct(';') {
+            j += 1;
+        }
+        if j >= code.len() || code[j].is_punct(';') {
+            i = j.min(code.len());
+            continue;
+        }
+        let Some(close) = matching(code, j, '{', '}') else {
+            break;
+        };
+        let header = &code[i + 1..j];
+        let self_ty = if is_trait {
+            Some(code[i + 1].text.clone())
+        } else {
+            impl_self_type(header)
+        };
+        if let Some(self_ty) = self_ty {
+            out.push(Block {
+                open: j,
+                close,
+                self_ty,
+            });
+        }
+        // Impl/trait blocks never nest; skip straight past the header so
+        // the linear walk sees the body's nested items (fns) normally.
+        i = j + 1;
+        let _ = close;
+    }
+    out
+}
+
+/// Extracts the self type from an `impl` header (the tokens between
+/// `impl` and `{`): the first identifier after `for` when present,
+/// otherwise the first identifier at angle-bracket depth 0.
+fn impl_self_type(header: &[Token]) -> Option<String> {
+    if let Some(pos) = header.iter().position(|t| t.is_ident("for")) {
+        return header[pos + 1..]
+            .iter()
+            .find(|t| t.kind == TokenKind::Ident)
+            .map(|t| t.text.clone());
+    }
+    let mut angle = 0i32;
+    for t in header {
+        if t.is_punct('<') {
+            angle += 1;
+        } else if t.is_punct('>') {
+            angle -= 1;
+        } else if angle == 0 && t.kind == TokenKind::Ident && t.text != "dyn" {
+            return Some(t.text.clone());
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    fn items(src: &str) -> FileItems {
+        parse_items(&lex(src)).1
+    }
+
+    #[test]
+    fn free_and_impl_fns_are_qualified() {
+        let it = items(
+            "pub fn free() {}\n\
+             struct Foo;\n\
+             impl Foo { pub fn method(&self) {} fn private(&self) {} }\n\
+             impl std::fmt::Display for Foo { fn fmt(&self) {} }\n\
+             trait Chan { fn go(&self); }\n",
+        );
+        let quals: Vec<&str> = it.fns.iter().map(|f| f.qual.as_str()).collect();
+        assert_eq!(
+            quals,
+            [
+                "free",
+                "Foo::method",
+                "Foo::private",
+                "Foo::fmt",
+                "Chan::go"
+            ]
+        );
+        assert!(it.fns[0].is_pub);
+        assert!(it.fns[1].is_pub);
+        assert!(!it.fns[2].is_pub);
+        assert!(!it.fns[3].is_pub, "trait impl methods carry no `pub`");
+        assert_eq!(it.types, ["Foo", "Chan"]);
+    }
+
+    #[test]
+    fn pub_crate_is_not_public() {
+        let it = items("pub(crate) fn internal() {}\npub const fn speedy() {}\n");
+        assert!(!it.fns[0].is_pub);
+        assert!(it.fns[1].is_pub, "modifiers between pub and fn are fine");
+    }
+
+    #[test]
+    fn panics_doc_attaches_to_the_next_fn_only() {
+        let it = items(
+            "/// Does a thing.\n///\n/// # Panics\n///\n/// When empty.\npub fn documented() {}\n\
+             pub fn bare() {}\n",
+        );
+        assert!(it.fns[0].has_panics_doc);
+        assert!(!it.fns[1].has_panics_doc);
+    }
+
+    #[test]
+    fn trait_signatures_have_no_body() {
+        let it = items("trait T { fn sig(&self) -> usize; fn with_default(&self) -> usize { 1 } }");
+        assert_eq!(it.fns[0].body, None);
+        assert!(it.fns[1].body.is_some());
+    }
+
+    #[test]
+    fn use_decls_collect_leaf_names() {
+        let it = items("use crate::graph::{CallGraph, resolve};\nuse std::fmt;\n");
+        assert!(it.uses.contains(&"CallGraph".to_string()));
+        assert!(it.uses.contains(&"resolve".to_string()));
+        assert!(it.uses.contains(&"fmt".to_string()));
+    }
+
+    #[test]
+    fn fn_pointer_types_are_not_items() {
+        let it = items("pub fn takes(f: fn(usize) -> u64) -> u64 { f(1) }");
+        assert_eq!(it.fns.len(), 1);
+        assert_eq!(it.fns[0].name, "takes");
+    }
+}

@@ -1,12 +1,17 @@
 //! The rule families and the catalogue the CLI prints.
 
+pub mod allows;
 pub mod determinism;
 pub mod keys;
 pub mod panics;
+pub mod schema;
 pub mod sync;
+pub mod zero_cost;
 
 use crate::config::LintConfig;
 use crate::diag::Diagnostic;
+use crate::graph::CallGraph;
+use crate::source::SourceFile;
 use crate::workspace::Workspace;
 
 /// One catalogue row: rule name plus what it protects.
@@ -22,7 +27,7 @@ pub struct RuleInfo {
 
 /// Every rule, in family order. `leaky_lint rules` prints this table;
 /// DESIGN.md §10 documents the rationale per row.
-pub const RULES: [RuleInfo; 8] = [
+pub const RULES: [RuleInfo; 11] = [
     RuleInfo {
         name: "wall-clock",
         family: "determinism",
@@ -39,9 +44,14 @@ pub const RULES: [RuleInfo; 8] = [
         description: "no HashMap/HashSet in determinism-critical crates — use BTree collections or sort",
     },
     RuleInfo {
-        name: "panic",
+        name: "panic-path",
         family: "panic-freedom",
-        description: "no unwrap/expect/panic!/todo!/unimplemented! in library code outside #[cfg(test)]",
+        description: "no pub library fn reaches unwrap/expect/panic! without a # Panics doc on the entry point (call graph, transitive)",
+    },
+    RuleInfo {
+        name: "trace-zero-cost",
+        family: "zero-cost-tracing",
+        description: "TraceHook::emit takes a closure and TraceEvent is only built inside emit closure arguments",
     },
     RuleInfo {
         name: "key-completeness",
@@ -63,16 +73,39 @@ pub const RULES: [RuleInfo; 8] = [
         family: "cross-artifact",
         description: "every [[bin]] has a source file and every src/bin/*.rs is declared",
     },
+    RuleInfo {
+        name: "schema-sync",
+        family: "cross-artifact",
+        description: "every leaky-frontends/<name>/vN schema string is one shared const; code and docs reference it",
+    },
+    RuleInfo {
+        name: "stale-allow",
+        family: "hygiene",
+        description: "every lint: allow(<rule>) escape suppresses at least one diagnostic and names a real rule",
+    },
 ];
 
 /// Runs every rule over the loaded workspace and returns the surviving
 /// (non-escaped) diagnostics, sorted by file, line and rule.
 pub fn run_all(ws: &Workspace, cfg: &LintConfig) -> Vec<Diagnostic> {
+    let files: Vec<&SourceFile> = ws.files.values().collect();
+    let graph = CallGraph::build(&files);
+
     let mut diags = Vec::new();
     determinism::check(ws, cfg, &mut diags);
-    panics::check(ws, &mut diags);
+    let used_site_allows = panics::check(&files, &graph, &mut diags);
+    zero_cost::check(ws, &mut diags);
     keys::check(ws, cfg, &mut diags);
     sync::check(ws, cfg, &mut diags);
+    schema::check(ws, cfg, &mut diags);
+
+    // The stale-allow audit runs over the *raw* diagnostics — an escape
+    // is live exactly when it would suppress one of them (or absorbed a
+    // panic site during reachability).
+    let mut stale = Vec::new();
+    allows::check(ws, &diags, &used_site_allows, &mut stale);
+    diags.append(&mut stale);
+
     diags.retain(|d| !is_escaped(ws, d));
     diags.sort();
     diags.dedup();

@@ -1,63 +1,140 @@
-//! Panic-freedom rule: library code must surface failures as values.
+//! Panic-reachability rule (`panic-path`): public library APIs either
+//! document their panic contract or provably sit on no panic path.
 //!
-//! `unwrap`/`expect` and the `panic!`/`todo!`/`unimplemented!` macros
-//! are forbidden in library code outside `#[cfg(test)]`. Binaries
-//! (`src/bin/**`, `src/main.rs`), benches, tests and doc examples are
-//! exempt; an intentional, *documented* panic contract (a `# Panics`
-//! section) is annotated with `// lint: allow(panic)` at the call site.
+//! The old per-site `panic` rule flagged `unwrap()` *call sites*; this
+//! pass walks the [`crate::graph`] call graph instead. A **panic
+//! source** is (a) an `unwrap`/`expect` call or
+//! `panic!`/`todo!`/`unimplemented!` macro in non-test library code that
+//! is not escaped with `// lint: allow(panic-path)` (reserved for
+//! proven-unreachable invariants), or (b) any function whose doc block
+//! declares a `# Panics` contract — calling it means inheriting that
+//! contract. Every bare-`pub` library function that can reach a source
+//! while lacking its own `# Panics` section is flagged once, with the
+//! full entry-point → panic-site call path rendered in the message.
 //!
-//! `assert!`-family macros and `unreachable!` are deliberately not
-//! flagged: they assert internal invariants, not fallible inputs.
+//! The message deliberately omits line numbers: baselines match on
+//! (file, rule, message), and a path that merely *moves* within a file
+//! must not invalidate the pin. `assert!`-family macros and
+//! `unreachable!` stay unflagged: they assert internal invariants.
+
+use std::collections::BTreeSet;
 
 use crate::diag::Diagnostic;
-use crate::workspace::Workspace;
+use crate::graph::CallGraph;
+use crate::source::SourceFile;
 
 const PANIC_MACROS: [&str; 3] = ["panic", "todo", "unimplemented"];
 const PANIC_METHODS: [&str; 2] = ["unwrap", "expect"];
 
-/// Flags panicking constructs in non-test library code.
-pub fn check(ws: &Workspace, diags: &mut Vec<Diagnostic>) {
-    for file in ws.files.values() {
-        if !file.is_library {
+/// How a call-graph node can start a panic.
+#[derive(Debug, Clone)]
+enum Source {
+    /// A direct panicking construct in the body, rendered like
+    /// `.unwrap()` or `panic!`.
+    Site(String),
+    /// The function documents a `# Panics` contract.
+    Documented,
+}
+
+/// Runs the reachability pass. Returns the `(file, line)` pairs whose
+/// site-level `lint: allow(panic-path)` escapes actually suppressed a
+/// panic site, so the stale-allow audit can count them as live.
+pub fn check(
+    files: &[&SourceFile],
+    graph: &CallGraph,
+    diags: &mut Vec<Diagnostic>,
+) -> BTreeSet<(String, u32)> {
+    let mut used_allows = BTreeSet::new();
+
+    // Classify each node: does it directly panic (modulo site allows),
+    // or carry a documented contract?
+    let mut sources: Vec<Option<Source>> = Vec::with_capacity(graph.nodes.len());
+    for node in &graph.nodes {
+        let file = files[node.file];
+        let mut direct: Option<String> = None;
+        if let Some((open, close)) = node.body {
+            for i in open + 1..close {
+                let Some(site) = panic_site(file, i) else {
+                    continue;
+                };
+                let line = file.code[i].line;
+                if file.is_test_line(line) {
+                    continue;
+                }
+                if file.is_allowed("panic-path", line) {
+                    used_allows.insert((file.rel_path.clone(), line));
+                    continue;
+                }
+                if direct.is_none() {
+                    direct = Some(site);
+                }
+            }
+        }
+        sources.push(match (direct, node.has_panics_doc) {
+            (Some(site), _) => Some(Source::Site(site)),
+            (None, true) => Some(Source::Documented),
+            (None, false) => None,
+        });
+    }
+
+    for (entry, node) in graph.nodes.iter().enumerate() {
+        if !node.is_pub || node.has_panics_doc {
             continue;
         }
-        let code = &file.code;
-        for (i, tok) in code.iter().enumerate() {
-            if file.is_test_line(tok.line) {
-                continue;
+        // A documented callee is a target; the entry itself only counts
+        // when it panics directly (its missing doc is the finding).
+        let is_target = |n: usize| match &sources[n] {
+            Some(Source::Site(_)) => true,
+            Some(Source::Documented) => n != entry,
+            None => false,
+        };
+        let Some(path) = graph.shortest_path(entry, is_target) else {
+            continue;
+        };
+        // `shortest_path` always returns a non-empty path.
+        let terminal = path[path.len() - 1];
+        let mut rendered: Vec<String> = path.iter().map(|&n| graph.nodes[n].qual.clone()).collect();
+        match &sources[terminal] {
+            Some(Source::Site(site)) => rendered.push(format!(
+                "{site} ({})",
+                files[graph.nodes[terminal].file].rel_path
+            )),
+            Some(Source::Documented) => {
+                let last = rendered.len() - 1;
+                rendered[last].push_str(" (documented `# Panics`)");
             }
-            // `.unwrap(` / `.expect(` method calls. The leading dot
-            // keeps definitions (`fn unwrap`) and free functions out.
-            let is_method = PANIC_METHODS.iter().any(|m| tok.is_ident(m))
-                && i > 0
-                && code[i - 1].is_punct('.')
-                && code.get(i + 1).is_some_and(|t| t.is_punct('('));
-            if is_method {
-                diags.push(Diagnostic::new(
-                    &file.rel_path,
-                    tok.line,
-                    "panic",
-                    format!(
-                        "`.{}()` in library code: return a `Result`/`Option` (or escape a \
-                         documented `# Panics` contract with `lint: allow(panic)`)",
-                        tok.text
-                    ),
-                ));
-            }
-            let is_macro = PANIC_MACROS.iter().any(|m| tok.is_ident(m))
-                && code.get(i + 1).is_some_and(|t| t.is_punct('!'));
-            if is_macro {
-                diags.push(Diagnostic::new(
-                    &file.rel_path,
-                    tok.line,
-                    "panic",
-                    format!(
-                        "`{}!` in library code: surface the failure as a value (or escape \
-                         a documented `# Panics` contract with `lint: allow(panic)`)",
-                        tok.text
-                    ),
-                ));
-            }
+            None => unreachable!("BFS target is a source"),
         }
+        diags.push(Diagnostic::new(
+            &files[node.file].rel_path,
+            node.line,
+            "panic-path",
+            format!(
+                "pub fn `{}` lacks a `# Panics` doc but can reach a panic: {}; \
+                 document the contract on the entry point or break the path",
+                node.qual,
+                rendered.join(" \u{2192} ")
+            ),
+        ));
     }
+    used_allows
+}
+
+/// Whether `code[i]` is a panicking construct; renders it when so.
+fn panic_site(file: &SourceFile, i: usize) -> Option<String> {
+    let code = &file.code;
+    let tok = &code[i];
+    let is_method = PANIC_METHODS.iter().any(|m| tok.is_ident(m))
+        && i > 0
+        && code[i - 1].is_punct('.')
+        && code.get(i + 1).is_some_and(|t| t.is_punct('('));
+    if is_method {
+        return Some(format!(".{}()", tok.text));
+    }
+    let is_macro = PANIC_MACROS.iter().any(|m| tok.is_ident(m))
+        && code.get(i + 1).is_some_and(|t| t.is_punct('!'));
+    if is_macro {
+        return Some(format!("{}!", tok.text));
+    }
+    None
 }

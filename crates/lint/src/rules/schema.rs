@@ -1,0 +1,175 @@
+//! Schema-sync rule (`schema-sync`): every `leaky-frontends/<name>/vN`
+//! version string resolves to exactly one shared constant.
+//!
+//! The sweep renderer, the trace telemetry objects and this linter's
+//! own JSON output all embed versioned schema tags. A tag that exists
+//! as scattered string literals can drift — producer bumps to `v2`,
+//! parser keeps accepting `v1`, docs advertise a string nobody emits.
+//! This rule enforces, per distinct schema value found in non-test
+//! code:
+//!
+//! * exactly one `const NAME: &str = "..."` *definition*;
+//! * zero raw literal occurrences outside that definition (code must
+//!   reference the constant, e.g. via `{SCHEMA}` format captures);
+//!
+//! and, over the configured documentation files, that every
+//! `leaky-frontends/...` string mentioned matches a defined constant's
+//! value (docs may not advertise tags the code does not emit).
+//! `#[cfg(test)]` lines are exempt: tests deliberately pin raw bytes.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use crate::config::LintConfig;
+use crate::diag::Diagnostic;
+use crate::lexer::TokenKind;
+use crate::workspace::Workspace;
+
+/// The prefix that marks a versioned schema tag in this workspace.
+const SCHEMA_PREFIX: &str = "leaky-frontends/";
+
+/// Checks schema-string discipline across code and docs.
+pub fn check(ws: &Workspace, cfg: &LintConfig, diags: &mut Vec<Diagnostic>) {
+    // value → definition sites / raw-literal sites, in walk order.
+    let mut defs: BTreeMap<String, Vec<(String, u32)>> = BTreeMap::new();
+    let mut raws: BTreeMap<String, Vec<(String, u32)>> = BTreeMap::new();
+
+    for file in ws.files.values() {
+        let code = &file.code;
+        for (i, tok) in code.iter().enumerate() {
+            if tok.kind != TokenKind::Literal || !is_schema_tag(&tok.text) {
+                continue;
+            }
+            if file.is_test_line(tok.line) {
+                continue;
+            }
+            let site = (file.rel_path.clone(), tok.line);
+            if is_const_definition(code, i) {
+                defs.entry(tok.text.clone()).or_default().push(site);
+            } else {
+                raws.entry(tok.text.clone()).or_default().push(site);
+            }
+        }
+    }
+
+    for (value, sites) in &raws {
+        let suggestion = if defs.contains_key(value) {
+            "reference the shared constant instead"
+        } else {
+            "hoist it into a shared `pub const` and reference that"
+        };
+        for (file, line) in sites {
+            diags.push(Diagnostic::new(
+                file,
+                *line,
+                "schema-sync",
+                format!("raw schema literal \"{value}\": {suggestion}"),
+            ));
+        }
+    }
+    for (value, sites) in &defs {
+        for (file, line) in sites.iter().skip(1) {
+            diags.push(Diagnostic::new(
+                file,
+                *line,
+                "schema-sync",
+                format!(
+                    "duplicate `const` definition of schema \"{value}\" (first defined in {}); \
+                     re-export the original instead",
+                    sites[0].0
+                ),
+            ));
+        }
+    }
+
+    // Docs drift: every schema-looking string in the doc set must match
+    // a defined constant's value.
+    let defined: BTreeSet<&str> = defs.keys().map(String::as_str).collect();
+    for doc in &cfg.schema_docs {
+        let Some(text) = ws.read_artifact(doc) else {
+            continue;
+        };
+        for (idx, line) in text.lines().enumerate() {
+            for tag in schema_tags_in(line) {
+                if !defined.contains(tag) {
+                    diags.push(Diagnostic::new(
+                        *doc,
+                        idx as u32 + 1,
+                        "schema-sync",
+                        format!(
+                            "documented schema string \"{tag}\" matches no `const` definition \
+                             in the workspace (drifted or mistyped)"
+                        ),
+                    ));
+                }
+            }
+        }
+    }
+}
+
+/// Whether `text` has the `leaky-frontends/<name>/v<digits>` shape.
+fn is_schema_tag(text: &str) -> bool {
+    let Some(rest) = text.strip_prefix(SCHEMA_PREFIX) else {
+        return false;
+    };
+    let Some((name, version)) = rest.split_once('/') else {
+        return false;
+    };
+    let Some(digits) = version.strip_prefix('v') else {
+        return false;
+    };
+    !name.is_empty()
+        && name.chars().all(|c| c.is_ascii_lowercase() || c == '-')
+        && !digits.is_empty()
+        && digits.chars().all(|c| c.is_ascii_digit())
+}
+
+/// Whether the literal at `i` is the RHS of a `const NAME: &str = "..."`
+/// item (scanning back over the few signature tokens).
+fn is_const_definition(code: &[crate::lexer::Token], i: usize) -> bool {
+    if i == 0 || !code[i - 1].is_punct('=') {
+        return false;
+    }
+    code[i.saturating_sub(8)..i]
+        .iter()
+        .any(|t| t.is_ident("const"))
+}
+
+/// Extracts schema-shaped substrings from a documentation line.
+fn schema_tags_in(line: &str) -> Vec<&str> {
+    let mut out = Vec::new();
+    let mut rest = line;
+    while let Some(pos) = rest.find(SCHEMA_PREFIX) {
+        let tail = &rest[pos..];
+        let end = tail
+            .find(|c: char| !(c.is_ascii_alphanumeric() || c == '/' || c == '-'))
+            .unwrap_or(tail.len());
+        let candidate = &tail[..end];
+        if is_schema_tag(candidate) {
+            out.push(candidate);
+        }
+        rest = &rest[pos + SCHEMA_PREFIX.len()..];
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn schema_tag_shape_is_strict() {
+        assert!(is_schema_tag("leaky-frontends/sweep/v1"));
+        assert!(is_schema_tag("leaky-frontends/lint-baseline/v12"));
+        assert!(!is_schema_tag("leaky-frontends/sweep/v"));
+        assert!(!is_schema_tag("leaky-frontends/sweep"));
+        assert!(!is_schema_tag("leaky-store/v1"));
+        assert!(!is_schema_tag("leaky-frontends/Sweep/v1"));
+    }
+
+    #[test]
+    fn doc_lines_yield_embedded_tags() {
+        let tags = schema_tags_in("tagged `leaky-frontends/trace/v1` and leaky-frontends/x/v2.");
+        assert_eq!(tags, ["leaky-frontends/trace/v1", "leaky-frontends/x/v2"]);
+        assert!(schema_tags_in("no tags here").is_empty());
+    }
+}

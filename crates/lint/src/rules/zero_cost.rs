@@ -1,0 +1,122 @@
+//! Zero-cost-tracing rule (`trace-zero-cost`): the off-mode trace path
+//! must stay one branch, structurally.
+//!
+//! PR 8's `TraceHook::emit` takes a *closure* so that `TraceHook::Off`
+//! never constructs an event (the ≤2% off-mode tax pinned by
+//! `perf_report`). That invariant is one refactor away from silently
+//! regressing — `let ev = TraceEvent::...; hook.emit(move || ev)` builds
+//! the event eagerly and type-checks fine. This rule pins the idiom:
+//!
+//! * every `.emit(` call site must pass a closure (`||` or `move ||`)
+//!   as its first argument;
+//! * `TraceEvent::` constructor paths may appear only *inside* an
+//!   `emit` closure argument.
+//!
+//! `crates/trace` itself is exempt (it defines, folds and renders
+//! events), as are `#[cfg(test)]` lines and *pattern* positions
+//! (`match`/`if let` arms consume already-built events — e.g. the
+//! bench debug renderer — and cost nothing on the hot path).
+
+use crate::diag::Diagnostic;
+use crate::lexer::TokenKind;
+use crate::source::{matching, SourceFile};
+use crate::workspace::Workspace;
+
+/// Flags eager event construction and non-closure `emit` calls.
+pub fn check(ws: &Workspace, diags: &mut Vec<Diagnostic>) {
+    for file in ws.files.values() {
+        if file.crate_dir.as_deref() == Some("trace") {
+            continue;
+        }
+        check_file(file, diags);
+    }
+}
+
+fn check_file(file: &SourceFile, diags: &mut Vec<Diagnostic>) {
+    let code = &file.code;
+    // Token ranges of well-formed `emit(...)` argument lists; event
+    // construction inside them is the blessed idiom.
+    let mut closure_ranges: Vec<(usize, usize)> = Vec::new();
+
+    for (i, tok) in code.iter().enumerate() {
+        if !tok.is_ident("emit")
+            || i == 0
+            || !code[i - 1].is_punct('.')
+            || !code.get(i + 1).is_some_and(|t| t.is_punct('('))
+        {
+            continue;
+        }
+        let open = i + 1;
+        let Some(close) = matching(code, open, '(', ')') else {
+            continue;
+        };
+        let first = code.get(open + 1);
+        let is_closure = first.is_some_and(|t| t.is_punct('|') || t.is_ident("move"));
+        if is_closure {
+            closure_ranges.push((open, close));
+        } else if !file.is_test_line(tok.line) {
+            diags.push(Diagnostic::new(
+                &file.rel_path,
+                tok.line,
+                "trace-zero-cost",
+                "`.emit(..)` must take a closure (`emit(|| TraceEvent::..)`) so the \
+                 off-mode path builds nothing"
+                    .to_string(),
+            ));
+        }
+    }
+
+    for (i, tok) in code.iter().enumerate() {
+        if !tok.is_ident("TraceEvent")
+            || !code.get(i + 1).is_some_and(|t| t.is_punct(':'))
+            || !code.get(i + 2).is_some_and(|t| t.is_punct(':'))
+        {
+            continue;
+        }
+        if file.is_test_line(tok.line) {
+            continue;
+        }
+        if closure_ranges.iter().any(|&(a, b)| a < i && i < b) {
+            continue;
+        }
+        if is_pattern_position(code, i) {
+            continue;
+        }
+        diags.push(Diagnostic::new(
+            &file.rel_path,
+            tok.line,
+            "trace-zero-cost",
+            "`TraceEvent` constructed outside an `emit(|| ..)` closure argument: \
+             move construction into the closure so off-mode pays one branch"
+                .to_string(),
+        ));
+    }
+}
+
+/// Whether the `TraceEvent::Variant { .. }` path starting at `i` sits in
+/// *pattern* position (a `match` arm or `if let`/`while let` binding)
+/// rather than constructing an event. Detected by what follows the
+/// variant's balanced braces/parens: patterns continue with `=>`, `=`,
+/// a match-arm guard `if`, or an or-pattern `|` — none of which can
+/// follow a struct-literal expression.
+fn is_pattern_position(code: &[crate::lexer::Token], i: usize) -> bool {
+    // Skip `TraceEvent :: Variant`.
+    let mut j = i + 3;
+    if code.get(j).is_some_and(|t| t.kind == TokenKind::Ident) {
+        j += 1;
+    }
+    // Skip one balanced `{..}` or `(..)` payload, if present.
+    for (open, close) in [('{', '}'), ('(', ')')] {
+        if code.get(j).is_some_and(|t| t.is_punct(open)) {
+            match matching(code, j, open, close) {
+                Some(end) => j = end + 1,
+                None => return false,
+            }
+            break;
+        }
+    }
+    match code.get(j) {
+        Some(t) => t.is_punct('=') || t.is_punct('|') || t.is_ident("if"),
+        None => false,
+    }
+}

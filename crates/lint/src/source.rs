@@ -4,6 +4,7 @@
 use std::collections::{BTreeMap, BTreeSet};
 
 use crate::lexer::{lex, Token, TokenKind};
+use crate::parse::{parse_items, FileItems};
 
 /// A lexed workspace source file with everything the rules consume.
 #[derive(Debug)]
@@ -19,6 +20,10 @@ pub struct SourceFile {
     pub is_library: bool,
     /// Token stream with comments removed.
     pub code: Vec<Token>,
+    /// Item-level view of the file: functions (with qualification,
+    /// visibility and `# Panics` contracts), types and imports. The item
+    /// body ranges index into [`SourceFile::code`].
+    pub items: FileItems,
     /// Line ranges (1-based, inclusive) covered by `#[cfg(test)]` items.
     test_ranges: Vec<(u32, u32)>,
     /// `lint: allow(rule)` escapes, keyed by the line they suppress.
@@ -30,10 +35,7 @@ impl SourceFile {
     pub fn new(rel_path: String, src: &str) -> Self {
         let tokens = lex(src);
         let allows = collect_allows(&tokens);
-        let code: Vec<Token> = tokens
-            .into_iter()
-            .filter(|t| t.kind != TokenKind::Comment)
-            .collect();
+        let (code, items) = parse_items(&tokens);
         let test_ranges = collect_test_ranges(&code);
         let crate_dir = rel_path
             .strip_prefix("crates/")
@@ -47,6 +49,7 @@ impl SourceFile {
             crate_dir,
             is_library,
             code,
+            items,
             test_ranges,
             allows,
         }
@@ -63,6 +66,13 @@ impl SourceFile {
     pub fn is_allowed(&self, rule: &str, line: u32) -> bool {
         self.allows.get(&line).is_some_and(|set| set.contains(rule))
     }
+
+    /// Every `lint: allow` escape in the file, keyed by the line it
+    /// suppresses. The stale-allow audit iterates this to find escapes
+    /// that no longer suppress anything.
+    pub fn allow_entries(&self) -> &BTreeMap<u32, BTreeSet<String>> {
+        &self.allows
+    }
 }
 
 /// Parses `lint: allow(a, b)` escapes out of comment tokens.
@@ -70,10 +80,19 @@ impl SourceFile {
 /// A *trailing* comment (code earlier on the same line) suppresses its
 /// own line; a *standalone* comment line suppresses the next line that
 /// holds any code token. Returned map: suppressed line → rule names.
+///
+/// Doc comments never carry escapes: documentation *describing* the
+/// escape syntax (as this crate's own rustdoc does) must not create
+/// one. A `///`/`//!`/`/** */` comment lexes with `/`, `!` or `*` as
+/// its first text character, which ordinary `//`/`/* */` comments
+/// cannot reproduce (`// /` would, but reads as deliberate).
 pub fn collect_allows(tokens: &[Token]) -> BTreeMap<u32, BTreeSet<String>> {
     let mut out: BTreeMap<u32, BTreeSet<String>> = BTreeMap::new();
     for (idx, tok) in tokens.iter().enumerate() {
         if tok.kind != TokenKind::Comment {
+            continue;
+        }
+        if tok.text.starts_with(['/', '!', '*']) {
             continue;
         }
         let rules = parse_allow_rules(&tok.text);
@@ -114,7 +133,10 @@ pub fn parse_allow_rules(comment: &str) -> Vec<String> {
     rest[..close]
         .split(',')
         .map(|r| r.trim().to_owned())
-        .filter(|r| !r.is_empty())
+        // Rule names are lowercase-dash words; anything else is prose
+        // *describing* the syntax (`allow(...)`, `allow(<rule>)`), not
+        // an escape.
+        .filter(|r| !r.is_empty() && r.chars().all(|c| c.is_ascii_lowercase() || c == '-'))
         .collect()
 }
 

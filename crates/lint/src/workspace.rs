@@ -66,6 +66,12 @@ impl Manifest {
             .get(&line)
             .is_some_and(|rules| rules.iter().any(|r| r == rule))
     }
+
+    /// Every `# lint: allow` escape, keyed by the line it suppresses —
+    /// consumed by the stale-allow audit.
+    pub fn allow_entries(&self) -> &BTreeMap<u32, Vec<String>> {
+        &self.allows
+    }
 }
 
 /// The loaded workspace: lexed sources, manifests and artifact files.

@@ -1,4 +1,5 @@
-//! Geometry key pair struct, plus the seeded `panic` violation.
+//! Geometry key pair struct, plus the seeded `panic-path` violation:
+//! the public entry reaches the unwrap two private calls deep.
 
 pub struct FrontendGeometry {
     pub sets: usize,
@@ -6,5 +7,13 @@ pub struct FrontendGeometry {
 }
 
 pub fn first(v: &[u32]) -> u32 {
+    smallest(v)
+}
+
+fn smallest(v: &[u32]) -> u32 {
+    deepest(v)
+}
+
+fn deepest(v: &[u32]) -> u32 {
     v.first().copied().unwrap()
 }

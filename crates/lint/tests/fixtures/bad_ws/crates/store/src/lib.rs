@@ -6,3 +6,11 @@ pub fn index() -> usize {
     let seen = HashSet::new();
     seen.len()
 }
+
+pub fn capacity() -> usize {
+    16 // lint: allow(wall-clock) — stale: nothing here reads a clock
+}
+
+pub fn schema() -> &'static str {
+    "leaky-frontends/results/v1"
+}

@@ -1,0 +1,6 @@
+//! Telemetry plumbing fixture: the same pre-built-event emit as bad_ws,
+//! escaped on its own line.
+
+pub fn traced_step(hook: &TraceHook, event: TraceEvent) {
+    hook.emit(event); // lint: allow(trace-zero-cost) — fixture exception
+}

@@ -6,3 +6,12 @@ pub fn index() -> usize {
     let seen = HashSet::new();
     seen.len()
 }
+
+pub fn capacity() -> usize {
+    // lint: allow(stale-allow) — twin: the escape below is deliberately dead
+    16 // lint: allow(wall-clock) — stale: nothing here reads a clock
+}
+
+pub fn schema() -> &'static str {
+    "leaky-frontends/results/v1" // lint: allow(schema-sync) — fixture exception
+}

@@ -49,7 +49,10 @@ fn bad_fixture_diagnostics_anchor_to_the_seeded_files() {
     assert_eq!(anchor("wall-clock"), "crates/core/src/lib.rs");
     assert_eq!(anchor("ambient-rng"), "crates/core/src/lib.rs");
     assert_eq!(anchor("unordered-collections"), "crates/store/src/lib.rs");
-    assert_eq!(anchor("panic"), "crates/isa/src/geom.rs");
+    assert_eq!(anchor("panic-path"), "crates/isa/src/geom.rs");
+    assert_eq!(anchor("trace-zero-cost"), "crates/exp/src/telemetry.rs");
+    assert_eq!(anchor("stale-allow"), "crates/store/src/lib.rs");
+    assert_eq!(anchor("schema-sync"), "crates/store/src/lib.rs");
     assert_eq!(anchor("key-completeness"), "crates/uarch/src/profile.rs");
     assert_eq!(
         anchor("registry-docs"),
@@ -57,6 +60,35 @@ fn bad_fixture_diagnostics_anchor_to_the_seeded_files() {
     );
     assert_eq!(anchor("spec-goldens"), "crates/exp/src/experiments/mod.rs");
     assert_eq!(anchor("bin-sources"), "crates/core/Cargo.toml");
+}
+
+#[test]
+fn panic_path_rendering_is_deterministic_and_exact() {
+    let message = |diags: &[leaky_lint::Diagnostic]| {
+        diags
+            .iter()
+            .find(|d| d.rule == "panic-path")
+            .expect("panic-path fires in bad_ws")
+            .message
+            .clone()
+    };
+    let first = message(
+        &check_workspace(&fixture("bad_ws"), &LintConfig::default()).expect("fixture loads"),
+    );
+    let second = message(
+        &check_workspace(&fixture("bad_ws"), &LintConfig::default()).expect("fixture loads"),
+    );
+    // The rendered call path is a stable artifact: baselines and the
+    // JSON output match on it byte-for-byte, so the exact text —
+    // including the shortest path chosen through the fixture's
+    // two-call chain — is pinned here.
+    assert_eq!(first, second, "two runs must render identically");
+    assert_eq!(
+        first,
+        "pub fn `first` lacks a `# Panics` doc but can reach a panic: \
+         first \u{2192} smallest \u{2192} deepest \u{2192} .unwrap() (crates/isa/src/geom.rs); \
+         document the contract on the entry point or break the path"
+    );
 }
 
 #[test]

@@ -1,9 +1,11 @@
-//! Self-test: the real workspace must be lint-clean. This is the same
+//! Self-test: the real workspace must be lint-clean modulo the committed
+//! baseline ratchet (`lint-baseline.json`). This is the same
 //! check CI runs via `cargo run -p leaky_lint -- check`, wired into
 //! `cargo test` so a violation fails the ordinary test suite too.
 
 use std::path::PathBuf;
 
+use leaky_lint::baseline::{Baseline, BASELINE_FILE};
 use leaky_lint::{check_workspace, LintConfig, Workspace};
 
 fn workspace_root() -> PathBuf {
@@ -15,17 +17,28 @@ fn workspace_root() -> PathBuf {
 }
 
 #[test]
-fn the_workspace_is_lint_clean() {
-    let diags =
-        check_workspace(&workspace_root(), &LintConfig::default()).expect("workspace loads");
+fn the_workspace_is_lint_clean_modulo_the_committed_baseline() {
+    let root = workspace_root();
+    let diags = check_workspace(&root, &LintConfig::default()).expect("workspace loads");
+    let baseline = match std::fs::read_to_string(root.join(BASELINE_FILE)) {
+        Ok(text) => Baseline::parse(&text).expect("committed baseline parses"),
+        Err(_) => Baseline::empty(),
+    };
+    let new: Vec<_> = diags.iter().filter(|d| !baseline.contains(d)).collect();
     assert!(
-        diags.is_empty(),
-        "workspace has lint violations:\n{}",
-        diags
-            .iter()
+        new.is_empty(),
+        "workspace has unbaselined lint violations:\n{}",
+        new.iter()
             .map(|d| format!("  {d}"))
             .collect::<Vec<_>>()
             .join("\n")
+    );
+    // The ratchet only tightens: every pinned finding must still exist,
+    // so a fixed violation cannot silently come back later.
+    let stale = baseline.stale(&diags);
+    assert!(
+        stale.is_empty(),
+        "baseline pins findings that no longer fire — shrink {BASELINE_FILE}:\n{stale:#?}"
     );
 }
 

@@ -101,6 +101,11 @@ impl Enclave {
     ///
     /// Returns [`SgxError::NotSupported`] if the core's processor model has
     /// no SGX support (the Gold 6226 in Table I).
+    ///
+    /// # Panics
+    ///
+    /// Panics if a negative energy deposit reaches the RAPL model
+    /// (`Rapl::deposit`); simulated costs are non-negative.
     pub fn try_call<R>(
         &self,
         core: &mut Core,
@@ -138,7 +143,7 @@ impl Enclave {
         body: impl FnOnce(&mut Core, ThreadId) -> R,
     ) -> R {
         self.try_call(core, tid, body)
-            .unwrap_or_else(|e| panic!("{e}")) // lint: allow(panic) — documented panicking wrapper over try_call
+            .unwrap_or_else(|e| panic!("{e}"))
     }
 }
 

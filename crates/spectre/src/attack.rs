@@ -97,6 +97,11 @@ impl SpectreV1 {
 
     /// Leaks every chunk of the secret and returns the result with
     /// miss-rate accounting over the whole attack.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a negative energy deposit reaches the RAPL model
+    /// (`Rapl::deposit`); simulated costs are non-negative.
     pub fn leak(&mut self) -> SpectreResult {
         // Warm the attacker's own code and data so the reported miss rates
         // reflect steady-state attack behaviour, not one-time cold fills.
@@ -143,7 +148,7 @@ impl SpectreV1 {
                 .enumerate()
                 .max_by_key(|&(_, v)| v)
                 .map(|(i, _)| i as u8)
-                .expect("non-empty votes"); // lint: allow(panic) — votes has a fixed 256 entries
+                .expect("non-empty votes"); // lint: allow(panic-path) — votes has a fixed 256 entries
             recovered.push(best);
         }
 
@@ -167,6 +172,10 @@ impl SpectreV1 {
 
 /// Runs Table VII: every channel against the same secret; returns
 /// `(channel, result)` rows in the paper's column order.
+///
+/// # Panics
+///
+/// Panics if any secret chunk is ≥ 32 (`SpectreV1::new`).
 pub fn table7(secret: &[u8], seed: u64) -> Vec<(ChannelKind, SpectreResult)> {
     ChannelKind::all()
         .into_iter()

@@ -133,6 +133,10 @@ pub struct AttackContext {
 
 impl AttackContext {
     /// Builds the shared layouts on a fresh core.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a DSB set index ≥ 32 (`DsbSet::new`).
     pub fn new(seed: u64) -> Self {
         let core = Core::new(ProcessorModel::gold_6226(), seed);
         let l1d = CacheHierarchy::new(CacheConfig::l1d());

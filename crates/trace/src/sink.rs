@@ -123,7 +123,7 @@ impl<W: Write> TraceSink for TextSink<W> {
 #[derive(Debug)]
 pub struct TimedTextSink<W: Write> {
     writer: W,
-    start: std::time::Instant, // lint: allow(wall-clock)
+    start: std::time::Instant,
 }
 
 impl<W: Write> TimedTextSink<W> {
