@@ -20,6 +20,9 @@
 //! leaky_sweep --faults 'panic:k1;abort:k2'        # deterministic fault drill
 //! leaky_sweep --quick --trace --format json       # stall telemetry in the JSON
 //! leaky_sweep --trace=events --trace-dir traces/ tab3_all_channels  # per-cell CSVs
+//! leaky_sweep --scenario scenarios/tab3_uarch.toml --jobs 4         # run a bundle file
+//! leaky_sweep --scenario s.toml --profile-dir scenarios/            # with file profiles
+//! leaky_sweep --scenario scenarios/skylake.toml --validate          # schema check only
 //! ```
 //!
 //! Store traffic is reported on *stderr* (`store[...]: ...` lines);
@@ -36,8 +39,13 @@ use leaky_bench::sweep::{
     default_jobs, has_legacy_rendering, render_json_document, render_legacy, render_table,
     suggest_experiments, write_trace_files,
 };
-use leaky_exp::{run_experiment_with, standard_registry, FaultPlan, RunConfig, SweepError};
+use leaky_exp::{
+    run_experiment_with, standard_registry, FaultPlan, Registry, RunConfig, SweepError,
+};
 use leaky_frontends::channels::REGISTRY;
+use leaky_scenario::profile::document_kind;
+use leaky_scenario::toml::Doc;
+use leaky_scenario::{parse_bundle, parse_profile, ProfileRegistry, ScenarioError};
 use leaky_store::ResultStore;
 use leaky_trace::TraceMode;
 
@@ -50,11 +58,59 @@ enum Format {
 fn usage() -> &'static str {
     "usage: leaky_sweep [EXPERIMENT...] [--list] [--channels] [--quick] [--jobs N] \
      [--format table|json|legacy] [--store DIR] [--resume] [--retries K] [--faults SPEC] \
-     [--trace[=summary|events]] [--trace-dir DIR]"
+     [--trace[=summary|events]] [--trace-dir DIR] \
+     [--scenario FILE] [--profile-dir DIR] [--validate]"
+}
+
+/// Loads `--scenario FILE` into a single-experiment registry (merging
+/// `--profile-dir` files over the built-in profiles first).
+///
+/// `Ok(None)` means `--validate` ran and reported success — the caller
+/// exits 0 without sweeping. A `kind = "profile"` file is only valid
+/// under `--validate` (profiles feed sweeps via `--profile-dir`; they
+/// are not runnable on their own).
+fn load_scenario(
+    file: &str,
+    profile_dir: Option<&str>,
+    validate: bool,
+) -> Result<Option<Registry>, ScenarioError> {
+    let mut profiles = ProfileRegistry::builtins();
+    if let Some(dir) = profile_dir {
+        let loaded = profiles.load_dir(dir)?;
+        eprintln!("profiles[{dir}]: {loaded} loaded");
+    }
+    let path = Path::new(file);
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| ScenarioError::doc(format!("{}: {e}", path.display())))?;
+    let doc = Doc::parse(&text).map_err(|e| e.in_file(path))?;
+    let kind = document_kind(&doc)
+        .map_err(|e| e.in_file(path))?
+        .to_string();
+    if kind == "profile" {
+        let profile = parse_profile(&text).map_err(|e| e.in_file(path))?;
+        if validate {
+            println!("profile {}: ok", profile.key);
+            return Ok(None);
+        }
+        return Err(ScenarioError::doc(format!(
+            "{file} is a profile, not a scenario (profiles feed sweeps via --profile-dir)"
+        )));
+    }
+    let bundle = parse_bundle(&text, &profiles).map_err(|e| e.in_file(path))?;
+    if validate {
+        println!(
+            "scenario {}: ok ({} cells)",
+            bundle.name,
+            bundle.cell_count()
+        );
+        return Ok(None);
+    }
+    let registry = Registry::from_experiments([bundle.into_experiment()])
+        .map_err(|e| ScenarioError::doc(e.to_string()))?;
+    Ok(Some(registry))
 }
 
 fn main() -> ExitCode {
-    let registry = standard_registry();
     let args: Vec<String> = std::env::args().skip(1).collect();
 
     let mut names: Vec<String> = Vec::new();
@@ -69,6 +125,9 @@ fn main() -> ExitCode {
     let mut faults_spec: Option<String> = None;
     let mut trace = TraceMode::Off;
     let mut trace_dir: Option<String> = None;
+    let mut scenario: Option<String> = None;
+    let mut profile_dir: Option<String> = None;
+    let mut validate = false;
 
     let mut it = args.iter();
     while let Some(arg) = it.next() {
@@ -77,6 +136,21 @@ fn main() -> ExitCode {
             "--list" => list = true,
             "--channels" => channels = true,
             "--resume" => resume = true,
+            "--validate" => validate = true,
+            "--scenario" => {
+                let Some(file) = it.next() else {
+                    eprintln!("--scenario needs a file\n{}", usage());
+                    return ExitCode::from(2);
+                };
+                scenario = Some(file.clone());
+            }
+            "--profile-dir" => {
+                let Some(dir) = it.next() else {
+                    eprintln!("--profile-dir needs a directory\n{}", usage());
+                    return ExitCode::from(2);
+                };
+                profile_dir = Some(dir.clone());
+            }
             "--trace" => trace = TraceMode::Summary,
             "--trace-dir" => {
                 let Some(dir) = it.next() else {
@@ -149,6 +223,32 @@ fn main() -> ExitCode {
         }
     }
 
+    if scenario.is_none() {
+        if profile_dir.is_some() {
+            eprintln!(
+                "--profile-dir needs --scenario FILE (profiles feed a scenario sweep)\n{}",
+                usage()
+            );
+            return ExitCode::from(2);
+        }
+        if validate {
+            eprintln!("--validate needs --scenario FILE\n{}", usage());
+            return ExitCode::from(2);
+        }
+    }
+    let registry = match &scenario {
+        Some(file) => match load_scenario(file, profile_dir.as_deref(), validate) {
+            Ok(Some(registry)) => registry,
+            // --validate reported success; there is nothing to run.
+            Ok(None) => return ExitCode::SUCCESS,
+            Err(e) => {
+                eprintln!("{e}");
+                return ExitCode::from(2);
+            }
+        },
+        None => standard_registry(),
+    };
+
     if list {
         for exp in registry.iter() {
             println!(
@@ -188,12 +288,6 @@ fn main() -> ExitCode {
         );
         return ExitCode::from(2);
     }
-    if resume && trace != TraceMode::Off {
-        // Known limitation: the result store predates the trace layer,
-        // so cells served from it carry metrics but no telemetry.
-        eprintln!("note: --resume serves cached cells without telemetry; only freshly computed cells are traced");
-    }
-
     // Validate filters before running anything expensive.
     for name in &names {
         if registry.get(name).is_none() {

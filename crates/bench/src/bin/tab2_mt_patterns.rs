@@ -1,48 +1,13 @@
-//! Table II: MT Eviction-Based channel with d = 1 for the four message
-//! patterns (all 0s, all 1s, alternating, random) on the three SMT-capable
-//! machines.
+//! Table II: transmission and error rates of the MT Eviction-Based
+//! channel at d = 1 under the four message patterns (all-0s, all-1s,
+//! alternating, random) on the three SMT-capable Table I machines.
 //!
-//! Paper shape: all-0s and all-1s transmit error-free, with all-1s faster
-//! (early bit declaration); alternating shows moderate errors; random is
-//! slowest with the highest error rate.
-
-use leaky_bench::table::fmt;
-use leaky_cpu::ProcessorModel;
-use leaky_frontends::channels::ChannelSpec;
-use leaky_frontends::params::{ChannelParams, MessagePattern};
-
-const BITS: usize = 96;
+//! Thin wrapper: the sweep itself lives in `leaky_exp` (spec
+//! `tab2_mt_patterns`; see EXPERIMENTS.md) and runs on the
+//! deterministic worker pool, so output is bit-identical at any job
+//! count — and to this binary's pre-migration stdout
+//! (`tests/golden/tab2_mt_patterns.txt`).
 
 fn main() {
-    println!("Table II: MT Eviction-Based channel, d = 1, by message pattern\n");
-    let machines = [
-        ProcessorModel::gold_6226(),
-        ProcessorModel::xeon_e2174g(),
-        ProcessorModel::xeon_e2286g(),
-    ];
-    print!("{:<14}", "pattern");
-    for m in &machines {
-        print!(" {:>18}", m.name);
-    }
-    println!("\n{:-<72}", "");
-    let params = ChannelParams::mt_defaults().with_d(1);
-    for pattern in MessagePattern::all() {
-        print!("{:<14}", pattern.to_string());
-        for &model in &machines {
-            let mut ch = ChannelSpec::new("mt-eviction")
-                .model(model)
-                .params(params)
-                .seed(99)
-                .build()
-                .expect("SMT machine");
-            let run = ch.transmit(&pattern.generate(BITS, 7));
-            print!(
-                " {:>9} {:>8}",
-                fmt(run.rate_kbps(), 2),
-                format!("{}%", fmt(run.error_rate() * 100.0, 2))
-            );
-        }
-        println!();
-    }
-    println!("\npaper (G-6226): all-0s 42.66 Kbps/0%, all-1s 55.28/0%, alt 50.21/2.68%, random 18.28/22.57%");
+    leaky_bench::sweep::run_legacy("tab2_mt_patterns");
 }

@@ -64,7 +64,11 @@ pub fn run_legacy(name: &str) {
 pub fn has_legacy_rendering(name: &str) -> bool {
     matches!(
         name,
-        "tab3_all_channels" | "fig8_d_sweep" | "tab5_power_channels" | "tab7_spectre_miss_rates"
+        "tab3_all_channels"
+            | "tab2_mt_patterns"
+            | "fig8_d_sweep"
+            | "tab5_power_channels"
+            | "tab7_spectre_miss_rates"
     )
 }
 
@@ -73,6 +77,7 @@ pub fn has_legacy_rendering(name: &str) -> bool {
 pub fn render_legacy(run: &SweepRun) -> Option<String> {
     match run.name {
         "tab3_all_channels" => Some(legacy_tab3(run)),
+        "tab2_mt_patterns" => Some(legacy_tab2(run)),
         "fig8_d_sweep" => Some(legacy_fig8(run)),
         "tab5_power_channels" => Some(legacy_tab5(run)),
         "tab7_spectre_miss_rates" => Some(legacy_tab7(run)),
@@ -130,6 +135,47 @@ fn legacy_tab3(run: &SweepRun) -> String {
     let _ = writeln!(
         out,
         "  Non-MT rates >> MT rates; fast >= stealthy; E-2288G has no MT columns (SMT off)"
+    );
+    out
+}
+
+fn legacy_tab2(run: &SweepRun) -> String {
+    // Machine column order of Table II (the three SMT machines).
+    const TAB2_MACHINES: usize = 3;
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "Table II: MT Eviction-Based channel, d = 1, by message pattern\n"
+    );
+    let _ = write!(out, "{:<14}", "pattern");
+    for m in 0..TAB2_MACHINES {
+        let _ = write!(out, " {:>18}", run.cells[m].cell.str("machine"));
+    }
+    let _ = writeln!(out, "\n{:-<72}", "");
+    let patterns = run.cells.len() / TAB2_MACHINES;
+    for p in 0..patterns {
+        let _ = write!(
+            out,
+            "{:<14}",
+            run.cells[p * TAB2_MACHINES].cell.str("pattern")
+        );
+        for m in 0..TAB2_MACHINES {
+            let result = &run.cells[p * TAB2_MACHINES + m];
+            let _ = write!(
+                out,
+                " {:>9} {:>8}",
+                fmt(result.metric("rate_kbps").expect("supported"), 2), // lint: allow(panic-path) — metric set fixed by this run's own spec
+                format!(
+                    "{}%",
+                    fmt(result.metric("error_rate").expect("supported") * 100.0, 2) // lint: allow(panic-path) — metric set fixed by this run's own spec
+                )
+            );
+        }
+        let _ = writeln!(out);
+    }
+    let _ = writeln!(
+        out,
+        "\npaper (G-6226): all-0s 42.66 Kbps/0%, all-1s 55.28/0%, alt 50.21/2.68%, random 18.28/22.57%"
     );
     out
 }

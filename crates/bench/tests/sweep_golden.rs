@@ -54,6 +54,14 @@ fn tab3_all_channels_matches_pre_migration_output() {
 }
 
 #[test]
+fn tab2_mt_patterns_matches_pre_migration_output() {
+    golden_matches(
+        env!("CARGO_BIN_EXE_tab2_mt_patterns"),
+        "tab2_mt_patterns.txt",
+    );
+}
+
+#[test]
 fn tab7_spectre_miss_rates_matches_pre_migration_output() {
     golden_matches(
         env!("CARGO_BIN_EXE_tab7_spectre_miss_rates"),

@@ -323,15 +323,14 @@ fn resume_without_store_is_a_usage_error() {
 }
 
 #[test]
-fn resume_with_trace_warns_about_untraced_cached_cells_exactly_once() {
-    // PR 8 known limitation: the result store predates the trace layer,
-    // so cells served from it carry metrics but no telemetry. The CLI
-    // warns about that combination up front; this pins the warning so a
-    // future store-schema bump (which would start persisting telemetry)
-    // has to delete it deliberately, not lose it.
+fn resume_with_trace_serves_cached_cells_with_telemetry() {
+    // The store schema (leaky-store/v2) persists telemetry, so a fully
+    // cached traced rerun is byte-identical to the cold traced run —
+    // telemetry included — and the old "--resume serves cached cells
+    // without telemetry" warning is gone for good.
     // `tab3_all_channels` rather than the usual cheap vehicle: its cells
     // are real channel runs, the only quick grids that carry telemetry.
-    let store = Scratch::new("trace-warn");
+    let store = Scratch::new("trace-resume");
     let base = [
         "tab3_all_channels",
         "--quick",
@@ -346,51 +345,80 @@ fn resume_with_trace_warns_about_untraced_cached_cells_exactly_once() {
     assert_eq!(cold.code, 0, "cold run: {}", cold.stderr);
     assert_eq!(
         cold.stderr.matches("without telemetry").count(),
-        1,
-        "cold run warns exactly once: {}",
+        0,
+        "the retired warning must not reappear: {}",
         cold.stderr
+    );
+    assert!(
+        cold.stdout.contains("telemetry"),
+        "traced cells carry telemetry: {}",
+        cold.stdout
     );
     let warm = sweep(&base);
     assert_eq!(warm.code, 0, "warm run: {}", warm.stderr);
-    assert_eq!(
-        warm.stderr.matches("without telemetry").count(),
-        1,
-        "warm (fully cached) run still warns exactly once: {}",
-        warm.stderr
-    );
     assert!(
         warm.stderr.contains(" hits, 0 recomputed"),
         "warm rerun serves every cell from the store: {}",
         warm.stderr
     );
-    // The cached cells really are served without telemetry: the JSON
-    // renderer emits a `telemetry` field only for cells that carry one,
-    // so a fully cached traced rerun shows none.
-    assert!(
-        !warm.stdout.contains("telemetry"),
-        "cached cells must not fabricate telemetry: {}",
-        warm.stdout
+    assert_eq!(
+        warm.stdout, cold.stdout,
+        "cached traced cells reproduce the cold run byte-for-byte, telemetry included"
     );
-    // A no-store traced run of the same grid *does* decorate the output;
-    // this guards the assertion above against the renderer simply never
-    // mentioning telemetry.
-    let fresh = sweep(&[
+
+    // An *untraced* resume against the same (traced) store still hits —
+    // it just strips the telemetry it didn't ask for, matching a plain
+    // no-store untraced run byte-for-byte.
+    let untraced = sweep(&[
+        "tab3_all_channels",
+        "--quick",
+        "--format",
+        "json",
+        "--store",
+        store.path(),
+        "--resume",
+    ]);
+    assert_eq!(untraced.code, 0, "untraced resume: {}", untraced.stderr);
+    assert!(
+        untraced.stderr.contains(" hits, 0 recomputed"),
+        "traced entries serve untraced sweeps: {}",
+        untraced.stderr
+    );
+    let plain = sweep(&["tab3_all_channels", "--quick", "--format", "json"]);
+    assert_eq!(untraced.stdout, plain.stdout);
+
+    // The other direction recomputes: entries written without telemetry
+    // cannot serve a traced sweep.
+    let untraced_store = Scratch::new("trace-upgrade");
+    let seeded = sweep(&[
+        "tab3_all_channels",
+        "--quick",
+        "--store",
+        untraced_store.path(),
+        "--resume",
+    ]);
+    assert_eq!(seeded.code, 0);
+    let upgraded = sweep(&[
         "tab3_all_channels",
         "--quick",
         "--trace",
         "--format",
         "json",
+        "--store",
+        untraced_store.path(),
+        "--resume",
     ]);
-    assert_eq!(fresh.code, 0, "fresh traced run: {}", fresh.stderr);
-    assert_eq!(
-        fresh.stderr.matches("without telemetry").count(),
-        0,
-        "no warning without --resume: {}",
-        fresh.stderr
+    assert_eq!(upgraded.code, 0, "upgrade run: {}", upgraded.stderr);
+    // Measured cells recompute (only the telemetry-free *unsupported*
+    // rows, which have nothing to trace, may still hit).
+    assert!(
+        !upgraded.stderr.contains(" 0 recomputed"),
+        "untraced measured entries cannot serve a traced sweep: {}",
+        upgraded.stderr
     );
     assert!(
-        fresh.stdout.contains("telemetry"),
-        "freshly computed traced cells carry telemetry: {}",
-        fresh.stdout
+        upgraded.stdout.contains("telemetry"),
+        "recomputed cells carry telemetry: {}",
+        upgraded.stdout
     );
 }

@@ -7,6 +7,7 @@
 
 mod fig8;
 mod rng_grid;
+mod tab2;
 mod tab3;
 mod tab3_uarch;
 mod tab5;
@@ -14,6 +15,7 @@ mod tab7;
 
 pub use fig8::Fig8DSweep;
 pub use rng_grid::RngStreamGrid;
+pub use tab2::Tab2MtPatterns;
 pub use tab3::Tab3AllChannels;
 pub use tab3_uarch::Tab3Uarch;
 pub use tab5::Tab5PowerChannels;
@@ -34,6 +36,7 @@ use leaky_uarch::UarchProfile;
 pub fn standard_registry() -> Registry {
     let mut reg = Registry::new();
     reg.register(Box::new(Tab3AllChannels));
+    reg.register(Box::new(Tab2MtPatterns));
     reg.register(Box::new(Fig8DSweep));
     reg.register(Box::new(Tab5PowerChannels));
     reg.register(Box::new(Tab7SpectreMissRates));
@@ -43,12 +46,14 @@ pub fn standard_registry() -> Registry {
 }
 
 /// Resolves a Table I machine by its display name (the axis value).
+/// Public so dynamically loaded specs (`leaky_scenario` bundles) share
+/// the compiled-in sweeps' resolution path.
 ///
 /// # Panics
 ///
 /// Panics on an unknown name — grids only emit names from
 /// [`ProcessorModel::all`], so this is a spec bug.
-pub(crate) fn machine(name: &str) -> ProcessorModel {
+pub fn machine(name: &str) -> ProcessorModel {
     ProcessorModel::all()
         .into_iter()
         .find(|m| m.name == name)
@@ -94,11 +99,14 @@ pub(crate) fn uarch(key: &str) -> UarchProfile {
 /// path ([`TraceMode::Off`](leaky_trace::TraceMode::Off)): the hook
 /// observes, it never steers.
 ///
+/// Public so dynamically loaded specs (`leaky_scenario` bundles) run
+/// their cells through exactly the same path as the compiled-in sweeps.
+///
 /// # Panics
 ///
 /// Panics on spec errors that indicate a grid bug (unknown channel
 /// name, unsupported override) rather than a structural gap.
-pub(crate) fn channel_cell_traced(
+pub fn channel_cell_traced(
     spec: &ChannelSpec,
     message: &[bool],
     trace: leaky_trace::TraceMode,
@@ -154,6 +162,7 @@ mod tests {
             reg.names(),
             vec![
                 "tab3_all_channels",
+                "tab2_mt_patterns",
                 "fig8_d_sweep",
                 "tab5_power_channels",
                 "tab7_spectre_miss_rates",

@@ -1,0 +1,87 @@
+//! Table II: the MT Eviction-Based channel at d = 1 across the four
+//! message patterns on the three SMT-capable machines (spec behind the
+//! `tab2_mt_patterns` binary).
+//!
+//! Paper shape: all-0s and all-1s transmit error-free, alternating shows
+//! moderate errors, random is slowest with the highest error rate.
+
+use super::{channel_cell_traced, machine, profile};
+use crate::grid::{JobCell, ParamGrid};
+use crate::runner::{CellMeasurement, Experiment};
+use leaky_cpu::ProcessorModel;
+use leaky_frontends::channels::ChannelSpec;
+use leaky_frontends::params::{ChannelParams, MessagePattern};
+use leaky_trace::TraceMode;
+
+/// Legacy channel seed pinned by the pre-migration binary.
+const SEED: u64 = 99;
+/// Legacy message seed (only [`MessagePattern::Random`] consumes it).
+const MESSAGE_SEED: u64 = 7;
+
+/// Row labels, in [`MessagePattern::all`] order (the axis vocabulary is
+/// the patterns' `Display` labels).
+pub const PATTERNS: [&str; 4] = ["all-0s", "all-1s", "alternating", "random"];
+
+/// Table II sweep: message pattern × SMT machine.
+pub struct Tab2MtPatterns;
+
+impl Tab2MtPatterns {
+    fn bits(quick: bool) -> usize {
+        // Full matches the legacy binary; MT bit slots are expensive
+        // (p = 1000 decode iterations per bit), so quick stays small.
+        if quick {
+            24
+        } else {
+            96
+        }
+    }
+
+    /// The three Table I machines with SMT enabled, in legacy column
+    /// order.
+    fn machines() -> [ProcessorModel; 3] {
+        [
+            ProcessorModel::gold_6226(),
+            ProcessorModel::xeon_e2174g(),
+            ProcessorModel::xeon_e2286g(),
+        ]
+    }
+
+    fn pattern(label: &str) -> MessagePattern {
+        MessagePattern::all()
+            .into_iter()
+            .find(|p| p.to_string() == label)
+            .unwrap_or_else(|| panic!("unknown message pattern {label:?}"))
+    }
+}
+
+impl Experiment for Tab2MtPatterns {
+    fn name(&self) -> &'static str {
+        "tab2_mt_patterns"
+    }
+
+    fn title(&self) -> &'static str {
+        "Table II: MT Eviction-Based channel, d = 1, by message pattern"
+    }
+
+    fn grid(&self, quick: bool) -> ParamGrid {
+        ParamGrid::new(self.name())
+            .axis_strs("profile", [profile(quick)])
+            .axis_strs("pattern", PATTERNS)
+            .axis_strs("machine", Self::machines().map(|m| m.name))
+    }
+
+    fn run_cell(&self, cell: &JobCell) -> Option<CellMeasurement> {
+        self.run_cell_traced(cell, TraceMode::Off)
+    }
+
+    fn run_cell_traced(&self, cell: &JobCell, trace: TraceMode) -> Option<CellMeasurement> {
+        let quick = cell.str("profile") == "quick";
+        let pattern = Self::pattern(cell.str("pattern"));
+        let spec = ChannelSpec::new("mt-eviction")
+            .model(machine(cell.str("machine")))
+            .params(ChannelParams::mt_defaults().with_d(1))
+            .seed(SEED);
+        let message = pattern.generate(Self::bits(quick), MESSAGE_SEED);
+        channel_cell_traced(&spec, &message, trace)
+    }
+}

@@ -345,6 +345,7 @@ fn to_stored(outcome: &CellOutcome) -> Option<StoredOutcome> {
                 profile: p.profile.clone(),
                 params: p.params.clone(),
             }),
+            telemetry: m.telemetry.clone(),
         }),
         CellOutcome::Unsupported => Some(StoredOutcome::Unsupported),
         // Failures are never cached: the next run must retry, not
@@ -358,6 +359,7 @@ fn from_stored(stored: StoredOutcome) -> CellOutcome {
         StoredOutcome::Measured {
             metrics,
             provenance,
+            telemetry,
         } => CellOutcome::Measured(CellMeasurement {
             metrics: metrics
                 .into_iter()
@@ -371,13 +373,25 @@ fn from_stored(stored: StoredOutcome) -> CellOutcome {
                 profile: p.profile,
                 params: p.params,
             }),
-            // Known limitation: telemetry is not persisted (the store
-            // entry format predates the trace layer), so cells served
-            // from a resumed store carry none. Trace runs that need full
-            // telemetry should not combine `--trace` with `--resume`.
-            telemetry: None,
+            telemetry,
         }),
         StoredOutcome::Unsupported => CellOutcome::Unsupported,
+    }
+}
+
+/// Whether a stored hit can serve the sweep's trace mode. An untraced
+/// sweep accepts any entry (extra telemetry is stripped); a traced sweep
+/// accepts only entries whose persisted telemetry was captured in the
+/// *same* mode — anything else recomputes, and the write-through put
+/// upgrades the entry. Unsupported cells carry no telemetry by nature
+/// and always serve.
+fn hit_serves_trace(stored: &StoredOutcome, trace: TraceMode) -> bool {
+    match stored {
+        StoredOutcome::Unsupported => true,
+        StoredOutcome::Measured { telemetry, .. } => match trace {
+            TraceMode::Off => true,
+            mode => telemetry.as_ref().is_some_and(|t| t.mode == mode),
+        },
     }
 }
 
@@ -424,8 +438,23 @@ pub fn run_experiment_with(
                 .map_err(SweepError::Store)?
             {
                 Lookup::Hit(stored) => {
-                    stats.hits += 1;
-                    *slot = Some(from_stored(stored));
+                    if hit_serves_trace(&stored, cfg.trace) {
+                        stats.hits += 1;
+                        let mut outcome = from_stored(stored);
+                        if cfg.trace == TraceMode::Off {
+                            // A traced entry serves an untraced sweep,
+                            // minus the telemetry it didn't ask for.
+                            if let CellOutcome::Measured(m) = &mut outcome {
+                                m.telemetry = None;
+                            }
+                        }
+                        *slot = Some(outcome);
+                    } else {
+                        // Cached without (or under a different) trace
+                        // mode: the entry cannot supply the telemetry
+                        // this sweep wants, so recompute it.
+                        stats.misses += 1;
+                    }
                 }
                 Lookup::Miss => stats.misses += 1,
                 Lookup::Stale => stats.stale += 1,
@@ -974,6 +1003,110 @@ mod tests {
             .find_map(|c| c.failure())
             .expect("failed row");
         assert!(message.contains("injected error"), "message: {message}");
+    }
+
+    /// A spec whose traced path attaches real telemetry, for the store
+    /// round-trip tests.
+    struct TracedDemo;
+
+    impl Experiment for TracedDemo {
+        fn name(&self) -> &'static str {
+            "traced_demo"
+        }
+        fn title(&self) -> &'static str {
+            "telemetry persistence demo"
+        }
+        fn grid(&self, _quick: bool) -> ParamGrid {
+            ParamGrid::new(self.name()).axis_ints("i", 0..4)
+        }
+        fn run_cell(&self, cell: &JobCell) -> Option<CellMeasurement> {
+            Some(vec![Metric::new("value", cell.int("i") as f64)].into())
+        }
+        fn run_cell_traced(&self, cell: &JobCell, trace: TraceMode) -> Option<CellMeasurement> {
+            let mut hook = leaky_trace::TraceHook::new(trace);
+            hook.emit(|| leaky_trace::TraceEvent::LcpStall {
+                thread: 0,
+                stall_cycles: cell.int("i") as f64 + 0.5,
+            });
+            Some(
+                CellMeasurement::from(vec![Metric::new("value", cell.int("i") as f64)])
+                    .with_telemetry(hook.into_telemetry()),
+            )
+        }
+    }
+
+    #[test]
+    fn resume_serves_cached_cells_with_telemetry() {
+        let root =
+            std::env::temp_dir().join(format!("leaky_exp_telemetry_resume_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&root);
+        let store = ResultStore::open(&root).expect("store opens");
+        let traced_cfg = |jobs| RunConfig {
+            quick: true,
+            jobs,
+            resume: true,
+            store: Some(&store),
+            trace: TraceMode::Summary,
+            ..RunConfig::default()
+        };
+
+        let cold = run_experiment_with(&TracedDemo, &traced_cfg(1)).expect("cold run");
+        let stats = cold.store_stats.expect("stats");
+        assert_eq!(stats.hits, 0);
+        assert_eq!(stats.writes, cold.cells.len());
+
+        // Warm traced run: every cell is a hit AND carries the exact
+        // telemetry the cold run computed.
+        let warm = run_experiment_with(&TracedDemo, &traced_cfg(2)).expect("warm run");
+        let stats = warm.store_stats.expect("stats");
+        assert_eq!(stats.hits, warm.cells.len(), "all served from cache");
+        assert_eq!(stats.writes, 0);
+        for (a, b) in cold.cells.iter().zip(&warm.cells) {
+            let t_cold = a.telemetry().expect("cold cell traced");
+            let t_warm = b.telemetry().expect("cached cell still traced");
+            assert_eq!(t_cold, t_warm, "telemetry survives the store round-trip");
+        }
+
+        // An untraced resume serves the same entries, telemetry stripped.
+        let untraced = run_experiment_with(
+            &TracedDemo,
+            &RunConfig {
+                quick: true,
+                jobs: 1,
+                resume: true,
+                store: Some(&store),
+                ..RunConfig::default()
+            },
+        )
+        .expect("untraced run");
+        let stats = untraced.store_stats.expect("stats");
+        assert_eq!(stats.hits, untraced.cells.len());
+        assert!(untraced.cells.iter().all(|c| c.telemetry().is_none()));
+
+        // A different trace mode cannot be served from summary-mode
+        // entries: those cells recompute (and upgrade the entries).
+        let events = run_experiment_with(
+            &TracedDemo,
+            &RunConfig {
+                quick: true,
+                jobs: 1,
+                resume: true,
+                store: Some(&store),
+                trace: TraceMode::Events,
+                ..RunConfig::default()
+            },
+        )
+        .expect("events run");
+        let stats = events.store_stats.expect("stats");
+        assert_eq!(stats.hits, 0, "summary entries cannot serve --trace=events");
+        assert_eq!(stats.misses, events.cells.len());
+        assert_eq!(stats.writes, events.cells.len());
+        assert!(events
+            .cells
+            .iter()
+            .all(|c| c.telemetry().is_some_and(|t| t.mode == TraceMode::Events)));
+
+        let _ = std::fs::remove_dir_all(&root);
     }
 
     #[test]

@@ -46,12 +46,18 @@ pub struct LintConfig {
     /// Documentation files whose `leaky-frontends/...` schema mentions
     /// must match a defined constant (the schema-sync docs leg).
     pub schema_docs: Vec<&'static str>,
+    /// Workspace-relative directory of committed scenario files
+    /// (profiles and bundles); every `.toml` there must declare a
+    /// defined schema constant and be documented.
+    pub scenario_dir: &'static str,
 }
 
 impl Default for LintConfig {
     fn default() -> Self {
         LintConfig {
-            determinism_crates: vec!["exp", "bench", "stats", "core", "store", "trace", "lint"],
+            determinism_crates: vec![
+                "exp", "bench", "stats", "core", "store", "trace", "lint", "scenario",
+            ],
             key_pairs: vec![
                 KeyPair {
                     struct_name: "FrontendGeometry",
@@ -91,6 +97,7 @@ impl Default for LintConfig {
             experiments_dir: "crates/exp/src/experiments",
             golden_dir: "crates/bench/tests/golden",
             schema_docs: vec!["README.md", "DESIGN.md", "EXPERIMENTS.md"],
+            scenario_dir: "scenarios",
         }
     }
 }

@@ -4,6 +4,7 @@ pub mod allows;
 pub mod determinism;
 pub mod keys;
 pub mod panics;
+pub mod scenario;
 pub mod schema;
 pub mod sync;
 pub mod zero_cost;
@@ -27,7 +28,7 @@ pub struct RuleInfo {
 
 /// Every rule, in family order. `leaky_lint rules` prints this table;
 /// DESIGN.md §10 documents the rationale per row.
-pub const RULES: [RuleInfo; 11] = [
+pub const RULES: [RuleInfo; 12] = [
     RuleInfo {
         name: "wall-clock",
         family: "determinism",
@@ -79,6 +80,11 @@ pub const RULES: [RuleInfo; 11] = [
         description: "every leaky-frontends/<name>/vN schema string is one shared const; code and docs reference it",
     },
     RuleInfo {
+        name: "scenario-files",
+        family: "cross-artifact",
+        description: "every committed scenarios/*.toml declares a defined schema const, a valid kind, and is documented",
+    },
+    RuleInfo {
         name: "stale-allow",
         family: "hygiene",
         description: "every lint: allow(<rule>) escape suppresses at least one diagnostic and names a real rule",
@@ -98,6 +104,7 @@ pub fn run_all(ws: &Workspace, cfg: &LintConfig) -> Vec<Diagnostic> {
     keys::check(ws, cfg, &mut diags);
     sync::check(ws, cfg, &mut diags);
     schema::check(ws, cfg, &mut diags);
+    scenario::check(ws, cfg, &mut diags);
 
     // The stale-allow audit runs over the *raw* diagnostics — an escape
     // is live exactly when it would suppress one of them (or absorbed a

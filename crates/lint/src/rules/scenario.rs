@@ -1,0 +1,161 @@
+//! Scenario-file drift rule (`scenario-files`): the committed scenario
+//! library stays in sync with the code and the docs.
+//!
+//! Scenario files are *data* — `cargo build` never reads them, so a
+//! schema bump, a renamed kind, or a file added without documentation
+//! would otherwise only surface when someone runs the sweep CLI. For
+//! every `.toml` under the configured scenario directory this rule
+//! requires:
+//!
+//! * a top-level `schema = "..."` declaration whose value is one of the
+//!   workspace's defined schema constants (the same constant set the
+//!   `schema-sync` rule maintains — a file cannot pin a tag the code
+//!   does not define);
+//! * a top-level `kind = "profile"` or `kind = "scenario"` declaration;
+//! * a mention of the file's name in the experiments documentation, so
+//!   the committed library and its walkthrough cannot drift apart.
+//!
+//! Only the top-level header (before the first `[table]`) is scanned —
+//! full validation is the `leaky_scenario` parser's job (exercised by
+//! `leaky_sweep --scenario FILE --validate` in CI); this rule is the
+//! cheap cross-artifact tripwire that runs with every lint pass.
+
+use std::fs;
+
+use crate::config::LintConfig;
+use crate::diag::Diagnostic;
+use crate::rules::schema::schema_const_definitions;
+use crate::workspace::Workspace;
+
+/// Checks every committed scenario file's header and documentation.
+pub fn check(ws: &Workspace, cfg: &LintConfig, diags: &mut Vec<Diagnostic>) {
+    let dir = ws.root.join(cfg.scenario_dir);
+    let Ok(entries) = fs::read_dir(&dir) else {
+        // Fixture workspaces without a scenario library have nothing to
+        // drift.
+        return;
+    };
+    let mut paths: Vec<_> = entries
+        .filter_map(|e| e.ok().map(|e| e.path()))
+        .filter(|p| p.extension().is_some_and(|x| x == "toml"))
+        .collect();
+    paths.sort();
+
+    let defined = schema_const_definitions(ws);
+    let docs = ws.read_artifact(cfg.docs_file).unwrap_or_default();
+
+    for path in paths {
+        let Some(file_name) = path.file_name().map(|n| n.to_string_lossy().into_owned()) else {
+            continue;
+        };
+        let rel = format!("{}/{file_name}", cfg.scenario_dir);
+        let Ok(text) = fs::read_to_string(&path) else {
+            diags.push(Diagnostic::new(
+                &rel,
+                1,
+                "scenario-files",
+                "scenario file exists but cannot be read as UTF-8".to_string(),
+            ));
+            continue;
+        };
+
+        match header_value(&text, "schema") {
+            None => diags.push(Diagnostic::new(
+                &rel,
+                1,
+                "scenario-files",
+                "missing top-level `schema = \"...\"` declaration".to_string(),
+            )),
+            Some((line, value)) if !defined.contains_key(&value) => {
+                diags.push(Diagnostic::new(
+                    &rel,
+                    line,
+                    "scenario-files",
+                    format!(
+                        "declares schema \"{value}\", which matches no `const` definition \
+                         in the workspace (drifted or mistyped)"
+                    ),
+                ));
+            }
+            Some(_) => {}
+        }
+
+        match header_value(&text, "kind") {
+            None => diags.push(Diagnostic::new(
+                &rel,
+                1,
+                "scenario-files",
+                "missing top-level `kind = \"profile\"` or `kind = \"scenario\"` declaration"
+                    .to_string(),
+            )),
+            Some((line, value)) if value != "profile" && value != "scenario" => {
+                diags.push(Diagnostic::new(
+                    &rel,
+                    line,
+                    "scenario-files",
+                    format!("kind must be \"profile\" or \"scenario\", got \"{value}\""),
+                ));
+            }
+            Some(_) => {}
+        }
+
+        if !docs.contains(&file_name) {
+            diags.push(Diagnostic::new(
+                &rel,
+                1,
+                "scenario-files",
+                format!(
+                    "{rel} is not mentioned in {} (document the scenario library)",
+                    cfg.docs_file
+                ),
+            ));
+        }
+    }
+}
+
+/// Finds `key = "value"` in the file's top-level header (before the
+/// first `[table]`), returning the 1-based line and the string value.
+fn header_value(text: &str, key: &str) -> Option<(u32, String)> {
+    for (idx, raw) in text.lines().enumerate() {
+        let line = raw.trim();
+        if line.starts_with('[') {
+            return None;
+        }
+        if line.starts_with('#') {
+            continue;
+        }
+        let Some(rest) = line.strip_prefix(key) else {
+            continue;
+        };
+        let rest = rest.trim_start();
+        let Some(rest) = rest.strip_prefix('=') else {
+            continue;
+        };
+        let rest = rest.trim_start();
+        let Some(rest) = rest.strip_prefix('"') else {
+            continue;
+        };
+        let end = rest.find('"')?;
+        return Some((idx as u32 + 1, rest[..end].to_owned()));
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn header_scan_stops_at_the_first_table() {
+        let text = "# comment\nschema = \"a/b/v1\"\nkind = \"profile\"\n\n[profile]\nkey = \"x\"\n";
+        assert_eq!(header_value(text, "schema"), Some((2, "a/b/v1".into())));
+        assert_eq!(header_value(text, "kind"), Some((3, "profile".into())));
+        assert_eq!(header_value(text, "key"), None);
+    }
+
+    #[test]
+    fn header_scan_requires_a_string_assignment() {
+        assert_eq!(header_value("schema = 3\n", "schema"), None);
+        assert_eq!(header_value("schemata = \"x\"\n", "schema"), None);
+    }
+}

@@ -27,10 +27,35 @@ use crate::workspace::Workspace;
 /// The prefix that marks a versioned schema tag in this workspace.
 const SCHEMA_PREFIX: &str = "leaky-frontends/";
 
+/// Every schema-tag `const` definition in non-test code: value →
+/// definition sites, in walk order. Shared with the `scenario-files`
+/// rule, which validates committed scenario files against the same
+/// constant set.
+pub(crate) fn schema_const_definitions(ws: &Workspace) -> BTreeMap<String, Vec<(String, u32)>> {
+    let mut defs: BTreeMap<String, Vec<(String, u32)>> = BTreeMap::new();
+    for file in ws.files.values() {
+        let code = &file.code;
+        for (i, tok) in code.iter().enumerate() {
+            if tok.kind != TokenKind::Literal || !is_schema_tag(&tok.text) {
+                continue;
+            }
+            if file.is_test_line(tok.line) {
+                continue;
+            }
+            if is_const_definition(code, i) {
+                defs.entry(tok.text.clone())
+                    .or_default()
+                    .push((file.rel_path.clone(), tok.line));
+            }
+        }
+    }
+    defs
+}
+
 /// Checks schema-string discipline across code and docs.
 pub fn check(ws: &Workspace, cfg: &LintConfig, diags: &mut Vec<Diagnostic>) {
     // value → definition sites / raw-literal sites, in walk order.
-    let mut defs: BTreeMap<String, Vec<(String, u32)>> = BTreeMap::new();
+    let defs = schema_const_definitions(ws);
     let mut raws: BTreeMap<String, Vec<(String, u32)>> = BTreeMap::new();
 
     for file in ws.files.values() {
@@ -42,11 +67,10 @@ pub fn check(ws: &Workspace, cfg: &LintConfig, diags: &mut Vec<Diagnostic>) {
             if file.is_test_line(tok.line) {
                 continue;
             }
-            let site = (file.rel_path.clone(), tok.line);
-            if is_const_definition(code, i) {
-                defs.entry(tok.text.clone()).or_default().push(site);
-            } else {
-                raws.entry(tok.text.clone()).or_default().push(site);
+            if !is_const_definition(code, i) {
+                raws.entry(tok.text.clone())
+                    .or_default()
+                    .push((file.rel_path.clone(), tok.line));
             }
         }
     }

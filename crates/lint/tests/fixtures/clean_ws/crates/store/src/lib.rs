@@ -15,3 +15,5 @@ pub fn capacity() -> usize {
 pub fn schema() -> &'static str {
     "leaky-frontends/results/v1" // lint: allow(schema-sync) — fixture exception
 }
+
+pub const SCENARIO_SCHEMA: &str = "leaky-frontends/scenario/v1";

@@ -60,6 +60,7 @@ fn bad_fixture_diagnostics_anchor_to_the_seeded_files() {
     );
     assert_eq!(anchor("spec-goldens"), "crates/exp/src/experiments/mod.rs");
     assert_eq!(anchor("bin-sources"), "crates/core/Cargo.toml");
+    assert_eq!(anchor("scenario-files"), "scenarios/rogue.toml");
 }
 
 #[test]

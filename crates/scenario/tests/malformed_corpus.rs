@@ -1,0 +1,155 @@
+//! Malformed-file corpus: every rejection path has a *stable*,
+//! line-anchored error message, pinned here string-for-string. Tooling
+//! (CI validation, editors) may match on these; changing one is a
+//! breaking change to the scenario subsystem.
+//!
+//! Each case starts from the canonical Skylake encoding (line numbers
+//! in the expectations refer to that layout: `[geometry]` opens at line
+//! 9, `[costs]` at line 23) and applies one mutation.
+
+use leaky_scenario::{encode_profile, parse_profile};
+use leaky_uarch::UarchProfile;
+
+fn canonical() -> String {
+    encode_profile(&UarchProfile::skylake())
+}
+
+fn expect_error(text: &str, want: &str) {
+    let err = parse_profile(text).expect_err(want);
+    assert_eq!(err.to_string(), want);
+}
+
+#[test]
+fn bad_version_tag() {
+    let text = canonical().replace("scenario/v1", "scenario/v2");
+    expect_error(
+        &text,
+        "line 1: schema must be \"leaky-frontends/scenario/v1\", got \"leaky-frontends/scenario/v2\"",
+    );
+}
+
+#[test]
+fn missing_schema_and_kind() {
+    expect_error(
+        &canonical().replace("schema = \"leaky-frontends/scenario/v1\"\n", ""),
+        "missing top-level `schema` key",
+    );
+    expect_error(
+        &canonical().replace("kind = \"profile\"\n", ""),
+        "missing top-level `kind` key",
+    );
+    expect_error(
+        &canonical().replace("kind = \"profile\"", "kind = \"recipe\""),
+        "line 2: kind must be \"profile\" or \"scenario\", got \"recipe\"",
+    );
+}
+
+#[test]
+fn kind_mismatch() {
+    let text = canonical().replace("kind = \"profile\"", "kind = \"scenario\"");
+    expect_error(&text, "expected a profile file, got kind = \"scenario\"");
+}
+
+#[test]
+fn unknown_keys_and_tables() {
+    expect_error(
+        &canonical().replace("dsb_sets = 32", "dsb_sets = 32\nfrobnicator = 3"),
+        "line 11: unknown key `frobnicator` in [geometry]",
+    );
+    expect_error(
+        &canonical().replace("[profile]", "[profile]\nvendor = \"intel\""),
+        "line 5: unknown key `vendor` in [profile]",
+    );
+    expect_error(
+        &(canonical() + "[annotations]\nnote = \"hi\"\n"),
+        "line 41: unknown table [annotations]",
+    );
+    expect_error(
+        &canonical().replace("schema =", "epoch = 3\nschema ="),
+        "line 1: unknown top-level key `epoch`",
+    );
+}
+
+#[test]
+fn type_mismatches() {
+    expect_error(
+        &canonical().replace("dsb_sets = 32", "dsb_sets = \"32\""),
+        "line 10: key `dsb_sets` in [geometry]: expected integer, got string",
+    );
+    expect_error(
+        &canonical().replace("mite_line_base = 4.0", "mite_line_base = 4"),
+        "line 26: key `mite_line_base` in [costs]: expected float, got integer (write `4` as `4.0`)",
+    );
+    expect_error(
+        &canonical().replace("lsd_enabled = true", "lsd_enabled = 1"),
+        "line 7: key `lsd_enabled` in [profile]: expected boolean, got integer",
+    );
+}
+
+#[test]
+fn out_of_range_values() {
+    expect_error(
+        &canonical().replace("dsb_sets = 32", "dsb_sets = 0"),
+        "line 10: key `dsb_sets` in [geometry]: must be a positive integer",
+    );
+    expect_error(
+        &canonical().replace("mite_line_base = 4.0", "mite_line_base = -4.0"),
+        "line 26: key `mite_line_base` in [costs]: must be non-negative",
+    );
+}
+
+#[test]
+fn missing_keys_and_tables() {
+    // Missing keys anchor at the table header line.
+    expect_error(
+        &canonical().replace("dsb_ways = 8\n", ""),
+        "line 9: missing key `dsb_ways` in [geometry]",
+    );
+    expect_error(
+        &canonical().replace("timer_overhead = 30.0\n", ""),
+        "line 23: missing key `timer_overhead` in [costs]",
+    );
+    // Dropping a whole table is a document-level error (no line).
+    let no_costs = canonical()
+        .lines()
+        .take_while(|l| *l != "[costs]")
+        .collect::<Vec<_>>()
+        .join("\n");
+    expect_error(&no_costs, "missing table [costs]");
+}
+
+#[test]
+fn duplicate_tables_and_keys() {
+    expect_error(
+        &(canonical() + "[geometry]\n"),
+        "line 41: duplicate table [geometry]",
+    );
+    expect_error(
+        &canonical().replace("dsb_sets = 32", "dsb_sets = 32\ndsb_sets = 32"),
+        "line 11: duplicate key `dsb_sets` in [geometry]",
+    );
+}
+
+#[test]
+fn syntax_errors() {
+    expect_error(
+        &canonical().replace("dsb_sets = 32", "dsb_sets 32"),
+        "line 10: expected `key = value` or `[table]`, got `dsb_sets 32`",
+    );
+    expect_error(
+        &canonical().replace("key = \"skylake\"", "key = \"skylake"),
+        "line 5: unterminated string",
+    );
+    expect_error(
+        &canonical().replace("dsb_sets = 32", "dsb_sets = thirty-two"),
+        "line 10: cannot parse value `thirty-two`",
+    );
+}
+
+#[test]
+fn invalid_profile_key() {
+    expect_error(
+        &canonical().replace("key = \"skylake\"", "key = \"sky/lake\""),
+        "line 5: profile key `sky/lake` must contain only [A-Za-z0-9_-]",
+    );
+}

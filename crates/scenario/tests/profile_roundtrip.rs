@@ -1,0 +1,75 @@
+//! Property test: `parse_profile ∘ encode_profile` is the identity on
+//! arbitrary profiles — every geometry field, every cost (including
+//! non-terminating decimals: the canonical writer uses shortest
+//! round-trip float formatting), the LSD flag, key and description all
+//! survive a trip through the file format bit-for-bit.
+
+use leaky_isa::FrontendGeometry;
+use leaky_scenario::{encode_profile, parse_profile};
+use leaky_uarch::{CostModel, UarchProfile};
+use proptest::prelude::*;
+
+fn build(key_n: u64, g: &[usize], c: &[f64], lsd_enabled: bool) -> UarchProfile {
+    let geometry = FrontendGeometry {
+        dsb_sets: g[0],
+        dsb_ways: g[1],
+        dsb_window_bytes: g[2],
+        dsb_line_uops: g[3],
+        lsd_uops: g[4],
+        lsd_windows: g[5],
+        l1i_sets: g[6],
+        l1i_ways: g[7],
+        l1i_line_bytes: g[8],
+        iq_entries: g[9],
+        decode_width: g[10],
+        idq_delivery_width: g[11],
+    };
+    let costs = CostModel {
+        dsb_per_uop: c[0],
+        lsd_per_uop: c[1],
+        mite_line_base: c[2],
+        mite_per_uop: c[3],
+        dsb_to_mite_switch: c[4],
+        mite_to_dsb_switch: c[5],
+        lsd_flush: c[6],
+        lcp_stall: c[7],
+        lcp_sequential_extra: c[8],
+        mite_per_instr: c[9],
+        lcp_dsb_to_mite_switch: c[10],
+        lcp_mite_to_dsb_switch: c[11],
+        window_crossing_penalty: c[12],
+        l1i_miss: c[13],
+        loop_overhead: c[14],
+        smt_mite_factor: c[15],
+        timer_overhead: c[16],
+    };
+    UarchProfile {
+        key: Box::leak(format!("gen-{key_n}").into_boxed_str()),
+        description: Box::leak(format!("generated profile #{key_n} (\"quoted\")").into_boxed_str()),
+        geometry,
+        costs,
+        lsd_enabled,
+    }
+}
+
+proptest! {
+    #[test]
+    fn encode_parse_is_identity(
+        key_n in 0u64..1_000_000,
+        geometry in proptest::collection::vec(1usize..65_536, 12..13),
+        costs in proptest::collection::vec(0.0f64..256.0, 17..18),
+        lsd_enabled in any::<bool>(),
+    ) {
+        let profile = build(key_n, &geometry, &costs, lsd_enabled);
+        let text = encode_profile(&profile);
+        let parsed = parse_profile(&text).expect("canonical encoding parses");
+        prop_assert_eq!(parsed.key, profile.key);
+        prop_assert_eq!(parsed.description, profile.description);
+        prop_assert_eq!(parsed.geometry, profile.geometry);
+        prop_assert_eq!(parsed.costs, profile.costs);
+        prop_assert_eq!(parsed.lsd_enabled, profile.lsd_enabled);
+        prop_assert_eq!(parsed.fingerprint(), profile.fingerprint());
+        // And the canonical form is a fixed point of the codec.
+        prop_assert_eq!(encode_profile(&parsed), text);
+    }
+}

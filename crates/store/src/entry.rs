@@ -1,14 +1,17 @@
-//! The versioned on-disk entry format (`leaky-store/v1`).
+//! The versioned on-disk entry format (`leaky-store/v2`).
 //!
 //! An entry is line-oriented, self-describing text:
 //!
 //! ```text
-//! leaky-store/v1
+//! leaky-store/v2
 //! key rng_stream_grid/profile=quick/stream=3
 //! fingerprint 0x8c19f8b0621cbdb0
 //! outcome measured
 //! provenance mt-eviction<TAB>skylake<TAB>d=6 q=1
 //! metric rate_kbps<TAB>0x40639581062ae148<TAB>156.672
+//! telemetry summary
+//! tsum iterations 182476
+//! ...
 //! checksum 0x1f0e9c4b2a3d5e6f
 //! ```
 //!
@@ -17,16 +20,31 @@
 //! * metric values are the **exact** IEEE-754 bit pattern (the decimal
 //!   third field is informational only), so a cached cell renders
 //!   byte-identically to a recomputed one;
+//! * the optional `telemetry` block (v2) persists the cell's trace via
+//!   [`leaky_trace::codec`], floats again as exact bit patterns, so a
+//!   resumed `--trace` sweep serves cached cells *with* telemetry;
 //! * `checksum` is FNV-1a over every byte that precedes its line. Any
 //!   structural deviation — wrong version, missing field, truncation,
 //!   trailing bytes, checksum mismatch — decodes to an [`EntryError`],
 //!   which the store treats as corruption and quarantines.
+//!
+//! Legacy `leaky-store/v1` entries (no telemetry block) still decode —
+//! migration happens on read, not by rewriting stores — but since the
+//! code fingerprint folds in [`FORMAT_VERSION`], every v1 entry is
+//! stale by construction and gets recomputed and overwritten in v2 form
+//! on the first resumed run.
 
+use leaky_trace::Telemetry;
 use leaky_uarch::Fnv1a;
 use std::fmt;
 
-/// The on-disk format version this build reads and writes.
-pub const FORMAT_VERSION: &str = "leaky-store/v1";
+/// The on-disk format version this build writes (and reads, alongside
+/// the legacy v1).
+pub const FORMAT_VERSION: &str = "leaky-store/v2";
+
+/// The previous format version, still accepted by [`Entry::decode`]
+/// (its entries simply carry no telemetry).
+pub const LEGACY_FORMAT_VERSION: &str = "leaky-store/v1";
 
 /// One persisted metric: name plus exact f64 value.
 #[derive(Debug, Clone, PartialEq)]
@@ -60,6 +78,9 @@ pub enum StoredOutcome {
         metrics: Vec<StoredMetric>,
         /// Channel provenance, when the cell ran a covert channel.
         provenance: Option<StoredProvenance>,
+        /// The cell's trace, when it was computed under `--trace`
+        /// (absent in legacy v1 entries and untraced runs).
+        telemetry: Option<Box<Telemetry>>,
     },
     /// The cell is structurally unsupported (e.g. an SMT channel on an
     /// SMT-less machine) — a stable fact worth caching.
@@ -150,6 +171,7 @@ impl Entry {
             StoredOutcome::Measured {
                 metrics,
                 provenance,
+                telemetry,
             } => {
                 body.push_str("outcome measured\n");
                 if let Some(p) = provenance {
@@ -169,6 +191,9 @@ impl Entry {
                         m.value.to_bits(),
                         m.value
                     ));
+                }
+                if let Some(t) = telemetry {
+                    body.push_str(&leaky_trace::codec::encode(t));
                 }
             }
         }
@@ -201,7 +226,7 @@ impl Entry {
 
         let mut lines = body.lines();
         let version = lines.next().ok_or(EntryError::MissingField("version"))?;
-        if version != FORMAT_VERSION {
+        if version != FORMAT_VERSION && version != LEGACY_FORMAT_VERSION {
             return Err(EntryError::WrongVersion(version.to_string()));
         }
         let key = lines
@@ -229,8 +254,20 @@ impl Entry {
             "measured" => {
                 let mut provenance = None;
                 let mut metrics = Vec::new();
+                let mut telemetry_lines: Vec<&str> = Vec::new();
                 for (i, line) in lines.enumerate() {
-                    if let Some(rest) = line.strip_prefix("provenance ") {
+                    if !telemetry_lines.is_empty() {
+                        // Once the telemetry block opens it runs to the
+                        // checksum; its own codec validates the lines.
+                        telemetry_lines.push(line);
+                    } else if line.starts_with("telemetry ") {
+                        if version != FORMAT_VERSION {
+                            // v1 never carried telemetry; a block there
+                            // is corruption, not an extension.
+                            return Err(EntryError::Malformed("telemetry in a v1 entry"));
+                        }
+                        telemetry_lines.push(line);
+                    } else if let Some(rest) = line.strip_prefix("provenance ") {
                         if i != 0 || provenance.is_some() {
                             return Err(EntryError::Malformed("provenance placement"));
                         }
@@ -270,9 +307,17 @@ impl Entry {
                         return Err(EntryError::Malformed("entry line"));
                     }
                 }
+                let telemetry = if telemetry_lines.is_empty() {
+                    None
+                } else {
+                    let t = leaky_trace::codec::decode(&telemetry_lines)
+                        .map_err(|_| EntryError::Malformed("telemetry block"))?;
+                    Some(Box::new(t))
+                };
                 StoredOutcome::Measured {
                     metrics,
                     provenance,
+                    telemetry,
                 }
             }
             _ => return Err(EntryError::Malformed("outcome kind")),
@@ -289,6 +334,7 @@ impl Entry {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use leaky_trace::{StallSummary, TraceEvent, TraceMode};
 
     fn sample() -> Entry {
         Entry {
@@ -310,8 +356,45 @@ mod tests {
                     profile: "skylake".to_string(),
                     params: "d=6 q=1 with spaces".to_string(),
                 }),
+                telemetry: None,
             },
         }
+    }
+
+    fn sample_telemetry() -> Telemetry {
+        let mut summary = StallSummary::new();
+        let events = vec![
+            TraceEvent::Calibration {
+                zero_mean: 2295.0,
+                one_mean: 2897.25,
+                threshold: 2596.125,
+                separation: 602.25,
+            },
+            TraceEvent::BitDecoded {
+                index: 0,
+                sent: true,
+                received: true,
+                value: 2900.5,
+                resamples: 1,
+            },
+        ];
+        for e in &events {
+            summary.fold(e);
+        }
+        Telemetry {
+            mode: TraceMode::Events,
+            summary,
+            events,
+        }
+    }
+
+    fn traced_sample() -> Entry {
+        let mut entry = sample();
+        let StoredOutcome::Measured { telemetry, .. } = &mut entry.outcome else {
+            unreachable!()
+        };
+        *telemetry = Some(Box::new(sample_telemetry()));
+        entry
     }
 
     #[test]
@@ -319,6 +402,37 @@ mod tests {
         let entry = sample();
         let text = entry.encode().expect("encodable");
         assert_eq!(Entry::decode(&text).expect("decodes"), entry);
+    }
+
+    #[test]
+    fn telemetry_round_trips_exactly() {
+        let entry = traced_sample();
+        let text = entry.encode().expect("encodable");
+        assert!(text.contains("telemetry events\n"));
+        assert_eq!(Entry::decode(&text).expect("decodes"), entry);
+    }
+
+    #[test]
+    fn legacy_v1_entries_still_decode_without_telemetry() {
+        // A v1 entry is a v2 entry minus the telemetry block, under the
+        // old version line. Build one by relabeling and re-checksumming.
+        let text = sample().encode().expect("encodable");
+        let relabeled = text.replace(FORMAT_VERSION, LEGACY_FORMAT_VERSION);
+        let body_end = relabeled.rfind("checksum ").expect("checksum line");
+        let body = &relabeled[..body_end];
+        let v1 = format!("{body}checksum 0x{:016x}\n", fnv64(body.as_bytes()));
+        assert_eq!(Entry::decode(&v1).expect("v1 decodes"), sample());
+
+        // ...but a telemetry block inside a v1 body is corruption.
+        let traced = traced_sample().encode().expect("encodable");
+        let relabeled = traced.replace(FORMAT_VERSION, LEGACY_FORMAT_VERSION);
+        let body_end = relabeled.rfind("checksum ").expect("checksum line");
+        let body = &relabeled[..body_end];
+        let bad = format!("{body}checksum 0x{:016x}\n", fnv64(body.as_bytes()));
+        assert_eq!(
+            Entry::decode(&bad),
+            Err(EntryError::Malformed("telemetry in a v1 entry"))
+        );
     }
 
     #[test]
@@ -344,6 +458,7 @@ mod tests {
                         value,
                     }],
                     provenance: None,
+                    telemetry: None,
                 },
             };
             let text = entry.encode().expect("encodable");
@@ -357,15 +472,18 @@ mod tests {
 
     #[test]
     fn any_byte_flip_is_detected() {
-        let text = entry_text();
-        for i in 0..text.len() {
-            let mut bytes = text.clone().into_bytes();
-            bytes[i] = bytes[i].wrapping_add(1);
-            if let Ok(s) = String::from_utf8(bytes) {
-                assert!(
-                    Entry::decode(&s).is_err(),
-                    "flip at byte {i} went undetected"
-                );
+        // Telemetry lines sit inside the checksummed body, so the same
+        // exhaustive flip sweep covers them too.
+        for text in [entry_text(), traced_sample().encode().expect("encodable")] {
+            for i in 0..text.len() {
+                let mut bytes = text.clone().into_bytes();
+                bytes[i] = bytes[i].wrapping_add(1);
+                if let Ok(s) = String::from_utf8(bytes) {
+                    assert!(
+                        Entry::decode(&s).is_err(),
+                        "flip at byte {i} went undetected"
+                    );
+                }
             }
         }
     }
@@ -392,7 +510,7 @@ mod tests {
     fn wrong_version_is_rejected() {
         let entry = sample();
         let text = entry.encode().expect("encodable");
-        let bumped = text.replace("leaky-store/v1", "leaky-store/v9");
+        let bumped = text.replace("leaky-store/v2", "leaky-store/v9");
         // Re-checksum so the version check itself is what fires.
         let body_end = bumped.rfind("checksum ").expect("checksum line");
         let body = &bumped[..body_end];

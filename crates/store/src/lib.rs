@@ -39,5 +39,8 @@
 pub mod entry;
 pub mod store;
 
-pub use entry::{Entry, EntryError, StoredMetric, StoredOutcome, StoredProvenance, FORMAT_VERSION};
+pub use entry::{
+    Entry, EntryError, StoredMetric, StoredOutcome, StoredProvenance, FORMAT_VERSION,
+    LEGACY_FORMAT_VERSION,
+};
 pub use store::{Lookup, ResultStore, StoreError, StoreStats};

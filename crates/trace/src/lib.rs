@@ -43,12 +43,14 @@
 #![warn(missing_docs)]
 #![deny(rustdoc::broken_intra_doc_links)]
 
+pub mod codec;
 pub mod event;
 pub mod hook;
 pub mod sink;
 pub mod summary;
 pub mod telemetry;
 
+pub use codec::CodecError;
 pub use event::{Source, TraceEvent, UnlockReason, CSV_HEADER};
 pub use hook::{EventBuffer, TraceHook, TraceMode};
 pub use sink::{drain, CsvSink, TextSink, TimedTextSink, TraceSink};

@@ -112,6 +112,27 @@ impl Welford {
         self.population_variance().sqrt()
     }
 
+    /// The accumulator's raw state `(count, mean, m2, min, max)`, for
+    /// bit-exact serialization (the store telemetry codec). `mean`/`m2`
+    /// are the internal Welford moments, not derived statistics; feeding
+    /// them back through [`Welford::from_raw_parts`] reproduces the
+    /// accumulator exactly, including the empty state's `±inf` extrema.
+    pub fn raw_parts(&self) -> (u64, f64, f64, f64, f64) {
+        (self.count, self.mean, self.m2, self.min, self.max)
+    }
+
+    /// Rebuilds an accumulator from [`Welford::raw_parts`] output,
+    /// bit-for-bit.
+    pub fn from_raw_parts(count: u64, mean: f64, m2: f64, min: f64, max: f64) -> Self {
+        Welford {
+            count,
+            mean,
+            m2,
+            min,
+            max,
+        }
+    }
+
     /// Merges another accumulator into this one (parallel Welford merge,
     /// same operation order as `OnlineStats::merge`).
     pub fn merge(&mut self, other: &Welford) {

@@ -18,6 +18,7 @@
 //! * [`stats`] — histograms, edit distance, threshold calibration
 //! * [`store`] — content-addressed on-disk result store (resumable sweeps)
 //! * [`exp`] — deterministic parallel experiment orchestration (sweeps)
+//! * [`scenario`] — data-driven profile & scenario files (TOML subset)
 //! * [`trace`] — zero-cost-when-off structured trace & telemetry layer
 
 #![forbid(unsafe_code)]
@@ -32,6 +33,7 @@ pub use leaky_frontend as frontend;
 pub use leaky_frontends as attacks;
 pub use leaky_isa as isa;
 pub use leaky_power as power;
+pub use leaky_scenario as scenario;
 pub use leaky_sgx as sgx;
 pub use leaky_spectre as spectre;
 pub use leaky_stats as stats;
